@@ -1,0 +1,236 @@
+//! CACTI-style SRAM estimates at 22 nm, calibrated on Table III.
+
+/// Bit layout of one L2 TLB entry.
+///
+/// The Table I L2 TLB (4 KB pages) is 1536 entries, 12-way ⇒ 128 sets:
+/// the VPN tag is 36 − 7 = 29 bits, the PPN covers the 32 GB of Table I
+/// (23 bits), plus permission/status flags and the context tags.
+///
+/// # Examples
+///
+/// ```
+/// use bf_analytic::TlbEntryLayout;
+/// let baseline = TlbEntryLayout::baseline();
+/// let babelfish = TlbEntryLayout::babelfish();
+/// // BabelFish adds the 12-bit CCID and the 34-bit O-PC field (Fig. 4).
+/// assert_eq!(babelfish.entry_bits() - baseline.entry_bits(), 12 + 34);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntryLayout {
+    /// Entries in the structure.
+    pub entries: u64,
+    /// VPN tag bits per entry.
+    pub vpn_tag_bits: u32,
+    /// PPN bits per entry.
+    pub ppn_bits: u32,
+    /// Flag/status bits per entry (valid, permissions, dirty, ...).
+    pub flag_bits: u32,
+    /// PCID tag bits (Table I: 12).
+    pub pcid_bits: u32,
+    /// CCID tag bits (0 for conventional TLBs; 12 for BabelFish).
+    pub ccid_bits: u32,
+    /// O-PC field bits (0 conventional; 34 = 32-bit PC bitmask + ORPC +
+    /// O for BabelFish, Fig. 4).
+    pub opc_bits: u32,
+}
+
+impl TlbEntryLayout {
+    /// The conventional Table I L2 TLB entry.
+    pub fn baseline() -> Self {
+        TlbEntryLayout {
+            entries: 1536,
+            vpn_tag_bits: 29,
+            ppn_bits: 23,
+            flag_bits: 13,
+            pcid_bits: 12,
+            ccid_bits: 0,
+            opc_bits: 0,
+        }
+    }
+
+    /// The BabelFish L2 TLB entry: baseline + CCID + full O-PC field.
+    pub fn babelfish() -> Self {
+        TlbEntryLayout {
+            ccid_bits: 12,
+            opc_bits: 34,
+            ..Self::baseline()
+        }
+    }
+
+    /// BabelFish with a narrower PC bitmask (ablation of the 32-writer
+    /// limit; `pc_bits` = 0 models the immediate-unshare design of
+    /// Section VII-D, keeping only the O bit).
+    pub fn babelfish_with_pc_bits(pc_bits: u32) -> Self {
+        TlbEntryLayout {
+            ccid_bits: 12,
+            opc_bits: if pc_bits == 0 { 1 } else { pc_bits + 2 },
+            ..Self::baseline()
+        }
+    }
+
+    /// Bits per entry.
+    pub fn entry_bits(&self) -> u32 {
+        self.vpn_tag_bits + self.ppn_bits + self.flag_bits + self.pcid_bits + self.ccid_bits
+            + self.opc_bits
+    }
+
+    /// Total storage bits of the structure.
+    pub fn total_bits(&self) -> u64 {
+        self.entries * self.entry_bits() as u64
+    }
+}
+
+/// One CACTI-style estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramEstimate {
+    /// Array area in mm².
+    pub area_mm2: f64,
+    /// Access time in picoseconds.
+    pub access_ps: f64,
+    /// Dynamic energy per read access in picojoules.
+    pub dyn_energy_pj: f64,
+    /// Leakage power in milliwatts.
+    pub leak_mw: f64,
+}
+
+/// A power-law SRAM scaling model, exactly calibrated at the two
+/// Table III design points (Baseline and BabelFish L2 TLB at 22 nm) and
+/// smooth in between — the behaviour CACTI exhibits over modest capacity
+/// ranges.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Copy)]
+pub struct SramModel {
+    area: PowerLaw,
+    time: PowerLaw,
+    energy: PowerLaw,
+    leak: PowerLaw,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PowerLaw {
+    coefficient: f64,
+    exponent: f64,
+}
+
+impl PowerLaw {
+    /// Fits `y = c · x^p` through two points.
+    fn through(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        let exponent = (y1 / y0).ln() / (x1 / x0).ln();
+        let coefficient = y0 / x0.powf(exponent);
+        PowerLaw { coefficient, exponent }
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        self.coefficient * x.powf(self.exponent)
+    }
+}
+
+impl SramModel {
+    /// Table III anchor values: (Baseline, BabelFish) at 22 nm.
+    const AREA: (f64, f64) = (0.030, 0.062);
+    const TIME: (f64, f64) = (327.0, 456.0);
+    const ENERGY: (f64, f64) = (10.22, 21.97);
+    const LEAK: (f64, f64) = (4.16, 6.22);
+
+    /// The 22 nm model calibrated on Table III.
+    pub fn cacti_22nm() -> Self {
+        let x0 = TlbEntryLayout::baseline().total_bits() as f64;
+        let x1 = TlbEntryLayout::babelfish().total_bits() as f64;
+        SramModel {
+            area: PowerLaw::through(x0, Self::AREA.0, x1, Self::AREA.1),
+            time: PowerLaw::through(x0, Self::TIME.0, x1, Self::TIME.1),
+            energy: PowerLaw::through(x0, Self::ENERGY.0, x1, Self::ENERGY.1),
+            leak: PowerLaw::through(x0, Self::LEAK.0, x1, Self::LEAK.1),
+        }
+    }
+
+    /// Estimates a structure of `total_bits` storage bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_bits` is zero.
+    pub fn estimate(&self, total_bits: u64) -> SramEstimate {
+        assert!(total_bits > 0, "empty structures cannot be estimated");
+        let x = total_bits as f64;
+        SramEstimate {
+            area_mm2: self.area.eval(x),
+            access_ps: self.time.eval(x),
+            dyn_energy_pj: self.energy.eval(x),
+            leak_mw: self.leak.eval(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn reproduces_table3_baseline() {
+        let est = SramModel::cacti_22nm().estimate(TlbEntryLayout::baseline().total_bits());
+        assert!(close(est.area_mm2, 0.030), "{est:?}");
+        assert!(close(est.access_ps, 327.0));
+        assert!(close(est.dyn_energy_pj, 10.22));
+        assert!(close(est.leak_mw, 4.16));
+    }
+
+    #[test]
+    fn reproduces_table3_babelfish() {
+        let est = SramModel::cacti_22nm().estimate(TlbEntryLayout::babelfish().total_bits());
+        assert!(close(est.area_mm2, 0.062), "{est:?}");
+        assert!(close(est.access_ps, 456.0));
+        assert!(close(est.dyn_energy_pj, 21.97));
+        assert!(close(est.leak_mw, 6.22));
+    }
+
+    #[test]
+    fn access_time_gap_is_under_a_cycle() {
+        // Section VII-D: "the difference in TLB access time between
+        // Baseline and BabelFish is a fraction of a cycle" (500 ps at
+        // 2 GHz).
+        let model = SramModel::cacti_22nm();
+        let base = model.estimate(TlbEntryLayout::baseline().total_bits());
+        let bf = model.estimate(TlbEntryLayout::babelfish().total_bits());
+        assert!(bf.access_ps - base.access_ps < 500.0);
+    }
+
+    #[test]
+    fn narrower_bitmask_scales_down_monotonically() {
+        let model = SramModel::cacti_22nm();
+        let widths = [0u32, 8, 16, 32];
+        let mut last_area = 0.0;
+        for width in widths {
+            let layout = TlbEntryLayout::babelfish_with_pc_bits(width);
+            let est = model.estimate(layout.total_bits());
+            assert!(est.area_mm2 > last_area, "area grows with bitmask width");
+            last_area = est.area_mm2;
+        }
+        // The full 32-bit design matches the Table III BabelFish point.
+        assert_eq!(
+            TlbEntryLayout::babelfish_with_pc_bits(32),
+            TlbEntryLayout::babelfish()
+        );
+    }
+
+    #[test]
+    fn entry_layout_accounting() {
+        let base = TlbEntryLayout::baseline();
+        assert_eq!(base.entry_bits(), 29 + 23 + 13 + 12);
+        assert_eq!(base.total_bits(), 1536 * base.entry_bits() as u64);
+        let no_pc = TlbEntryLayout::babelfish_with_pc_bits(0);
+        assert_eq!(no_pc.entry_bits() - base.entry_bits(), 13, "CCID + O only");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn zero_bits_rejected() {
+        let _ = SramModel::cacti_22nm().estimate(0);
+    }
+}

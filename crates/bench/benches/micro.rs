@@ -1,0 +1,183 @@
+//! Criterion micro-benchmarks of the core data structures: the TLB
+//! lookup paths (Fig. 8), MaskPage CoW bookkeeping, the page walk, the
+//! frame allocator and the Zipfian generator.
+
+use babelfish::mem::FrameAllocator;
+use babelfish::pgtable::MaskPage;
+use babelfish::tlb::{LookupMode, LookupRequest, Tlb, TlbConfig, TlbFill};
+use babelfish::types::*;
+use babelfish::workloads::ZipfianGenerator;
+use babelfish::{Machine, Mode, SimConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fill(vpn: u64, pcid: u16, owned: bool, orpc: bool) -> TlbFill {
+    TlbFill {
+        vpn: Vpn::new(vpn),
+        ppn: Ppn::new(vpn + 1),
+        size: PageSize::Size4K,
+        flags: PageFlags::PRESENT | PageFlags::USER,
+        pcid: Pcid::new(pcid),
+        ccid: Ccid::new(1),
+        owned,
+        orpc,
+        pc_bitmask: if orpc { 0b1010 } else { 0 },
+        loader: Pid::new(pcid as u32),
+    }
+}
+
+fn request(vpn: u64, pcid: u16, pc_bit: Option<usize>) -> LookupRequest {
+    LookupRequest {
+        vpn: Vpn::new(vpn),
+        pcid: Pcid::new(pcid),
+        ccid: Ccid::new(1),
+        pid: Pid::new(pcid as u32),
+        pc_bit,
+        is_write: false,
+    }
+}
+
+fn bench_tlb_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_lookup");
+
+    // Shared hit with the ORPC short-circuit (the common BabelFish path).
+    let mut tlb = Tlb::new(TlbConfig::l2_4k(), LookupMode::BabelFish);
+    for vpn in 0..1024 {
+        tlb.fill(fill(vpn, 1, false, false));
+    }
+    group.bench_function("babelfish_shared_hit", |b| {
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn = (vpn + 1) % 1024;
+            black_box(tlb.lookup(&request(vpn, 2, None)))
+        })
+    });
+
+    // Shared hit that must consult the PC bitmask (the 12-cycle path).
+    let mut tlb = Tlb::new(TlbConfig::l2_4k(), LookupMode::BabelFish);
+    for vpn in 0..1024 {
+        tlb.fill(fill(vpn, 1, false, true));
+    }
+    group.bench_function("babelfish_bitmask_hit", |b| {
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn = (vpn + 1) % 1024;
+            black_box(tlb.lookup(&request(vpn, 2, Some(0))))
+        })
+    });
+
+    // Owned hit (PCID-checked).
+    let mut tlb = Tlb::new(TlbConfig::l2_4k(), LookupMode::BabelFish);
+    for vpn in 0..1024 {
+        tlb.fill(fill(vpn, 3, true, false));
+    }
+    group.bench_function("babelfish_owned_hit", |b| {
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn = (vpn + 1) % 1024;
+            black_box(tlb.lookup(&request(vpn, 3, None)))
+        })
+    });
+
+    // Conventional hit, for comparison.
+    let mut tlb = Tlb::new(TlbConfig::l2_4k(), LookupMode::Conventional);
+    for vpn in 0..1024 {
+        tlb.fill(fill(vpn, 1, false, false));
+    }
+    group.bench_function("conventional_hit", |b| {
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn = (vpn + 1) % 1024;
+            black_box(tlb.lookup(&request(vpn, 1, None)))
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_maskpage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maskpage");
+    group.bench_function("assign_and_set", |b| {
+        b.iter(|| {
+            let mut mp = MaskPage::new(Ppn::new(1));
+            for pid in 0..32u32 {
+                let bit = mp.assign_bit(Pid::new(pid)).unwrap();
+                mp.set_bit((pid % 512) as usize, bit);
+            }
+            black_box(mp.mask(0))
+        })
+    });
+    let mut mp = MaskPage::new(Ppn::new(1));
+    for pid in 0..32u32 {
+        mp.assign_bit(Pid::new(pid)).unwrap();
+    }
+    group.bench_function("bit_of_existing", |b| {
+        b.iter(|| black_box(mp.bit_of(Pid::new(17))))
+    });
+    group.finish();
+}
+
+fn bench_machine_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    let mut machine = Machine::new(SimConfig::new(1, Mode::babelfish()).with_frames(1 << 20));
+    let kernel = machine.kernel_mut();
+    let ccid = kernel.create_group();
+    let pid = kernel.spawn(ccid).unwrap();
+    let file = kernel.register_file(4 << 20);
+    let va = kernel
+        .mmap(
+            pid,
+            babelfish::os::MmapRequest::file_shared(
+                babelfish::os::Segment::Lib,
+                file,
+                0,
+                4 << 20,
+                PageFlags::USER,
+            ),
+        )
+        .unwrap();
+    // Warm every page once.
+    for page in 0..(4u64 << 20) / 4096 {
+        machine.execute_access(0, pid, va.offset(page * 4096), AccessKind::Read);
+    }
+    group.bench_function("warm_l1_hit_access", |b| {
+        b.iter(|| black_box(machine.execute_access(0, pid, va, AccessKind::Read)))
+    });
+    let pages = (4u64 << 20) / 4096;
+    group.bench_function("tlb_resident_sweep", |b| {
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 7) % pages;
+            black_box(machine.execute_access(0, pid, va.offset(page * 4096), AccessKind::Read))
+        })
+    });
+    group.finish();
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.bench_function("frame_alloc_free", |b| {
+        let mut alloc = FrameAllocator::new(1 << 16);
+        b.iter(|| {
+            let f = alloc.alloc().unwrap();
+            alloc.dec_ref(f);
+            black_box(f)
+        })
+    });
+    group.bench_function("zipfian_sample", |b| {
+        let mut zipf = ZipfianGenerator::new(1 << 17, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tlb_lookup,
+    bench_maskpage,
+    bench_machine_access,
+    bench_allocators
+);
+criterion_main!(benches);

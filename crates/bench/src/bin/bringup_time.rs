@@ -1,0 +1,34 @@
+//! Section VII-C: serverless-function container bring-up time.
+//!
+//! Measures `docker start` of function containers from a pre-created
+//! image (fork + mmap + first-touch sequence). The paper reports
+//! BabelFish speeding bring-up by 8 %, with the remaining time dominated
+//! by the Docker engine runtime.
+
+use babelfish::experiment::run_functions;
+use babelfish::{AccessDensity, Mode};
+use bf_bench::{header, reduction_pct, versus};
+
+fn main() {
+    let cfg = bf_bench::config_from_args();
+
+    header("Section VII-C: function container bring-up time");
+    let base = run_functions(Mode::Baseline, AccessDensity::Dense, &cfg);
+    let bf = run_functions(Mode::babelfish(), AccessDensity::Dense, &cfg);
+
+    println!("{:<12} {:>14} {:>14} {:>9}", "container", "baseline", "babelfish", "reduction");
+    for ((name, b), (_, f)) in base.bringup_cycles.iter().zip(bf.bringup_cycles.iter()) {
+        println!(
+            "{:<12} {:>13}c {:>13}c {:>8.1}%",
+            name,
+            b,
+            f,
+            reduction_pct(*b as f64, *f as f64)
+        );
+    }
+    let red = reduction_pct(base.mean_bringup(), bf.mean_bringup());
+    println!("\nmean bring-up reduction: {}", versus(red, 8.0, "%"));
+    println!(
+        "(the residual is docker-engine runtime, as in the paper: \"Most of the\n remaining overheads in bring-up are due to the runtime of the Docker engine\")"
+    );
+}

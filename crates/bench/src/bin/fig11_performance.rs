@@ -1,0 +1,64 @@
+//! Fig. 11: latency / execution-time reduction attained by BabelFish.
+//!
+//! * Data Serving: mean and 95th-percentile request latency (paper:
+//!   −11 % mean, −18 % tail on average).
+//! * Compute: execution time (paper: −11 % on average).
+//! * Functions: execution time of the non-leading functions (paper:
+//!   −10 % dense, −55 % sparse on average).
+
+use babelfish::experiment::{run_compute, run_functions, run_serving, ComputeKind};
+use babelfish::{AccessDensity, Mode, ServingVariant};
+use bf_bench::{header, reduction_pct, versus};
+
+fn main() {
+    let cfg = bf_bench::config_from_args();
+
+    header("Fig. 11: Data Serving latency reduction");
+    println!("{:<10} {:>10} {:>10}", "app", "mean", "p95(tail)");
+    let mut mean_reductions = Vec::new();
+    let mut tail_reductions = Vec::new();
+    for variant in ServingVariant::ALL {
+        let base = run_serving(Mode::Baseline, variant, &cfg);
+        let bf = run_serving(Mode::babelfish(), variant, &cfg);
+        let mean_red = reduction_pct(base.mean_latency, bf.mean_latency);
+        let tail_red = reduction_pct(base.p95_latency as f64, bf.p95_latency as f64);
+        println!("{:<10} {:>9.1}% {:>9.1}%", variant.name(), mean_red, tail_red);
+        mean_reductions.push(mean_red);
+        tail_reductions.push(tail_red);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!("mean latency reduction:  {}", versus(mean(&mean_reductions), 11.0, "%"));
+    println!("tail latency reduction:  {}", versus(mean(&tail_reductions), 18.0, "%"));
+
+    header("Fig. 11: Compute execution-time reduction");
+    let mut compute_reductions = Vec::new();
+    for kind in ComputeKind::ALL {
+        let base = run_compute(Mode::Baseline, kind, &cfg);
+        let bf = run_compute(Mode::babelfish(), kind, &cfg);
+        let red = reduction_pct(base.exec_cycles as f64, bf.exec_cycles as f64);
+        println!("{:<10} {:>9.1}%", kind.name(), red);
+        compute_reductions.push(red);
+    }
+    println!("compute time reduction:  {}", versus(mean(&compute_reductions), 11.0, "%"));
+
+    header("Fig. 11: Function execution-time reduction (non-leading functions)");
+    for (label, density, paper) in [
+        ("dense", AccessDensity::Dense, 10.0),
+        ("sparse", AccessDensity::Sparse, 55.0),
+    ] {
+        let base = run_functions(Mode::Baseline, density, &cfg);
+        let bf = run_functions(Mode::babelfish(), density, &cfg);
+        let red = reduction_pct(base.follower_mean_exec(), bf.follower_mean_exec());
+        println!("{:<10} {}", label, versus(red, paper, "%"));
+        // Per-function detail.
+        for ((name, b), (_, f)) in base.exec_cycles.iter().zip(bf.exec_cycles.iter()) {
+            println!(
+                "    {:<18} {:>12} -> {:>12} cycles ({:>5.1}%)",
+                format!("{name}-{label}"),
+                b,
+                f,
+                reduction_pct(*b as f64, *f as f64)
+            );
+        }
+    }
+}

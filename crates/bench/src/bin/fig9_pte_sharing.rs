@@ -1,0 +1,84 @@
+//! Fig. 9: page-table-entry sharing characterisation.
+//!
+//! For each application, prints the three bars of Fig. 9 — total
+//! `pte_t`s, active `pte_t`s, and active `pte_t`s under BabelFish — each
+//! broken into shareable / unshareable / THP, normalised to the total.
+//! Paper reference points: 53 % of serving+compute `pte_t`s shareable on
+//! average (functions ≈ 94 %), BabelFish cutting active `pte_t`s by
+//! ≈ 30 % (serving/compute) and ≈ 57 % (functions).
+
+use babelfish::experiment::{run_census, CensusApp, ComputeKind};
+use babelfish::ServingVariant;
+use bf_bench::header;
+
+fn main() {
+    let mut cfg = bf_bench::config_from_args();
+    // The paper's Fig. 9 was measured natively with two containers of
+    // each application (three functions): "Since this plot corresponds
+    // to only two containers, the reduction in shareable active pte_ts
+    // is at most half" (Section VII-A).
+    cfg.cores = 1;
+    header("Fig. 9: pte_t shareability (normalised to each app's total)");
+    println!(
+        "{:<10} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>9} {:>10}",
+        "app", "shr", "unshr", "thp", "act.shr", "act.uns", "act.thp", "bf.active", "reduction"
+    );
+
+    let apps = [
+        CensusApp::Serving(ServingVariant::MongoDb),
+        CensusApp::Serving(ServingVariant::ArangoDb),
+        CensusApp::Serving(ServingVariant::Httpd),
+        CensusApp::Compute(ComputeKind::GraphChi),
+        CensusApp::Compute(ComputeKind::Fio),
+        CensusApp::Functions,
+    ];
+
+    let mut serving_compute_share = Vec::new();
+    let mut serving_compute_reduction = Vec::new();
+    let mut function_share = 0.0;
+    let mut function_reduction = 0.0;
+
+    for app in apps {
+        let report = run_census(app, &cfg);
+        let total = report.total.total().max(1) as f64;
+        let norm = |x: u64| x as f64 / total;
+        println!(
+            "{:<10} {:>6.1}% {:>6.1}% {:>6.1}% | {:>6.1}% {:>6.1}% {:>6.1}% | {:>8.1}% {:>9.1}%",
+            app.name(),
+            norm(report.total.shareable) * 100.0,
+            norm(report.total.unshareable) * 100.0,
+            norm(report.total.thp) * 100.0,
+            norm(report.active.shareable) * 100.0,
+            norm(report.active.unshareable) * 100.0,
+            norm(report.active.thp) * 100.0,
+            norm(report.babelfish_active) * 100.0,
+            report.active_reduction() * 100.0,
+        );
+        if matches!(app, CensusApp::Functions) {
+            function_share = report.shareable_fraction() * 100.0;
+            function_reduction = report.active_reduction() * 100.0;
+        } else {
+            serving_compute_share.push(report.shareable_fraction() * 100.0);
+            serving_compute_reduction.push(report.active_reduction() * 100.0);
+        }
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    header("Fig. 9 summary vs paper");
+    println!(
+        "serving+compute shareable:      {}",
+        bf_bench::versus(mean(&serving_compute_share), 53.0, "%")
+    );
+    println!(
+        "serving+compute active reduction: {}",
+        bf_bench::versus(mean(&serving_compute_reduction), 30.0, "%")
+    );
+    println!(
+        "functions shareable:            {}",
+        bf_bench::versus(function_share, 94.0, "%")
+    );
+    println!(
+        "functions active reduction:     {}",
+        bf_bench::versus(function_reduction, 57.0, "%")
+    );
+}

@@ -1,0 +1,83 @@
+//! Table I: the modelled architectural parameters.
+//!
+//! Prints the machine configuration the simulator instantiates, in the
+//! layout of the paper's Table I, so a reader can check the reproduction
+//! models the same design point.
+
+use babelfish::sim::{Mode, SimConfig};
+use babelfish::tlb::TlbConfig;
+
+fn main() {
+    let config = SimConfig::new(8, Mode::babelfish());
+    bf_bench::header("Table I: Architectural parameters (AT = access time)");
+
+    println!("Processor parameters");
+    println!(
+        "  Multicore chip       {} {}-issue cores; 2GHz",
+        config.cores, config.issue_width
+    );
+    let h = config.hierarchy;
+    println!(
+        "  L1 (D, I) cache      {}KB, {} way, WB, {} cycle AT, {} MSHRs, {}B line",
+        h.l1d.size_bytes / 1024, h.l1d.ways, h.l1d.access_cycles, h.l1d.mshrs, h.l1d.line_bytes
+    );
+    println!(
+        "  L2 cache             {}KB, {} way, WB, {} cycle AT, {} MSHRs, {}B line",
+        h.l2.size_bytes / 1024, h.l2.ways, h.l2.access_cycles, h.l2.mshrs, h.l2.line_bytes
+    );
+    println!(
+        "  L3 cache             {}MB, {} way, WB, shared, {} cycle AT, {} MSHRs, {}B line",
+        h.l3.size_bytes / (1024 * 1024), h.l3.ways, h.l3.access_cycles, h.l3.mshrs, h.l3.line_bytes
+    );
+
+    println!("\nPer-core MMU parameters");
+    let rows: [(&str, TlbConfig); 5] = [
+        ("L1 (D, I) TLB (4KB)", TlbConfig::l1d_4k()),
+        ("L1 (D) TLB (2MB)", TlbConfig::l1d_2m()),
+        ("L1 (D) TLB (1GB)", TlbConfig::l1d_1g()),
+        ("L2 TLB (4KB/2MB)", TlbConfig::l2_4k()),
+        ("L2 TLB (1GB)", TlbConfig::l2_1g()),
+    ];
+    for (name, tlb) in rows {
+        let at = if tlb.access_cycles_long != tlb.access_cycles_short {
+            format!("{} or {} cycle AT", tlb.access_cycles_short, tlb.access_cycles_long)
+        } else {
+            format!("{} cycle AT", tlb.access_cycles_short)
+        };
+        println!("  {name:<21}{} entries, {} way, {at}", tlb.entries, tlb.ways);
+    }
+    println!(
+        "  ASLR transformation  {} cycles on L1 TLB miss",
+        config.aslr_transform_cycles
+    );
+    println!(
+        "  Page walk cache      {} entries/level, {} way, {} cycle AT",
+        config.pwc.entries_per_level, config.pwc.ways, config.pwc.access_cycles
+    );
+
+    println!("\nMain-memory parameters");
+    let d = h.dram;
+    println!(
+        "  Capacity; Channels   {}GB; {}",
+        config.kernel.frame_capacity * 4096 / (1 << 30),
+        d.channels
+    );
+    println!(
+        "  Ranks/Channel; Banks/Rank  {}; {}",
+        d.ranks_per_channel, d.banks_per_rank
+    );
+    println!("  Frequency; Data rate 1GHz; DDR");
+
+    println!("\nHost and Docker parameters");
+    println!(
+        "  Scheduling quantum   {}ms ({} cycles @2GHz)",
+        config.quantum_cycles / 2_000_000,
+        config.quantum_cycles
+    );
+    println!(
+        "  PC bitmask; PCID; CCID  {} bits; {} bits; {} bits",
+        babelfish::types::PC_BITMASK_BITS,
+        babelfish::types::Pcid::BITS,
+        babelfish::types::Ccid::BITS
+    );
+}

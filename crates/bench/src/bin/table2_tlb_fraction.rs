@@ -1,0 +1,59 @@
+//! Table II: fraction of BabelFish's gains that come from L2 TLB entry
+//! sharing (the rest comes from page-table sharing).
+//!
+//! The fraction is derived by ablation, as the independent mechanisms
+//! allow: `(T_baseline − T_tlb_only) / (T_baseline − T_full)`.
+//! Paper reference: MongoDB 0.77, ArangoDB 0.25, HTTPd 0.81 (avg 0.61);
+//! GraphChi 0.11, FIO 0.29 (avg 0.20); dense functions ≈ 0.20, sparse
+//! ≈ 0.01.
+
+use babelfish::experiment::{run_compute, run_functions, run_serving, ComputeKind};
+use babelfish::{AccessDensity, Mode, ServingVariant};
+use bf_bench::header;
+
+fn fraction(base: f64, tlb_only: f64, full: f64) -> f64 {
+    let total_gain = base - full;
+    if total_gain <= 0.0 {
+        return 0.0;
+    }
+    ((base - tlb_only) / total_gain).clamp(0.0, 1.0)
+}
+
+fn main() {
+    let cfg = bf_bench::config_from_args();
+    header("Table II: fraction of time reduction due to L2 TLB effects");
+    println!("{:<14} {:>9} {:>8}", "workload", "measured", "paper");
+
+    let paper_serving = [0.77, 0.25, 0.81];
+    for (variant, paper) in ServingVariant::ALL.into_iter().zip(paper_serving) {
+        let base = run_serving(Mode::Baseline, variant, &cfg).mean_latency;
+        let tlb = run_serving(Mode::babelfish_tlb_only(), variant, &cfg).mean_latency;
+        let full = run_serving(Mode::babelfish(), variant, &cfg).mean_latency;
+        println!(
+            "{:<14} {:>9.2} {:>8.2}",
+            variant.name(),
+            fraction(base, tlb, full),
+            paper
+        );
+    }
+
+    let paper_compute = [0.11, 0.29];
+    for (kind, paper) in ComputeKind::ALL.into_iter().zip(paper_compute) {
+        let base = run_compute(Mode::Baseline, kind, &cfg).exec_cycles as f64;
+        let tlb = run_compute(Mode::babelfish_tlb_only(), kind, &cfg).exec_cycles as f64;
+        let full = run_compute(Mode::babelfish(), kind, &cfg).exec_cycles as f64;
+        println!("{:<14} {:>9.2} {:>8.2}", kind.name(), fraction(base, tlb, full), paper);
+    }
+
+    for (label, density, paper) in [
+        ("fn-dense", AccessDensity::Dense, 0.20),
+        ("fn-sparse", AccessDensity::Sparse, 0.01),
+    ] {
+        let base = run_functions(Mode::Baseline, density, &cfg).follower_mean_exec();
+        let tlb = run_functions(Mode::babelfish_tlb_only(), density, &cfg).follower_mean_exec();
+        let full = run_functions(Mode::babelfish(), density, &cfg).follower_mean_exec();
+        println!("{:<14} {:>9.2} {:>8.2}", label, fraction(base, tlb, full), paper);
+    }
+
+    println!("\n(1.0 = all gains from TLB entry sharing; 0.0 = all from page tables)");
+}

@@ -1,0 +1,48 @@
+//! Table III: L2 TLB parameters at 22 nm (CACTI-style model).
+//!
+//! The model is calibrated at the paper's two published design points and
+//! scales by total storage bits; the binary also prints the PC-bitmask
+//! width ablation the calibration enables.
+
+use babelfish::{SramModel, TlbEntryLayout};
+use bf_bench::header;
+
+fn main() {
+    let model = SramModel::cacti_22nm();
+
+    header("Table III: L2 TLB at 22nm");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>11}",
+        "config", "area", "access time", "dyn. energy", "leakage"
+    );
+    for (name, layout) in [
+        ("Baseline", TlbEntryLayout::baseline()),
+        ("BabelFish", TlbEntryLayout::babelfish()),
+    ] {
+        let est = model.estimate(layout.total_bits());
+        println!(
+            "{:<12} {:>7.3}mm2 {:>10.0}ps {:>10.2}pJ {:>9.2}mW",
+            name, est.area_mm2, est.access_ps, est.dyn_energy_pj, est.leak_mw
+        );
+    }
+    println!("paper:  Baseline 0.030mm2 / 327ps / 10.22pJ / 4.16mW");
+    println!("        BabelFish 0.062mm2 / 456ps / 21.97pJ / 6.22mW");
+
+    header("Ablation: PC bitmask width (entry layout scaling)");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12}",
+        "PC bits", "bits/entry", "area", "access time"
+    );
+    for pc_bits in [0u32, 8, 16, 32] {
+        let layout = TlbEntryLayout::babelfish_with_pc_bits(pc_bits);
+        let est = model.estimate(layout.total_bits());
+        println!(
+            "{:<12} {:>10} {:>7.3}mm2 {:>10.0}ps",
+            pc_bits,
+            layout.entry_bits(),
+            est.area_mm2,
+            est.access_ps
+        );
+    }
+    println!("(0 = the Section VII-D immediate-unshare design: CCID + O bit only)");
+}

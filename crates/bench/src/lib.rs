@@ -1,0 +1,65 @@
+//! Shared plumbing for the benchmark binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure of the
+//! evaluation (Section VII); see `DESIGN.md` for the per-experiment
+//! index and `EXPERIMENTS.md` for recorded paper-vs-measured results.
+//! Binaries accept an optional `--quick` flag to run the smoke-test
+//! configuration instead of the full scaled one.
+
+use babelfish::experiment::ExperimentConfig;
+
+/// Percentage reduction of `new` relative to `base` (positive = better).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(bf_bench::reduction_pct(200.0, 150.0), 25.0);
+/// ```
+pub fn reduction_pct(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (1.0 - new / base) * 100.0
+    }
+}
+
+/// Picks the experiment configuration from the process arguments
+/// (`--quick` selects the smoke-test size).
+pub fn config_from_args() -> ExperimentConfig {
+    if std::env::args().any(|a| a == "--quick") {
+        ExperimentConfig::smoke_test()
+    } else {
+        ExperimentConfig::paper_scaled()
+    }
+}
+
+/// Prints a rule-of-dashes header.
+pub fn header(title: &str) {
+    println!("\n{title}");
+    println!("{}", "-".repeat(title.len().max(8)));
+}
+
+/// Formats a `(measured, paper)` pair for a table cell.
+pub fn versus(measured: f64, paper: f64, unit: &str) -> String {
+    format!("{measured:>7.1}{unit} (paper: {paper:>5.1}{unit})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_math() {
+        assert!((reduction_pct(100.0, 89.0) - 11.0).abs() < 1e-9);
+        assert_eq!(reduction_pct(0.0, 5.0), 0.0);
+        assert!(reduction_pct(100.0, 120.0) < 0.0, "regressions are negative");
+    }
+
+    #[test]
+    fn versus_formats_both_numbers() {
+        let s = versus(12.5, 11.0, "%");
+        assert!(s.contains("12.5%"));
+        assert!(s.contains("11.0%"));
+    }
+}

@@ -1,0 +1,364 @@
+//! The full cache hierarchy: per-core L1/L2, shared L3, then DRAM.
+
+use crate::set_assoc::{CacheConfig, CacheStats, SetAssocCache};
+use bf_mem::{Dram, DramConfig, DramStats};
+use bf_types::{AccessKind, CoreId, Cycles, PhysAddr};
+
+/// Where a memory request enters the hierarchy.
+///
+/// Ordinary loads/stores/fetches start at the L1. Hardware page-walker
+/// requests start at the L2: Fig. 7 shows walker requests probing "the L2
+/// and L3 caches and memory", the conventional design point where walker
+/// accesses bypass the small L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOrigin {
+    /// A core-issued instruction fetch or data access (enters at L1).
+    Core,
+    /// A page-walker request for a page-table entry (enters at L2).
+    PageWalker,
+}
+
+/// Geometry of the whole hierarchy (defaults are Table I).
+///
+/// # Examples
+///
+/// ```
+/// use bf_cache::HierarchyConfig;
+/// let config = HierarchyConfig::table1(8);
+/// assert_eq!(config.cores, 8);
+/// assert_eq!(config.l3.size_bytes, 8 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Number of cores (each gets private L1I/L1D/L2).
+    pub cores: usize,
+    /// Per-core L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Per-core L1 data cache.
+    pub l1d: CacheConfig,
+    /// Per-core unified L2.
+    pub l2: CacheConfig,
+    /// Shared L3.
+    pub l3: CacheConfig,
+    /// Main memory.
+    pub dram: DramConfig,
+}
+
+impl HierarchyConfig {
+    /// The Table I server configuration with the given core count.
+    pub fn table1(cores: usize) -> Self {
+        HierarchyConfig {
+            cores,
+            l1i: CacheConfig::l1_instr(),
+            l1d: CacheConfig::l1_data(),
+            l2: CacheConfig::l2(),
+            l3: CacheConfig::l3(),
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+/// Per-level aggregate counters (summed over cores for private levels).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Aggregate L1 instruction-cache stats.
+    pub l1i: CacheStats,
+    /// Aggregate L1 data-cache stats.
+    pub l1d: CacheStats,
+    /// Aggregate private-L2 stats.
+    pub l2: CacheStats,
+    /// Shared L3 stats.
+    pub l3: CacheStats,
+}
+
+/// Hierarchy-wide counters exposed by [`CacheHierarchy::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HierarchyStats {
+    /// Per-level cache counters.
+    pub levels: LevelStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+    /// Page-walker requests served by the (local) L2.
+    pub walks_served_l2: u64,
+    /// Page-walker requests served by the shared L3 — the cross-container
+    /// reuse highlighted in Fig. 7.
+    pub walks_served_l3: u64,
+    /// Page-walker requests that went all the way to DRAM.
+    pub walks_served_dram: u64,
+}
+
+/// The modelled memory hierarchy of the 8-core server.
+///
+/// All caches are physically tagged, so two processes touching the same
+/// physical line (a shared library page, or a shared page-table page under
+/// BabelFish) reuse each other's cache contents with no extra machinery.
+///
+/// # Examples
+///
+/// ```
+/// use bf_cache::{AccessOrigin, CacheHierarchy, HierarchyConfig};
+/// use bf_types::{AccessKind, CoreId, PhysAddr};
+///
+/// let mut mem = CacheHierarchy::new(HierarchyConfig::table1(2));
+/// let addr = PhysAddr::new(0x4000);
+/// let cold = mem.access(CoreId::new(0), addr, AccessKind::Read, AccessOrigin::Core, 0);
+/// let warm = mem.access(CoreId::new(0), addr, AccessKind::Read, AccessOrigin::Core, 1_000);
+/// assert!(warm < cold);
+/// ```
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    config: HierarchyConfig,
+    l1i: Vec<SetAssocCache>,
+    l1d: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    l3: SetAssocCache,
+    dram: Dram,
+    walks_served_l2: u64,
+    walks_served_l3: u64,
+    walks_served_dram: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy for `config.cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cores` is zero.
+    pub fn new(config: HierarchyConfig) -> Self {
+        assert!(config.cores > 0, "hierarchy needs at least one core");
+        CacheHierarchy {
+            l1i: (0..config.cores).map(|_| SetAssocCache::new(config.l1i)).collect(),
+            l1d: (0..config.cores).map(|_| SetAssocCache::new(config.l1d)).collect(),
+            l2: (0..config.cores).map(|_| SetAssocCache::new(config.l2)).collect(),
+            l3: SetAssocCache::new(config.l3),
+            dram: Dram::new(config.dram),
+            config,
+            walks_served_l2: 0,
+            walks_served_l3: 0,
+            walks_served_dram: 0,
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Serves one access and returns its latency in CPU cycles.
+    ///
+    /// `origin` selects the entry level (core accesses start at L1,
+    /// page-walker requests at L2); `kind` selects the L1 (instruction vs
+    /// data) and write-allocation behaviour; `now` timestamps the request
+    /// for DRAM bank timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(
+        &mut self,
+        core: CoreId,
+        addr: PhysAddr,
+        kind: AccessKind,
+        origin: AccessOrigin,
+        now: Cycles,
+    ) -> Cycles {
+        let c = core.index();
+        assert!(c < self.config.cores, "core {core} out of range");
+        let line = addr.cache_line();
+        let is_write = kind.is_write();
+        let mut latency: Cycles = 0;
+
+        // L1 (core accesses only).
+        if origin == AccessOrigin::Core {
+            let l1 = if kind.is_fetch() { &mut self.l1i[c] } else { &mut self.l1d[c] };
+            latency += l1.config().access_cycles;
+            if l1.probe_and_touch(line, is_write) {
+                return latency;
+            }
+        }
+
+        // L2.
+        latency += self.l2[c].config().access_cycles;
+        if self.l2[c].probe_and_touch(line, is_write) {
+            if origin == AccessOrigin::PageWalker {
+                self.walks_served_l2 += 1;
+            } else {
+                self.fill_l1(c, kind, line);
+            }
+            return latency;
+        }
+
+        // L3 (shared).
+        latency += self.l3.config().access_cycles;
+        if self.l3.probe_and_touch(line, is_write) {
+            self.fill_l2(c, line, is_write);
+            if origin == AccessOrigin::PageWalker {
+                self.walks_served_l3 += 1;
+            } else {
+                self.fill_l1(c, kind, line);
+            }
+            return latency;
+        }
+
+        // DRAM.
+        latency += self.dram.access(addr, now + latency);
+        self.l3.fill(line, is_write);
+        self.fill_l2(c, line, is_write);
+        if origin == AccessOrigin::PageWalker {
+            self.walks_served_dram += 1;
+        } else {
+            self.fill_l1(c, kind, line);
+        }
+        latency
+    }
+
+    /// Invalidates a physical line everywhere (used when the kernel frees
+    /// a page-table page, so stale entries cannot be re-walked).
+    pub fn invalidate_line(&mut self, addr: PhysAddr) {
+        let line = addr.cache_line();
+        for cache in self
+            .l1i
+            .iter_mut()
+            .chain(self.l1d.iter_mut())
+            .chain(self.l2.iter_mut())
+        {
+            cache.invalidate(line);
+        }
+        self.l3.invalidate(line);
+    }
+
+    /// Aggregate counters across the hierarchy.
+    pub fn stats(&self) -> HierarchyStats {
+        fn sum(caches: &[SetAssocCache]) -> CacheStats {
+            caches.iter().fold(CacheStats::default(), |mut acc, c| {
+                let s = c.stats();
+                acc.hits += s.hits;
+                acc.misses += s.misses;
+                acc.fills += s.fills;
+                acc.evictions += s.evictions;
+                acc.writebacks += s.writebacks;
+                acc
+            })
+        }
+        HierarchyStats {
+            levels: LevelStats {
+                l1i: sum(&self.l1i),
+                l1d: sum(&self.l1d),
+                l2: sum(&self.l2),
+                l3: self.l3.stats(),
+            },
+            dram: self.dram.stats(),
+            walks_served_l2: self.walks_served_l2,
+            walks_served_l3: self.walks_served_l3,
+            walks_served_dram: self.walks_served_dram,
+        }
+    }
+
+    fn fill_l1(&mut self, core: usize, kind: AccessKind, line: u64) {
+        let l1 = if kind.is_fetch() { &mut self.l1i[core] } else { &mut self.l1d[core] };
+        l1.fill(line, kind.is_write());
+    }
+
+    fn fill_l2(&mut self, core: usize, line: u64, dirty: bool) {
+        self.l2[core].fill(line, dirty);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy(cores: usize) -> CacheHierarchy {
+        CacheHierarchy::new(HierarchyConfig::table1(cores))
+    }
+
+    #[test]
+    fn latency_orders_by_level() {
+        let mut mem = hierarchy(1);
+        let core = CoreId::new(0);
+        let addr = PhysAddr::new(0x10_0000);
+        let dram_latency = mem.access(core, addr, AccessKind::Read, AccessOrigin::Core, 0);
+        let l1_latency = mem.access(core, addr, AccessKind::Read, AccessOrigin::Core, 10_000);
+        assert!(l1_latency < dram_latency);
+        assert_eq!(l1_latency, 2, "L1 hit costs the Table I 2-cycle AT");
+    }
+
+    #[test]
+    fn walker_requests_skip_l1() {
+        let mut mem = hierarchy(1);
+        let core = CoreId::new(0);
+        let addr = PhysAddr::new(0x20_0000);
+        mem.access(core, addr, AccessKind::Read, AccessOrigin::PageWalker, 0);
+        // The walker fill reaches L2 but not L1.
+        let l2_hit = mem.access(core, addr, AccessKind::Read, AccessOrigin::PageWalker, 1_000);
+        assert_eq!(l2_hit, 8, "second walker request should hit the L2");
+        assert_eq!(mem.stats().levels.l1d.fills, 0);
+    }
+
+    #[test]
+    fn cross_core_reuse_through_shared_l3() {
+        let mut mem = hierarchy(2);
+        let addr = PhysAddr::new(0x30_0000);
+        // Core 0's walker misses everywhere and fills L3.
+        let cold = mem.access(CoreId::new(0), addr, AccessKind::Read, AccessOrigin::PageWalker, 0);
+        // Core 1's walker misses its private L2 but hits the shared L3 —
+        // the Fig. 7 cross-container reuse.
+        let warm = mem.access(CoreId::new(1), addr, AccessKind::Read, AccessOrigin::PageWalker, 1_000);
+        assert!(warm < cold);
+        assert_eq!(warm, 8 + 32, "L2 miss + L3 hit");
+        assert_eq!(mem.stats().walks_served_l3, 1);
+        assert_eq!(mem.stats().walks_served_dram, 1);
+    }
+
+    #[test]
+    fn fetches_use_instruction_l1() {
+        let mut mem = hierarchy(1);
+        let core = CoreId::new(0);
+        let addr = PhysAddr::new(0x40_0000);
+        mem.access(core, addr, AccessKind::Fetch, AccessOrigin::Core, 0);
+        let stats = mem.stats();
+        assert!(stats.levels.l1i.misses > 0);
+        assert_eq!(stats.levels.l1d.misses, 0);
+    }
+
+    #[test]
+    fn same_core_processes_share_physical_lines() {
+        // Two "processes" (the hierarchy does not know about processes —
+        // that is the point: physically-tagged caches share naturally).
+        let mut mem = hierarchy(1);
+        let core = CoreId::new(0);
+        let addr = PhysAddr::new(0x50_0000);
+        mem.access(core, addr, AccessKind::Read, AccessOrigin::Core, 0);
+        let second = mem.access(core, addr, AccessKind::Read, AccessOrigin::Core, 100);
+        assert_eq!(second, 2);
+    }
+
+    #[test]
+    fn invalidate_line_forces_refetch() {
+        let mut mem = hierarchy(1);
+        let core = CoreId::new(0);
+        let addr = PhysAddr::new(0x60_0000);
+        mem.access(core, addr, AccessKind::Read, AccessOrigin::Core, 0);
+        mem.invalidate_line(addr);
+        let after = mem.access(core, addr, AccessKind::Read, AccessOrigin::Core, 1_000);
+        assert!(after > 2, "invalidated line must miss the L1");
+    }
+
+    #[test]
+    fn writes_produce_writebacks_eventually() {
+        let mut mem = hierarchy(1);
+        let core = CoreId::new(0);
+        // Dirty many distinct lines mapping over the whole L1 so evictions occur.
+        for i in 0..10_000u64 {
+            mem.access(core, PhysAddr::new(i * 64), AccessKind::Write, AccessOrigin::Core, i);
+        }
+        assert!(mem.stats().levels.l1d.writebacks > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn core_bounds_are_checked() {
+        let mut mem = hierarchy(1);
+        mem.access(CoreId::new(1), PhysAddr::new(0), AccessKind::Read, AccessOrigin::Core, 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! The per-core page-walk cache (PWC).
+
+use bf_types::{Cycles, PageTableLevel, PhysAddr};
+
+/// Geometry of the page-walk cache (Table I: 16 entries per level, 4-way,
+/// 1-cycle access, caching PGD/PUD/PMD entries — never leaf PTEs).
+///
+/// # Examples
+///
+/// ```
+/// use bf_cache::PwcConfig;
+/// let config = PwcConfig::default();
+/// assert_eq!(config.entries_per_level, 16);
+/// assert_eq!(config.ways, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PwcConfig {
+    /// Entries per cached level (PGD, PUD, PMD).
+    pub entries_per_level: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Access time in CPU cycles.
+    pub access_cycles: Cycles,
+}
+
+impl Default for PwcConfig {
+    fn default() -> Self {
+        PwcConfig {
+            entries_per_level: 16,
+            ways: 4,
+            access_cycles: 1,
+        }
+    }
+}
+
+/// Hit/miss counters exposed by [`PageWalkCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PwcStats {
+    /// Probes that found the entry.
+    pub hits: u64,
+    /// Probes that missed.
+    pub misses: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PwcWay {
+    valid: bool,
+    tag: u64,
+    last_used: u64,
+}
+
+/// A per-core translation cache over the upper page-table levels.
+///
+/// Entries are keyed by the *physical address of the page-table entry*
+/// they cache. This gives the sharing behaviour the paper exploits for
+/// free: when BabelFish makes two processes walk the same shared PMD
+/// table, the second process probes the same entry address and hits,
+/// whereas separate per-process tables can never hit on each other's
+/// entries.
+///
+/// Leaf PTE entries are never cached here (the PWC "stores a few
+/// recently-accessed entries of the first three tables", Section II-B).
+///
+/// # Examples
+///
+/// ```
+/// use bf_cache::PageWalkCache;
+/// use bf_types::{PageTableLevel, PhysAddr};
+///
+/// let mut pwc = PageWalkCache::new(Default::default());
+/// let entry = PhysAddr::new(0x5000);
+/// assert!(!pwc.probe(PageTableLevel::Pud, entry));
+/// pwc.fill(PageTableLevel::Pud, entry);
+/// assert!(pwc.probe(PageTableLevel::Pud, entry));
+/// ```
+#[derive(Debug)]
+pub struct PageWalkCache {
+    config: PwcConfig,
+    /// Sets for PGD, PUD, PMD (index = level depth).
+    levels: [Vec<Vec<PwcWay>>; 3],
+    clock: u64,
+    stats: PwcStats,
+}
+
+impl PageWalkCache {
+    /// Builds a PWC with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries_per_level` is not a positive multiple of `ways`.
+    pub fn new(config: PwcConfig) -> Self {
+        assert!(
+            config.entries_per_level > 0
+                && config.ways > 0
+                && config.entries_per_level.is_multiple_of(config.ways),
+            "entries_per_level must be a positive multiple of ways"
+        );
+        let sets = config.entries_per_level / config.ways;
+        let make = || vec![vec![PwcWay::default(); config.ways]; sets];
+        PageWalkCache {
+            config,
+            levels: [make(), make(), make()],
+            clock: 0,
+            stats: PwcStats::default(),
+        }
+    }
+
+    /// The geometry this PWC was built with.
+    pub fn config(&self) -> &PwcConfig {
+        &self.config
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> PwcStats {
+        self.stats
+    }
+
+    /// Looks up the entry at `entry_addr` for `level`, refreshing LRU
+    /// state on a hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is [`PageTableLevel::Pte`] — leaf entries are not
+    /// cached in a PWC.
+    pub fn probe(&mut self, level: PageTableLevel, entry_addr: PhysAddr) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let sets = self.level_sets(level);
+        let set_count = sets.len() as u64;
+        let key = entry_addr.raw() / 8;
+        let set = &mut sets[(key % set_count) as usize];
+        for way in set.iter_mut() {
+            if way.valid && way.tag == key {
+                way.last_used = clock;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Inserts the entry at `entry_addr` for `level` (LRU replacement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is [`PageTableLevel::Pte`].
+    pub fn fill(&mut self, level: PageTableLevel, entry_addr: PhysAddr) {
+        self.clock += 1;
+        let clock = self.clock;
+        let sets = self.level_sets(level);
+        let set_count = sets.len() as u64;
+        let set = &mut sets[(entry_addr.raw() / 8 % set_count) as usize];
+        let key = entry_addr.raw() / 8;
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == key) {
+            way.last_used = clock;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_used } else { 0 })
+            .expect("PWC set has at least one way");
+        *victim = PwcWay {
+            valid: true,
+            tag: key,
+            last_used: clock,
+        };
+    }
+
+    /// Drops every cached entry (e.g. on a full TLB shootdown).
+    pub fn flush(&mut self) {
+        for level in &mut self.levels {
+            for set in level.iter_mut() {
+                for way in set.iter_mut() {
+                    way.valid = false;
+                }
+            }
+        }
+    }
+
+    /// Drops a single cached entry if present.
+    pub fn invalidate(&mut self, level: PageTableLevel, entry_addr: PhysAddr) {
+        let sets = self.level_sets(level);
+        let set_count = sets.len() as u64;
+        let key = entry_addr.raw() / 8;
+        for way in sets[(key % set_count) as usize].iter_mut() {
+            if way.valid && way.tag == key {
+                way.valid = false;
+            }
+        }
+    }
+
+    fn level_sets(&mut self, level: PageTableLevel) -> &mut Vec<Vec<PwcWay>> {
+        match level {
+            PageTableLevel::Pgd => &mut self.levels[0],
+            PageTableLevel::Pud => &mut self.levels[1],
+            PageTableLevel::Pmd => &mut self.levels[2],
+            PageTableLevel::Pte => panic!("PTE entries are not cached in the PWC"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut pwc = PageWalkCache::new(PwcConfig::default());
+        let addr = PhysAddr::new(0x1000);
+        assert!(!pwc.probe(PageTableLevel::Pgd, addr));
+        pwc.fill(PageTableLevel::Pgd, addr);
+        assert!(pwc.probe(PageTableLevel::Pgd, addr));
+        assert_eq!(pwc.stats(), PwcStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn levels_are_independent() {
+        let mut pwc = PageWalkCache::new(PwcConfig::default());
+        let addr = PhysAddr::new(0x2000);
+        pwc.fill(PageTableLevel::Pud, addr);
+        assert!(!pwc.probe(PageTableLevel::Pmd, addr));
+        assert!(pwc.probe(PageTableLevel::Pud, addr));
+    }
+
+    #[test]
+    #[should_panic(expected = "not cached")]
+    fn pte_level_is_rejected() {
+        let mut pwc = PageWalkCache::new(PwcConfig::default());
+        pwc.probe(PageTableLevel::Pte, PhysAddr::new(0));
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let config = PwcConfig::default(); // 4 sets of 4 ways
+        let mut pwc = PageWalkCache::new(config);
+        let sets = (config.entries_per_level / config.ways) as u64;
+        // Fill one set past capacity: keys congruent mod sets.
+        for i in 0..(config.ways as u64 + 1) {
+            pwc.fill(PageTableLevel::Pmd, PhysAddr::new(i * sets * 8));
+        }
+        // The first entry (LRU) must be gone; the newest must be present.
+        assert!(!pwc.probe(PageTableLevel::Pmd, PhysAddr::new(0)));
+        assert!(pwc.probe(
+            PageTableLevel::Pmd,
+            PhysAddr::new(config.ways as u64 * sets * 8)
+        ));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut pwc = PageWalkCache::new(PwcConfig::default());
+        let addr = PhysAddr::new(0x3000);
+        pwc.fill(PageTableLevel::Pgd, addr);
+        pwc.flush();
+        assert!(!pwc.probe(PageTableLevel::Pgd, addr));
+    }
+
+    #[test]
+    fn invalidate_is_targeted() {
+        let mut pwc = PageWalkCache::new(PwcConfig::default());
+        let a = PhysAddr::new(0x4000);
+        let b = PhysAddr::new(0x4008);
+        pwc.fill(PageTableLevel::Pmd, a);
+        pwc.fill(PageTableLevel::Pmd, b);
+        pwc.invalidate(PageTableLevel::Pmd, a);
+        assert!(!pwc.probe(PageTableLevel::Pmd, a));
+        assert!(pwc.probe(PageTableLevel::Pmd, b));
+    }
+
+    #[test]
+    fn refill_refreshes_without_duplicating() {
+        let mut pwc = PageWalkCache::new(PwcConfig::default());
+        let addr = PhysAddr::new(0x5000);
+        pwc.fill(PageTableLevel::Pgd, addr);
+        pwc.fill(PageTableLevel::Pgd, addr);
+        assert!(pwc.probe(PageTableLevel::Pgd, addr));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_is_rejected() {
+        let _ = PageWalkCache::new(PwcConfig {
+            entries_per_level: 10,
+            ways: 4,
+            access_cycles: 1,
+        });
+    }
+}

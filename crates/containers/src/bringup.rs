@@ -1,0 +1,208 @@
+//! The `docker start` touch sequence whose duration is the
+//! Section VII-C container bring-up time.
+
+use crate::layout::ContainerLayout;
+use bf_types::{AccessKind, VirtAddr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One memory touch during bring-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BringupStep {
+    /// Address touched.
+    pub va: VirtAddr,
+    /// Fetch (code), read, or write (the writes are what trigger the
+    /// BabelFish CoW protocol during bring-up — Section III-A rationale:
+    /// "during bring-up, containers first read several pages shared by
+    /// other containers. Then, they write to some of them").
+    pub kind: AccessKind,
+}
+
+/// Fractions of each layout component a starting container touches.
+///
+/// # Examples
+///
+/// ```
+/// use bf_containers::BringupProfile;
+/// let profile = BringupProfile::default();
+/// assert!(profile.data_write_fraction > 0.0, "bring-up writes some pages");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BringupProfile {
+    /// Fraction of infrastructure pages read.
+    pub infra_fraction: f64,
+    /// Fraction of binary code pages fetched.
+    pub code_fraction: f64,
+    /// Fraction of library pages read/fetched.
+    pub lib_fraction: f64,
+    /// Fraction of private data pages *written* (CoW triggers).
+    pub data_write_fraction: f64,
+    /// Heap pages written (allocator warm-up).
+    pub heap_touch_pages: u64,
+    /// Stack pages written.
+    pub stack_touch_pages: u64,
+}
+
+impl Default for BringupProfile {
+    fn default() -> Self {
+        BringupProfile {
+            infra_fraction: 0.5,
+            code_fraction: 0.6,
+            lib_fraction: 0.35,
+            data_write_fraction: 0.4,
+            heap_touch_pages: 48,
+            stack_touch_pages: 8,
+        }
+    }
+}
+
+impl BringupProfile {
+    /// Generates the deterministic touch sequence for a container with
+    /// `layout`, seeded by `seed` (different containers touch slightly
+    /// different subsets, as in real bring-up).
+    pub fn steps(&self, layout: &ContainerLayout, seed: u64) -> Vec<BringupStep> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut steps = Vec::new();
+
+        let sample = |steps: &mut Vec<BringupStep>,
+                          region: &crate::layout::Region,
+                          fraction: f64,
+                          kind: AccessKind,
+                          rng: &mut StdRng| {
+            if region.is_empty() || fraction <= 0.0 {
+                return;
+            }
+            let pages = region.pages();
+            for page in 0..pages {
+                if rng.gen_bool(fraction.min(1.0)) {
+                    steps.push(BringupStep { va: region.page(page), kind });
+                }
+            }
+        };
+
+        for infra in &layout.infra {
+            sample(&mut steps, infra, self.infra_fraction, AccessKind::Fetch, &mut rng);
+        }
+        sample(&mut steps, &layout.code, self.code_fraction, AccessKind::Fetch, &mut rng);
+        for lib in &layout.libs {
+            sample(&mut steps, lib, self.lib_fraction, AccessKind::Fetch, &mut rng);
+        }
+        if !layout.middleware.is_empty() {
+            sample(&mut steps, &layout.middleware, self.lib_fraction, AccessKind::Fetch, &mut rng);
+        }
+        // Reads of private data precede the writes (the gradual
+        // read-then-write pattern of Section III-A).
+        sample(&mut steps, &layout.data, self.data_write_fraction * 1.5, AccessKind::Read, &mut rng);
+        sample(&mut steps, &layout.data, self.data_write_fraction, AccessKind::Write, &mut rng);
+        sample(&mut steps, &layout.lib_data, self.data_write_fraction, AccessKind::Write, &mut rng);
+
+        for page in 0..self.heap_touch_pages.min(layout.heap.pages()) {
+            steps.push(BringupStep { va: layout.heap.page(page), kind: AccessKind::Write });
+        }
+        for page in 0..self.stack_touch_pages.min(layout.stack.pages()) {
+            steps.push(BringupStep { va: layout.stack.page(page), kind: AccessKind::Write });
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Region;
+
+    fn layout() -> ContainerLayout {
+        ContainerLayout {
+            code: Region::new(VirtAddr::new(0x100_0000), 0x10_000),
+            data: Region::new(VirtAddr::new(0x200_0000), 0x8_000),
+            libs: vec![Region::new(VirtAddr::new(0x300_0000), 0x20_000)],
+            lib_data: Region::new(VirtAddr::new(0x400_0000), 0x4_000),
+            middleware: Region::empty(),
+            infra: vec![Region::new(VirtAddr::new(0x500_0000), 0x10_000)],
+            dataset: Region::empty(),
+            heap: Region::new(VirtAddr::new(0x600_0000), 0x100_000),
+            stack: Region::new(VirtAddr::new(0x700_0000), 0x10_000),
+        }
+    }
+
+    #[test]
+    fn steps_are_deterministic_per_seed() {
+        let profile = BringupProfile::default();
+        let a = profile.steps(&layout(), 7);
+        let b = profile.steps(&layout(), 7);
+        assert_eq!(a, b);
+        let c = profile.steps(&layout(), 8);
+        assert_ne!(a, c, "different containers touch different subsets");
+    }
+
+    #[test]
+    fn steps_stay_inside_the_layout() {
+        let layout = layout();
+        let steps = BringupProfile::default().steps(&layout, 1);
+        assert!(!steps.is_empty());
+        for step in &steps {
+            let inside = [
+                layout.code,
+                layout.data,
+                layout.libs[0],
+                layout.lib_data,
+                layout.infra[0],
+                layout.heap,
+                layout.stack,
+            ]
+            .iter()
+            .any(|r| step.va >= r.start && step.va.raw() < r.start.raw() + r.bytes);
+            assert!(inside, "step at {} outside the layout", step.va);
+        }
+    }
+
+    #[test]
+    fn bringup_contains_reads_then_writes_to_data() {
+        let layout = layout();
+        let steps = BringupProfile::default().steps(&layout, 3);
+        let data_reads: Vec<usize> = steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == AccessKind::Read && layout.data.start <= s.va && s.va.raw() < layout.data.start.raw() + layout.data.bytes)
+            .map(|(i, _)| i)
+            .collect();
+        let data_writes: Vec<usize> = steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == AccessKind::Write && layout.data.start <= s.va && s.va.raw() < layout.data.start.raw() + layout.data.bytes)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!data_writes.is_empty(), "bring-up must write some data pages");
+        assert!(
+            data_reads.first().unwrap() < data_writes.first().unwrap(),
+            "reads precede writes (Section III-A)"
+        );
+    }
+
+    #[test]
+    fn heap_touches_are_bounded() {
+        let profile = BringupProfile { heap_touch_pages: 1_000_000, ..Default::default() };
+        let layout = layout();
+        let steps = profile.steps(&layout, 1);
+        let heap_writes = steps
+            .iter()
+            .filter(|s| layout.heap.start <= s.va && s.va.raw() < layout.heap.start.raw() + layout.heap.bytes)
+            .count();
+        assert_eq!(heap_writes as u64, layout.heap.pages(), "clamped to the heap size");
+    }
+
+    #[test]
+    fn zero_fractions_produce_no_code_touches() {
+        let profile = BringupProfile {
+            infra_fraction: 0.0,
+            code_fraction: 0.0,
+            lib_fraction: 0.0,
+            data_write_fraction: 0.0,
+            heap_touch_pages: 2,
+            stack_touch_pages: 0,
+        };
+        let layout = layout();
+        let steps = profile.steps(&layout, 1);
+        assert_eq!(steps.len(), 2, "only the heap touches remain");
+    }
+}

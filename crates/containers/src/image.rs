@@ -1,0 +1,279 @@
+//! Container images: named sets of simulated files.
+
+use bf_os::{FileId, Kernel};
+use bf_types::PageSize;
+
+/// Role of a file within an image (drives mapping permissions and the
+/// Fig. 9 shareable/unshareable classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImageFileKind {
+    /// Application binary text (read-only, executable).
+    BinaryCode,
+    /// Application binary data (mapped private, writable — CoW).
+    BinaryData,
+    /// Shared library text (read-only, executable, often shared between
+    /// images through common layers).
+    Library,
+    /// Library/middleware writable data (private, CoW).
+    LibraryData,
+    /// Middleware (interpreters, frameworks) text.
+    Middleware,
+    /// Mounted dataset (read/write-shared file mapping).
+    Dataset,
+}
+
+/// One file of an image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageFile {
+    /// The registered simulated file.
+    pub file: FileId,
+    /// File length in bytes (whole pages).
+    pub bytes: u64,
+    /// Role.
+    pub kind: ImageFileKind,
+}
+
+/// Declarative description of an image; [`crate::ContainerRuntime::build_image`]
+/// turns it into a [`ContainerImage`] with registered files.
+///
+/// Sizes default to scaled-down versions of the paper's workloads so
+/// simulations finish quickly; the dataset size is the knob the paper
+/// fixes at 500 MB (Section VI).
+///
+/// # Examples
+///
+/// ```
+/// use bf_containers::ImageSpec;
+/// let spec = ImageSpec::data_serving("mongodb", 32 << 20);
+/// assert_eq!(spec.dataset_bytes, 32 << 20);
+/// assert!(spec.thp_heap);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageSpec {
+    /// Image name (for reports).
+    pub name: String,
+    /// Binary .text bytes.
+    pub binary_code_bytes: u64,
+    /// Binary .data bytes (private, CoW on write).
+    pub binary_data_bytes: u64,
+    /// Sizes of image-private libraries.
+    pub private_lib_bytes: Vec<u64>,
+    /// Writable data bytes accompanying the libraries.
+    pub lib_data_bytes: u64,
+    /// Middleware text bytes (0 for none).
+    pub middleware_bytes: u64,
+    /// Mounted dataset bytes (0 for none). Mapped MAP_SHARED writable.
+    pub dataset_bytes: u64,
+    /// Anonymous heap reservation bytes.
+    pub heap_bytes: u64,
+    /// Stack reservation bytes.
+    pub stack_bytes: u64,
+    /// Whether the heap is THP-eligible (MongoDB/ArangoDB disable THP
+    /// per vendor guidance — Section VI).
+    pub thp_heap: bool,
+}
+
+impl ImageSpec {
+    fn base(name: &str) -> Self {
+        ImageSpec {
+            name: name.to_owned(),
+            binary_code_bytes: 2 << 20,
+            binary_data_bytes: 512 << 10,
+            private_lib_bytes: vec![1 << 20, 512 << 10],
+            lib_data_bytes: 256 << 10,
+            middleware_bytes: 0,
+            dataset_bytes: 0,
+            heap_bytes: 64 << 20,
+            stack_bytes: 1 << 20,
+            thp_heap: true,
+        }
+    }
+
+    /// A data-serving image (ArangoDB / MongoDB / HTTPd shape): binary +
+    /// middleware + a mounted dataset of `dataset_bytes`.
+    pub fn data_serving(name: &str, dataset_bytes: u64) -> Self {
+        ImageSpec {
+            middleware_bytes: 4 << 20,
+            dataset_bytes,
+            ..Self::base(name)
+        }
+    }
+
+    /// A compute image (GraphChi / FIO shape): binary + dataset mapped
+    /// read-shared, larger heap for internal buffering.
+    pub fn compute(name: &str, dataset_bytes: u64) -> Self {
+        ImageSpec {
+            dataset_bytes,
+            heap_bytes: 128 << 20,
+            ..Self::base(name)
+        }
+    }
+
+    /// A serverless-function image (the paper's Parse/Hash/Marshal on the
+    /// Docker Hub GCC image): tiny unique binary, no dataset; the heavy
+    /// shared libraries come from the runtime's common catalog.
+    pub fn function(name: &str) -> Self {
+        ImageSpec {
+            binary_code_bytes: 256 << 10,
+            binary_data_bytes: 128 << 10,
+            private_lib_bytes: vec![],
+            lib_data_bytes: 64 << 10,
+            heap_bytes: 8 << 20,
+            thp_heap: false,
+            ..Self::base(name)
+        }
+    }
+
+    /// Total bytes of file content the image introduces (excluding
+    /// shared catalog libraries).
+    pub fn file_bytes(&self) -> u64 {
+        self.binary_code_bytes
+            + self.binary_data_bytes
+            + self.private_lib_bytes.iter().sum::<u64>()
+            + self.lib_data_bytes
+            + self.middleware_bytes
+            + self.dataset_bytes
+    }
+}
+
+/// An image whose files are registered with the kernel, ready to be
+/// instantiated as containers.
+#[derive(Debug, Clone)]
+pub struct ContainerImage {
+    spec: ImageSpec,
+    files: Vec<ImageFile>,
+    /// Catalog libraries shared with other images (same `FileId`s).
+    shared_libs: Vec<ImageFile>,
+}
+
+impl ContainerImage {
+    /// Registers the spec's files with the kernel. `shared_libs` are the
+    /// runtime's common-layer libraries every image maps (glibc & co).
+    pub fn build(kernel: &mut Kernel, spec: &ImageSpec, shared_libs: Vec<ImageFile>) -> Self {
+        Self::build_with_dataset(kernel, spec, shared_libs, None)
+    }
+
+    /// Like [`ContainerImage::build`], but mounts an *existing* file as
+    /// the dataset instead of registering a new one — how several images
+    /// of one group mount the same input/data volume (the FaaS functions
+    /// all operate on one input, Section VI).
+    pub fn build_with_dataset(
+        kernel: &mut Kernel,
+        spec: &ImageSpec,
+        shared_libs: Vec<ImageFile>,
+        dataset: Option<ImageFile>,
+    ) -> Self {
+        fn pages(bytes: u64) -> u64 {
+            let page = PageSize::Size4K.bytes();
+            bytes.div_ceil(page) * page
+        }
+        let mut files = Vec::new();
+        let mut add = |kernel: &mut Kernel, bytes: u64, kind: ImageFileKind| {
+            if bytes > 0 {
+                let len = pages(bytes);
+                let file = kernel.register_file(len);
+                files.push(ImageFile { file, bytes: len, kind });
+            }
+        };
+        add(kernel, spec.binary_code_bytes, ImageFileKind::BinaryCode);
+        add(kernel, spec.binary_data_bytes, ImageFileKind::BinaryData);
+        for &lib in &spec.private_lib_bytes {
+            add(kernel, lib, ImageFileKind::Library);
+        }
+        add(kernel, spec.lib_data_bytes, ImageFileKind::LibraryData);
+        add(kernel, spec.middleware_bytes, ImageFileKind::Middleware);
+        match dataset {
+            Some(file) => files.push(ImageFile { kind: ImageFileKind::Dataset, ..file }),
+            None => add(kernel, spec.dataset_bytes, ImageFileKind::Dataset),
+        }
+        ContainerImage {
+            spec: spec.clone(),
+            files,
+            shared_libs,
+        }
+    }
+
+    /// The spec this image was built from.
+    pub fn spec(&self) -> &ImageSpec {
+        &self.spec
+    }
+
+    /// The image's own files.
+    pub fn files(&self) -> &[ImageFile] {
+        &self.files
+    }
+
+    /// The common-catalog libraries the image also maps.
+    pub fn shared_libs(&self) -> &[ImageFile] {
+        &self.shared_libs
+    }
+
+    /// The image's file of a given kind (first match).
+    pub fn file_of(&self, kind: ImageFileKind) -> Option<ImageFile> {
+        self.files.iter().copied().find(|f| f.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf_os::KernelConfig;
+
+    #[test]
+    fn specs_have_expected_shapes() {
+        let serving = ImageSpec::data_serving("arangodb", 500 << 20);
+        assert!(serving.middleware_bytes > 0);
+        assert_eq!(serving.dataset_bytes, 500 << 20);
+
+        let function = ImageSpec::function("parse");
+        assert!(function.private_lib_bytes.is_empty(), "functions use catalog libs");
+        assert!(!function.thp_heap);
+        assert!(function.binary_code_bytes < serving.binary_code_bytes);
+    }
+
+    #[test]
+    fn build_registers_files() {
+        let mut kernel = Kernel::new(KernelConfig::baseline());
+        let spec = ImageSpec::data_serving("httpd", 1 << 20);
+        let image = ContainerImage::build(&mut kernel, &spec, Vec::new());
+        assert!(image.file_of(ImageFileKind::BinaryCode).is_some());
+        assert!(image.file_of(ImageFileKind::Dataset).is_some());
+        for file in image.files() {
+            assert_eq!(kernel.file_len(file.file), Some(file.bytes));
+            assert_eq!(file.bytes % 4096, 0, "files are whole pages");
+        }
+    }
+
+    #[test]
+    fn zero_sized_components_are_omitted() {
+        let mut kernel = Kernel::new(KernelConfig::baseline());
+        let spec = ImageSpec::function("hash");
+        let image = ContainerImage::build(&mut kernel, &spec, Vec::new());
+        assert!(image.file_of(ImageFileKind::Dataset).is_none());
+        assert!(image.file_of(ImageFileKind::Middleware).is_none());
+    }
+
+    #[test]
+    fn shared_libs_are_carried() {
+        let mut kernel = Kernel::new(KernelConfig::baseline());
+        let lib = ImageFile {
+            file: kernel.register_file(4096),
+            bytes: 4096,
+            kind: ImageFileKind::Library,
+        };
+        let image = ContainerImage::build(&mut kernel, &ImageSpec::function("f"), vec![lib]);
+        assert_eq!(image.shared_libs(), &[lib]);
+    }
+
+    #[test]
+    fn file_bytes_sums_components() {
+        let spec = ImageSpec::data_serving("x", 1 << 20);
+        let expected = spec.binary_code_bytes
+            + spec.binary_data_bytes
+            + spec.private_lib_bytes.iter().sum::<u64>()
+            + spec.lib_data_bytes
+            + spec.middleware_bytes
+            + (1 << 20);
+        assert_eq!(spec.file_bytes(), expected);
+    }
+}

@@ -1,0 +1,166 @@
+//! Where a container's mappings landed in the canonical address space.
+
+use bf_types::{PageSize, VirtAddr};
+
+/// A contiguous mapped range.
+///
+/// # Examples
+///
+/// ```
+/// use bf_containers::Region;
+/// use bf_types::VirtAddr;
+/// let region = Region::new(VirtAddr::new(0x1000), 0x4000);
+/// assert_eq!(region.pages(), 4);
+/// assert_eq!(region.page(2).raw(), 0x3000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First mapped address.
+    pub start: VirtAddr,
+    /// Length in bytes.
+    pub bytes: u64,
+}
+
+impl Region {
+    /// Builds a region.
+    pub fn new(start: VirtAddr, bytes: u64) -> Self {
+        Region { start, bytes }
+    }
+
+    /// An empty region at address zero (for absent components).
+    pub fn empty() -> Self {
+        Region { start: VirtAddr::new(0), bytes: 0 }
+    }
+
+    /// Whether the region maps anything.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+
+    /// Number of 4 KB pages.
+    pub fn pages(&self) -> u64 {
+        self.bytes / PageSize::Size4K.bytes()
+    }
+
+    /// Address of page `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn page(&self, index: u64) -> VirtAddr {
+        assert!(index < self.pages(), "page {index} out of range");
+        self.start.offset(index * PageSize::Size4K.bytes())
+    }
+
+    /// Address `offset` bytes into the region (wraps within the region).
+    pub fn at(&self, offset: u64) -> VirtAddr {
+        assert!(!self.is_empty(), "offset into empty region");
+        self.start.offset(offset % self.bytes)
+    }
+}
+
+/// The canonical memory layout of one container. All containers of a
+/// CCID group share these addresses (ASLR-SW directly; ASLR-HW through
+/// the diff-offset adder, Section IV-D).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerLayout {
+    /// Binary .text.
+    pub code: Region,
+    /// Binary .data (private, CoW).
+    pub data: Region,
+    /// Shared-catalog + image libraries' text, in mapping order.
+    pub libs: Vec<Region>,
+    /// Writable library data (private, CoW).
+    pub lib_data: Region,
+    /// Middleware text.
+    pub middleware: Region,
+    /// Container-runtime infrastructure pages (docker/runc/shim).
+    pub infra: Vec<Region>,
+    /// Mounted dataset (MAP_SHARED).
+    pub dataset: Region,
+    /// Anonymous heap.
+    pub heap: Region,
+    /// Stack.
+    pub stack: Region,
+}
+
+impl ContainerLayout {
+    /// Every code-like region (fetch targets): binary, libraries,
+    /// middleware and infra.
+    pub fn code_regions(&self) -> Vec<Region> {
+        let mut regions = vec![self.code];
+        regions.extend(self.libs.iter().copied());
+        if !self.middleware.is_empty() {
+            regions.push(self.middleware);
+        }
+        regions.extend(self.infra.iter().copied());
+        regions.retain(|r| !r.is_empty());
+        regions
+    }
+
+    /// Total mapped bytes across all regions.
+    pub fn total_bytes(&self) -> u64 {
+        let mut total = self.code.bytes
+            + self.data.bytes
+            + self.lib_data.bytes
+            + self.middleware.bytes
+            + self.dataset.bytes
+            + self.heap.bytes
+            + self.stack.bytes;
+        total += self.libs.iter().map(|r| r.bytes).sum::<u64>();
+        total += self.infra.iter().map(|r| r.bytes).sum::<u64>();
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_indexing() {
+        let region = Region::new(VirtAddr::new(0x10_0000), 0x3000);
+        assert_eq!(region.pages(), 3);
+        assert_eq!(region.page(0), region.start);
+        assert_eq!(region.page(2).raw(), 0x10_2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn page_bounds_checked() {
+        let region = Region::new(VirtAddr::new(0), 0x1000);
+        let _ = region.page(1);
+    }
+
+    #[test]
+    fn at_wraps_within_region() {
+        let region = Region::new(VirtAddr::new(0x1000), 0x2000);
+        assert_eq!(region.at(0), region.start);
+        assert_eq!(region.at(0x2000), region.start, "wraps at the end");
+        assert_eq!(region.at(0x2010).raw(), 0x1010);
+    }
+
+    #[test]
+    fn empty_region_properties() {
+        let empty = Region::empty();
+        assert!(empty.is_empty());
+        assert_eq!(empty.pages(), 0);
+    }
+
+    #[test]
+    fn code_regions_skip_empty() {
+        let layout = ContainerLayout {
+            code: Region::new(VirtAddr::new(0x1000), 0x1000),
+            data: Region::empty(),
+            libs: vec![Region::new(VirtAddr::new(0x10_000), 0x1000)],
+            lib_data: Region::empty(),
+            middleware: Region::empty(),
+            infra: vec![],
+            dataset: Region::empty(),
+            heap: Region::empty(),
+            stack: Region::empty(),
+        };
+        assert_eq!(layout.code_regions().len(), 2);
+        assert_eq!(layout.total_bytes(), 0x2000);
+    }
+}

@@ -1,0 +1,50 @@
+//! Container substrate: images, a Docker-like runtime, and container
+//! bring-up.
+//!
+//! The paper runs Docker 17.06 containers (Section VI); this crate models
+//! the pieces of that stack that generate translation traffic:
+//!
+//! * [`ImageSpec`]/[`ContainerImage`] — a container image as a set of
+//!   simulated files: the application binary (code + data), shared
+//!   libraries, middleware, and an optional mounted dataset. Libraries
+//!   can be shared *between* images (the common-runtime layers that make
+//!   "90 % of the shareable pte_ts" in functions infrastructure pages,
+//!   Section VII-A).
+//! * [`ContainerRuntime`] — creates CCID groups and containers. A
+//!   container is one process (Section II-A) created by forking the
+//!   group's first container ("containers are created with forks, which
+//!   replicate translations", Section I) and mapping the image files
+//!   through the shared page cache.
+//! * [`ContainerLayout`] — where everything landed in the group-canonical
+//!   address space; workload generators drive their access patterns
+//!   through it.
+//! * [`BringupProfile`] — the `docker start` touch sequence (read infra
+//!   pages, fetch code, read libraries, write data/GOT pages, touch
+//!   heap), whose simulated duration is the Section VII-C bring-up time.
+//!
+//! # Examples
+//!
+//! ```
+//! use bf_containers::{ContainerRuntime, ImageSpec};
+//! use bf_os::{Kernel, KernelConfig};
+//!
+//! let mut kernel = Kernel::new(KernelConfig::babelfish());
+//! let mut runtime = ContainerRuntime::new(&mut kernel);
+//! let image = runtime.build_image(&mut kernel, &ImageSpec::data_serving("httpd", 1 << 20));
+//! let group = runtime.create_group(&mut kernel);
+//! let first = runtime.create_container(&mut kernel, &image, group).unwrap();
+//! let second = runtime.create_container(&mut kernel, &image, group).unwrap();
+//! assert_ne!(first.pid(), second.pid());
+//! assert_eq!(first.layout().code.start, second.layout().code.start,
+//!            "one canonical layout per CCID group");
+//! ```
+
+pub mod bringup;
+pub mod image;
+pub mod layout;
+pub mod runtime;
+
+pub use bringup::{BringupProfile, BringupStep};
+pub use image::{ContainerImage, ImageFile, ImageFileKind, ImageSpec};
+pub use layout::{ContainerLayout, Region};
+pub use runtime::{Container, ContainerRuntime, RuntimeError};

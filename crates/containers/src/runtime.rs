@@ -1,0 +1,397 @@
+//! The Docker-like container runtime.
+
+use crate::image::{ContainerImage, ImageFile, ImageFileKind, ImageSpec};
+use crate::layout::{ContainerLayout, Region};
+use bf_os::{Invalidation, Kernel, KernelError, MmapRequest, Segment};
+use bf_types::{Ccid, Cycles, PageFlags, Pid};
+
+/// Errors from container creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The kernel refused (memory/ids exhausted).
+    Kernel(KernelError),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Kernel(e) => write!(f, "kernel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<KernelError> for RuntimeError {
+    fn from(e: KernelError) -> Self {
+        RuntimeError::Kernel(e)
+    }
+}
+
+/// A running container: one process plus its canonical layout.
+#[derive(Debug, Clone)]
+pub struct Container {
+    pid: Pid,
+    ccid: Ccid,
+    layout: ContainerLayout,
+    image_name: String,
+    creation_cost: Cycles,
+    creation_invalidations: Vec<Invalidation>,
+}
+
+impl Container {
+    /// The container's process.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The container's CCID group.
+    pub fn ccid(&self) -> Ccid {
+        self.ccid
+    }
+
+    /// The canonical memory layout.
+    pub fn layout(&self) -> &ContainerLayout {
+        &self.layout
+    }
+
+    /// Name of the image this container runs.
+    pub fn image_name(&self) -> &str {
+        &self.image_name
+    }
+
+    /// Kernel cycles spent creating the container (fork + mmaps); part
+    /// of the Section VII-C bring-up time.
+    pub fn creation_cost(&self) -> Cycles {
+        self.creation_cost
+    }
+
+    /// TLB invalidations the creation produced (fork CoW transform); the
+    /// simulator must apply them before running the container.
+    pub fn creation_invalidations(&self) -> &[Invalidation] {
+        &self.creation_invalidations
+    }
+}
+
+/// The container runtime: owns the common library catalog and the
+/// runtime-infrastructure files, creates CCID groups and containers.
+///
+/// Containers are created the way `docker start` does: the runtime forks
+/// a small shim and the shim *execs* the containerized application, so
+/// every container performs its own canonical mmap sequence and starts
+/// with empty page tables. Translation replication then comes from the
+/// page cache (same files ⇒ same PPNs) and identical group layouts — the
+/// Section II-C conditions — and, under BabelFish, containers after the
+/// first attach the group's shared tables as they fault (Section III-B).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct ContainerRuntime {
+    catalog_libs: Vec<ImageFile>,
+    infra_files: Vec<ImageFile>,
+    /// Cost of the fork+exec shim pair per `docker start`.
+    shim_fork_cycles: Cycles,
+}
+
+/// Cost charged for each mmap call during container setup.
+const MMAP_SYSCALL_CYCLES: Cycles = 2_000;
+/// Fixed docker-engine overhead of `docker start` (runtime bookkeeping,
+/// cgroup/namespace setup) — the "remaining overheads in bring-up ...
+/// due to the runtime of the Docker engine" (Section VII-C).
+const DOCKER_ENGINE_CYCLES: Cycles = 3_000_000;
+
+impl ContainerRuntime {
+    /// Boots the runtime: registers the shared library catalog (glibc &
+    /// co — shared by *all* images through common layers) and the
+    /// container-infrastructure files.
+    pub fn new(kernel: &mut Kernel) -> Self {
+        let catalog_sizes: [u64; 4] = [2 << 20, 3 << 20, 1 << 20, 512 << 10];
+        let catalog_libs = catalog_sizes
+            .iter()
+            .map(|&bytes| ImageFile {
+                file: kernel.register_file(bytes),
+                bytes,
+                kind: ImageFileKind::Library,
+            })
+            .collect();
+        let infra_sizes: [u64; 2] = [4 << 20, 2 << 20];
+        let infra_files = infra_sizes
+            .iter()
+            .map(|&bytes| ImageFile {
+                file: kernel.register_file(bytes),
+                bytes,
+                kind: ImageFileKind::Library,
+            })
+            .collect();
+        ContainerRuntime {
+            catalog_libs,
+            infra_files,
+            shim_fork_cycles: 30_000,
+        }
+    }
+
+    /// The common library catalog.
+    pub fn catalog_libs(&self) -> &[ImageFile] {
+        &self.catalog_libs
+    }
+
+    /// Builds an image, attaching the common catalog.
+    pub fn build_image(&self, kernel: &mut Kernel, spec: &ImageSpec) -> ContainerImage {
+        ContainerImage::build(kernel, spec, self.catalog_libs.clone())
+    }
+
+    /// Builds an image that mounts an existing file as its dataset (a
+    /// shared data volume).
+    pub fn build_image_with_dataset(
+        &self,
+        kernel: &mut Kernel,
+        spec: &ImageSpec,
+        dataset: ImageFile,
+    ) -> ContainerImage {
+        ContainerImage::build_with_dataset(kernel, spec, self.catalog_libs.clone(), Some(dataset))
+    }
+
+    /// Creates a CCID group (one user + one application, Section V).
+    pub fn create_group(&self, kernel: &mut Kernel) -> Ccid {
+        kernel.create_group()
+    }
+
+    /// Creates a container of `image` in `group`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Kernel`] when the kernel is out of memory or ids.
+    pub fn create_container(
+        &mut self,
+        kernel: &mut Kernel,
+        image: &ContainerImage,
+        group: Ccid,
+    ) -> Result<Container, RuntimeError> {
+        // fork (shim) + exec (fresh address space) + the canonical mmap
+        // sequence.
+        let mut cost = DOCKER_ENGINE_CYCLES + self.shim_fork_cycles;
+        let pid = kernel.spawn(group)?;
+        let (layout, mmap_cost) = self.map_image(kernel, pid, image)?;
+        cost += mmap_cost;
+
+        Ok(Container {
+            pid,
+            ccid: group,
+            layout,
+            image_name: image.spec().name.clone(),
+            creation_cost: cost,
+            creation_invalidations: Vec::new(),
+        })
+    }
+
+    /// Performs the canonical mmap sequence for a fresh container.
+    fn map_image(
+        &self,
+        kernel: &mut Kernel,
+        pid: Pid,
+        image: &ContainerImage,
+    ) -> Result<(ContainerLayout, Cycles), RuntimeError> {
+        let spec = image.spec();
+        let mut cost: Cycles = 0;
+        let mut mmap = |kernel: &mut Kernel, req: MmapRequest| -> Result<Region, RuntimeError> {
+            cost += MMAP_SYSCALL_CYCLES;
+            let start = kernel.mmap(pid, req)?;
+            Ok(Region::new(start, req.length))
+        };
+
+        let ro = PageFlags::USER;
+        let rx = PageFlags::USER; // executable: no NX
+        let rw = PageFlags::USER | PageFlags::WRITE;
+
+        // Infrastructure pages first (docker/runc/shim).
+        let mut infra = Vec::new();
+        for f in &self.infra_files {
+            infra.push(mmap(
+                kernel,
+                MmapRequest::file_shared(Segment::Infra, f.file, 0, f.bytes, rx),
+            )?);
+        }
+
+        // Shared catalog libraries, then image-private libraries.
+        let mut libs = Vec::new();
+        for f in image.shared_libs() {
+            libs.push(mmap(
+                kernel,
+                MmapRequest::file_shared(Segment::Lib, f.file, 0, f.bytes, rx),
+            )?);
+        }
+        for f in image.files().iter().filter(|f| f.kind == ImageFileKind::Library) {
+            libs.push(mmap(
+                kernel,
+                MmapRequest::file_shared(Segment::Lib, f.file, 0, f.bytes, rx),
+            )?);
+        }
+
+        let middleware = match image.file_of(ImageFileKind::Middleware) {
+            Some(f) => mmap(kernel, MmapRequest::file_shared(Segment::Lib, f.file, 0, f.bytes, rx))?,
+            None => Region::empty(),
+        };
+
+        let code = match image.file_of(ImageFileKind::BinaryCode) {
+            Some(f) => mmap(kernel, MmapRequest::file_shared(Segment::Code, f.file, 0, f.bytes, ro))?,
+            None => Region::empty(),
+        };
+        let data = match image.file_of(ImageFileKind::BinaryData) {
+            Some(f) => mmap(kernel, MmapRequest::file_private(Segment::Data, f.file, 0, f.bytes, rw))?,
+            None => Region::empty(),
+        };
+        let lib_data = match image.file_of(ImageFileKind::LibraryData) {
+            Some(f) => mmap(kernel, MmapRequest::file_private(Segment::Data, f.file, 0, f.bytes, rw))?,
+            None => Region::empty(),
+        };
+
+        // Mounted dataset: MAP_SHARED read/write (stateless containers
+        // access data "through the mounting of directories and the
+        // memory mapping of files", Section I).
+        let dataset = match image.file_of(ImageFileKind::Dataset) {
+            Some(f) => mmap(kernel, MmapRequest::file_shared(Segment::FileMap, f.file, 0, f.bytes, rw))?,
+            None => Region::empty(),
+        };
+
+        let heap = mmap(kernel, MmapRequest::anon(Segment::Heap, spec.heap_bytes, rw, spec.thp_heap))?;
+        let stack = mmap(kernel, MmapRequest::anon(Segment::Stack, spec.stack_bytes, rw, false))?;
+
+        Ok((
+            ContainerLayout {
+                code,
+                data,
+                libs,
+                lib_data,
+                middleware,
+                infra,
+                dataset,
+                heap,
+                stack,
+            },
+            cost,
+        ))
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf_os::KernelConfig;
+
+    fn setup(share: bool) -> (Kernel, ContainerRuntime) {
+        let config = if share { KernelConfig::babelfish() } else { KernelConfig::baseline() };
+        let mut kernel = Kernel::new(config);
+        let runtime = ContainerRuntime::new(&mut kernel);
+        (kernel, runtime)
+    }
+
+    #[test]
+    fn first_container_maps_everything() {
+        let (mut kernel, mut runtime) = setup(false);
+        let image = runtime.build_image(&mut kernel, &ImageSpec::data_serving("httpd", 8 << 20));
+        let group = runtime.create_group(&mut kernel);
+        let c = runtime.create_container(&mut kernel, &image, group).unwrap();
+        let layout = c.layout();
+        assert!(!layout.code.is_empty());
+        assert!(!layout.dataset.is_empty());
+        assert!(!layout.heap.is_empty());
+        assert_eq!(layout.libs.len(), 4 + 2, "catalog + image libraries");
+        assert_eq!(layout.infra.len(), 2);
+        assert!(c.creation_cost() > 0);
+    }
+
+    #[test]
+    fn forked_container_shares_canonical_layout() {
+        let (mut kernel, mut runtime) = setup(true);
+        let image = runtime.build_image(&mut kernel, &ImageSpec::data_serving("mongo", 8 << 20));
+        let group = runtime.create_group(&mut kernel);
+        let a = runtime.create_container(&mut kernel, &image, group).unwrap();
+        let b = runtime.create_container(&mut kernel, &image, group).unwrap();
+        assert_ne!(a.pid(), b.pid());
+        assert_eq!(a.layout(), b.layout(), "same canonical addresses");
+        // The forked container has real VMAs at those addresses.
+        assert!(kernel
+            .process(b.pid())
+            .vma_for(b.layout().code.start)
+            .is_some());
+        assert!(kernel
+            .process(b.pid())
+            .vma_for(b.layout().heap.start)
+            .is_some());
+    }
+
+    #[test]
+    fn different_groups_get_different_layouts() {
+        let (mut kernel, mut runtime) = setup(false);
+        let image = runtime.build_image(&mut kernel, &ImageSpec::function("parse"));
+        let g1 = runtime.create_group(&mut kernel);
+        let g2 = runtime.create_group(&mut kernel);
+        let a = runtime.create_container(&mut kernel, &image, g1).unwrap();
+        let b = runtime.create_container(&mut kernel, &image, g2).unwrap();
+        assert_ne!(
+            a.layout().code.start,
+            b.layout().code.start,
+            "per-group ASLR layouts differ"
+        );
+    }
+
+    #[test]
+    fn functions_share_catalog_files_across_images() {
+        let (mut kernel, mut runtime) = setup(true);
+        let parse = runtime.build_image(&mut kernel, &ImageSpec::function("parse"));
+        let hash = runtime.build_image(&mut kernel, &ImageSpec::function("hash"));
+        assert_eq!(
+            parse.shared_libs()[0].file,
+            hash.shared_libs()[0].file,
+            "common layers are the same files"
+        );
+        // In the same group they land at the same canonical address too.
+        let group = runtime.create_group(&mut kernel);
+        let a = runtime.create_container(&mut kernel, &parse, group).unwrap();
+        let b = runtime.create_container(&mut kernel, &hash, group).unwrap();
+        assert_eq!(a.layout().libs[0], b.layout().libs[0]);
+        // But their binaries are different files.
+        assert_ne!(
+            parse.file_of(ImageFileKind::BinaryCode).unwrap().file,
+            hash.file_of(ImageFileKind::BinaryCode).unwrap().file
+        );
+    }
+
+    #[test]
+    fn creation_is_fork_exec_like() {
+        // `docker start` = fork + exec: the new container starts with
+        // empty page tables regardless of mode, and BabelFish's bring-up
+        // advantage comes from fault avoidance, not creation cost.
+        for share in [false, true] {
+            let (mut kernel, mut runtime) = setup(share);
+            let image = runtime.build_image(&mut kernel, &ImageSpec::data_serving("db", 4 << 20));
+            let group = runtime.create_group(&mut kernel);
+            let first = runtime.create_container(&mut kernel, &image, group).unwrap();
+            // Warm the first container's libraries.
+            for lib in &first.layout().libs.clone() {
+                for page in 0..lib.pages() {
+                    kernel.handle_fault(first.pid(), lib.page(page), false).unwrap();
+                }
+            }
+            let second = runtime.create_container(&mut kernel, &image, group).unwrap();
+            assert_eq!(second.creation_cost(), first.creation_cost());
+            // The second container has no translations yet...
+            let lib = second.layout().libs[0];
+            assert!(kernel
+                .space(second.pid())
+                .walk(kernel.store(), lib.start)
+                .leaf()
+                .is_none());
+            // ...and its first touch is fault-free only under BabelFish.
+            let res = kernel.handle_fault(second.pid(), lib.start, false).unwrap();
+            if share {
+                assert_eq!(res.kind, bf_os::FaultKind::SharedResolved);
+            } else {
+                assert_eq!(res.kind, bf_os::FaultKind::Minor);
+            }
+        }
+    }
+}

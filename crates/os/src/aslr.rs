@@ -1,0 +1,232 @@
+//! Address Space Layout Randomization (Section IV-D).
+
+use bf_types::{Ccid, PageSize, Pid, VirtAddr};
+
+/// The seven Linux process segments the paper randomizes ("In Linux, a
+/// process has 7 segments, including code, data, stack, heap, and
+/// libraries").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Segment {
+    /// Executable code (.text).
+    Code,
+    /// Initialised/static data of the binary.
+    Data,
+    /// brk heap / anonymous allocations.
+    Heap,
+    /// Shared libraries and other mmapped files.
+    Lib,
+    /// Memory-mapped data files (datasets mounted into the container).
+    FileMap,
+    /// Container-infrastructure pages (runtime, middleware).
+    Infra,
+    /// The stack.
+    Stack,
+}
+
+impl Segment {
+    /// All segments.
+    pub const ALL: [Segment; 7] = [
+        Segment::Code,
+        Segment::Data,
+        Segment::Heap,
+        Segment::Lib,
+        Segment::FileMap,
+        Segment::Infra,
+        Segment::Stack,
+    ];
+
+    /// Fixed (pre-randomization) base address of the segment. Segments
+    /// are spaced 512 GB apart (one PGD entry each) so their chains never
+    /// interfere.
+    pub fn base(self) -> VirtAddr {
+        let index = Segment::ALL.iter().position(|&s| s == self).unwrap() as u64;
+        VirtAddr::new((index + 1) << 39)
+    }
+}
+
+impl std::fmt::Display for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Segment::Code => "code",
+            Segment::Data => "data",
+            Segment::Heap => "heap",
+            Segment::Lib => "lib",
+            Segment::FileMap => "filemap",
+            Segment::Infra => "infra",
+            Segment::Stack => "stack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which ASLR configuration the kernel runs (Section IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AslrMode {
+    /// ASLR-SW: one private seed per CCID group; every process in the
+    /// group gets the same layout, so TLB and page-table entries match at
+    /// every level (minimal OS changes).
+    SoftwareOnly,
+    /// ASLR-HW: a private seed per process; hardware adds the per-segment
+    /// `diff_i_offset[]` between the L1 and L2 TLBs (2 cycles on an L1
+    /// miss), so sharing works from the L2 TLB down. This is the paper's
+    /// default evaluation configuration.
+    Hardware,
+}
+
+/// Deterministic per-group / per-process segment offsets.
+///
+/// The simulation works in *group-canonical* virtual addresses: the
+/// layout every member of a CCID group shares. Under ASLR-SW that is the
+/// actual layout of each process; under ASLR-HW each process additionally
+/// has its own private offsets and the canonical address is what comes
+/// out of the diff-offset adder — the timing cost (2 cycles per L1 TLB
+/// miss) and the L1-sharing restriction are modelled by the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use bf_os::{AslrMode, LayoutRandomizer, Segment};
+/// use bf_types::Ccid;
+///
+/// let aslr = LayoutRandomizer::new(42, AslrMode::SoftwareOnly);
+/// let a = aslr.group_segment_base(Ccid::new(1), Segment::Heap);
+/// let b = aslr.group_segment_base(Ccid::new(1), Segment::Heap);
+/// assert_eq!(a, b, "one layout per group");
+/// let other = aslr.group_segment_base(Ccid::new(2), Segment::Heap);
+/// assert_ne!(a, other, "different groups get different layouts");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LayoutRandomizer {
+    seed: u64,
+    mode: AslrMode,
+}
+
+impl LayoutRandomizer {
+    /// Creates a randomizer from a global seed.
+    pub fn new(seed: u64, mode: AslrMode) -> Self {
+        LayoutRandomizer { seed, mode }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> AslrMode {
+        self.mode
+    }
+
+    /// The canonical (group) base address of `segment` for `group`:
+    /// segment base plus the group's random offset, 2 MB-aligned so THP
+    /// and PTE-table boundaries are natural.
+    pub fn group_segment_base(&self, group: Ccid, segment: Segment) -> VirtAddr {
+        let offset = self.random_offset(group.raw() as u64, segment);
+        segment.base().offset(offset)
+    }
+
+    /// The *private* base address a process would observe for `segment`
+    /// under ASLR-HW (used to compute `diff_i_offset[]`; purely
+    /// informational in the simulation, which works in canonical
+    /// addresses).
+    pub fn process_segment_base(&self, pid: Pid, segment: Segment) -> VirtAddr {
+        let offset = self.random_offset(0x5000_0000 ^ pid.raw() as u64, segment);
+        segment.base().offset(offset)
+    }
+
+    /// The per-segment difference a process's diff-offset logic adds
+    /// under ASLR-HW: `diff_i_offset = CCID_offset - i_offset`
+    /// (Section IV-D).
+    pub fn diff_offset(&self, group: Ccid, pid: Pid, segment: Segment) -> i64 {
+        let group_base = self.group_segment_base(group, segment).raw() as i64;
+        let process_base = self.process_segment_base(pid, segment).raw() as i64;
+        group_base - process_base
+    }
+
+    fn random_offset(&self, salt: u64, segment: Segment) -> u64 {
+        let index = Segment::ALL.iter().position(|&s| s == segment).unwrap() as u64;
+        // SplitMix64 over (seed, salt, segment): deterministic, well mixed.
+        let mut x = self
+            .seed
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        // Up to 64 GB of offset inside the segment's 512 GB slot,
+        // 2 MB-aligned.
+        (x % (64 << 30)) & !(PageSize::Size2M.bytes() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_occupy_distinct_pgd_slots() {
+        let mut slots: Vec<usize> = Segment::ALL.iter().map(|s| s.base().pgd_index()).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 7, "each segment has its own PGD entry");
+    }
+
+    #[test]
+    fn group_layout_is_deterministic() {
+        let a = LayoutRandomizer::new(1, AslrMode::SoftwareOnly);
+        let b = LayoutRandomizer::new(1, AslrMode::SoftwareOnly);
+        for segment in Segment::ALL {
+            assert_eq!(
+                a.group_segment_base(Ccid::new(3), segment),
+                b.group_segment_base(Ccid::new(3), segment)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = LayoutRandomizer::new(1, AslrMode::SoftwareOnly);
+        let b = LayoutRandomizer::new(2, AslrMode::SoftwareOnly);
+        assert_ne!(
+            a.group_segment_base(Ccid::new(3), Segment::Code),
+            b.group_segment_base(Ccid::new(3), Segment::Code)
+        );
+    }
+
+    #[test]
+    fn offsets_are_2mb_aligned() {
+        let aslr = LayoutRandomizer::new(9, AslrMode::Hardware);
+        for segment in Segment::ALL {
+            let base = aslr.group_segment_base(Ccid::new(1), segment);
+            assert!(base.is_aligned(PageSize::Size2M), "{segment} base {base}");
+        }
+    }
+
+    #[test]
+    fn base_stays_in_segment_slot() {
+        let aslr = LayoutRandomizer::new(123, AslrMode::Hardware);
+        for segment in Segment::ALL {
+            let base = aslr.group_segment_base(Ccid::new(7), segment);
+            assert_eq!(base.pgd_index(), segment.base().pgd_index());
+        }
+    }
+
+    #[test]
+    fn diff_offset_recovers_group_base() {
+        let aslr = LayoutRandomizer::new(5, AslrMode::Hardware);
+        let group = Ccid::new(4);
+        let pid = Pid::new(77);
+        let segment = Segment::Lib;
+        let diff = aslr.diff_offset(group, pid, segment);
+        let process_base = aslr.process_segment_base(pid, segment).raw() as i64;
+        assert_eq!(
+            (process_base + diff) as u64,
+            aslr.group_segment_base(group, segment).raw(),
+            "process VA + diff = canonical VA (Section IV-D)"
+        );
+    }
+
+    #[test]
+    fn processes_get_distinct_private_layouts() {
+        let aslr = LayoutRandomizer::new(5, AslrMode::Hardware);
+        assert_ne!(
+            aslr.process_segment_base(Pid::new(1), Segment::Stack),
+            aslr.process_segment_base(Pid::new(2), Segment::Stack)
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! The operating-system substrate: a Linux-like kernel model for the
+//! BabelFish simulation.
+//!
+//! The paper evaluates BabelFish on a full Linux kernel under Simics,
+//! instrumenting the MMU module, the page-fault handler and the page-table
+//! management code (Section VII-D reports ~1300 modified LoC). This crate
+//! is the from-scratch equivalent: the subset of kernel behaviour that
+//! generates the paper's translation traffic, implemented over the
+//! simulated page tables of [`bf_pgtable`]:
+//!
+//! * [`PageCache`] — file-backed pages are read once into physical frames
+//!   and shared by every mapping (the reason containers of one image share
+//!   most of their code/data PPNs, Section II-C).
+//! * [`Vma`]/[`MmapRequest`] — lazily-populated virtual memory areas:
+//!   file-backed (shared or private/CoW) and anonymous (THP-eligible).
+//! * [`LayoutRandomizer`] — ASLR-SW (one layout per CCID group) and
+//!   ASLR-HW (per-process layouts with a canonical group layout reached
+//!   through the diff-offset adder) (Section IV-D).
+//! * [`Kernel`] — processes, `fork` with lazy CoW, `mmap`, the page-fault
+//!   handler (minor/major/CoW), BabelFish page-table sharing with
+//!   MaskPage bookkeeping and the 33-writer overflow fallback, and
+//!   process teardown with shared-table reference counting.
+//! * [`Scheduler`] — per-core round-robin with the 10 ms quantum of
+//!   Table I (PCID-tagged TLBs mean no flush on context switch).
+//! * [`pagemap`] — the Fig. 9 census: total/active/shareable `pte_t`s and
+//!   the BabelFish-active reduction.
+//!
+//! # Examples
+//!
+//! ```
+//! use bf_os::{Kernel, KernelConfig, MmapRequest, Segment};
+//! use bf_types::{Ccid, PageFlags, VirtAddr};
+//!
+//! let mut kernel = Kernel::new(KernelConfig::babelfish());
+//! let group = kernel.create_group();
+//! let pid = kernel.spawn(group).unwrap();
+//! let file = kernel.register_file(1 << 20); // a 1 MB "library"
+//! let base = kernel
+//!     .mmap(pid, MmapRequest::file_shared(Segment::Lib, file, 0, 1 << 20,
+//!           PageFlags::USER))
+//!     .unwrap();
+//! // First touch faults the page in through the page cache.
+//! let fault = kernel.handle_fault(pid, base, false).unwrap();
+//! assert!(kernel.space(pid).walk(kernel.store(), base).leaf().is_some());
+//! # let _ = fault;
+//! ```
+
+pub mod aslr;
+pub mod file;
+pub mod kernel;
+pub mod pagemap;
+pub mod process;
+pub mod sched;
+pub mod vma;
+
+pub use aslr::{AslrMode, LayoutRandomizer, Segment};
+pub use file::{FileId, PageCache};
+pub use kernel::{
+    FaultError, FaultKind, FaultResolution, Invalidation, Kernel, KernelConfig, KernelError,
+    KernelStats,
+};
+pub use process::Process;
+pub use sched::{SchedDecision, Scheduler};
+pub use vma::{Backing, MmapRequest, Vma};

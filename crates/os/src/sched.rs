@@ -1,0 +1,276 @@
+//! Per-core round-robin scheduling with the Table I 10 ms quantum.
+
+use bf_types::{CoreId, Cycles, Pid};
+use std::collections::VecDeque;
+
+/// What the simulator should do after reporting elapsed work on a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedDecision {
+    /// Keep running the current process.
+    Continue,
+    /// Switch to `to` (the kernel reloads CR3/PCID/CCID; PCID-tagged
+    /// TLBs mean no flush — "writes to CR3 do not flush the TLB",
+    /// Section III-C). Charge `cost` cycles.
+    Switch {
+        /// Process being descheduled (if the core was busy).
+        from: Option<Pid>,
+        /// Process to run next.
+        to: Pid,
+        /// Context-switch cost in cycles.
+        cost: Cycles,
+    },
+    /// Nothing runnable on this core.
+    Idle,
+}
+
+#[derive(Debug, Default)]
+struct CoreState {
+    runnable: VecDeque<Pid>,
+    current: Option<Pid>,
+    ran_in_quantum: Cycles,
+}
+
+/// Round-robin scheduler: each core multiplexes its assigned processes
+/// (the paper's co-location: 2 containers per core for Data Serving and
+/// Compute, 3 for Functions — Section VI).
+///
+/// # Examples
+///
+/// ```
+/// use bf_os::{SchedDecision, Scheduler};
+/// use bf_types::{CoreId, Pid};
+///
+/// let mut sched = Scheduler::new(1, 20_000_000, 3_000);
+/// sched.assign(CoreId::new(0), Pid::new(1));
+/// sched.assign(CoreId::new(0), Pid::new(2));
+/// // First tick schedules pid 1.
+/// match sched.tick(CoreId::new(0), 0) {
+///     SchedDecision::Switch { to, .. } => assert_eq!(to, Pid::new(1)),
+///     other => panic!("expected a switch, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Scheduler {
+    cores: Vec<CoreState>,
+    quantum: Cycles,
+    switch_cost: Cycles,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `cores` cores with the given quantum and
+    /// context-switch cost (cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` or `quantum` is zero.
+    pub fn new(cores: usize, quantum: Cycles, switch_cost: Cycles) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(quantum > 0, "quantum must be positive");
+        Scheduler {
+            cores: (0..cores).map(|_| CoreState::default()).collect(),
+            quantum,
+            switch_cost,
+        }
+    }
+
+    /// The scheduling quantum in cycles.
+    pub fn quantum(&self) -> Cycles {
+        self.quantum
+    }
+
+    /// Makes `pid` runnable on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn assign(&mut self, core: CoreId, pid: Pid) {
+        self.core_mut(core).runnable.push_back(pid);
+    }
+
+    /// The process currently running on `core`.
+    pub fn current(&self, core: CoreId) -> Option<Pid> {
+        self.cores[core.index()].current
+    }
+
+    /// Number of processes (running + queued) on `core`.
+    pub fn load(&self, core: CoreId) -> usize {
+        let state = &self.cores[core.index()];
+        state.runnable.len() + usize::from(state.current.is_some())
+    }
+
+    /// Removes an exited process from every queue.
+    pub fn remove(&mut self, pid: Pid) {
+        for state in &mut self.cores {
+            state.runnable.retain(|&p| p != pid);
+            if state.current == Some(pid) {
+                state.current = None;
+                state.ran_in_quantum = 0;
+            }
+        }
+    }
+
+    /// Reports `elapsed` cycles of work on `core` and asks what to do
+    /// next: continue the current process, switch (quantum expiry or
+    /// nothing was running), or idle.
+    pub fn tick(&mut self, core: CoreId, elapsed: Cycles) -> SchedDecision {
+        let quantum = self.quantum;
+        let switch_cost = self.switch_cost;
+        let state = self.core_mut(core);
+
+        match state.current {
+            Some(pid) => {
+                state.ran_in_quantum += elapsed;
+                if state.ran_in_quantum < quantum {
+                    return SchedDecision::Continue;
+                }
+                // Quantum expired: rotate if anyone is waiting.
+                state.ran_in_quantum = 0;
+                match state.runnable.pop_front() {
+                    Some(next) => {
+                        state.runnable.push_back(pid);
+                        state.current = Some(next);
+                        SchedDecision::Switch { from: Some(pid), to: next, cost: switch_cost }
+                    }
+                    None => SchedDecision::Continue,
+                }
+            }
+            None => match state.runnable.pop_front() {
+                Some(next) => {
+                    state.current = Some(next);
+                    state.ran_in_quantum = 0;
+                    SchedDecision::Switch { from: None, to: next, cost: switch_cost }
+                }
+                None => SchedDecision::Idle,
+            },
+        }
+    }
+
+    /// Forces a reschedule on `core` (e.g. the current process blocked or
+    /// finished its run-to-completion work).
+    pub fn yield_now(&mut self, core: CoreId) -> SchedDecision {
+        let switch_cost = self.switch_cost;
+        let state = self.core_mut(core);
+        let from = state.current.take();
+        state.ran_in_quantum = 0;
+        if let Some(pid) = from {
+            state.runnable.push_back(pid);
+        }
+        match state.runnable.pop_front() {
+            Some(next) => {
+                state.current = Some(next);
+                SchedDecision::Switch { from, to: next, cost: switch_cost }
+            }
+            None => SchedDecision::Idle,
+        }
+    }
+
+    fn core_mut(&mut self, core: CoreId) -> &mut CoreState {
+        let index = core.index();
+        assert!(index < self.cores.len(), "core {core} out of range");
+        &mut self.cores[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core0() -> CoreId {
+        CoreId::new(0)
+    }
+
+    #[test]
+    fn first_tick_schedules_first_pid() {
+        let mut sched = Scheduler::new(1, 100, 5);
+        sched.assign(core0(), Pid::new(1));
+        assert_eq!(
+            sched.tick(core0(), 0),
+            SchedDecision::Switch { from: None, to: Pid::new(1), cost: 5 }
+        );
+        assert_eq!(sched.current(core0()), Some(Pid::new(1)));
+    }
+
+    #[test]
+    fn quantum_expiry_rotates_round_robin() {
+        let mut sched = Scheduler::new(1, 100, 5);
+        sched.assign(core0(), Pid::new(1));
+        sched.assign(core0(), Pid::new(2));
+        sched.tick(core0(), 0);
+        assert_eq!(sched.tick(core0(), 50), SchedDecision::Continue);
+        match sched.tick(core0(), 60) {
+            SchedDecision::Switch { from, to, .. } => {
+                assert_eq!(from, Some(Pid::new(1)));
+                assert_eq!(to, Pid::new(2));
+            }
+            other => panic!("expected switch, got {other:?}"),
+        }
+        // And back again after another quantum.
+        match sched.tick(core0(), 100) {
+            SchedDecision::Switch { to, .. } => assert_eq!(to, Pid::new(1)),
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lone_process_keeps_running_past_quantum() {
+        let mut sched = Scheduler::new(1, 100, 5);
+        sched.assign(core0(), Pid::new(1));
+        sched.tick(core0(), 0);
+        assert_eq!(sched.tick(core0(), 500), SchedDecision::Continue);
+    }
+
+    #[test]
+    fn idle_core_reports_idle() {
+        let mut sched = Scheduler::new(2, 100, 5);
+        assert_eq!(sched.tick(CoreId::new(1), 0), SchedDecision::Idle);
+    }
+
+    #[test]
+    fn remove_clears_current_and_queue() {
+        let mut sched = Scheduler::new(1, 100, 5);
+        sched.assign(core0(), Pid::new(1));
+        sched.assign(core0(), Pid::new(2));
+        sched.tick(core0(), 0);
+        sched.remove(Pid::new(1));
+        assert_eq!(sched.current(core0()), None);
+        match sched.tick(core0(), 0) {
+            SchedDecision::Switch { to, .. } => assert_eq!(to, Pid::new(2)),
+            other => panic!("expected switch, got {other:?}"),
+        }
+        sched.remove(Pid::new(2));
+        assert_eq!(sched.tick(core0(), 0), SchedDecision::Idle);
+    }
+
+    #[test]
+    fn yield_rotates_immediately() {
+        let mut sched = Scheduler::new(1, 1_000_000, 5);
+        sched.assign(core0(), Pid::new(1));
+        sched.assign(core0(), Pid::new(2));
+        sched.tick(core0(), 0);
+        match sched.yield_now(core0()) {
+            SchedDecision::Switch { from, to, .. } => {
+                assert_eq!(from, Some(Pid::new(1)));
+                assert_eq!(to, Pid::new(2));
+            }
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_counts_running_and_queued() {
+        let mut sched = Scheduler::new(1, 100, 5);
+        assert_eq!(sched.load(core0()), 0);
+        sched.assign(core0(), Pid::new(1));
+        sched.assign(core0(), Pid::new(2));
+        assert_eq!(sched.load(core0()), 2);
+        sched.tick(core0(), 0);
+        assert_eq!(sched.load(core0()), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_panics() {
+        let mut sched = Scheduler::new(1, 100, 5);
+        sched.assign(CoreId::new(3), Pid::new(1));
+    }
+}

@@ -1,0 +1,370 @@
+//! Virtual memory areas: lazily-populated mapping descriptors.
+
+use crate::aslr::Segment;
+use crate::file::FileId;
+use bf_types::{PageFlags, PageSize, VirtAddr};
+
+/// What backs a VMA's pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backing {
+    /// File-backed mapping. `private` maps the file copy-on-write
+    /// (MAP_PRIVATE with write permission); otherwise writes go to the
+    /// shared page-cache frame (read-only code/data or MAP_SHARED).
+    File {
+        /// Backing file.
+        file: FileId,
+        /// Byte offset of the VMA's first page within the file.
+        offset: u64,
+        /// MAP_PRIVATE semantics for writable pages.
+        private: bool,
+        /// Map with 2 MB huge pages (hugetlbfs-style): the case where
+        /// BabelFish merges PMD tables instead of PTE tables (§IV-C).
+        huge: bool,
+    },
+    /// Anonymous memory. `origin` identifies the allocation across forks:
+    /// parent and child VMAs cloned from each other keep the same origin,
+    /// which is what lets the kernel recognise fork-CoW sharing.
+    Anon {
+        /// Allocation identity, inherited over fork.
+        origin: u64,
+        /// Eligible for transparent huge pages.
+        thp: bool,
+    },
+}
+
+impl Backing {
+    /// `true` for file-backed VMAs.
+    pub fn is_file(&self) -> bool {
+        matches!(self, Backing::File { .. })
+    }
+
+    /// `true` for huge-page file mappings.
+    pub fn is_huge_file(&self) -> bool {
+        matches!(self, Backing::File { huge: true, .. })
+    }
+
+    /// `true` for THP-eligible anonymous VMAs.
+    pub fn is_thp(&self) -> bool {
+        matches!(self, Backing::Anon { thp: true, .. })
+    }
+}
+
+/// One virtual memory area of a process.
+///
+/// # Examples
+///
+/// ```
+/// use bf_os::{Backing, Vma};
+/// use bf_types::{PageFlags, VirtAddr};
+/// use bf_os::Segment;
+///
+/// let vma = Vma::new(
+///     VirtAddr::new(0x1000_0000),
+///     0x4000,
+///     Backing::Anon { origin: 1, thp: false },
+///     PageFlags::USER | PageFlags::WRITE,
+///     Segment::Heap,
+/// );
+/// assert!(vma.contains(VirtAddr::new(0x1000_3fff)));
+/// assert!(!vma.contains(VirtAddr::new(0x1000_4000)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vma {
+    start: VirtAddr,
+    length: u64,
+    backing: Backing,
+    perms: PageFlags,
+    segment: Segment,
+    /// Set when the region's page tables may be shared across the CCID
+    /// group (file-backed mappings and fork-inherited anonymous regions).
+    shareable: bool,
+}
+
+impl Vma {
+    /// Builds a VMA. File-backed VMAs start shareable; anonymous ones
+    /// become shareable only when inherited through fork
+    /// (see [`Vma::set_shareable`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` or `length` is not 4 KB-aligned or `length` is 0.
+    pub fn new(
+        start: VirtAddr,
+        length: u64,
+        backing: Backing,
+        perms: PageFlags,
+        segment: Segment,
+    ) -> Self {
+        assert!(start.is_aligned(PageSize::Size4K), "VMA start must be page-aligned");
+        assert!(length > 0 && length.is_multiple_of(PageSize::Size4K.bytes()), "VMA length must be whole pages");
+        Vma {
+            start,
+            length,
+            backing,
+            perms,
+            segment,
+            shareable: backing.is_file(),
+        }
+    }
+
+    /// First mapped address.
+    pub fn start(&self) -> VirtAddr {
+        self.start
+    }
+
+    /// Length in bytes.
+    pub fn length(&self) -> u64 {
+        self.length
+    }
+
+    /// One past the last mapped address.
+    pub fn end(&self) -> VirtAddr {
+        self.start.offset(self.length)
+    }
+
+    /// The backing store.
+    pub fn backing(&self) -> Backing {
+        self.backing
+    }
+
+    /// Page permissions.
+    pub fn perms(&self) -> PageFlags {
+        self.perms
+    }
+
+    /// The segment this VMA belongs to.
+    pub fn segment(&self) -> Segment {
+        self.segment
+    }
+
+    /// Whether this VMA's page tables may be shared across the group.
+    pub fn shareable(&self) -> bool {
+        self.shareable
+    }
+
+    /// Marks the VMA (non-)shareable — set on fork inheritance, cleared
+    /// when a MaskPage overflow forces the region back to private tables.
+    pub fn set_shareable(&mut self, shareable: bool) {
+        self.shareable = shareable;
+    }
+
+    /// Whether `va` falls inside this VMA.
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.start && va.raw() < self.start.raw() + self.length
+    }
+
+    /// For file-backed VMAs, the file page index backing `va`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is outside the VMA or the VMA is anonymous.
+    pub fn file_page(&self, va: VirtAddr) -> (FileId, u64) {
+        assert!(self.contains(va), "address outside VMA");
+        match self.backing {
+            Backing::File { file, offset, .. } => {
+                let byte = offset + (va.raw() - self.start.raw());
+                (file, byte / PageSize::Size4K.bytes())
+            }
+            Backing::Anon { .. } => panic!("file_page on anonymous VMA"),
+        }
+    }
+
+    /// Whether a write to this VMA must copy (MAP_PRIVATE file pages).
+    pub fn write_is_cow(&self) -> bool {
+        match self.backing {
+            Backing::File { private, .. } => private && self.perms.contains(PageFlags::WRITE),
+            Backing::Anon { .. } => false,
+        }
+    }
+
+    /// Number of 4 KB pages the VMA spans.
+    pub fn pages(&self) -> u64 {
+        self.length / PageSize::Size4K.bytes()
+    }
+}
+
+/// A request to map memory into a process (the `mmap` argument record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmapRequest {
+    /// Segment the mapping belongs to (drives ASLR placement).
+    pub segment: Segment,
+    /// Length in bytes (must be whole pages).
+    pub length: u64,
+    /// Backing store. For anonymous requests `origin` is ignored and a
+    /// fresh origin is assigned by the kernel.
+    pub backing: Backing,
+    /// Page permissions.
+    pub perms: PageFlags,
+}
+
+impl MmapRequest {
+    /// A shared file mapping (code, read-only data, MAP_SHARED datasets).
+    pub fn file_shared(
+        segment: Segment,
+        file: FileId,
+        offset: u64,
+        length: u64,
+        perms: PageFlags,
+    ) -> Self {
+        MmapRequest {
+            segment,
+            length,
+            backing: Backing::File { file, offset, private: false, huge: false },
+            perms,
+        }
+    }
+
+    /// A shared file mapping with 2 MB huge pages (hugetlbfs-style).
+    /// BabelFish merges the *PMD* tables of such mappings (§IV-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless offset and length are 2 MB-multiples.
+    pub fn file_shared_huge(
+        segment: Segment,
+        file: FileId,
+        offset: u64,
+        length: u64,
+        perms: PageFlags,
+    ) -> Self {
+        let huge = PageSize::Size2M.bytes();
+        assert!(offset.is_multiple_of(huge) && length.is_multiple_of(huge) && length > 0,
+                "huge mappings are whole 2 MB chunks");
+        MmapRequest {
+            segment,
+            length,
+            backing: Backing::File { file, offset, private: false, huge: true },
+            perms,
+        }
+    }
+
+    /// A private (CoW) file mapping (writable .data, GOT pages).
+    pub fn file_private(
+        segment: Segment,
+        file: FileId,
+        offset: u64,
+        length: u64,
+        perms: PageFlags,
+    ) -> Self {
+        MmapRequest {
+            segment,
+            length,
+            backing: Backing::File { file, offset, private: true, huge: false },
+            perms,
+        }
+    }
+
+    /// An anonymous mapping (heap, buffers, stack).
+    pub fn anon(segment: Segment, length: u64, perms: PageFlags, thp: bool) -> Self {
+        MmapRequest {
+            segment,
+            length,
+            backing: Backing::Anon { origin: 0, thp },
+            perms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file_vma(private: bool) -> Vma {
+        Vma::new(
+            VirtAddr::new(0x10_0000),
+            0x10_000,
+            Backing::File { file: FileId::new(1), offset: 0x2000, private, huge: false },
+            PageFlags::USER | PageFlags::WRITE,
+            Segment::Lib,
+        )
+    }
+
+    #[test]
+    fn bounds_and_containment() {
+        let vma = file_vma(false);
+        assert_eq!(vma.end().raw(), 0x11_0000);
+        assert_eq!(vma.pages(), 16);
+        assert!(vma.contains(VirtAddr::new(0x10_0000)));
+        assert!(vma.contains(VirtAddr::new(0x10_ffff)));
+        assert!(!vma.contains(VirtAddr::new(0x11_0000)));
+        assert!(!vma.contains(VirtAddr::new(0xf_ffff)));
+    }
+
+    #[test]
+    fn file_page_accounts_for_offset() {
+        let vma = file_vma(false);
+        let (file, page) = vma.file_page(VirtAddr::new(0x10_3000));
+        assert_eq!(file, FileId::new(1));
+        // offset 0x2000 (2 pages) + 3 pages into the VMA.
+        assert_eq!(page, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside VMA")]
+    fn file_page_outside_panics() {
+        let _ = file_vma(false).file_page(VirtAddr::new(0));
+    }
+
+    #[test]
+    fn cow_only_for_private_writable_files() {
+        assert!(file_vma(true).write_is_cow());
+        assert!(!file_vma(false).write_is_cow());
+        let anon = Vma::new(
+            VirtAddr::new(0x1000),
+            0x1000,
+            Backing::Anon { origin: 1, thp: false },
+            PageFlags::USER | PageFlags::WRITE,
+            Segment::Heap,
+        );
+        assert!(!anon.write_is_cow());
+    }
+
+    #[test]
+    fn file_vmas_start_shareable_anon_do_not() {
+        assert!(file_vma(false).shareable());
+        let mut anon = Vma::new(
+            VirtAddr::new(0x1000),
+            0x1000,
+            Backing::Anon { origin: 1, thp: false },
+            PageFlags::USER,
+            Segment::Heap,
+        );
+        assert!(!anon.shareable());
+        anon.set_shareable(true); // fork inheritance
+        assert!(anon.shareable());
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn misaligned_start_rejected() {
+        let _ = Vma::new(
+            VirtAddr::new(0x1001),
+            0x1000,
+            Backing::Anon { origin: 0, thp: false },
+            PageFlags::USER,
+            Segment::Heap,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "whole pages")]
+    fn zero_length_rejected() {
+        let _ = Vma::new(
+            VirtAddr::new(0x1000),
+            0,
+            Backing::Anon { origin: 0, thp: false },
+            PageFlags::USER,
+            Segment::Heap,
+        );
+    }
+
+    #[test]
+    fn request_constructors_set_backing() {
+        let shared = MmapRequest::file_shared(Segment::Lib, FileId::new(1), 0, 0x1000, PageFlags::USER);
+        assert!(matches!(shared.backing, Backing::File { private: false, .. }));
+        let private = MmapRequest::file_private(Segment::Data, FileId::new(1), 0, 0x1000, PageFlags::USER);
+        assert!(matches!(private.backing, Backing::File { private: true, .. }));
+        let anon = MmapRequest::anon(Segment::Heap, 0x1000, PageFlags::USER, true);
+        assert!(anon.backing.is_thp());
+    }
+}

@@ -1,0 +1,143 @@
+//! The 64-bit page-table entry encoding.
+
+use bf_types::{PageFlags, PhysAddr, Ppn};
+
+/// Mask of the flag bits an [`EntryValue`] preserves (everything outside
+/// the 36-bit frame-number field used by this model).
+const FLAG_MASK: u64 = 0xFFF | (1 << 63);
+
+/// A decoded page-table entry: a physical frame number plus flag bits.
+///
+/// Directory entries hold the frame of the next-level table; leaf entries
+/// hold the frame of the mapped page (with [`PageFlags::HUGE`] set for
+/// PMD/PUD leaves). The BabelFish O and ORPC bits ride in bits 10 and 9
+/// (Fig. 5a), so they round-trip through the raw encoding like any other
+/// flag.
+///
+/// # Examples
+///
+/// ```
+/// use bf_pgtable::EntryValue;
+/// use bf_types::{PageFlags, Ppn};
+///
+/// let entry = EntryValue::new(Ppn::new(0x1234), PageFlags::PRESENT | PageFlags::OWNED);
+/// let raw = entry.encode();
+/// let back = EntryValue::decode(raw);
+/// assert_eq!(back.ppn, Ppn::new(0x1234));
+/// assert!(back.flags.contains(PageFlags::OWNED));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct EntryValue {
+    /// Frame number (of the next-level table, or of the mapped page).
+    pub ppn: Ppn,
+    /// Flag bits.
+    pub flags: PageFlags,
+}
+
+impl EntryValue {
+    /// Builds an entry from its parts.
+    pub fn new(ppn: Ppn, flags: PageFlags) -> Self {
+        EntryValue { ppn, flags }
+    }
+
+    /// The all-zero (non-present) entry.
+    pub fn empty() -> Self {
+        EntryValue::default()
+    }
+
+    /// Encodes to the raw 64-bit format: frame number in bits 47..12,
+    /// flags in bits 11..0 and 63.
+    pub fn encode(self) -> u64 {
+        (self.ppn.raw() << 12) | (self.flags.bits() & FLAG_MASK)
+    }
+
+    /// Decodes from the raw 64-bit format.
+    pub fn decode(raw: u64) -> Self {
+        EntryValue {
+            ppn: Ppn::new((raw & !FLAG_MASK) >> 12),
+            flags: PageFlags::from_bits(raw & FLAG_MASK),
+        }
+    }
+
+    /// Whether the PRESENT bit is set.
+    pub fn is_present(self) -> bool {
+        self.flags.contains(PageFlags::PRESENT)
+    }
+
+    /// Whether this is a huge-page leaf (PS bit).
+    pub fn is_huge_leaf(self) -> bool {
+        self.flags.contains(PageFlags::HUGE)
+    }
+
+    /// Physical address of entry `index` inside the table page at
+    /// `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` ≥ 512.
+    pub fn entry_addr(table: Ppn, index: usize) -> PhysAddr {
+        assert!(index < bf_types::TABLE_ENTRIES, "entry index {index} out of range");
+        PhysAddr::new(table.base_addr().raw() + (index as u64) * bf_types::PTE_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let flags = PageFlags::PRESENT
+            | PageFlags::WRITE
+            | PageFlags::USER
+            | PageFlags::ORPC
+            | PageFlags::OWNED
+            | PageFlags::COW
+            | PageFlags::NX;
+        let entry = EntryValue::new(Ppn::new(0xABCDE), flags);
+        assert_eq!(EntryValue::decode(entry.encode()), entry);
+    }
+
+    #[test]
+    fn empty_entry_is_not_present() {
+        assert!(!EntryValue::empty().is_present());
+        assert_eq!(EntryValue::empty().encode(), 0);
+        assert_eq!(EntryValue::decode(0), EntryValue::empty());
+    }
+
+    #[test]
+    fn babelfish_bits_land_in_bits_9_and_10() {
+        let entry = EntryValue::new(Ppn::new(0), PageFlags::ORPC | PageFlags::OWNED);
+        assert_eq!(entry.encode(), (1 << 9) | (1 << 10));
+    }
+
+    #[test]
+    fn nx_bit_survives_in_bit_63() {
+        let entry = EntryValue::new(Ppn::new(1), PageFlags::NX | PageFlags::PRESENT);
+        let raw = entry.encode();
+        assert_eq!(raw >> 63, 1);
+        assert_eq!(EntryValue::decode(raw).ppn, Ppn::new(1));
+    }
+
+    #[test]
+    fn huge_leaf_detection() {
+        let huge = EntryValue::new(Ppn::new(512), PageFlags::PRESENT | PageFlags::HUGE);
+        assert!(huge.is_huge_leaf());
+        let base = EntryValue::new(Ppn::new(512), PageFlags::PRESENT);
+        assert!(!base.is_huge_leaf());
+    }
+
+    #[test]
+    fn entry_addresses_step_by_8() {
+        let table = Ppn::new(0x10);
+        assert_eq!(EntryValue::entry_addr(table, 0).raw(), 0x10_000);
+        assert_eq!(EntryValue::entry_addr(table, 1).raw(), 0x10_008);
+        assert_eq!(EntryValue::entry_addr(table, 511).raw(), 0x10_000 + 511 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn entry_addr_bounds_checked() {
+        let _ = EntryValue::entry_addr(Ppn::new(1), 512);
+    }
+}

@@ -1,0 +1,205 @@
+//! The MaskPage: per-PMD-table-set CoW bookkeeping (Appendix, Fig. 12/13).
+
+use bf_types::{Pid, Ppn, PC_BITMASK_BITS, TABLE_ENTRIES};
+
+/// Error returned when a 33rd distinct process performs a CoW in a
+/// MaskPage's region: the PC bitmask is out of bits and the whole PMD
+/// table set must revert to non-shared translations (Appendix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskPageFull;
+
+impl std::fmt::Display for MaskPageFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PC bitmask exhausted: more than 32 CoW-writing processes")
+    }
+}
+
+impl std::error::Error for MaskPageFull {}
+
+/// The OS structure holding, for one PMD table set of a CCID group:
+///
+/// * 512 PC bitmasks — one per `pmd_t` entry, i.e. one per PTE table /
+///   2 MB region (Fig. 13);
+/// * one ordered `pid_list` of up to 32 pids. The position of a pid in
+///   the list *is* its bit index in every PC bitmask ("the second pid in
+///   the pid list is the process that is assigned the second bit in the
+///   PC bitmask").
+///
+/// The MaskPage is backed by a real simulated frame so the hardware can
+/// fetch the bitmask in parallel with the `pte_t` on a TLB miss whose
+/// `pmd_t` has ORPC set (Appendix).
+///
+/// # Examples
+///
+/// ```
+/// use bf_pgtable::MaskPage;
+/// use bf_types::{Pid, Ppn};
+///
+/// let mut mask_page = MaskPage::new(Ppn::new(100));
+/// let bit = mask_page.assign_bit(Pid::new(7)).unwrap();
+/// assert_eq!(bit, 0, "first CoW writer gets bit 0");
+/// mask_page.set_bit(42, bit);
+/// assert!(mask_page.orpc(42));
+/// assert!(!mask_page.orpc(43));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaskPage {
+    frame: Ppn,
+    masks: Box<[u32; TABLE_ENTRIES]>,
+    pid_list: Vec<Pid>,
+}
+
+impl MaskPage {
+    /// Creates an empty MaskPage backed by `frame`.
+    pub fn new(frame: Ppn) -> Self {
+        MaskPage {
+            frame,
+            masks: Box::new([0; TABLE_ENTRIES]),
+            pid_list: Vec::new(),
+        }
+    }
+
+    /// The backing frame (for hardware-access timing).
+    pub fn frame(&self) -> Ppn {
+        self.frame
+    }
+
+    /// The bit index already assigned to `pid`, if it has performed a CoW
+    /// in this region before.
+    pub fn bit_of(&self, pid: Pid) -> Option<usize> {
+        self.pid_list.iter().position(|&p| p == pid)
+    }
+
+    /// Assigns (or returns the existing) PC-bitmask bit for `pid` — the
+    /// "first CoW event in this MaskPage" bookkeeping of Section III-A.
+    ///
+    /// # Errors
+    ///
+    /// [`MaskPageFull`] when a 33rd distinct pid arrives; the caller must
+    /// then revert the whole PMD table set to private translations.
+    pub fn assign_bit(&mut self, pid: Pid) -> Result<usize, MaskPageFull> {
+        if let Some(bit) = self.bit_of(pid) {
+            return Ok(bit);
+        }
+        if self.pid_list.len() >= PC_BITMASK_BITS {
+            return Err(MaskPageFull);
+        }
+        self.pid_list.push(pid);
+        Ok(self.pid_list.len() - 1)
+    }
+
+    /// Sets bit `bit` in the PC bitmask of `pmd_index` (the process has
+    /// privatised that 2 MB region).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pmd_index` ≥ 512 or `bit` ≥ 32.
+    pub fn set_bit(&mut self, pmd_index: usize, bit: usize) {
+        assert!(pmd_index < TABLE_ENTRIES, "pmd index {pmd_index} out of range");
+        assert!(bit < PC_BITMASK_BITS, "PC bit {bit} out of range");
+        self.masks[pmd_index] |= 1 << bit;
+    }
+
+    /// The PC bitmask of `pmd_index` (loaded into the TLB on misses when
+    /// ORPC is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pmd_index` ≥ 512.
+    pub fn mask(&self, pmd_index: usize) -> u32 {
+        assert!(pmd_index < TABLE_ENTRIES, "pmd index {pmd_index} out of range");
+        self.masks[pmd_index]
+    }
+
+    /// Whether any process has a private copy in `pmd_index`'s region
+    /// (the value of the ORPC bit for that `pmd_t`).
+    pub fn orpc(&self, pmd_index: usize) -> bool {
+        self.mask(pmd_index) != 0
+    }
+
+    /// Number of distinct CoW-writing processes recorded.
+    pub fn writers(&self) -> usize {
+        self.pid_list.len()
+    }
+
+    /// Whether the pid list is at its 32-entry capacity.
+    pub fn is_full(&self) -> bool {
+        self.pid_list.len() >= PC_BITMASK_BITS
+    }
+
+    /// The ordered pid list (bit index = position).
+    pub fn pid_list(&self) -> &[Pid] {
+        &self.pid_list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_are_assigned_in_order() {
+        let mut mp = MaskPage::new(Ppn::new(1));
+        assert_eq!(mp.assign_bit(Pid::new(10)).unwrap(), 0);
+        assert_eq!(mp.assign_bit(Pid::new(20)).unwrap(), 1);
+        assert_eq!(mp.assign_bit(Pid::new(30)).unwrap(), 2);
+        assert_eq!(mp.pid_list(), &[Pid::new(10), Pid::new(20), Pid::new(30)]);
+    }
+
+    #[test]
+    fn reassignment_is_stable() {
+        let mut mp = MaskPage::new(Ppn::new(1));
+        let first = mp.assign_bit(Pid::new(10)).unwrap();
+        let again = mp.assign_bit(Pid::new(10)).unwrap();
+        assert_eq!(first, again);
+        assert_eq!(mp.writers(), 1);
+    }
+
+    #[test]
+    fn thirty_third_writer_overflows() {
+        let mut mp = MaskPage::new(Ppn::new(1));
+        for i in 0..32 {
+            assert!(mp.assign_bit(Pid::new(i)).is_ok());
+        }
+        assert!(mp.is_full());
+        assert_eq!(mp.assign_bit(Pid::new(99)), Err(MaskPageFull));
+        // An existing writer is still fine.
+        assert_eq!(mp.assign_bit(Pid::new(5)).unwrap(), 5);
+    }
+
+    #[test]
+    fn masks_are_per_pmd_entry() {
+        let mut mp = MaskPage::new(Ppn::new(1));
+        let bit = mp.assign_bit(Pid::new(1)).unwrap();
+        mp.set_bit(0, bit);
+        mp.set_bit(511, bit);
+        assert_eq!(mp.mask(0), 1);
+        assert_eq!(mp.mask(511), 1);
+        assert_eq!(mp.mask(100), 0);
+        assert!(mp.orpc(0));
+        assert!(!mp.orpc(100));
+    }
+
+    #[test]
+    fn multiple_writers_accumulate_in_one_mask() {
+        let mut mp = MaskPage::new(Ppn::new(1));
+        let b0 = mp.assign_bit(Pid::new(1)).unwrap();
+        let b1 = mp.assign_bit(Pid::new(2)).unwrap();
+        mp.set_bit(7, b0);
+        mp.set_bit(7, b1);
+        assert_eq!(mp.mask(7), 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pmd_index_bounds_checked() {
+        let mp = MaskPage::new(Ppn::new(1));
+        let _ = mp.mask(512);
+    }
+
+    #[test]
+    fn bit_of_unknown_pid_is_none() {
+        let mp = MaskPage::new(Ppn::new(1));
+        assert_eq!(mp.bit_of(Pid::new(1)), None);
+    }
+}

@@ -1,0 +1,994 @@
+//! The multicore machine: cores, TLBs, caches, walker, kernel and
+//! scheduler wired together.
+
+use crate::config::SimConfig;
+use crate::stats::{LatencyStats, MachineStats, TranslationBreakdown};
+use bf_cache::{AccessOrigin, CacheHierarchy, PageWalkCache};
+use bf_containers::{BringupProfile, Container};
+use bf_os::{FaultKind, Invalidation, Kernel, SchedDecision, Scheduler};
+use bf_pgtable::WalkResult;
+use bf_tlb::group::TlbAccess;
+use bf_tlb::{LookupResult, TlbFill, TlbGroup};
+use bf_types::{AccessKind, CoreId, Cycles, PageFlags, PageSize, PageTableLevel, Pid, VirtAddr};
+use bf_workloads::{Op, Workload};
+use std::collections::HashMap;
+
+struct CoreState {
+    tlbs: TlbGroup,
+    pwc: PageWalkCache,
+    clock: Cycles,
+    instructions: u64,
+    active: bool,
+}
+
+/// The simulated server (see the [crate docs](crate) for the modelled
+/// pipeline).
+///
+/// Typical use: create, build containers through
+/// [`bf_containers::ContainerRuntime`] against [`Machine::kernel_mut`],
+/// attach workloads with [`Machine::attach`], warm up, then
+/// [`Machine::reset_measurement`] and run the measured window.
+pub struct Machine {
+    config: SimConfig,
+    kernel: Kernel,
+    cores: Vec<CoreState>,
+    hierarchy: CacheHierarchy,
+    sched: Scheduler,
+    workloads: HashMap<Pid, Box<dyn Workload>>,
+    core_of: HashMap<Pid, usize>,
+    request_start: HashMap<Pid, Cycles>,
+    latency: LatencyStats,
+    breakdown: TranslationBreakdown,
+    walks: u64,
+    minor_faults: u64,
+    major_faults: u64,
+    cow_faults: u64,
+    shared_resolved: u64,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("mode", &self.config.mode.name())
+            .field("cores", &self.cores.len())
+            .field("workloads", &self.workloads.len())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds the machine for `config`.
+    pub fn new(config: SimConfig) -> Self {
+        let cores = (0..config.cores)
+            .map(|_| CoreState {
+                tlbs: TlbGroup::new(config.mode.tlb_config()),
+                pwc: PageWalkCache::new(config.pwc),
+                clock: 0,
+                instructions: 0,
+                active: true,
+            })
+            .collect();
+        Machine {
+            kernel: Kernel::new(config.kernel),
+            cores,
+            hierarchy: CacheHierarchy::new(config.hierarchy),
+            sched: Scheduler::new(config.cores, config.quantum_cycles, config.context_switch_cycles),
+            workloads: HashMap::new(),
+            core_of: HashMap::new(),
+            request_start: HashMap::new(),
+            latency: LatencyStats::default(),
+            breakdown: TranslationBreakdown::default(),
+            walks: 0,
+            minor_faults: 0,
+            major_faults: 0,
+            cow_faults: 0,
+            shared_resolved: 0,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The kernel (for census queries and direct inspection).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable kernel access (container creation goes through here).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Assigns `pid` to `core` and gives it a workload to run.
+    pub fn attach(&mut self, core: CoreId, pid: Pid, workload: Box<dyn Workload>) {
+        self.sched.assign(core, pid);
+        self.core_of.insert(pid, core.index());
+        self.workloads.insert(pid, workload);
+        self.cores[core.index()].active = true;
+    }
+
+    /// Terminates a process: kernel exit + TLB cleanup + scheduler
+    /// removal.
+    pub fn exit_process(&mut self, pid: Pid) {
+        let invalidations = self.kernel.exit(pid);
+        self.apply_invalidations(&invalidations);
+        self.sched.remove(pid);
+        self.workloads.remove(&pid);
+        self.core_of.remove(&pid);
+        self.request_start.remove(&pid);
+    }
+
+    /// Applies kernel-issued TLB invalidations to every core (the
+    /// paper's local + remote TLB invalidation, Section III-A).
+    pub fn apply_invalidations(&mut self, invalidations: &[Invalidation]) {
+        for inv in invalidations {
+            for core in &mut self.cores {
+                match *inv {
+                    Invalidation::Shared { va, ccid } => core.tlbs.invalidate_shared(va, ccid),
+                    Invalidation::SharedRange { start, pages, ccid } => {
+                        for page in 0..pages {
+                            core.tlbs.invalidate_shared(start.offset(page * 4096), ccid);
+                        }
+                    }
+                    Invalidation::Page { va, pcid } => core.tlbs.invalidate_page(va, pcid),
+                    Invalidation::Process { pcid } => core.tlbs.invalidate_process(pcid),
+                }
+            }
+        }
+    }
+
+    /// Zeroes every measurement counter (after warm-up). Architectural
+    /// state — TLB/cache/PWC contents, page tables, clocks — is kept.
+    pub fn reset_measurement(&mut self) {
+        for core in &mut self.cores {
+            core.tlbs.reset_stats();
+            core.instructions = 0;
+        }
+        self.kernel.reset_stats();
+        self.latency = LatencyStats::default();
+        self.breakdown = TranslationBreakdown::default();
+        self.walks = 0;
+        self.minor_faults = 0;
+        self.major_faults = 0;
+        self.cow_faults = 0;
+        self.shared_resolved = 0;
+        let starts: Vec<Pid> = self.request_start.keys().copied().collect();
+        for pid in starts {
+            let core = self.core_of[&pid];
+            let clock = self.cores[core].clock;
+            self.request_start.insert(pid, clock);
+        }
+    }
+
+    /// Aggregated statistics for the current measurement window.
+    pub fn stats(&self) -> MachineStats {
+        let mut tlb = bf_tlb::TlbGroupStats::default();
+        let mut instructions = 0;
+        for core in &self.cores {
+            tlb.merge(&core.tlbs.stats());
+            instructions += core.instructions;
+        }
+        MachineStats {
+            instructions,
+            tlb,
+            latency: self.latency.clone(),
+            breakdown: self.breakdown,
+            walks: self.walks,
+            minor_faults: self.minor_faults,
+            major_faults: self.major_faults,
+            cow_faults: self.cow_faults,
+            shared_resolved: self.shared_resolved,
+        }
+    }
+
+    /// Clock of `core` (cycles since boot).
+    pub fn core_clock(&self, core: CoreId) -> Cycles {
+        self.cores[core.index()].clock
+    }
+
+    /// Retires `instrs` non-memory instructions on `core` (used by
+    /// callers that drive accesses manually instead of through the
+    /// scheduler, e.g. the run-to-completion function harness).
+    pub fn retire(&mut self, core: CoreId, instrs: u64) {
+        let cycles = instrs / self.config.issue_width.max(1);
+        let state = &mut self.cores[core.index()];
+        state.clock += cycles;
+        state.instructions += instrs;
+        self.breakdown.compute_cycles += cycles;
+    }
+
+    /// Runs every core until each has retired `budget` instructions in
+    /// this measurement window (cores with nothing runnable stop early).
+    pub fn run_instructions(&mut self, budget: u64) {
+        loop {
+            let next = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| {
+                    c.active
+                        && c.instructions < budget
+                        && self.sched_has_work(CoreId::new(*i))
+                })
+                .min_by_key(|(_, c)| c.clock)
+                .map(|(i, _)| i);
+            match next {
+                Some(core) => {
+                    self.step_core(core);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Runs until every attached workload has emitted [`Op::Done`]
+    /// (functions run to completion; their processes exit).
+    pub fn run_until_done(&mut self) {
+        loop {
+            let next = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| c.active && self.sched_has_work(CoreId::new(*i)))
+                .min_by_key(|(_, c)| c.clock)
+                .map(|(i, _)| i);
+            match next {
+                Some(core) => {
+                    self.step_core(core);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn sched_has_work(&self, core: CoreId) -> bool {
+        self.sched.load(core) > 0
+    }
+
+    /// Executes one scheduling decision + one workload op on `core`.
+    fn step_core(&mut self, core_index: usize) {
+        let core_id = CoreId::new(core_index);
+        let pid = match self.sched.current(core_id) {
+            Some(pid) => pid,
+            None => match self.sched.tick(core_id, 0) {
+                SchedDecision::Switch { to, cost, .. } => {
+                    self.cores[core_index].clock += cost;
+                    self.breakdown.switch_cycles += cost;
+                    to
+                }
+                SchedDecision::Idle => {
+                    self.cores[core_index].active = false;
+                    return;
+                }
+                SchedDecision::Continue => unreachable!("tick with no current cannot continue"),
+            },
+        };
+
+        let op = match self.workloads.get_mut(&pid) {
+            Some(workload) => workload.next_op(),
+            None => {
+                // Process without a workload (exited): drop it.
+                self.sched.remove(pid);
+                return;
+            }
+        };
+
+        match op {
+            Op::Access { va, kind, instrs_before } => {
+                let compute = instrs_before as u64 / self.config.issue_width.max(1);
+                self.cores[core_index].clock += compute;
+                self.cores[core_index].instructions += instrs_before as u64 + 1;
+                self.breakdown.compute_cycles += compute;
+                let access_cycles = self.execute_access(core_index, pid, va, kind);
+                let decision = self.sched.tick(core_id, compute + access_cycles);
+                if let SchedDecision::Switch { cost, .. } = decision {
+                    self.cores[core_index].clock += cost;
+                    self.breakdown.switch_cycles += cost;
+                }
+            }
+            Op::RequestEnd => {
+                let clock = self.cores[core_index].clock;
+                let start = self.request_start.get(&pid).copied().unwrap_or(clock);
+                if clock > start {
+                    self.latency.record(clock - start);
+                }
+                self.request_start.insert(pid, clock);
+            }
+            Op::Done => {
+                self.exit_process(pid);
+            }
+        }
+    }
+
+    /// Executes one memory access through the full translation + memory
+    /// pipeline, advancing the core clock. Returns the access latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address segfaults (workloads only touch their own
+    /// mappings) or a fault cannot be resolved.
+    pub fn execute_access(
+        &mut self,
+        core_index: usize,
+        pid: Pid,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> Cycles {
+        let core_id = CoreId::new(core_index);
+        let mut cycles: Cycles = 0;
+        let mut pending_invalidations: Vec<Invalidation> = Vec::new();
+        let is_write = kind.is_write();
+
+        let access = TlbAccess {
+            va,
+            pcid: self.kernel.process(pid).pcid(),
+            ccid: self.kernel.process(pid).ccid(),
+            pid,
+            pc_bit: self.kernel.pc_bit(pid, va),
+            kind,
+        };
+
+        // --- L1 TLB ---
+        let (l1_result, l1_cycles) = self.cores[core_index].tlbs.lookup_l1(&access);
+        cycles += l1_cycles;
+        self.breakdown.tlb_cycles += l1_cycles;
+
+        let mut translated: Option<(bf_types::Ppn, PageSize)> = None;
+        let mut faulted_cow_hit = false;
+        match l1_result {
+            LookupResult::Hit(hit) => translated = Some((hit.ppn, hit.size)),
+            LookupResult::CowFault(_) => faulted_cow_hit = true,
+            LookupResult::Miss { .. } => {}
+        }
+
+        // --- L2 TLB (on L1 miss) ---
+        if translated.is_none() && !faulted_cow_hit {
+            if self.config.mode.aslr_transformation() {
+                cycles += self.config.aslr_transform_cycles;
+                self.breakdown.tlb_cycles += self.config.aslr_transform_cycles;
+            }
+            let (l2_result, l2_cycles) = self.cores[core_index].tlbs.lookup_l2(&access);
+            cycles += l2_cycles;
+            self.breakdown.tlb_cycles += l2_cycles;
+            match l2_result {
+                LookupResult::Hit(hit) => {
+                    // Refill the L1 from the L2 entry.
+                    let fill = self.fill_from_parts(pid, va, hit.ppn, hit.size, hit.flags, &access);
+                    self.cores[core_index].tlbs.fill_l1(kind, fill);
+                    translated = Some((hit.ppn, hit.size));
+                }
+                LookupResult::CowFault(_) => faulted_cow_hit = true,
+                LookupResult::Miss { .. } => {}
+            }
+        }
+
+        // --- CoW fault raised from a TLB hit (Fig. 8 step 6) ---
+        if faulted_cow_hit {
+            let resolution = self
+                .kernel
+                .handle_fault(pid, va, is_write)
+                .expect("CoW fault resolution failed");
+            cycles += resolution.cost;
+            self.breakdown.fault_cycles += resolution.cost;
+            self.count_fault(resolution.kind);
+            pending_invalidations.extend(resolution.invalidations.iter().copied());
+            self.apply_invalidations(&pending_invalidations);
+            pending_invalidations.clear();
+        }
+
+        // --- Page walk(s) ---
+        if translated.is_none() {
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                assert!(attempts <= 4, "fault loop did not converge at {va} for {pid}");
+                let (walk_cycles, walk) = self.hardware_walk(core_index, pid, va);
+                cycles += walk_cycles;
+                self.breakdown.walk_cycles += walk_cycles;
+                self.walks += 1;
+
+                let leaf = walk.leaf();
+                let cow_write = leaf
+                    .map(|(entry, _)| is_write && entry.flags.contains(PageFlags::COW))
+                    .unwrap_or(false);
+                if let Some((entry, size)) = leaf {
+                    if !cow_write {
+                        // Install into L2 + L1 with the O-PC state drawn
+                        // from the pmd_t (and MaskPage if ORPC).
+                        let pmd_flags = walk
+                            .pmd_step()
+                            .map(|s| s.value.flags)
+                            .unwrap_or(PageFlags::empty());
+                        let fill = self.fill_from_walk(pid, va, entry, size, pmd_flags, &access);
+                        self.cores[core_index].tlbs.fill(kind, fill);
+                        self.kernel.mark_accessed(pid, va);
+                        translated = Some((entry.ppn, size));
+                        break;
+                    }
+                }
+                // Fault: missing translation or CoW write.
+                let resolution = self
+                    .kernel
+                    .handle_fault(pid, va, is_write)
+                    .unwrap_or_else(|e| panic!("unresolvable fault at {va} for {pid}: {e}"));
+                cycles += resolution.cost;
+                self.breakdown.fault_cycles += resolution.cost;
+                self.count_fault(resolution.kind);
+                self.apply_invalidations(&resolution.invalidations);
+            }
+        }
+
+        // --- The data / instruction access itself ---
+        let (ppn, size) = translated.expect("translation must have succeeded");
+        let paddr = ppn.base_addr().offset(va.page_offset(size));
+        let now = self.cores[core_index].clock + cycles;
+        let raw_mem = self
+            .hierarchy
+            .access(core_id, paddr, kind, AccessOrigin::Core, now);
+        // The OoO core hides part of the data latency through MLP; the
+        // translation path above cannot be hidden.
+        let mem_cycles =
+            ((raw_mem as f64) * (1.0 - self.config.memory_overlap)).round().max(1.0) as Cycles;
+        cycles += mem_cycles;
+        self.breakdown.memory_cycles += mem_cycles;
+
+        self.cores[core_index].clock += cycles;
+        cycles
+    }
+
+    /// The hardware page walk: PWC probes for the upper levels, cache
+    /// hierarchy accesses (entering at the L2, Fig. 7) for the rest, the
+    /// MaskPage fetched in parallel with the `pte_t` when the `pmd_t` has
+    /// ORPC set (Appendix).
+    fn hardware_walk(&mut self, core_index: usize, pid: Pid, va: VirtAddr) -> (Cycles, WalkResult) {
+        let core_id = CoreId::new(core_index);
+        let walk = self.kernel.space(pid).walk(self.kernel.store(), va);
+        let ccid = self.kernel.process(pid).ccid();
+        let mut cycles: Cycles = 0;
+        let steps = walk.steps().to_vec();
+        let last = steps.len().saturating_sub(1);
+
+        for (i, step) in steps.iter().enumerate() {
+            let is_final = i == last;
+            let upper_level = matches!(
+                step.level,
+                PageTableLevel::Pgd | PageTableLevel::Pud | PageTableLevel::Pmd
+            ) && !is_final;
+
+            if upper_level {
+                let core = &mut self.cores[core_index];
+                cycles += core.pwc.config().access_cycles;
+                if !core.pwc.probe(step.level, step.entry_addr) {
+                    let now = core.clock + cycles;
+                    let t = self.hierarchy.access(
+                        core_id,
+                        step.entry_addr,
+                        AccessKind::Read,
+                        AccessOrigin::PageWalker,
+                        now,
+                    );
+                    cycles += t;
+                    self.cores[core_index].pwc.fill(step.level, step.entry_addr);
+                }
+            } else {
+                // Final fetch (pte_t, or the level where the walk ends).
+                let now = self.cores[core_index].clock + cycles;
+                let t_entry = self.hierarchy.access(
+                    core_id,
+                    step.entry_addr,
+                    AccessKind::Read,
+                    AccessOrigin::PageWalker,
+                    now,
+                );
+                // Parallel MaskPage fetch when ORPC is set on the pmd_t.
+                let orpc = walk
+                    .pmd_step()
+                    .map(|s| s.value.flags.contains(PageFlags::ORPC))
+                    .unwrap_or(false);
+                let t_mask = if orpc {
+                    match self.kernel.maskpage_frame(ccid, va) {
+                        Some(frame) => {
+                            let line = (va.pmd_index() as u64 * 4) / 64 * 64;
+                            self.hierarchy.access(
+                                core_id,
+                                frame.base_addr().offset(line),
+                                AccessKind::Read,
+                                AccessOrigin::PageWalker,
+                                now,
+                            )
+                        }
+                        None => 0,
+                    }
+                } else {
+                    0
+                };
+                cycles += t_entry.max(t_mask);
+            }
+        }
+        (cycles, walk)
+    }
+
+    fn fill_from_walk(
+        &self,
+        pid: Pid,
+        va: VirtAddr,
+        entry: bf_pgtable::EntryValue,
+        size: PageSize,
+        pmd_flags: PageFlags,
+        access: &TlbAccess,
+    ) -> TlbFill {
+        let owned =
+            entry.flags.contains(PageFlags::OWNED) || pmd_flags.contains(PageFlags::OWNED);
+        let orpc = !owned && pmd_flags.contains(PageFlags::ORPC);
+        let ccid = access.ccid;
+        TlbFill {
+            vpn: va.vpn(size),
+            ppn: entry.ppn,
+            size,
+            flags: entry.flags,
+            pcid: access.pcid,
+            ccid,
+            owned,
+            orpc,
+            pc_bitmask: if orpc { self.kernel.pc_bitmask(ccid, va) } else { 0 },
+            loader: pid,
+        }
+    }
+
+    fn fill_from_parts(
+        &self,
+        pid: Pid,
+        va: VirtAddr,
+        ppn: bf_types::Ppn,
+        size: PageSize,
+        flags: PageFlags,
+        access: &TlbAccess,
+    ) -> TlbFill {
+        TlbFill {
+            vpn: va.vpn(size),
+            ppn,
+            size,
+            flags,
+            pcid: access.pcid,
+            ccid: access.ccid,
+            owned: flags.contains(PageFlags::OWNED),
+            orpc: false,
+            pc_bitmask: 0,
+            loader: pid,
+        }
+    }
+
+    fn count_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Minor => self.minor_faults += 1,
+            FaultKind::Major => self.major_faults += 1,
+            FaultKind::Cow => self.cow_faults += 1,
+            FaultKind::SharedResolved => self.shared_resolved += 1,
+            FaultKind::Spurious => {}
+        }
+    }
+
+    /// Faults in every page of `pid`'s VMAs without charging time — the
+    /// simulation equivalent of the paper's minute-long OS warm-up
+    /// (Section VI), which leaves the steady-state working set resident
+    /// and mapped in every container before measurement begins.
+    ///
+    /// Anonymous/writable regions are touched with writes (so CoW state
+    /// resolves as it would after real execution); read-only and
+    /// CoW-file regions are touched with reads.
+    pub fn prefault(&mut self, pid: Pid) {
+        let vmas: Vec<(VirtAddr, u64, bool)> = self
+            .kernel
+            .process(pid)
+            .vmas()
+            .iter()
+            .map(|vma| {
+                let write = matches!(vma.backing(), bf_os::Backing::Anon { .. })
+                    && vma.perms().contains(PageFlags::WRITE);
+                (vma.start(), vma.pages(), write)
+            })
+            .collect();
+        for (start, pages, write) in vmas {
+            for page in 0..pages {
+                let va = start.offset(page * 4096);
+                // Present translations need no service.
+                if self
+                    .kernel
+                    .space(pid)
+                    .walk(self.kernel.store(), va)
+                    .leaf()
+                    .is_some()
+                {
+                    continue;
+                }
+                match self.kernel.handle_fault(pid, va, write) {
+                    Ok(resolution) => {
+                        let invalidations = resolution.invalidations;
+                        self.apply_invalidations(&invalidations);
+                    }
+                    Err(e) => panic!("prefault failed at {va} for {pid}: {e}"),
+                }
+            }
+        }
+    }
+
+    /// Measures a container's bring-up: the creation cost (fork/mmaps +
+    /// docker engine) plus the simulated execution of the `docker start`
+    /// touch sequence (Section VII-C).
+    pub fn measure_bringup(
+        &mut self,
+        core: CoreId,
+        container: &Container,
+        profile: &BringupProfile,
+        seed: u64,
+    ) -> Cycles {
+        self.apply_invalidations(container.creation_invalidations());
+        let mut total = container.creation_cost();
+        self.cores[core.index()].clock += container.creation_cost();
+        for step in profile.steps(container.layout(), seed) {
+            total += self.execute_access(core.index(), container.pid(), step.va, step.kind);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+    use bf_containers::{ContainerRuntime, ImageSpec};
+    use bf_os::Segment;
+    use bf_os::MmapRequest;
+
+    fn machine(mode: Mode) -> Machine {
+        Machine::new(SimConfig::new(2, mode).with_frames(1 << 20))
+    }
+
+    /// Creates a process with one file mapping and returns (pid, va).
+    fn process_with_file(machine: &mut Machine, pages: u64) -> (Pid, VirtAddr) {
+        let kernel = machine.kernel_mut();
+        let group = kernel.create_group();
+        let pid = kernel.spawn(group).unwrap();
+        let file = kernel.register_file(pages * 4096);
+        let va = kernel
+            .mmap(pid, MmapRequest::file_shared(Segment::Lib, file, 0, pages * 4096, PageFlags::USER))
+            .unwrap();
+        (pid, va)
+    }
+
+    #[test]
+    fn first_access_walks_and_faults_second_hits_l1() {
+        let mut m = machine(Mode::Baseline);
+        let (pid, va) = process_with_file(&mut m, 4);
+        let cold = m.execute_access(0, pid, va, AccessKind::Read);
+        let warm = m.execute_access(0, pid, va, AccessKind::Read);
+        assert!(cold > warm, "cold {cold} vs warm {warm}");
+        assert!(warm <= 1 + 2 + 2, "L1 TLB hit + L1 cache access");
+        let stats = m.stats();
+        // The cold access walks, faults, then re-walks successfully.
+        assert_eq!(stats.walks, 2);
+        assert_eq!(stats.major_faults, 1, "first touch reads from disk");
+    }
+
+    #[test]
+    fn babelfish_second_container_reuses_translation() {
+        let mut m = machine(Mode::babelfish());
+        let kernel = m.kernel_mut();
+        let group = kernel.create_group();
+        let a = kernel.spawn(group).unwrap();
+        let b = kernel.spawn(group).unwrap();
+        let file = kernel.register_file(16 * 4096);
+        let req = MmapRequest::file_shared(Segment::Lib, file, 0, 16 * 4096, PageFlags::USER);
+        let va = kernel.mmap(a, req).unwrap();
+        kernel.mmap(b, req).unwrap();
+
+        m.execute_access(0, a, va, AccessKind::Read);
+        // Same core, different process: the L2 TLB entry is shared.
+        let shared = m.execute_access(0, b, va, AccessKind::Read);
+        let stats = m.stats();
+        assert_eq!(stats.tlb.l2.data_shared_hits, 1, "B hit A's L2 entry");
+        assert_eq!(stats.minor_faults + stats.major_faults, 1, "B faulted nothing");
+        // The shared path pays L1 miss + ASLR + L2 hit + memory, well
+        // under a walk + fault.
+        assert!(shared < 100, "shared access latency {shared}");
+    }
+
+    #[test]
+    fn baseline_second_container_pays_fault_and_walk() {
+        let mut m = machine(Mode::Baseline);
+        let kernel = m.kernel_mut();
+        let group = kernel.create_group();
+        let a = kernel.spawn(group).unwrap();
+        let b = kernel.spawn(group).unwrap();
+        let file = kernel.register_file(16 * 4096);
+        let req = MmapRequest::file_shared(Segment::Lib, file, 0, 16 * 4096, PageFlags::USER);
+        let va = kernel.mmap(a, req).unwrap();
+        kernel.mmap(b, req).unwrap();
+
+        m.execute_access(0, a, va, AccessKind::Read);
+        m.execute_access(0, b, va, AccessKind::Read);
+        let stats = m.stats();
+        assert_eq!(stats.tlb.l2.data_shared_hits, 0);
+        assert_eq!(stats.walks, 4, "each container walks, faults, re-walks");
+        assert_eq!(stats.major_faults, 1);
+        assert_eq!(stats.minor_faults, 1, "B pays its own minor fault (Fig. 7 top)");
+    }
+
+    #[test]
+    fn cow_write_through_tlb_triggers_fault_and_invalidation() {
+        let mut m = machine(Mode::babelfish());
+        let kernel = m.kernel_mut();
+        let group = kernel.create_group();
+        let parent = kernel.spawn(group).unwrap();
+        let va = kernel
+            .mmap(parent, MmapRequest::anon(Segment::Heap, 0x4000, PageFlags::USER | PageFlags::WRITE, false))
+            .unwrap();
+        kernel.handle_fault(parent, va, true).unwrap();
+        let (child, _, inv) = kernel.fork(parent).unwrap();
+        m.apply_invalidations(&inv.clone());
+
+        // Parent reads (loads shared CoW entry into the TLB), child writes.
+        m.execute_access(0, parent, va, AccessKind::Read);
+        m.execute_access(1, child, va, AccessKind::Write);
+        let stats = m.stats();
+        assert!(stats.cow_faults >= 1);
+        // Parent's next read misses the (invalidated) shared entry but
+        // re-walks successfully to the original frame.
+        m.execute_access(0, parent, va, AccessKind::Read);
+        let leaf = m.kernel().space(parent).walk(m.kernel().store(), va).leaf().unwrap();
+        assert!(!leaf.0.flags.contains(PageFlags::OWNED));
+    }
+
+    #[test]
+    fn scheduler_multiplexes_two_containers() {
+        let mut m = machine(Mode::Baseline);
+        let kernel = m.kernel_mut();
+        let mut runtime = ContainerRuntime::new(kernel);
+        let image = runtime.build_image(kernel, &ImageSpec::compute("fio", 2 << 20));
+        let group = runtime.create_group(kernel);
+        let c1 = runtime.create_container(kernel, &image, group).unwrap();
+        let c2 = runtime.create_container(kernel, &image, group).unwrap();
+        let w1 = Box::new(bf_workloads::FioCompute::new(c1.layout().clone(), 1));
+        let w2 = Box::new(bf_workloads::FioCompute::new(c2.layout().clone(), 2));
+        m.attach(CoreId::new(0), c1.pid(), w1);
+        m.attach(CoreId::new(0), c2.pid(), w2);
+        m.run_instructions(20_000);
+        let stats = m.stats();
+        assert!(stats.instructions >= 20_000);
+        assert!(stats.walks > 0);
+        assert!(stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn functions_run_to_completion_and_exit() {
+        let mut m = machine(Mode::babelfish());
+        let kernel = m.kernel_mut();
+        let mut runtime = ContainerRuntime::new(kernel);
+        let mut spec = ImageSpec::function("parse");
+        spec.dataset_bytes = 4 << 20; // the shared input
+        let image = runtime.build_image(kernel, &spec);
+        let group = runtime.create_group(kernel);
+        let c = runtime.create_container(kernel, &image, group).unwrap();
+        let w = Box::new(bf_workloads::FunctionWorkload::new(
+            bf_workloads::FunctionKind::Parse,
+            bf_workloads::AccessDensity::Dense,
+            c.layout().clone(),
+            1,
+        ));
+        m.attach(CoreId::new(0), c.pid(), w);
+        m.run_until_done();
+        assert!(!m.kernel().alive(c.pid()), "function container exited");
+    }
+
+    #[test]
+    fn request_latencies_are_recorded() {
+        let mut m = machine(Mode::Baseline);
+        let kernel = m.kernel_mut();
+        let mut runtime = ContainerRuntime::new(kernel);
+        let image = runtime.build_image(kernel, &ImageSpec::data_serving("httpd", 2 << 20));
+        let group = runtime.create_group(kernel);
+        let c = runtime.create_container(kernel, &image, group).unwrap();
+        let w = Box::new(bf_workloads::DataServing::new(
+            bf_workloads::ServingVariant::Httpd,
+            c.layout().clone(),
+            1,
+        ));
+        m.attach(CoreId::new(0), c.pid(), w);
+        m.run_instructions(10_000);
+        assert!(m.stats().latency.count() > 0, "requests completed");
+    }
+
+    #[test]
+    fn reset_measurement_clears_counters_keeps_state() {
+        let mut m = machine(Mode::Baseline);
+        let (pid, va) = process_with_file(&mut m, 4);
+        m.execute_access(0, pid, va, AccessKind::Read);
+        assert!(m.stats().walks > 0);
+        m.reset_measurement();
+        let stats = m.stats();
+        assert_eq!(stats.walks, 0);
+        assert_eq!(stats.tlb.l2.misses(), 0);
+        // Architectural state preserved: the next access still hits.
+        let warm = m.execute_access(0, pid, va, AccessKind::Read);
+        assert!(warm <= 5);
+    }
+
+    #[test]
+    fn prefault_reaches_steady_state() {
+        let mut m = machine(Mode::Baseline);
+        let kernel = m.kernel_mut();
+        let group = kernel.create_group();
+        let pid = kernel.spawn(group).unwrap();
+        let file = kernel.register_file(64 * 4096);
+        let va = kernel
+            .mmap(pid, MmapRequest::file_shared(Segment::Lib, file, 0, 64 * 4096, PageFlags::USER))
+            .unwrap();
+        let heap = kernel
+            .mmap(pid, MmapRequest::anon(Segment::Heap, 32 * 4096, PageFlags::USER | PageFlags::WRITE, false))
+            .unwrap();
+        m.prefault(pid);
+        m.reset_measurement();
+        for page in 0..64u64 {
+            m.execute_access(0, pid, va.offset(page * 4096), AccessKind::Read);
+        }
+        for page in 0..32u64 {
+            m.execute_access(0, pid, heap.offset(page * 4096), AccessKind::Write);
+        }
+        let stats = m.stats();
+        assert_eq!(stats.minor_faults + stats.major_faults + stats.cow_faults, 0,
+            "prefaulted state must not fault");
+    }
+
+    #[test]
+    fn huge_file_mappings_use_2mb_tlb_structures() {
+        let mut m = machine(Mode::babelfish());
+        let kernel = m.kernel_mut();
+        let group = kernel.create_group();
+        let a = kernel.spawn(group).unwrap();
+        let b = kernel.spawn(group).unwrap();
+        let file = kernel.register_file(4 << 20);
+        let req = MmapRequest::file_shared_huge(
+            Segment::FileMap, file, 0, 4 << 20, PageFlags::USER | PageFlags::WRITE);
+        let va = kernel.mmap(a, req).unwrap();
+        kernel.mmap(b, req).unwrap();
+
+        m.execute_access(0, a, va, AccessKind::Read);
+        // A different 4 KB page *within the same huge page*: still no
+        // further walk — the 2 MB L1 TLB structure covers it.
+        let walks_after_first = m.stats().walks;
+        m.execute_access(0, a, va.offset(0x12345), AccessKind::Read);
+        assert_eq!(m.stats().walks, walks_after_first, "no walk within the huge page");
+        // The other container shares the L2 entry (same core).
+        m.execute_access(0, b, va.offset(0x1000), AccessKind::Read);
+        let stats = m.stats();
+        assert_eq!(stats.tlb.l2.data_shared_hits, 1, "B hit A's shared 2MB entry");
+        assert_eq!(stats.major_faults, 1, "one chunk read for the group");
+    }
+
+    #[test]
+    fn aslr_sw_shares_l1_entries_between_processes() {
+        let mode = Mode::BabelFish {
+            share_tlb: true,
+            share_page_tables: true,
+            aslr: bf_os::AslrMode::SoftwareOnly,
+        };
+        let mut m = machine(mode);
+        let kernel = m.kernel_mut();
+        let group = kernel.create_group();
+        let a = kernel.spawn(group).unwrap();
+        let b = kernel.spawn(group).unwrap();
+        let file = kernel.register_file(4 * 4096);
+        let req = MmapRequest::file_shared(Segment::Lib, file, 0, 4 * 4096, PageFlags::USER);
+        let va = kernel.mmap(a, req).unwrap();
+        kernel.mmap(b, req).unwrap();
+        m.execute_access(0, a, va, AccessKind::Read);
+        let shared = m.execute_access(0, b, va, AccessKind::Read);
+        assert!(shared <= 4, "ASLR-SW allows an L1 TLB shared hit, got {shared}");
+        assert_eq!(m.stats().tlb.l1d.data_shared_hits, 1);
+    }
+
+    #[test]
+    fn cow_invalidation_reaches_remote_cores() {
+        let mut m = machine(Mode::babelfish());
+        let kernel = m.kernel_mut();
+        let group = kernel.create_group();
+        let parent = kernel.spawn(group).unwrap();
+        let va = kernel
+            .mmap(parent, MmapRequest::anon(Segment::Heap, 0x2000, PageFlags::USER | PageFlags::WRITE, false))
+            .unwrap();
+        kernel.handle_fault(parent, va, true).unwrap();
+        let (child, _, inv) = kernel.fork(parent).unwrap();
+        m.apply_invalidations(&inv.clone());
+
+        // Parent loads the shared CoW entry on core 1.
+        m.execute_access(1, parent, va, AccessKind::Read);
+        let l2_misses_before = m.stats().tlb.l2.misses();
+        // Child writes on core 0: the shared entry on core 1 must die.
+        m.execute_access(0, child, va, AccessKind::Write);
+        // Parent re-reads on core 1: must re-walk (its entry was shot down).
+        m.execute_access(1, parent, va, AccessKind::Read);
+        assert!(
+            m.stats().tlb.l2.misses() > l2_misses_before,
+            "remote shared entry must have been invalidated"
+        );
+    }
+
+    #[test]
+    fn memory_overlap_hides_data_latency_only() {
+        let mut no_overlap = SimConfig::new(1, Mode::Baseline).with_frames(1 << 20);
+        no_overlap.memory_overlap = 0.0;
+        let mut machine_a = Machine::new(no_overlap);
+        let (pid_a, va_a) = {
+            let kernel = machine_a.kernel_mut();
+            let g = kernel.create_group();
+            let pid = kernel.spawn(g).unwrap();
+            let file = kernel.register_file(4096);
+            let va = kernel
+                .mmap(pid, MmapRequest::file_shared(Segment::Lib, file, 0, 4096, PageFlags::USER))
+                .unwrap();
+            (pid, va)
+        };
+        let cold_a = machine_a.execute_access(0, pid_a, va_a, AccessKind::Read);
+
+        let mut with_overlap = SimConfig::new(1, Mode::Baseline).with_frames(1 << 20);
+        with_overlap.memory_overlap = 0.9;
+        let mut machine_b = Machine::new(with_overlap);
+        let (pid_b, va_b) = {
+            let kernel = machine_b.kernel_mut();
+            let g = kernel.create_group();
+            let pid = kernel.spawn(g).unwrap();
+            let file = kernel.register_file(4096);
+            let va = kernel
+                .mmap(pid, MmapRequest::file_shared(Segment::Lib, file, 0, 4096, PageFlags::USER))
+                .unwrap();
+            (pid, va)
+        };
+        let cold_b = machine_b.execute_access(0, pid_b, va_b, AccessKind::Read);
+        assert!(cold_b < cold_a, "higher MLP hides more data latency");
+        // But the walk/fault portion is untouched: both still paid it.
+        assert!(machine_b.stats().breakdown.walk_cycles > 0);
+        assert_eq!(
+            machine_a.stats().breakdown.walk_cycles,
+            machine_b.stats().breakdown.walk_cycles,
+            "translation latency is never overlapped"
+        );
+    }
+
+    #[test]
+    fn larger_tlb_mode_has_more_capacity_no_sharing() {
+        let mut m = machine(Mode::BaselineLargerTlb);
+        let kernel = m.kernel_mut();
+        let group = kernel.create_group();
+        let a = kernel.spawn(group).unwrap();
+        let b = kernel.spawn(group).unwrap();
+        let file = kernel.register_file(4 * 4096);
+        let req = MmapRequest::file_shared(Segment::Lib, file, 0, 4 * 4096, PageFlags::USER);
+        let va = kernel.mmap(a, req).unwrap();
+        kernel.mmap(b, req).unwrap();
+        m.execute_access(0, a, va, AccessKind::Read);
+        m.execute_access(0, b, va, AccessKind::Read);
+        let stats = m.stats();
+        assert_eq!(stats.tlb.l2.data_shared_hits, 0, "a bigger TLB still cannot share");
+        assert_eq!(stats.minor_faults, 1, "and B still pays its fault");
+    }
+
+    #[test]
+    fn bringup_is_measurable() {
+        let mut m = machine(Mode::babelfish());
+        let kernel = m.kernel_mut();
+        let mut runtime = ContainerRuntime::new(kernel);
+        let image = runtime.build_image(kernel, &ImageSpec::function("hash"));
+        let group = runtime.create_group(kernel);
+        let c1 = runtime.create_container(kernel, &image, group).unwrap();
+        let profile = BringupProfile::default();
+        let t1 = m.measure_bringup(CoreId::new(0), &c1, &profile, 1);
+        let kernel = m.kernel_mut();
+        let c2 = runtime.create_container(kernel, &image, group).unwrap();
+        let t2 = m.measure_bringup(CoreId::new(0), &c2, &profile, 2);
+        assert!(t1 > 0 && t2 > 0);
+        assert!(t2 < t1, "warm bring-up is faster: {t2} vs {t1}");
+    }
+}

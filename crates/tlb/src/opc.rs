@@ -1,0 +1,187 @@
+//! The Ownership–PrivateCopy (O-PC) field of a BabelFish TLB entry
+//! (Fig. 4).
+
+use bf_types::PC_BITMASK_BITS;
+
+/// The O-PC field: a 32-bit PrivateCopy (PC) bitmask, the ORPC bit (logic
+/// OR of the bitmask), and the Ownership (O) bit.
+///
+/// * `owned == true` — the translation is private: a hit additionally
+///   requires a PCID match, and the PC bitmask is irrelevant.
+/// * `owned == false` — the translation is shared by the CCID group;
+///   a process whose bit is set in the PC bitmask has made its own
+///   private copy of the page and must *not* use this entry (Fig. 8).
+///
+/// The ORPC bit lets hardware skip reading/loading the PC bitmask when no
+/// process has a private copy (Fig. 5b) — that is what gives the L2 TLB
+/// its short 10-cycle access time instead of 12 (Table I).
+///
+/// # Examples
+///
+/// ```
+/// use bf_tlb::OpcField;
+///
+/// let mut opc = OpcField::shared();
+/// assert!(!opc.orpc());
+/// opc.set_pc_bit(3);
+/// assert!(opc.orpc(), "ORPC is the OR of the bitmask");
+/// assert!(opc.pc_bit(3));
+/// assert!(!opc.pc_bit(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OpcField {
+    owned: bool,
+    pc_bitmask: u32,
+}
+
+impl OpcField {
+    /// A shared entry with an empty PC bitmask (the common case for
+    /// read-only code/data shared by the whole CCID group).
+    pub fn shared() -> Self {
+        OpcField {
+            owned: false,
+            pc_bitmask: 0,
+        }
+    }
+
+    /// A private (owned) entry; hits require a PCID match.
+    pub fn owned() -> Self {
+        OpcField {
+            owned: true,
+            pc_bitmask: 0,
+        }
+    }
+
+    /// A shared entry carrying an explicit PC bitmask.
+    pub fn shared_with_mask(pc_bitmask: u32) -> Self {
+        OpcField {
+            owned: false,
+            pc_bitmask,
+        }
+    }
+
+    /// The Ownership bit.
+    pub fn is_owned(self) -> bool {
+        self.owned
+    }
+
+    /// The ORPC bit: logic OR of all PC bitmask bits (Fig. 4).
+    pub fn orpc(self) -> bool {
+        self.pc_bitmask != 0
+    }
+
+    /// The raw 32-bit PC bitmask.
+    pub fn pc_bitmask(self) -> u32 {
+        self.pc_bitmask
+    }
+
+    /// Whether bit `index` of the PC bitmask is set, i.e. whether the
+    /// process holding that bit has its own private copy of the page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` ≥ 32.
+    pub fn pc_bit(self, index: usize) -> bool {
+        assert!(index < PC_BITMASK_BITS, "PC bitmask bit {index} out of range");
+        self.pc_bitmask & (1 << index) != 0
+    }
+
+    /// Sets bit `index` of the PC bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` ≥ 32.
+    pub fn set_pc_bit(&mut self, index: usize) {
+        assert!(index < PC_BITMASK_BITS, "PC bitmask bit {index} out of range");
+        self.pc_bitmask |= 1 << index;
+    }
+
+    /// Replaces the whole PC bitmask (used when the TLB loads the bitmask
+    /// from the MaskPage on a miss).
+    pub fn set_pc_bitmask(&mut self, mask: u32) {
+        self.pc_bitmask = mask;
+    }
+
+    /// Number of processes with private copies.
+    pub fn private_copies(self) -> u32 {
+        self.pc_bitmask.count_ones()
+    }
+
+    /// Storage bits this field occupies in a TLB entry: 32 (bitmask)
+    /// + 1 (ORPC) + 1 (O), per Fig. 4.
+    pub const STORAGE_BITS: u32 = PC_BITMASK_BITS as u32 + 2;
+}
+
+impl std::fmt::Display for OpcField {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "O={} ORPC={} PC={:#010x}",
+            self.owned as u8,
+            self.orpc() as u8,
+            self.pc_bitmask
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_starts_empty() {
+        let opc = OpcField::shared();
+        assert!(!opc.is_owned());
+        assert!(!opc.orpc());
+        assert_eq!(opc.private_copies(), 0);
+    }
+
+    #[test]
+    fn owned_requires_no_bitmask() {
+        let opc = OpcField::owned();
+        assert!(opc.is_owned());
+        assert!(!opc.orpc());
+    }
+
+    #[test]
+    fn orpc_tracks_bitmask() {
+        let mut opc = OpcField::shared();
+        for bit in [0usize, 5, 31] {
+            opc.set_pc_bit(bit);
+            assert!(opc.pc_bit(bit));
+        }
+        assert!(opc.orpc());
+        assert_eq!(opc.private_copies(), 3);
+        opc.set_pc_bitmask(0);
+        assert!(!opc.orpc(), "clearing the mask clears ORPC");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_32_is_rejected() {
+        let opc = OpcField::shared();
+        let _ = opc.pc_bit(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_bit_32_is_rejected() {
+        let mut opc = OpcField::shared();
+        opc.set_pc_bit(32);
+    }
+
+    #[test]
+    fn storage_is_34_bits() {
+        // Fig. 4: 32-bit PC bitmask + ORPC + O.
+        assert_eq!(OpcField::STORAGE_BITS, 34);
+    }
+
+    #[test]
+    fn display_shows_state() {
+        let mut opc = OpcField::shared();
+        opc.set_pc_bit(0);
+        let s = opc.to_string();
+        assert!(s.contains("O=0"));
+        assert!(s.contains("ORPC=1"));
+    }
+}

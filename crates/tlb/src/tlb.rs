@@ -1,0 +1,815 @@
+//! A single set-associative TLB structure and its lookup logic
+//! (conventional Fig. 1 and BabelFish Fig. 8).
+
+use crate::opc::OpcField;
+use bf_types::{AccessKind, Ccid, Cycles, PageFlags, PageSize, Pcid, Pid, Ppn, Vpn};
+
+/// How lookups match entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LookupMode {
+    /// Conventional x86 TLB: an access hits on a {VPN, PCID} match
+    /// (Fig. 1). The CCID and O-PC fields are ignored.
+    Conventional,
+    /// BabelFish TLB: an access hits on a {VPN, CCID} match followed by
+    /// the O-PC / PCID checks of Fig. 8.
+    BabelFish,
+}
+
+/// Geometry and timing of one TLB structure.
+///
+/// The constructors give the Table I configurations.
+///
+/// # Examples
+///
+/// ```
+/// use bf_tlb::TlbConfig;
+/// let l2 = TlbConfig::l2_4k();
+/// assert_eq!(l2.entries, 1536);
+/// assert_eq!(l2.ways, 12);
+/// assert_eq!((l2.access_cycles_short, l2.access_cycles_long), (10, 12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity (fully associative when `ways == entries`).
+    pub ways: usize,
+    /// Access time when the PC bitmask is *not* consulted (Fig. 5b lets
+    /// the O/ORPC bits skip it). Conventional TLBs always use this.
+    pub access_cycles_short: Cycles,
+    /// Access time when the PC bitmask must be read (BabelFish L2: 12
+    /// instead of 10, Table I).
+    pub access_cycles_long: Cycles,
+}
+
+impl TlbConfig {
+    /// L1 data TLB, 4 KB pages: 64 entries, 4-way, 1 cycle.
+    pub fn l1d_4k() -> Self {
+        TlbConfig { entries: 64, ways: 4, access_cycles_short: 1, access_cycles_long: 1 }
+    }
+
+    /// L1 instruction TLB, 4 KB pages: 64 entries, 4-way, 1 cycle.
+    pub fn l1i_4k() -> Self {
+        Self::l1d_4k()
+    }
+
+    /// L1 data TLB, 2 MB pages: 32 entries, 4-way, 1 cycle.
+    pub fn l1d_2m() -> Self {
+        TlbConfig { entries: 32, ways: 4, access_cycles_short: 1, access_cycles_long: 1 }
+    }
+
+    /// L1 data TLB, 1 GB pages: 4 entries, fully associative, 1 cycle.
+    pub fn l1d_1g() -> Self {
+        TlbConfig { entries: 4, ways: 4, access_cycles_short: 1, access_cycles_long: 1 }
+    }
+
+    /// L2 unified TLB, 4 KB pages: 1536 entries, 12-way, 10 or 12 cycles.
+    pub fn l2_4k() -> Self {
+        TlbConfig { entries: 1536, ways: 12, access_cycles_short: 10, access_cycles_long: 12 }
+    }
+
+    /// L2 unified TLB, 2 MB pages: 1536 entries, 12-way, 10 or 12 cycles.
+    pub fn l2_2m() -> Self {
+        Self::l2_4k()
+    }
+
+    /// L2 unified TLB, 1 GB pages: 16 entries, 4-way, 10 or 12 cycles.
+    pub fn l2_1g() -> Self {
+        TlbConfig { entries: 16, ways: 4, access_cycles_short: 10, access_cycles_long: 12 }
+    }
+
+    /// The "larger conventional L2 TLB" of Section VII-C: the CCID + O-PC
+    /// storage of BabelFish (12 + 34 bits per entry) re-invested in extra
+    /// conventional entries instead (≈ 1.5× capacity at a similar entry
+    /// footprint).
+    pub fn l2_4k_larger_baseline() -> Self {
+        TlbConfig { entries: 2304, ways: 12, access_cycles_short: 10, access_cycles_long: 10 }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.entries / self.ways
+    }
+}
+
+/// Everything needed to install one translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbFill {
+    /// Virtual page number (relative to `size`).
+    pub vpn: Vpn,
+    /// Physical page number (4 KB units).
+    pub ppn: Ppn,
+    /// Page size of the mapping.
+    pub size: PageSize,
+    /// Permission bits.
+    pub flags: PageFlags,
+    /// PCID of the process installing the entry.
+    pub pcid: Pcid,
+    /// CCID group of that process.
+    pub ccid: Ccid,
+    /// Ownership bit (true ⇒ private entry).
+    pub owned: bool,
+    /// ORPC bit loaded from the pmd_t (Fig. 5). When clear, the hardware
+    /// skips loading `pc_bitmask` and clears the TLB storage (Fig. 5b).
+    pub orpc: bool,
+    /// PC bitmask loaded from the MaskPage (only when `orpc`).
+    pub pc_bitmask: u32,
+    /// Process that performed the fill (for shared-hit statistics,
+    /// Fig. 10b).
+    pub loader: Pid,
+}
+
+/// One TLB access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupRequest {
+    /// Virtual page number (relative to the structure's page size).
+    pub vpn: Vpn,
+    /// PCID of the accessing process.
+    pub pcid: Pcid,
+    /// CCID of the accessing process.
+    pub ccid: Ccid,
+    /// Pid of the accessing process (statistics only).
+    pub pid: Pid,
+    /// The accessing process's bit index in the PC bitmask, if the OS has
+    /// assigned it one for this region (i.e. the process performed a CoW
+    /// there). `None` ⇒ the process has no private copies.
+    pub pc_bit: Option<usize>,
+    /// True for store accesses (drives CoW fault detection, Fig. 8 step 5).
+    pub is_write: bool,
+}
+
+/// A successful translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// The translated physical page.
+    pub ppn: Ppn,
+    /// Page size of the hit entry.
+    pub size: PageSize,
+    /// Permission bits of the entry.
+    pub flags: PageFlags,
+    /// The entry was brought into the TLB by a *different* process
+    /// (Fig. 10b "shared hits").
+    pub shared: bool,
+    /// The PC bitmask had to be consulted (costs the long access time).
+    pub bitmask_consulted: bool,
+}
+
+/// Outcome of [`Tlb::lookup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Translation found and usable.
+    Hit(Hit),
+    /// Translation found but the access is a write to a CoW page: the
+    /// hardware raises a CoW page fault (Fig. 8 step 6) for the OS.
+    CowFault(Hit),
+    /// No usable translation; a page walk follows (Fig. 8 step 11).
+    Miss {
+        /// The PC bitmask was consulted while failing (affects timing).
+        bitmask_consulted: bool,
+    },
+}
+
+impl LookupResult {
+    /// The hit payload, if the access translated successfully.
+    pub fn hit(&self) -> Option<&Hit> {
+        match self {
+            LookupResult::Hit(hit) => Some(hit),
+            _ => None,
+        }
+    }
+
+    /// `true` for both plain hits and CoW-fault hits (the entry was
+    /// present either way).
+    pub fn entry_present(&self) -> bool {
+        !matches!(self, LookupResult::Miss { .. })
+    }
+}
+
+/// Hit/miss counters, split by data/instruction stream for Fig. 10.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Data-stream hits.
+    pub data_hits: u64,
+    /// Data-stream misses.
+    pub data_misses: u64,
+    /// Instruction-stream hits.
+    pub instr_hits: u64,
+    /// Instruction-stream misses.
+    pub instr_misses: u64,
+    /// Hits on entries loaded by a different process (Fig. 10b),
+    /// data stream.
+    pub data_shared_hits: u64,
+    /// Shared hits, instruction stream.
+    pub instr_shared_hits: u64,
+    /// CoW faults raised from this TLB.
+    pub cow_faults: u64,
+    /// Lookups that had to consult the PC bitmask.
+    pub bitmask_checks: u64,
+    /// Entries installed.
+    pub fills: u64,
+    /// Valid entries evicted.
+    pub evictions: u64,
+}
+
+impl TlbStats {
+    /// Total hits (both streams).
+    pub fn hits(&self) -> u64 {
+        self.data_hits + self.instr_hits
+    }
+
+    /// Total misses (both streams).
+    pub fn misses(&self) -> u64 {
+        self.data_misses + self.instr_misses
+    }
+
+    /// Adds another structure's counters into this one.
+    pub fn merge(&mut self, other: &TlbStats) {
+        self.data_hits += other.data_hits;
+        self.data_misses += other.data_misses;
+        self.instr_hits += other.instr_hits;
+        self.instr_misses += other.instr_misses;
+        self.data_shared_hits += other.data_shared_hits;
+        self.instr_shared_hits += other.instr_shared_hits;
+        self.cow_faults += other.cow_faults;
+        self.bitmask_checks += other.bitmask_checks;
+        self.fills += other.fills;
+        self.evictions += other.evictions;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    valid: bool,
+    vpn: Vpn,
+    ppn: Ppn,
+    size: PageSize,
+    flags: PageFlags,
+    pcid: Pcid,
+    ccid: Ccid,
+    opc: OpcField,
+    loader: Pid,
+    last_used: u64,
+}
+
+impl Default for Entry {
+    fn default() -> Self {
+        Entry {
+            valid: false,
+            vpn: Vpn::default(),
+            ppn: Ppn::default(),
+            size: PageSize::Size4K,
+            flags: PageFlags::empty(),
+            pcid: Pcid::default(),
+            ccid: Ccid::default(),
+            opc: OpcField::shared(),
+            loader: Pid::default(),
+            last_used: 0,
+        }
+    }
+}
+
+/// One set-associative TLB structure (a single page size; see
+/// [`crate::TlbGroup`] for the full per-core complement).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct Tlb {
+    config: TlbConfig,
+    mode: LookupMode,
+    sets: Vec<Vec<Entry>>,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Builds a TLB with the given geometry and lookup mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `ways`.
+    pub fn new(config: TlbConfig, mode: LookupMode) -> Self {
+        assert!(
+            config.entries > 0 && config.ways > 0 && config.entries.is_multiple_of(config.ways),
+            "entries must be a positive multiple of ways"
+        );
+        Tlb {
+            sets: vec![vec![Entry::default(); config.ways]; config.sets()],
+            config,
+            mode,
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The geometry this TLB was built with.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// The lookup mode (conventional vs BabelFish).
+    pub fn mode(&self) -> LookupMode {
+        self.mode
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Zeroes the counters (start of a measurement window); resident
+    /// entries are untouched.
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    /// Number of valid entries currently resident.
+    pub fn resident_entries(&self) -> usize {
+        self.sets.iter().flatten().filter(|e| e.valid).count()
+    }
+
+    /// Performs one lookup, updating LRU state and statistics.
+    ///
+    /// `kind` selects which statistic stream the access belongs to.
+    pub fn lookup(&mut self, req: &LookupRequest) -> LookupResult {
+        self.lookup_kind(req, AccessKind::Read)
+    }
+
+    /// [`Tlb::lookup`] with an explicit access kind for the statistics
+    /// split of Fig. 10 (a plain `lookup` counts as a data read).
+    pub fn lookup_kind(&mut self, req: &LookupRequest, kind: AccessKind) -> LookupResult {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_index = (req.vpn.raw() % self.sets.len() as u64) as usize;
+        let mode = self.mode;
+        let mut bitmask_consulted = false;
+        let mut outcome: Option<(usize, Hit)> = None;
+
+        for (way_index, entry) in self.sets[set_index].iter().enumerate() {
+            if !entry.valid || entry.vpn != req.vpn {
+                continue;
+            }
+            match mode {
+                LookupMode::Conventional => {
+                    // Fig. 1: VPN + PCID must match.
+                    if entry.pcid != req.pcid {
+                        continue;
+                    }
+                }
+                LookupMode::BabelFish => {
+                    // Fig. 8 step 1: VPN + CCID must match.
+                    if entry.ccid != req.ccid {
+                        continue;
+                    }
+                    if entry.opc.is_owned() {
+                        // Step 2 → 9: private entry, PCID must match.
+                        if entry.pcid != req.pcid {
+                            continue;
+                        }
+                    } else {
+                        // Step 3: shared entry. The ORPC bit short-circuits
+                        // the PC bitmask read (Fig. 5b).
+                        if entry.opc.orpc() {
+                            bitmask_consulted = true;
+                            if let Some(bit) = req.pc_bit {
+                                if entry.opc.pc_bit(bit) {
+                                    // The process has its own private copy:
+                                    // it must not use the shared entry.
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let hit = Hit {
+                ppn: entry.ppn,
+                size: entry.size,
+                flags: entry.flags,
+                shared: entry.loader != req.pid,
+                bitmask_consulted,
+            };
+            outcome = Some((way_index, hit));
+            break;
+        }
+
+        if bitmask_consulted {
+            self.stats.bitmask_checks += 1;
+        }
+
+        match outcome {
+            Some((way_index, hit)) => {
+                self.sets[set_index][way_index].last_used = clock;
+                // Fig. 8 step 5: a write to a CoW page raises a fault even
+                // though the translation is present.
+                if req.is_write && hit.flags.contains(PageFlags::COW) {
+                    self.stats.cow_faults += 1;
+                    self.count_hit(kind, hit.shared);
+                    LookupResult::CowFault(hit)
+                } else {
+                    self.count_hit(kind, hit.shared);
+                    LookupResult::Hit(hit)
+                }
+            }
+            None => {
+                self.count_miss(kind);
+                LookupResult::Miss { bitmask_consulted }
+            }
+        }
+    }
+
+    /// Installs a translation (LRU replacement within the set). If an
+    /// entry with the same tag identity already exists, it is updated in
+    /// place — the TLB never holds duplicates of one translation.
+    pub fn fill(&mut self, fill: TlbFill) {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_index = (fill.vpn.raw() % self.sets.len() as u64) as usize;
+        let mode = self.mode;
+        let set = &mut self.sets[set_index];
+
+        let same_identity = |e: &Entry| {
+            e.valid
+                && e.vpn == fill.vpn
+                && match mode {
+                    LookupMode::Conventional => e.pcid == fill.pcid,
+                    LookupMode::BabelFish => {
+                        e.ccid == fill.ccid
+                            && e.opc.is_owned() == fill.owned
+                            && (!fill.owned || e.pcid == fill.pcid)
+                    }
+                }
+        };
+
+        let slot = if let Some(i) = set.iter().position(same_identity) {
+            i
+        } else if let Some(i) = set.iter().position(|e| !e.valid) {
+            i
+        } else {
+            let i = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("set has at least one way");
+            self.stats.evictions += 1;
+            i
+        };
+
+        // Fig. 5b: when ORPC is clear the hardware clears the bitmask
+        // storage instead of loading it.
+        let opc = if fill.owned {
+            OpcField::owned()
+        } else if fill.orpc {
+            OpcField::shared_with_mask(fill.pc_bitmask)
+        } else {
+            OpcField::shared()
+        };
+
+        set[slot] = Entry {
+            valid: true,
+            vpn: fill.vpn,
+            ppn: fill.ppn,
+            size: fill.size,
+            flags: fill.flags,
+            pcid: fill.pcid,
+            ccid: fill.ccid,
+            opc,
+            loader: fill.loader,
+            last_used: clock,
+        };
+        self.stats.fills += 1;
+    }
+
+    /// Invalidates the *shared* (O = 0) entry for a VPN in a CCID group —
+    /// the single-entry invalidation of the BabelFish CoW protocol
+    /// ("the OS invalidates from the local and remote TLBs the TLB entry
+    /// for this VPN that has the O bit equal to zero", Section III-A).
+    pub fn invalidate_shared(&mut self, vpn: Vpn, ccid: Ccid) {
+        let set_index = (vpn.raw() % self.sets.len() as u64) as usize;
+        for entry in &mut self.sets[set_index] {
+            if entry.valid && entry.vpn == vpn && entry.ccid == ccid && !entry.opc.is_owned() {
+                entry.valid = false;
+            }
+        }
+    }
+
+    /// Invalidates one process's entry for a VPN (conventional CoW /
+    /// unmap path).
+    pub fn invalidate_page(&mut self, vpn: Vpn, pcid: Pcid) {
+        let set_index = (vpn.raw() % self.sets.len() as u64) as usize;
+        for entry in &mut self.sets[set_index] {
+            if entry.valid && entry.vpn == vpn && entry.pcid == pcid {
+                entry.valid = false;
+            }
+        }
+    }
+
+    /// Invalidates every entry belonging to a process (process exit).
+    /// Shared BabelFish entries survive — they belong to the group, not
+    /// the process.
+    pub fn invalidate_process(&mut self, pcid: Pcid) {
+        for set in &mut self.sets {
+            for entry in set.iter_mut() {
+                if entry.valid && entry.pcid == pcid {
+                    let is_shared_group_entry =
+                        self.mode == LookupMode::BabelFish && !entry.opc.is_owned();
+                    if !is_shared_group_entry {
+                        entry.valid = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invalidates everything.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for entry in set.iter_mut() {
+                entry.valid = false;
+            }
+        }
+    }
+
+    fn count_hit(&mut self, kind: AccessKind, shared: bool) {
+        if kind.is_fetch() {
+            self.stats.instr_hits += 1;
+            if shared {
+                self.stats.instr_shared_hits += 1;
+            }
+        } else {
+            self.stats.data_hits += 1;
+            if shared {
+                self.stats.data_shared_hits += 1;
+            }
+        }
+    }
+
+    fn count_miss(&mut self, kind: AccessKind) {
+        if kind.is_fetch() {
+            self.stats.instr_misses += 1;
+        } else {
+            self.stats.data_misses += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(vpn: u64, pcid: u16, ccid: u16, loader: u32) -> TlbFill {
+        TlbFill {
+            vpn: Vpn::new(vpn),
+            ppn: Ppn::new(vpn + 0x1000),
+            size: PageSize::Size4K,
+            flags: PageFlags::PRESENT | PageFlags::USER,
+            pcid: Pcid::new(pcid),
+            ccid: Ccid::new(ccid),
+            owned: false,
+            orpc: false,
+            pc_bitmask: 0,
+            loader: Pid::new(loader),
+        }
+    }
+
+    fn req(vpn: u64, pcid: u16, ccid: u16, pid: u32) -> LookupRequest {
+        LookupRequest {
+            vpn: Vpn::new(vpn),
+            pcid: Pcid::new(pcid),
+            ccid: Ccid::new(ccid),
+            pid: Pid::new(pid),
+            pc_bit: None,
+            is_write: false,
+        }
+    }
+
+    fn bf_tlb() -> Tlb {
+        Tlb::new(TlbConfig::l2_4k(), LookupMode::BabelFish)
+    }
+
+    fn conv_tlb() -> Tlb {
+        Tlb::new(TlbConfig::l2_4k(), LookupMode::Conventional)
+    }
+
+    #[test]
+    fn conventional_requires_pcid_match() {
+        let mut tlb = conv_tlb();
+        tlb.fill(fill(10, 1, 5, 100));
+        assert!(tlb.lookup(&req(10, 1, 5, 100)).hit().is_some());
+        // Same CCID, different PCID: miss in a conventional TLB.
+        assert!(!tlb.lookup(&req(10, 2, 5, 200)).entry_present());
+    }
+
+    #[test]
+    fn babelfish_shares_across_pcids_in_group() {
+        let mut tlb = bf_tlb();
+        tlb.fill(fill(10, 1, 5, 100));
+        let result = tlb.lookup(&req(10, 2, 5, 200));
+        let hit = result.hit().expect("same-CCID process should hit");
+        assert!(hit.shared);
+        // Different CCID: never shares.
+        assert!(!tlb.lookup(&req(10, 2, 6, 300)).entry_present());
+    }
+
+    #[test]
+    fn owned_entry_requires_pcid() {
+        let mut tlb = bf_tlb();
+        let mut owned = fill(10, 1, 5, 100);
+        owned.owned = true;
+        tlb.fill(owned);
+        assert!(tlb.lookup(&req(10, 1, 5, 100)).hit().is_some());
+        assert!(!tlb.lookup(&req(10, 2, 5, 200)).entry_present());
+    }
+
+    #[test]
+    fn private_copy_bit_blocks_shared_entry() {
+        let mut tlb = bf_tlb();
+        let mut shared = fill(10, 1, 5, 100);
+        shared.orpc = true;
+        shared.pc_bitmask = 0b100; // process with bit 2 has a private copy
+        tlb.fill(shared);
+
+        // Process without a PC bit: hits.
+        assert!(tlb.lookup(&req(10, 2, 5, 200)).hit().is_some());
+        // Process whose bit is set: must miss the shared entry (Fig. 8).
+        let mut r = req(10, 3, 5, 300);
+        r.pc_bit = Some(2);
+        let result = tlb.lookup_kind(&r, AccessKind::Read);
+        assert!(!result.entry_present());
+        match result {
+            LookupResult::Miss { bitmask_consulted } => assert!(bitmask_consulted),
+            _ => unreachable!(),
+        }
+        // Process with a *different* bit: hits.
+        let mut r = req(10, 4, 5, 400);
+        r.pc_bit = Some(3);
+        assert!(tlb.lookup(&r).hit().is_some());
+    }
+
+    #[test]
+    fn owner_hits_its_own_copy_even_with_pc_bit_set() {
+        // A process with a private copy has its own O=1 entry resident
+        // alongside the group's shared entry; it must hit the owned one.
+        let mut tlb = bf_tlb();
+        let mut shared = fill(10, 1, 5, 100);
+        shared.orpc = true;
+        shared.pc_bitmask = 0b1;
+        tlb.fill(shared);
+        let mut owned = fill(10, 7, 5, 700);
+        owned.owned = true;
+        owned.ppn = Ppn::new(0x9999);
+        tlb.fill(owned);
+
+        let mut r = req(10, 7, 5, 700);
+        r.pc_bit = Some(0);
+        let hit = *tlb.lookup(&r).hit().expect("owned entry should hit");
+        assert_eq!(hit.ppn, Ppn::new(0x9999));
+    }
+
+    #[test]
+    fn orpc_clear_skips_bitmask() {
+        let mut tlb = bf_tlb();
+        tlb.fill(fill(10, 1, 5, 100)); // orpc = false
+        let mut r = req(10, 2, 5, 200);
+        r.pc_bit = Some(0);
+        let result = tlb.lookup(&r);
+        let hit = result.hit().unwrap();
+        assert!(!hit.bitmask_consulted, "ORPC=0 must short-circuit (Fig. 5b)");
+        assert_eq!(tlb.stats().bitmask_checks, 0);
+    }
+
+    #[test]
+    fn cow_write_raises_fault() {
+        let mut tlb = bf_tlb();
+        let mut cow = fill(10, 1, 5, 100);
+        cow.flags = PageFlags::PRESENT | PageFlags::USER | PageFlags::COW;
+        tlb.fill(cow);
+        let mut r = req(10, 1, 5, 100);
+        r.is_write = true;
+        match tlb.lookup(&r) {
+            LookupResult::CowFault(_) => {}
+            other => panic!("expected CoW fault, got {other:?}"),
+        }
+        assert_eq!(tlb.stats().cow_faults, 1);
+        // Reads of the same entry do not fault.
+        r.is_write = false;
+        assert!(tlb.lookup(&r).hit().is_some());
+    }
+
+    #[test]
+    fn shared_hit_statistics_follow_loader() {
+        let mut tlb = bf_tlb();
+        tlb.fill(fill(10, 1, 5, 100));
+        tlb.lookup(&req(10, 1, 5, 100)); // own entry: not shared
+        tlb.lookup(&req(10, 2, 5, 200)); // other process: shared
+        let stats = tlb.stats();
+        assert_eq!(stats.data_hits, 2);
+        assert_eq!(stats.data_shared_hits, 1);
+    }
+
+    #[test]
+    fn instruction_stream_counts_separately() {
+        let mut tlb = bf_tlb();
+        tlb.fill(fill(10, 1, 5, 100));
+        tlb.lookup_kind(&req(10, 1, 5, 100), AccessKind::Fetch);
+        tlb.lookup_kind(&req(99, 1, 5, 100), AccessKind::Fetch);
+        let stats = tlb.stats();
+        assert_eq!(stats.instr_hits, 1);
+        assert_eq!(stats.instr_misses, 1);
+        assert_eq!(stats.data_hits, 0);
+    }
+
+    #[test]
+    fn duplicate_fills_update_in_place() {
+        let mut tlb = bf_tlb();
+        tlb.fill(fill(10, 1, 5, 100));
+        let mut updated = fill(10, 2, 5, 200);
+        updated.ppn = Ppn::new(0x4242);
+        tlb.fill(updated);
+        assert_eq!(tlb.resident_entries(), 1, "shared entry deduplicated");
+        let hit = *tlb.lookup(&req(10, 3, 5, 300)).hit().unwrap();
+        assert_eq!(hit.ppn, Ppn::new(0x4242));
+    }
+
+    #[test]
+    fn conventional_keeps_one_entry_per_pcid() {
+        let mut tlb = conv_tlb();
+        tlb.fill(fill(10, 1, 5, 100));
+        tlb.fill(fill(10, 2, 5, 200));
+        assert_eq!(
+            tlb.resident_entries(),
+            2,
+            "replicated translations occupy two conventional entries (Section II-C)"
+        );
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 2-entry, 2-way single-set TLB.
+        let config = TlbConfig { entries: 2, ways: 2, access_cycles_short: 1, access_cycles_long: 1 };
+        let mut tlb = Tlb::new(config, LookupMode::Conventional);
+        tlb.fill(fill(1, 1, 0, 1));
+        tlb.fill(fill(2, 1, 0, 1));
+        tlb.lookup(&req(1, 1, 0, 1)); // make vpn 1 MRU
+        tlb.fill(fill(3, 1, 0, 1)); // evicts vpn 2
+        assert!(tlb.lookup(&req(1, 1, 0, 1)).entry_present());
+        assert!(!tlb.lookup(&req(2, 1, 0, 1)).entry_present());
+        assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_shared_leaves_owned_entries() {
+        let mut tlb = bf_tlb();
+        tlb.fill(fill(10, 1, 5, 100)); // shared
+        let mut owned = fill(10, 2, 5, 200);
+        owned.owned = true;
+        tlb.fill(owned);
+        tlb.invalidate_shared(Vpn::new(10), Ccid::new(5));
+        // Shared entry gone, owned survives (the CoW protocol invalidates
+        // only the O=0 entry, Section III-A).
+        assert!(!tlb.lookup(&req(10, 3, 5, 300)).entry_present());
+        assert!(tlb.lookup(&req(10, 2, 5, 200)).entry_present());
+    }
+
+    #[test]
+    fn invalidate_process_spares_group_entries() {
+        let mut tlb = bf_tlb();
+        tlb.fill(fill(10, 1, 5, 100)); // shared, loaded by pcid 1
+        let mut owned = fill(11, 1, 5, 100);
+        owned.owned = true;
+        tlb.fill(owned);
+        tlb.invalidate_process(Pcid::new(1));
+        // The shared entry still serves the rest of the group.
+        assert!(tlb.lookup(&req(10, 2, 5, 200)).entry_present());
+        assert!(!tlb.lookup(&req(11, 1, 5, 100)).entry_present());
+    }
+
+    #[test]
+    fn flush_clears_all() {
+        let mut tlb = bf_tlb();
+        tlb.fill(fill(10, 1, 5, 100));
+        tlb.flush();
+        assert_eq!(tlb.resident_entries(), 0);
+    }
+
+    #[test]
+    fn larger_baseline_has_more_entries() {
+        let big = TlbConfig::l2_4k_larger_baseline();
+        assert!(big.entries > TlbConfig::l2_4k().entries);
+        assert_eq!(big.access_cycles_long, big.access_cycles_short);
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = TlbStats { data_hits: 1, instr_misses: 2, ..Default::default() };
+        let b = TlbStats { data_hits: 3, cow_faults: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.data_hits, 4);
+        assert_eq!(a.instr_misses, 2);
+        assert_eq!(a.cow_faults, 1);
+        assert_eq!(a.hits(), 4);
+        assert_eq!(a.misses(), 2);
+    }
+}

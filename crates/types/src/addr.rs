@@ -1,0 +1,330 @@
+//! Virtual/physical addresses and page numbers, with the x86-64
+//! decomposition helpers used by the page walker (Fig. 2).
+
+use crate::size::PageSize;
+
+/// A 64-bit virtual address (canonical x86-64; only the low 48 bits take
+/// part in translation).
+///
+/// # Examples
+///
+/// ```
+/// use bf_types::VirtAddr;
+/// let va = VirtAddr::new(0x0000_7f00_1234_5678);
+/// assert_eq!(va.pgd_index(), ((0x7f00_1234_5678u64 >> 39) & 0x1ff) as usize);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Wraps a raw virtual address.
+    pub fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// The raw address value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Bits 47–39: index into the PGD (Fig. 2).
+    pub fn pgd_index(self) -> usize {
+        ((self.0 >> 39) & 0x1ff) as usize
+    }
+
+    /// Bits 38–30: index into the PUD.
+    pub fn pud_index(self) -> usize {
+        ((self.0 >> 30) & 0x1ff) as usize
+    }
+
+    /// Bits 29–21: index into the PMD.
+    pub fn pmd_index(self) -> usize {
+        ((self.0 >> 21) & 0x1ff) as usize
+    }
+
+    /// Bits 20–12: index into the PTE table.
+    pub fn pte_index(self) -> usize {
+        ((self.0 >> 12) & 0x1ff) as usize
+    }
+
+    /// The table index consumed at a given walk level.
+    pub fn level_index(self, level: crate::PageTableLevel) -> usize {
+        match level {
+            crate::PageTableLevel::Pgd => self.pgd_index(),
+            crate::PageTableLevel::Pud => self.pud_index(),
+            crate::PageTableLevel::Pmd => self.pmd_index(),
+            crate::PageTableLevel::Pte => self.pte_index(),
+        }
+    }
+
+    /// The virtual page number for a given page size.
+    pub fn vpn(self, size: PageSize) -> Vpn {
+        Vpn(self.0 >> size.shift())
+    }
+
+    /// Byte offset within a page of the given size.
+    pub fn page_offset(self, size: PageSize) -> u64 {
+        self.0 & (size.bytes() - 1)
+    }
+
+    /// Address advanced by `bytes` (wrapping, as hardware address
+    /// arithmetic does).
+    pub fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0.wrapping_add(bytes))
+    }
+
+    /// Rounds down to the containing page boundary.
+    pub fn align_down(self, size: PageSize) -> VirtAddr {
+        VirtAddr(self.0 & !(size.bytes() - 1))
+    }
+
+    /// Rounds up to the next page boundary (no-op if already aligned).
+    pub fn align_up(self, size: PageSize) -> VirtAddr {
+        let mask = size.bytes() - 1;
+        VirtAddr(self.0.wrapping_add(mask) & !mask)
+    }
+
+    /// `true` if the address is aligned to the given page size.
+    pub fn is_aligned(self, size: PageSize) -> bool {
+        self.page_offset(size) == 0
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr::new(raw)
+    }
+}
+
+impl std::fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A physical address in the modelled 32 GB of main memory.
+///
+/// # Examples
+///
+/// ```
+/// use bf_types::{PhysAddr, PageSize};
+/// let pa = PhysAddr::new(0x1234_5678);
+/// assert_eq!(pa.ppn().raw(), 0x1234_5678 >> 12);
+/// assert_eq!(pa.cache_line(), 0x1234_5678 / 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Wraps a raw physical address.
+    pub fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// The raw address value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The 4 KB physical page (frame) number containing this address.
+    pub fn ppn(self) -> Ppn {
+        Ppn(self.0 >> 12)
+    }
+
+    /// The cache-line index of this address (64 B lines, Table I).
+    pub fn cache_line(self) -> u64 {
+        self.0 / crate::CACHE_LINE_BYTES
+    }
+
+    /// Address advanced by `bytes` (wrapping).
+    pub fn offset(self, bytes: u64) -> PhysAddr {
+        PhysAddr(self.0.wrapping_add(bytes))
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr::new(raw)
+    }
+}
+
+impl std::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A virtual page number. The page size it is relative to is carried by
+/// context (TLB structure or mapping), matching how hardware stores VPN
+/// tags per page-size structure (Table I).
+///
+/// # Examples
+///
+/// ```
+/// use bf_types::{Vpn, PageSize};
+/// let vpn = Vpn::new(0x7f001);
+/// assert_eq!(vpn.base_addr(PageSize::Size4K).raw(), 0x7f001 << 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(u64);
+
+impl Vpn {
+    /// Wraps a raw virtual page number.
+    pub fn new(raw: u64) -> Self {
+        Vpn(raw)
+    }
+
+    /// The raw page number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First byte of the page, given the page size the VPN is relative to.
+    pub fn base_addr(self, size: PageSize) -> VirtAddr {
+        VirtAddr(self.0 << size.shift())
+    }
+
+    /// The next page number.
+    pub fn next(self) -> Vpn {
+        Vpn(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for Vpn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+/// A physical page (frame) number, always in 4 KB units: huge pages occupy
+/// ranges of consecutive `Ppn`s.
+///
+/// # Examples
+///
+/// ```
+/// use bf_types::Ppn;
+/// let ppn = Ppn::new(100);
+/// assert_eq!(ppn.base_addr().raw(), 100 << 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ppn(u64);
+
+impl Ppn {
+    /// Wraps a raw frame number.
+    pub fn new(raw: u64) -> Self {
+        Ppn(raw)
+    }
+
+    /// The raw frame number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First byte of the frame.
+    pub fn base_addr(self) -> PhysAddr {
+        PhysAddr(self.0 << 12)
+    }
+
+    /// Frame advanced by `n` 4 KB frames.
+    pub fn offset(self, n: u64) -> Ppn {
+        Ppn(self.0 + n)
+    }
+}
+
+impl std::fmt::Display for Ppn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ppn:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PageTableLevel;
+
+    #[test]
+    fn decomposition_matches_x86_layout() {
+        // Construct an address with distinct indices at every level.
+        let va = VirtAddr::new((1u64 << 39) | (2 << 30) | (3 << 21) | (4 << 12) | 0x56);
+        assert_eq!(va.pgd_index(), 1);
+        assert_eq!(va.pud_index(), 2);
+        assert_eq!(va.pmd_index(), 3);
+        assert_eq!(va.pte_index(), 4);
+        assert_eq!(va.page_offset(PageSize::Size4K), 0x56);
+    }
+
+    #[test]
+    fn level_index_dispatches() {
+        let va = VirtAddr::new((9u64 << 39) | (8 << 30) | (7 << 21) | (6 << 12));
+        assert_eq!(va.level_index(PageTableLevel::Pgd), 9);
+        assert_eq!(va.level_index(PageTableLevel::Pud), 8);
+        assert_eq!(va.level_index(PageTableLevel::Pmd), 7);
+        assert_eq!(va.level_index(PageTableLevel::Pte), 6);
+    }
+
+    #[test]
+    fn vpn_roundtrip_all_sizes() {
+        let va = VirtAddr::new(0x7fff_1234_5678);
+        for size in PageSize::ALL {
+            let vpn = va.vpn(size);
+            let base = vpn.base_addr(size);
+            assert!(base.raw() <= va.raw());
+            assert!(va.raw() - base.raw() < size.bytes());
+            assert_eq!(base.vpn(size), vpn);
+        }
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let va = VirtAddr::new(0x1001);
+        assert_eq!(va.align_down(PageSize::Size4K).raw(), 0x1000);
+        assert_eq!(va.align_up(PageSize::Size4K).raw(), 0x2000);
+        assert!(va.align_down(PageSize::Size4K).is_aligned(PageSize::Size4K));
+        let aligned = VirtAddr::new(0x2000);
+        assert_eq!(aligned.align_up(PageSize::Size4K), aligned);
+    }
+
+    #[test]
+    fn phys_addr_ppn_and_line() {
+        let pa = PhysAddr::new(0x3_4567);
+        assert_eq!(pa.ppn().raw(), 0x34);
+        assert_eq!(pa.cache_line(), 0x3_4567 / 64);
+        assert_eq!(pa.ppn().base_addr().raw(), 0x3_4000);
+    }
+
+    #[test]
+    fn ppn_offsets_are_4k_frames() {
+        let ppn = Ppn::new(10);
+        assert_eq!(ppn.offset(3).raw(), 13);
+        assert_eq!(ppn.offset(0), ppn);
+    }
+
+    #[test]
+    fn vpn_next_is_sequential() {
+        assert_eq!(Vpn::new(41).next(), Vpn::new(42));
+    }
+
+    #[test]
+    fn conversions_from_u64() {
+        assert_eq!(VirtAddr::from(5u64), VirtAddr::new(5));
+        assert_eq!(PhysAddr::from(5u64), PhysAddr::new(5));
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", VirtAddr::new(0xabc)), "abc");
+        assert_eq!(format!("{:x}", PhysAddr::new(0xdef)), "def");
+    }
+}

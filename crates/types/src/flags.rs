@@ -1,0 +1,271 @@
+//! Page permission and status flags.
+//!
+//! A hand-rolled bitflags type (the workspace keeps external dependencies
+//! to the approved list, which does not include `bitflags`). The bit
+//! positions of `PRESENT`..`NX` follow the x86-64 `pte_t` layout; the
+//! BabelFish `ORPC`/`OWNED` bits use the currently-unused bits 9 and 10 of
+//! `pmd_t`, exactly as in Fig. 5(a). `COW` is a software bit, as in Linux.
+
+/// Permission and status bits of a page-table entry / TLB entry.
+///
+/// # Examples
+///
+/// ```
+/// use bf_types::PageFlags;
+///
+/// let flags = PageFlags::PRESENT | PageFlags::WRITE | PageFlags::USER;
+/// assert!(flags.contains(PageFlags::WRITE));
+/// assert!(!flags.contains(PageFlags::NX));
+/// // Permission equality ignores status bits such as ACCESSED/DIRTY.
+/// assert_eq!(flags.permissions(), (flags | PageFlags::DIRTY).permissions());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PageFlags(u64);
+
+impl PageFlags {
+    /// Page is present in memory (bit 0). A clear bit with a live mapping
+    /// means a minor fault on access (Section II-B).
+    pub const PRESENT: PageFlags = PageFlags(1 << 0);
+    /// Page is writable (bit 1). Clear on CoW pages until copied.
+    pub const WRITE: PageFlags = PageFlags(1 << 1);
+    /// User-accessible (bit 2).
+    pub const USER: PageFlags = PageFlags(1 << 2);
+    /// Accessed by hardware (bit 5).
+    pub const ACCESSED: PageFlags = PageFlags(1 << 5);
+    /// Dirtied by hardware (bit 6).
+    pub const DIRTY: PageFlags = PageFlags(1 << 6);
+    /// Leaf is a huge page (bit 7, PS bit in pmd_t/pud_t).
+    pub const HUGE: PageFlags = PageFlags(1 << 7);
+    /// Global translation (bit 8).
+    pub const GLOBAL: PageFlags = PageFlags(1 << 8);
+    /// BabelFish ORPC bit: logic OR of the PC bitmask, stored in the
+    /// otherwise-unused bit 9 of `pmd_t` (Fig. 5a).
+    pub const ORPC: PageFlags = PageFlags(1 << 9);
+    /// BabelFish Ownership bit: translation is private to one process,
+    /// stored in the otherwise-unused bit 10 of `pmd_t` (Fig. 5a).
+    pub const OWNED: PageFlags = PageFlags(1 << 10);
+    /// Software CoW marker (mapping is copy-on-write; a write faults).
+    pub const COW: PageFlags = PageFlags(1 << 11);
+    /// No-execute (bit 63).
+    pub const NX: PageFlags = PageFlags(1 << 63);
+
+    /// The empty flag set.
+    pub const fn empty() -> PageFlags {
+        PageFlags(0)
+    }
+
+    /// Constructs from raw bits.
+    pub const fn from_bits(bits: u64) -> PageFlags {
+        PageFlags(bits)
+    }
+
+    /// The raw bit pattern.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// `true` if every bit of `other` is set in `self`.
+    pub const fn contains(self, other: PageFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// `true` if any bit of `other` is set in `self`.
+    pub const fn intersects(self, other: PageFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// `self` with the bits of `other` added.
+    #[must_use]
+    pub const fn with(self, other: PageFlags) -> PageFlags {
+        PageFlags(self.0 | other.0)
+    }
+
+    /// `self` with the bits of `other` removed.
+    #[must_use]
+    pub const fn without(self, other: PageFlags) -> PageFlags {
+        PageFlags(self.0 & !other.0)
+    }
+
+    /// Sets or clears the bits of `other` in place.
+    pub fn set(&mut self, other: PageFlags, value: bool) {
+        if value {
+            self.0 |= other.0;
+        } else {
+            self.0 &= !other.0;
+        }
+    }
+
+    /// The *permission-relevant* subset used when deciding whether two
+    /// translations are identical for sharing purposes (Section II-C:
+    /// "the same {VPN, PPN} translations and permission bits"). Hardware
+    /// status bits (ACCESSED, DIRTY) and the BabelFish bookkeeping bits
+    /// are excluded.
+    pub fn permissions(self) -> PageFlags {
+        let perm_mask = Self::PRESENT.0
+            | Self::WRITE.0
+            | Self::USER.0
+            | Self::HUGE.0
+            | Self::GLOBAL.0
+            | Self::COW.0
+            | Self::NX.0;
+        PageFlags(self.0 & perm_mask)
+    }
+
+    /// `true` if a write access is architecturally allowed (writable and
+    /// not pending CoW).
+    pub fn allows_write(self) -> bool {
+        self.contains(PageFlags::WRITE) && !self.contains(PageFlags::COW)
+    }
+}
+
+impl std::ops::BitOr for PageFlags {
+    type Output = PageFlags;
+    fn bitor(self, rhs: PageFlags) -> PageFlags {
+        PageFlags(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for PageFlags {
+    fn bitor_assign(&mut self, rhs: PageFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::BitAnd for PageFlags {
+    type Output = PageFlags;
+    fn bitand(self, rhs: PageFlags) -> PageFlags {
+        PageFlags(self.0 & rhs.0)
+    }
+}
+
+impl std::ops::BitAndAssign for PageFlags {
+    fn bitand_assign(&mut self, rhs: PageFlags) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl std::ops::Sub for PageFlags {
+    type Output = PageFlags;
+    fn sub(self, rhs: PageFlags) -> PageFlags {
+        self.without(rhs)
+    }
+}
+
+impl std::fmt::Display for PageFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: [(PageFlags, &str); 12] = [
+            (PageFlags::PRESENT, "P"),
+            (PageFlags::WRITE, "W"),
+            (PageFlags::USER, "U"),
+            (PageFlags::ACCESSED, "A"),
+            (PageFlags::DIRTY, "D"),
+            (PageFlags::HUGE, "H"),
+            (PageFlags::GLOBAL, "G"),
+            (PageFlags::ORPC, "orpc"),
+            (PageFlags::OWNED, "O"),
+            (PageFlags::COW, "cow"),
+            (PageFlags::NX, "NX"),
+            (PageFlags::empty(), ""),
+        ];
+        let mut first = true;
+        for (flag, name) in names.iter().filter(|(fl, _)| fl.0 != 0) {
+            if self.contains(*flag) {
+                if !first {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("(none)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::LowerHex for PageFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl std::fmt::Binary for PageFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn babelfish_bits_use_pmd_bits_9_and_10() {
+        // Fig. 5(a): ORPC in bit 9, O in bit 10 of pmd_t.
+        assert_eq!(PageFlags::ORPC.bits(), 1 << 9);
+        assert_eq!(PageFlags::OWNED.bits(), 1 << 10);
+    }
+
+    #[test]
+    fn contains_and_intersects() {
+        let flags = PageFlags::PRESENT | PageFlags::WRITE;
+        assert!(flags.contains(PageFlags::PRESENT));
+        assert!(flags.contains(PageFlags::PRESENT | PageFlags::WRITE));
+        assert!(!flags.contains(PageFlags::PRESENT | PageFlags::NX));
+        assert!(flags.intersects(PageFlags::WRITE | PageFlags::NX));
+        assert!(!flags.intersects(PageFlags::NX));
+    }
+
+    #[test]
+    fn with_without_set() {
+        let mut flags = PageFlags::PRESENT;
+        flags = flags.with(PageFlags::COW);
+        assert!(flags.contains(PageFlags::COW));
+        flags = flags.without(PageFlags::COW);
+        assert!(!flags.contains(PageFlags::COW));
+        flags.set(PageFlags::NX, true);
+        assert!(flags.contains(PageFlags::NX));
+        flags.set(PageFlags::NX, false);
+        assert!(!flags.contains(PageFlags::NX));
+    }
+
+    #[test]
+    fn permissions_ignore_status_and_bookkeeping() {
+        let a = PageFlags::PRESENT | PageFlags::WRITE | PageFlags::ACCESSED;
+        let b = PageFlags::PRESENT | PageFlags::WRITE | PageFlags::DIRTY | PageFlags::ORPC;
+        assert_eq!(a.permissions(), b.permissions());
+        let c = PageFlags::PRESENT | PageFlags::NX;
+        assert_ne!(a.permissions(), c.permissions());
+    }
+
+    #[test]
+    fn cow_blocks_writes() {
+        let cow = PageFlags::PRESENT | PageFlags::WRITE | PageFlags::COW;
+        assert!(!cow.allows_write());
+        assert!(cow.without(PageFlags::COW).allows_write());
+        assert!(!PageFlags::PRESENT.allows_write());
+    }
+
+    #[test]
+    fn display_lists_set_bits() {
+        let flags = PageFlags::PRESENT | PageFlags::OWNED;
+        let s = flags.to_string();
+        assert!(s.contains('P'));
+        assert!(s.contains('O'));
+        assert_eq!(PageFlags::empty().to_string(), "(none)");
+    }
+
+    #[test]
+    fn operators_compose() {
+        let mut flags = PageFlags::PRESENT;
+        flags |= PageFlags::WRITE;
+        assert_eq!(flags, PageFlags::PRESENT | PageFlags::WRITE);
+        flags &= PageFlags::WRITE;
+        assert_eq!(flags, PageFlags::WRITE);
+        assert_eq!(
+            (PageFlags::PRESENT | PageFlags::WRITE) - PageFlags::WRITE,
+            PageFlags::PRESENT
+        );
+    }
+}

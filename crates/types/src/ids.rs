@@ -1,0 +1,202 @@
+//! Identifier newtypes: process ids, PCIDs, CCIDs and core ids.
+
+/// An OS-assigned process identifier.
+///
+/// Container workloads follow the one-process-per-container convention
+/// (Section II-A), so a `Pid` usually also identifies a container.
+///
+/// # Examples
+///
+/// ```
+/// use bf_types::Pid;
+/// let pid = Pid::new(42);
+/// assert_eq!(pid.raw(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pid(u32);
+
+impl Pid {
+    /// Wraps a raw pid value.
+    pub fn new(raw: u32) -> Self {
+        Pid(raw)
+    }
+
+    /// The raw pid value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// A Process Context Identifier: the hardware tag conventional TLBs use to
+/// distinguish translations of different processes (12 bits on x86,
+/// Table I).
+///
+/// # Examples
+///
+/// ```
+/// use bf_types::Pcid;
+/// let pcid = Pcid::new(7);
+/// assert_eq!(pcid.raw(), 7);
+/// ```
+///
+/// # Panics
+///
+/// [`Pcid::new`] panics if the value does not fit in 12 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pcid(u16);
+
+impl Pcid {
+    /// Number of tag bits (Table I).
+    pub const BITS: u32 = 12;
+
+    /// Wraps a raw PCID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` does not fit in [`Pcid::BITS`] bits.
+    pub fn new(raw: u16) -> Self {
+        assert!(raw < (1 << Self::BITS), "PCID {raw} exceeds {} bits", Self::BITS);
+        Pcid(raw)
+    }
+
+    /// The raw tag value.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Pcid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pcid{}", self.0)
+    }
+}
+
+/// A Container Context Identifier: the BabelFish tag shared by all the
+/// containers a user creates for the same application (Section III-A;
+/// 12 bits, Table I).
+///
+/// All processes with the same `Ccid` may share TLB entries and page-table
+/// pages; processes in different CCID groups never share translations.
+///
+/// # Examples
+///
+/// ```
+/// use bf_types::Ccid;
+/// let group = Ccid::new(3);
+/// assert_eq!(group.raw(), 3);
+/// ```
+///
+/// # Panics
+///
+/// [`Ccid::new`] panics if the value does not fit in 12 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ccid(u16);
+
+impl Ccid {
+    /// Number of tag bits (Table I).
+    pub const BITS: u32 = 12;
+
+    /// Wraps a raw CCID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` does not fit in [`Ccid::BITS`] bits.
+    pub fn new(raw: u16) -> Self {
+        assert!(raw < (1 << Self::BITS), "CCID {raw} exceeds {} bits", Self::BITS);
+        Ccid(raw)
+    }
+
+    /// The raw tag value.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Ccid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ccid{}", self.0)
+    }
+}
+
+/// Index of a core in the modelled multicore (0..8 for the Table I chip).
+///
+/// # Examples
+///
+/// ```
+/// use bf_types::CoreId;
+/// assert_eq!(CoreId::new(3).index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(usize);
+
+impl CoreId {
+    /// Wraps a core index.
+    pub fn new(index: usize) -> Self {
+        CoreId(index)
+    }
+
+    /// The core index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_roundtrip() {
+        assert_eq!(Pid::new(123).raw(), 123);
+        assert_eq!(Pid::new(123), Pid::new(123));
+        assert_ne!(Pid::new(1), Pid::new(2));
+    }
+
+    #[test]
+    fn pcid_fits_12_bits() {
+        assert_eq!(Pcid::new(4095).raw(), 4095);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn pcid_rejects_13_bits() {
+        let _ = Pcid::new(4096);
+    }
+
+    #[test]
+    fn ccid_fits_12_bits() {
+        assert_eq!(Ccid::new(4095).raw(), 4095);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn ccid_rejects_13_bits() {
+        let _ = Ccid::new(4096);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Pid::new(5).to_string(), "pid5");
+        assert_eq!(Pcid::new(5).to_string(), "pcid5");
+        assert_eq!(Ccid::new(5).to_string(), "ccid5");
+        assert_eq!(CoreId::new(5).to_string(), "core5");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(Pid::new(1) < Pid::new(2));
+        assert!(CoreId::new(0) < CoreId::new(7));
+    }
+}

@@ -1,0 +1,99 @@
+//! Page sizes supported by the modelled x86-64 MMU.
+
+/// One of the three architectural page sizes (Table I models TLB
+/// structures for all three simultaneously).
+///
+/// # Examples
+///
+/// ```
+/// use bf_types::PageSize;
+/// assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+/// assert_eq!(PageSize::Size2M.base_pages(), 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Default)]
+pub enum PageSize {
+    /// 4 KB base page (PTE leaf).
+    #[default]
+    Size4K,
+    /// 2 MB huge page (PMD leaf).
+    Size2M,
+    /// 1 GB huge page (PUD leaf).
+    Size1G,
+}
+
+impl PageSize {
+    /// All sizes, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G];
+
+    /// Size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            PageSize::Size4K => 4 << 10,
+            PageSize::Size2M => 2 << 20,
+            PageSize::Size1G => 1 << 30,
+        }
+    }
+
+    /// log2 of the size in bytes (12, 21 or 30).
+    pub fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// Number of 4 KB base pages this page spans.
+    pub fn base_pages(self) -> u64 {
+        self.bytes() / PageSize::Size4K.bytes()
+    }
+
+    /// `true` for the 2 MB and 1 GB sizes.
+    pub fn is_huge(self) -> bool {
+        !matches!(self, PageSize::Size4K)
+    }
+}
+
+
+impl std::fmt::Display for PageSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PageSize::Size4K => "4KB",
+            PageSize::Size2M => "2MB",
+            PageSize::Size1G => "1GB",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_and_shift_agree() {
+        for size in PageSize::ALL {
+            assert_eq!(size.bytes(), 1u64 << size.shift());
+        }
+    }
+
+    #[test]
+    fn base_page_counts() {
+        assert_eq!(PageSize::Size4K.base_pages(), 1);
+        assert_eq!(PageSize::Size2M.base_pages(), 512);
+        assert_eq!(PageSize::Size1G.base_pages(), 512 * 512);
+    }
+
+    #[test]
+    fn hugeness() {
+        assert!(!PageSize::Size4K.is_huge());
+        assert!(PageSize::Size2M.is_huge());
+        assert!(PageSize::Size1G.is_huge());
+    }
+
+    #[test]
+    fn default_is_base_page() {
+        assert_eq!(PageSize::default(), PageSize::Size4K);
+    }
+}

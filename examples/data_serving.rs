@@ -1,0 +1,34 @@
+//! Data-serving comparison: Baseline vs BabelFish mean and tail latency
+//! for the three paper applications (the Fig. 11 serving experiment).
+//!
+//! ```sh
+//! cargo run --release --example data_serving
+//! ```
+
+use babelfish::experiment::{run_serving, ExperimentConfig};
+use babelfish::{Mode, ServingVariant};
+
+fn main() {
+    let mut cfg = ExperimentConfig::paper_scaled();
+    cfg.cores = 2; // keep the example snappy
+
+    println!(
+        "{:<10} {:>14} {:>14} {:>9} | {:>12} {:>12} {:>9}",
+        "app", "base mean", "bf mean", "gain", "base p95", "bf p95", "gain"
+    );
+    for variant in ServingVariant::ALL {
+        let base = run_serving(Mode::Baseline, variant, &cfg);
+        let bf = run_serving(Mode::babelfish(), variant, &cfg);
+        println!(
+            "{:<10} {:>13.0}c {:>13.0}c {:>8.1}% | {:>11}c {:>11}c {:>8.1}%",
+            variant.name(),
+            base.mean_latency,
+            bf.mean_latency,
+            (1.0 - bf.mean_latency / base.mean_latency) * 100.0,
+            base.p95_latency,
+            bf.p95_latency,
+            (1.0 - bf.p95_latency as f64 / base.p95_latency as f64) * 100.0,
+        );
+    }
+    println!("\npaper (Fig. 11): mean -11%, tail -18% on average");
+}

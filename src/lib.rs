@@ -1,0 +1,19 @@
+//! Facade crate for the BabelFish reproduction workspace.
+//!
+//! This root package exists so that the repository-level `examples/` and
+//! `tests/` directories can exercise the public API of every workspace
+//! crate. Library users should depend on [`babelfish`] (the core crate)
+//! directly; the individual substrate crates are re-exported here for the
+//! integration tests.
+
+pub use babelfish;
+pub use bf_analytic;
+pub use bf_cache;
+pub use bf_containers;
+pub use bf_mem;
+pub use bf_os;
+pub use bf_pgtable;
+pub use bf_sim;
+pub use bf_tlb;
+pub use bf_types;
+pub use bf_workloads;

@@ -1,0 +1,149 @@
+//! End-to-end integration tests over the full stack: the headline claims
+//! of the paper must hold on small (smoke-sized) runs of the real
+//! pipeline.
+
+use babelfish::experiment::{
+    run_census, run_compute, run_functions, run_serving, CensusApp, ComputeKind, ExperimentConfig,
+};
+use babelfish::{AccessDensity, Mode, ServingVariant};
+
+fn cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke_test();
+    cfg.warmup_instructions = 20_000;
+    cfg.measure_instructions = 100_000;
+    cfg
+}
+
+#[test]
+fn serving_improves_latency_and_mpki() {
+    let cfg = cfg();
+    for variant in ServingVariant::ALL {
+        let base = run_serving(Mode::Baseline, variant, &cfg);
+        let bf = run_serving(Mode::babelfish(), variant, &cfg);
+        assert!(base.stats.latency.count() > 10, "{}: requests ran", variant.name());
+        assert!(
+            bf.mean_latency < base.mean_latency,
+            "{}: mean latency must improve ({} vs {})",
+            variant.name(),
+            bf.mean_latency,
+            base.mean_latency
+        );
+        assert!(
+            bf.stats.l2_data_mpki() <= base.stats.l2_data_mpki(),
+            "{}: data MPKI must not regress",
+            variant.name()
+        );
+        // Fig. 10b: BabelFish serves a sizable share of L2 hits from
+        // entries other processes loaded; the baseline cannot, by
+        // construction.
+        assert!(bf.stats.l2_data_shared_hit_fraction() > 0.0, "{}", variant.name());
+        assert_eq!(base.stats.tlb.l2.data_shared_hits, 0);
+    }
+}
+
+#[test]
+fn compute_improves_execution_time() {
+    let cfg = cfg();
+    for kind in ComputeKind::ALL {
+        let base = run_compute(Mode::Baseline, kind, &cfg);
+        let bf = run_compute(Mode::babelfish(), kind, &cfg);
+        assert!(
+            bf.exec_cycles < base.exec_cycles,
+            "{}: execution time must improve ({} vs {})",
+            kind.name(),
+            bf.exec_cycles,
+            base.exec_cycles
+        );
+    }
+}
+
+#[test]
+fn functions_gain_more_when_sparse() {
+    let cfg = cfg();
+    let reduction = |density| {
+        let base = run_functions(Mode::Baseline, density, &cfg);
+        let bf = run_functions(Mode::babelfish(), density, &cfg);
+        // The leading function is cold-start-symmetric (Section VII-C).
+        let (lead_base, lead_bf) = (base.exec_cycles[0].1 as f64, bf.exec_cycles[0].1 as f64);
+        assert!(
+            (lead_bf - lead_base).abs() / lead_base < 0.05,
+            "leading function should behave similarly: {lead_base} vs {lead_bf}"
+        );
+        1.0 - bf.follower_mean_exec() / base.follower_mean_exec()
+    };
+    let dense = reduction(AccessDensity::Dense);
+    let sparse = reduction(AccessDensity::Sparse);
+    assert!(dense > 0.0, "dense functions gain ({dense})");
+    assert!(sparse > dense, "sparse gains dominate ({sparse} vs {dense})");
+}
+
+#[test]
+fn bringup_improves_under_babelfish() {
+    let cfg = cfg();
+    let base = run_functions(Mode::Baseline, AccessDensity::Dense, &cfg);
+    let bf = run_functions(Mode::babelfish(), AccessDensity::Dense, &cfg);
+    assert!(
+        bf.mean_bringup() < base.mean_bringup(),
+        "bring-up must improve: {} vs {}",
+        bf.mean_bringup(),
+        base.mean_bringup()
+    );
+}
+
+#[test]
+fn larger_tlb_is_not_a_match_for_babelfish() {
+    let cfg = cfg();
+    let variant = ServingVariant::ArangoDb;
+    let base = run_serving(Mode::Baseline, variant, &cfg);
+    let larger = run_serving(Mode::BaselineLargerTlb, variant, &cfg);
+    let bf = run_serving(Mode::babelfish(), variant, &cfg);
+    let larger_gain = 1.0 - larger.mean_latency / base.mean_latency;
+    let bf_gain = 1.0 - bf.mean_latency / base.mean_latency;
+    assert!(
+        bf_gain > larger_gain,
+        "BabelFish ({bf_gain}) must beat the larger conventional TLB ({larger_gain})"
+    );
+}
+
+#[test]
+fn ablation_modes_bracket_the_full_design() {
+    // Each mechanism alone helps; the full design is at least as good as
+    // the weaker of the two alone (they attack different overheads).
+    let cfg = cfg();
+    let density = AccessDensity::Sparse;
+    let base = run_functions(Mode::Baseline, density, &cfg).follower_mean_exec();
+    let pt = run_functions(Mode::babelfish_pt_only(), density, &cfg).follower_mean_exec();
+    let full = run_functions(Mode::babelfish(), density, &cfg).follower_mean_exec();
+    assert!(pt < base, "page-table sharing alone helps sparse functions");
+    assert!(full <= pt * 1.05, "the full design keeps the page-table gains");
+}
+
+#[test]
+fn census_matches_construction() {
+    let cfg = cfg();
+    let serving = run_census(CensusApp::Serving(ServingVariant::MongoDb), &cfg);
+    assert!(serving.total.total() > 1000);
+    assert!(serving.shareable_fraction() > 0.3 && serving.shareable_fraction() < 0.9);
+    assert!(serving.active_reduction() > 0.0);
+
+    let functions = run_census(CensusApp::Functions, &cfg);
+    assert!(
+        functions.shareable_fraction() > 0.8,
+        "functions are dominated by shared infrastructure ({})",
+        functions.shareable_fraction()
+    );
+    assert!(
+        functions.shareable_fraction() > serving.shareable_fraction(),
+        "functions share more than serving (Fig. 9)"
+    );
+}
+
+#[test]
+fn determinism_same_seed_same_result() {
+    let cfg = cfg();
+    let a = run_serving(Mode::babelfish(), ServingVariant::Httpd, &cfg);
+    let b = run_serving(Mode::babelfish(), ServingVariant::Httpd, &cfg);
+    assert_eq!(a.exec_cycles, b.exec_cycles, "runs are a pure function of the seed");
+    assert_eq!(a.stats.instructions, b.stats.instructions);
+    assert_eq!(a.stats.tlb.l2.data_misses, b.stats.tlb.l2.data_misses);
+}
