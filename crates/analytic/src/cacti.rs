@@ -70,7 +70,11 @@ impl TlbEntryLayout {
 
     /// Bits per entry.
     pub fn entry_bits(&self) -> u32 {
-        self.vpn_tag_bits + self.ppn_bits + self.flag_bits + self.pcid_bits + self.ccid_bits
+        self.vpn_tag_bits
+            + self.ppn_bits
+            + self.flag_bits
+            + self.pcid_bits
+            + self.ccid_bits
             + self.opc_bits
     }
 
@@ -120,7 +124,10 @@ impl PowerLaw {
     fn through(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
         let exponent = (y1 / y0).ln() / (x1 / x0).ln();
         let coefficient = y0 / x0.powf(exponent);
-        PowerLaw { coefficient, exponent }
+        PowerLaw {
+            coefficient,
+            exponent,
+        }
     }
 
     fn eval(&self, x: f64) -> f64 {

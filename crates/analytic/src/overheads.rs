@@ -80,12 +80,16 @@ pub struct AreaOverhead {
 impl AreaOverhead {
     /// Extra bits of the full design: CCID (12) + O-PC (34).
     pub fn paper_design() -> Self {
-        AreaOverhead { extra_bits_per_entry: 12 + PC_BITMASK_BITS as u32 + 2 }
+        AreaOverhead {
+            extra_bits_per_entry: 12 + PC_BITMASK_BITS as u32 + 2,
+        }
     }
 
     /// Extra bits without the PC bitmask: CCID (12) + O (1).
     pub fn no_bitmask_design() -> Self {
-        AreaOverhead { extra_bits_per_entry: 12 + 1 }
+        AreaOverhead {
+            extra_bits_per_entry: 12 + 1,
+        }
     }
 
     /// Estimated core-area overhead percentage, scaled from the paper's
@@ -106,7 +110,11 @@ mod tests {
         let paper = SpaceOverhead::paper_design();
         // Exact arithmetic gives 0.195 % + 0.049 %; the paper rounds to
         // 0.19 % + 0.048 % = 0.238 %.
-        assert!((paper.maskpage_percent() - 0.19).abs() < 0.01, "{}", paper.maskpage_percent());
+        assert!(
+            (paper.maskpage_percent() - 0.19).abs() < 0.01,
+            "{}",
+            paper.maskpage_percent()
+        );
         assert!((paper.counter_percent() - 0.048).abs() < 0.002);
         assert!((paper.total_percent() - 0.238).abs() < 0.01);
     }

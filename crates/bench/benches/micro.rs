@@ -1,6 +1,12 @@
 //! Criterion micro-benchmarks of the core data structures: the TLB
 //! lookup paths (Fig. 8), MaskPage CoW bookkeeping, the page walk, the
-//! frame allocator and the Zipfian generator.
+//! frame allocator, the Zipfian generator, and the bf-telemetry
+//! primitives themselves.
+//!
+//! The `tlb_lookup` numbers double as the telemetry-overhead check: run
+//! `cargo bench -p bf-bench` and `cargo bench -p bf-bench
+//! --no-default-features` and compare — the instrumented lookup must
+//! stay within noise of the compiled-out one.
 
 use babelfish::mem::FrameAllocator;
 use babelfish::pgtable::MaskPage;
@@ -155,6 +161,42 @@ fn bench_machine_access(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    use bf_telemetry::{Registry, TraceEvent, TraceKind};
+    println!(
+        "telemetry compiled {} (compare against a --no-default-features run)",
+        if bf_telemetry::enabled() { "IN" } else { "OUT" }
+    );
+    let mut group = c.benchmark_group("telemetry");
+    let registry = Registry::new();
+    let counter = registry.counter("bench.counter");
+    let histogram = registry.histogram("bench.histogram");
+    group.bench_function("counter_incr", |b| b.iter(|| black_box(&counter).incr()));
+    let mut v = 0u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(&histogram).record(v >> 40)
+        })
+    });
+    group.bench_function("tracer_record", |b| {
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 1;
+            registry.tracer().record(TraceEvent {
+                cycle,
+                cpu: 0,
+                kind: TraceKind::Custom,
+                ccid: 1,
+                pid: 1,
+                vpn: cycle,
+                detail: "bench",
+            })
+        })
+    });
+    group.finish();
+}
+
 fn bench_allocators(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate");
     group.bench_function("frame_alloc_free", |b| {
@@ -178,6 +220,7 @@ criterion_group!(
     bench_tlb_lookup,
     bench_maskpage,
     bench_machine_access,
+    bench_telemetry,
     bench_allocators
 );
 criterion_main!(benches);

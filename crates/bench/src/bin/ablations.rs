@@ -17,8 +17,15 @@ fn main() {
 
     header("Ablation 1: ASLR-HW (default) vs ASLR-SW");
     let base = run_serving(Mode::Baseline, ServingVariant::MongoDb, &cfg);
-    for (name, aslr) in [("ASLR-HW", AslrMode::Hardware), ("ASLR-SW", AslrMode::SoftwareOnly)] {
-        let mode = Mode::BabelFish { share_tlb: true, share_page_tables: true, aslr };
+    for (name, aslr) in [
+        ("ASLR-HW", AslrMode::Hardware),
+        ("ASLR-SW", AslrMode::SoftwareOnly),
+    ] {
+        let mode = Mode::BabelFish {
+            share_tlb: true,
+            share_page_tables: true,
+            aslr,
+        };
         let result = run_serving(mode, ServingVariant::MongoDb, &cfg);
         println!(
             "{:<8} mean latency reduction {:>5.1}%  (L1D shared hits: {})",
@@ -30,16 +37,16 @@ fn main() {
     println!("(ASLR-SW also shares at the L1, so it should do no worse)");
 
     header("Ablation 2: PC-bitmask capacity (writers before region unshare)");
-    println!("{:<10} {:>12} {:>12} {:>10}", "capacity", "exec(dense)", "overflows", "privatize");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "capacity", "exec(dense)", "overflows", "privatize"
+    );
     for capacity in [0usize, 1, 4, 32] {
         let result =
             run_functions_with_capacity(Mode::babelfish(), AccessDensity::Dense, &cfg, capacity);
         println!(
             "{:<10} {:>12.0} {:>12} {:>10}",
-            capacity,
-            result.0,
-            result.1,
-            result.2
+            capacity, result.0, result.1, result.2
         );
     }
     println!("(smaller budgets revert regions earlier; 0 = immediate unshare, Section VII-D)");
@@ -96,12 +103,20 @@ fn run_functions_with_capacity(
             .create_container(machine.kernel_mut(), &image, group)
             .expect("container creation failed");
         machine.measure_bringup(core, &container, &profile, cfg.seed + i as u64);
-        let mut workload =
-            FunctionWorkload::new(*kind, density, container.layout().clone(), cfg.seed + i as u64);
+        let mut workload = FunctionWorkload::new(
+            *kind,
+            density,
+            container.layout().clone(),
+            cfg.seed + i as u64,
+        );
         let start = machine.core_clock(core);
         loop {
             match workload.next_op() {
-                Op::Access { va, kind, instrs_before } => {
+                Op::Access {
+                    va,
+                    kind,
+                    instrs_before,
+                } => {
                     machine.retire(core, instrs_before as u64 + 1);
                     machine.execute_access(core.index(), container.pid(), va, kind);
                 }

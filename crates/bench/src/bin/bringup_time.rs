@@ -16,7 +16,10 @@ fn main() {
     let base = run_functions(Mode::Baseline, AccessDensity::Dense, &cfg);
     let bf = run_functions(Mode::babelfish(), AccessDensity::Dense, &cfg);
 
-    println!("{:<12} {:>14} {:>14} {:>9}", "container", "baseline", "babelfish", "reduction");
+    println!(
+        "{:<12} {:>14} {:>14} {:>9}",
+        "container", "baseline", "babelfish", "reduction"
+    );
     for ((name, b), (_, f)) in base.bringup_cycles.iter().zip(bf.bringup_cycles.iter()) {
         println!(
             "{:<12} {:>13}c {:>13}c {:>8.1}%",

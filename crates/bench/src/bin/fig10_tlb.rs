@@ -3,6 +3,8 @@
 //! Runs Baseline and BabelFish for every application and prints the
 //! data/instruction L2 TLB MPKI reduction (Fig. 10a) and the fraction of
 //! L2 TLB hits served by entries another process loaded (Fig. 10b).
+//! Also writes the full dataset — legacy stats, telemetry snapshots, and
+//! the derived figures — as a timestamped JSON file under `results/`.
 //! Paper reference points: Data Serving D-MPKI −66 %, I-MPKI −96 %;
 //! GraphChi shared hits 48 % (I) / 12 % (D).
 
@@ -10,39 +12,101 @@ use babelfish::experiment::{
     run_compute, run_functions, run_serving, ComputeKind, ExperimentConfig,
 };
 use babelfish::{AccessDensity, MachineStats, Mode, ServingVariant};
-use bf_bench::{header, reduction_pct};
+use bf_bench::{header, json_object, reduction_pct};
+use bf_telemetry::Snapshot;
+use serde::{Serialize, Value};
 
 struct Row {
     name: &'static str,
     base: MachineStats,
     babelfish: MachineStats,
+    base_telemetry: Snapshot,
+    babelfish_telemetry: Snapshot,
 }
 
 fn collect(cfg: &ExperimentConfig) -> Vec<Row> {
     let mut rows = Vec::new();
     for variant in ServingVariant::ALL {
+        let base = run_serving(Mode::Baseline, variant, cfg);
+        let bf = run_serving(Mode::babelfish(), variant, cfg);
         rows.push(Row {
             name: variant.name(),
-            base: run_serving(Mode::Baseline, variant, cfg).stats,
-            babelfish: run_serving(Mode::babelfish(), variant, cfg).stats,
+            base: base.stats,
+            babelfish: bf.stats,
+            base_telemetry: base.telemetry,
+            babelfish_telemetry: bf.telemetry,
         });
     }
     for kind in ComputeKind::ALL {
+        let base = run_compute(Mode::Baseline, kind, cfg);
+        let bf = run_compute(Mode::babelfish(), kind, cfg);
         rows.push(Row {
             name: kind.name(),
-            base: run_compute(Mode::Baseline, kind, cfg).stats,
-            babelfish: run_compute(Mode::babelfish(), kind, cfg).stats,
+            base: base.stats,
+            babelfish: bf.stats,
+            base_telemetry: base.telemetry,
+            babelfish_telemetry: bf.telemetry,
         });
     }
-    for (name, density) in [("fn-dense", AccessDensity::Dense), ("fn-sparse", AccessDensity::Sparse)]
-    {
+    for (name, density) in [
+        ("fn-dense", AccessDensity::Dense),
+        ("fn-sparse", AccessDensity::Sparse),
+    ] {
+        let base = run_functions(Mode::Baseline, density, cfg);
+        let bf = run_functions(Mode::babelfish(), density, cfg);
         rows.push(Row {
             name,
-            base: run_functions(Mode::Baseline, density, cfg).stats,
-            babelfish: run_functions(Mode::babelfish(), density, cfg).stats,
+            base: base.stats,
+            babelfish: bf.stats,
+            base_telemetry: base.telemetry,
+            babelfish_telemetry: bf.telemetry,
         });
     }
     rows
+}
+
+/// One row of the JSON export: the raw stats and telemetry for both
+/// modes plus the derived Fig. 10a/10b numbers.
+fn row_to_value(row: &Row) -> Value {
+    json_object([
+        ("app", Value::String(row.name.to_owned())),
+        (
+            "baseline",
+            json_object([
+                ("stats", row.base.to_value()),
+                ("telemetry", row.base_telemetry.to_value()),
+            ]),
+        ),
+        (
+            "babelfish",
+            json_object([
+                ("stats", row.babelfish.to_value()),
+                ("telemetry", row.babelfish_telemetry.to_value()),
+            ]),
+        ),
+        (
+            "d_mpki_reduction_pct",
+            Value::F64(reduction_pct(
+                row.base.l2_data_mpki(),
+                row.babelfish.l2_data_mpki(),
+            )),
+        ),
+        (
+            "i_mpki_reduction_pct",
+            Value::F64(reduction_pct(
+                row.base.l2_instr_mpki(),
+                row.babelfish.l2_instr_mpki(),
+            )),
+        ),
+        (
+            "data_shared_hit_fraction",
+            Value::F64(row.babelfish.l2_data_shared_hit_fraction()),
+        ),
+        (
+            "instr_shared_hit_fraction",
+            Value::F64(row.babelfish.l2_instr_shared_hit_fraction()),
+        ),
+    ])
 }
 
 fn main() {
@@ -86,4 +150,16 @@ fn main() {
         assert_eq!(row.base.tlb.l2.instr_shared_hits, 0, "{}", row.name);
     }
     println!("ok");
+
+    let doc = json_object([
+        ("figure", Value::String("fig10_tlb".to_owned())),
+        ("config", cfg.to_value()),
+        (
+            "rows",
+            Value::Array(rows.iter().map(row_to_value).collect()),
+        ),
+    ]);
+    let path = bf_telemetry::results_path("results", "fig10_tlb", "json");
+    bf_telemetry::write_json(&path, &doc).expect("writing results JSON");
+    println!("\nwrote {}", path.display());
 }

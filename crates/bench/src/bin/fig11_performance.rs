@@ -22,13 +22,24 @@ fn main() {
         let bf = run_serving(Mode::babelfish(), variant, &cfg);
         let mean_red = reduction_pct(base.mean_latency, bf.mean_latency);
         let tail_red = reduction_pct(base.p95_latency as f64, bf.p95_latency as f64);
-        println!("{:<10} {:>9.1}% {:>9.1}%", variant.name(), mean_red, tail_red);
+        println!(
+            "{:<10} {:>9.1}% {:>9.1}%",
+            variant.name(),
+            mean_red,
+            tail_red
+        );
         mean_reductions.push(mean_red);
         tail_reductions.push(tail_red);
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!("mean latency reduction:  {}", versus(mean(&mean_reductions), 11.0, "%"));
-    println!("tail latency reduction:  {}", versus(mean(&tail_reductions), 18.0, "%"));
+    println!(
+        "mean latency reduction:  {}",
+        versus(mean(&mean_reductions), 11.0, "%")
+    );
+    println!(
+        "tail latency reduction:  {}",
+        versus(mean(&tail_reductions), 18.0, "%")
+    );
 
     header("Fig. 11: Compute execution-time reduction");
     let mut compute_reductions = Vec::new();
@@ -39,7 +50,10 @@ fn main() {
         println!("{:<10} {:>9.1}%", kind.name(), red);
         compute_reductions.push(red);
     }
-    println!("compute time reduction:  {}", versus(mean(&compute_reductions), 11.0, "%"));
+    println!(
+        "compute time reduction:  {}",
+        versus(mean(&compute_reductions), 11.0, "%")
+    );
 
     header("Fig. 11: Function execution-time reduction (non-leading functions)");
     for (label, density, paper) in [

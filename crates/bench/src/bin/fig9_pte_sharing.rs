@@ -6,10 +6,13 @@
 //! Paper reference points: 53 % of serving+compute `pte_t`s shareable on
 //! average (functions ≈ 94 %), BabelFish cutting active `pte_t`s by
 //! ≈ 30 % (serving/compute) and ≈ 57 % (functions).
+//! Also writes the census dataset as a timestamped JSON file under
+//! `results/`.
 
 use babelfish::experiment::{run_census, CensusApp, ComputeKind};
 use babelfish::ServingVariant;
-use bf_bench::header;
+use bf_bench::{header, json_object};
+use serde::{Serialize, Value};
 
 fn main() {
     let mut cfg = bf_bench::config_from_args();
@@ -37,9 +40,19 @@ fn main() {
     let mut serving_compute_reduction = Vec::new();
     let mut function_share = 0.0;
     let mut function_reduction = 0.0;
+    let mut json_rows = Vec::new();
 
     for app in apps {
         let report = run_census(app, &cfg);
+        json_rows.push(json_object([
+            ("app", Value::String(app.name().to_owned())),
+            ("census", report.to_value()),
+            (
+                "shareable_fraction",
+                Value::F64(report.shareable_fraction()),
+            ),
+            ("active_reduction", Value::F64(report.active_reduction())),
+        ]));
         let total = report.total.total().max(1) as f64;
         let norm = |x: u64| x as f64 / total;
         println!(
@@ -81,4 +94,31 @@ fn main() {
         "functions active reduction:     {}",
         bf_bench::versus(function_reduction, 57.0, "%")
     );
+
+    let doc = json_object([
+        ("figure", Value::String("fig9_pte_sharing".to_owned())),
+        ("config", cfg.to_value()),
+        ("rows", Value::Array(json_rows)),
+        (
+            "summary",
+            json_object([
+                (
+                    "serving_compute_shareable_pct",
+                    Value::F64(mean(&serving_compute_share)),
+                ),
+                (
+                    "serving_compute_active_reduction_pct",
+                    Value::F64(mean(&serving_compute_reduction)),
+                ),
+                ("functions_shareable_pct", Value::F64(function_share)),
+                (
+                    "functions_active_reduction_pct",
+                    Value::F64(function_reduction),
+                ),
+            ]),
+        ),
+    ]);
+    let path = bf_telemetry::results_path("results", "fig9_pte_sharing", "json");
+    bf_telemetry::write_json(&path, &doc).expect("writing results JSON");
+    println!("\nwrote {}", path.display());
 }

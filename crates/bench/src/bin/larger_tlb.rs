@@ -39,7 +39,10 @@ fn main() {
             reduction_pct(base, bf)
         );
     }
-    for (label, density) in [("fn-dense", AccessDensity::Dense), ("fn-sparse", AccessDensity::Sparse)] {
+    for (label, density) in [
+        ("fn-dense", AccessDensity::Dense),
+        ("fn-sparse", AccessDensity::Sparse),
+    ] {
         let base = run_functions(Mode::Baseline, density, &cfg).follower_mean_exec();
         let larger = run_functions(Mode::BaselineLargerTlb, density, &cfg).follower_mean_exec();
         let bf = run_functions(Mode::babelfish(), density, &cfg).follower_mean_exec();
@@ -51,5 +54,7 @@ fn main() {
         );
     }
 
-    println!("\npaper: larger TLB gains 0.3–2.1%; \"this larger L2 TLB is not a match for BabelFish\"");
+    println!(
+        "\npaper: larger TLB gains 0.3–2.1%; \"this larger L2 TLB is not a match for BabelFish\""
+    );
 }

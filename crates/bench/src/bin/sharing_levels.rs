@@ -67,8 +67,12 @@ fn run(mode: Mode, huge: bool) -> Outcome {
     let shared_level = {
         let kernel = machine.kernel();
         let probe = VirtAddr::new(va.raw());
-        let pte = kernel.space(a).table_at(kernel.store(), probe, PageTableLevel::Pte);
-        let pmd = kernel.space(a).table_at(kernel.store(), probe, PageTableLevel::Pmd);
+        let pte = kernel
+            .space(a)
+            .table_at(kernel.store(), probe, PageTableLevel::Pte);
+        let pmd = kernel
+            .space(a)
+            .table_at(kernel.store(), probe, PageTableLevel::Pmd);
         if pte.map(|t| kernel.store().sharers(t) > 1).unwrap_or(false) {
             Some(PageTableLevel::Pte)
         } else if pmd.map(|t| kernel.store().sharers(t) > 1).unwrap_or(false) {

@@ -19,15 +19,27 @@ fn main() {
     let h = config.hierarchy;
     println!(
         "  L1 (D, I) cache      {}KB, {} way, WB, {} cycle AT, {} MSHRs, {}B line",
-        h.l1d.size_bytes / 1024, h.l1d.ways, h.l1d.access_cycles, h.l1d.mshrs, h.l1d.line_bytes
+        h.l1d.size_bytes / 1024,
+        h.l1d.ways,
+        h.l1d.access_cycles,
+        h.l1d.mshrs,
+        h.l1d.line_bytes
     );
     println!(
         "  L2 cache             {}KB, {} way, WB, {} cycle AT, {} MSHRs, {}B line",
-        h.l2.size_bytes / 1024, h.l2.ways, h.l2.access_cycles, h.l2.mshrs, h.l2.line_bytes
+        h.l2.size_bytes / 1024,
+        h.l2.ways,
+        h.l2.access_cycles,
+        h.l2.mshrs,
+        h.l2.line_bytes
     );
     println!(
         "  L3 cache             {}MB, {} way, WB, shared, {} cycle AT, {} MSHRs, {}B line",
-        h.l3.size_bytes / (1024 * 1024), h.l3.ways, h.l3.access_cycles, h.l3.mshrs, h.l3.line_bytes
+        h.l3.size_bytes / (1024 * 1024),
+        h.l3.ways,
+        h.l3.access_cycles,
+        h.l3.mshrs,
+        h.l3.line_bytes
     );
 
     println!("\nPer-core MMU parameters");
@@ -40,11 +52,17 @@ fn main() {
     ];
     for (name, tlb) in rows {
         let at = if tlb.access_cycles_long != tlb.access_cycles_short {
-            format!("{} or {} cycle AT", tlb.access_cycles_short, tlb.access_cycles_long)
+            format!(
+                "{} or {} cycle AT",
+                tlb.access_cycles_short, tlb.access_cycles_long
+            )
         } else {
             format!("{} cycle AT", tlb.access_cycles_short)
         };
-        println!("  {name:<21}{} entries, {} way, {at}", tlb.entries, tlb.ways);
+        println!(
+            "  {name:<21}{} entries, {} way, {at}",
+            tlb.entries, tlb.ways
+        );
     }
     println!(
         "  ASLR transformation  {} cycles on L1 TLB miss",

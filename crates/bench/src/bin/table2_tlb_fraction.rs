@@ -42,7 +42,12 @@ fn main() {
         let base = run_compute(Mode::Baseline, kind, &cfg).exec_cycles as f64;
         let tlb = run_compute(Mode::babelfish_tlb_only(), kind, &cfg).exec_cycles as f64;
         let full = run_compute(Mode::babelfish(), kind, &cfg).exec_cycles as f64;
-        println!("{:<14} {:>9.2} {:>8.2}", kind.name(), fraction(base, tlb, full), paper);
+        println!(
+            "{:<14} {:>9.2} {:>8.2}",
+            kind.name(),
+            fraction(base, tlb, full),
+            paper
+        );
     }
 
     for (label, density, paper) in [
@@ -52,7 +57,12 @@ fn main() {
         let base = run_functions(Mode::Baseline, density, &cfg).follower_mean_exec();
         let tlb = run_functions(Mode::babelfish_tlb_only(), density, &cfg).follower_mean_exec();
         let full = run_functions(Mode::babelfish(), density, &cfg).follower_mean_exec();
-        println!("{:<14} {:>9.2} {:>8.2}", label, fraction(base, tlb, full), paper);
+        println!(
+            "{:<14} {:>9.2} {:>8.2}",
+            label,
+            fraction(base, tlb, full),
+            paper
+        );
     }
 
     println!("\n(1.0 = all gains from TLB entry sharing; 0.0 = all from page tables)");

@@ -8,6 +8,7 @@
 //! configuration instead of the full scaled one.
 
 use babelfish::experiment::ExperimentConfig;
+use serde::Value;
 
 /// Percentage reduction of `new` relative to `base` (positive = better).
 ///
@@ -45,6 +46,25 @@ pub fn versus(measured: f64, paper: f64, unit: &str) -> String {
     format!("{measured:>7.1}{unit} (paper: {paper:>5.1}{unit})")
 }
 
+/// Builds a JSON object from `(key, value)` pairs — sugar for the
+/// results documents the figure binaries write under `results/`.
+///
+/// # Examples
+///
+/// ```
+/// use serde::Value;
+/// let doc = bf_bench::json_object([("answer", Value::U64(42))]);
+/// assert_eq!(doc.get("answer").and_then(Value::as_u64), Some(42));
+/// ```
+pub fn json_object<const N: usize>(entries: [(&str, Value); N]) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,7 +73,10 @@ mod tests {
     fn reduction_math() {
         assert!((reduction_pct(100.0, 89.0) - 11.0).abs() < 1e-9);
         assert_eq!(reduction_pct(0.0, 5.0), 0.0);
-        assert!(reduction_pct(100.0, 120.0) < 0.0, "regressions are negative");
+        assert!(
+            reduction_pct(100.0, 120.0) < 0.0,
+            "regressions are negative"
+        );
     }
 
     #[test]

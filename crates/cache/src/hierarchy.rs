@@ -2,6 +2,7 @@
 
 use crate::set_assoc::{CacheConfig, CacheStats, SetAssocCache};
 use bf_mem::{Dram, DramConfig, DramStats};
+use bf_telemetry::{Counter, Registry};
 use bf_types::{AccessKind, CoreId, Cycles, PhysAddr};
 
 /// Where a memory request enters the hierarchy.
@@ -28,7 +29,7 @@ pub enum AccessOrigin {
 /// assert_eq!(config.cores, 8);
 /// assert_eq!(config.l3.size_bytes, 8 * 1024 * 1024);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct HierarchyConfig {
     /// Number of cores (each gets private L1I/L1D/L2).
     pub cores: usize,
@@ -58,8 +59,48 @@ impl HierarchyConfig {
     }
 }
 
+/// Telemetry handles for the hierarchy: a hit/miss counter pair per
+/// level plus the walker-reuse counters of Fig. 7, all machine-wide
+/// (private levels aggregate over cores). Incremented at the same probe
+/// sites that update the per-cache [`CacheStats`].
+#[derive(Debug, Clone, Default)]
+struct HierarchyTelemetry {
+    l1i_hits: Counter,
+    l1i_misses: Counter,
+    l1d_hits: Counter,
+    l1d_misses: Counter,
+    l2_hits: Counter,
+    l2_misses: Counter,
+    l3_hits: Counter,
+    l3_misses: Counter,
+    dram_accesses: Counter,
+    walks_served_l2: Counter,
+    walks_served_l3: Counter,
+    walks_served_dram: Counter,
+}
+
+impl HierarchyTelemetry {
+    fn from_registry(registry: &Registry) -> Self {
+        let counter = |name: &str| registry.counter(name);
+        HierarchyTelemetry {
+            l1i_hits: counter("cache.l1i.hits"),
+            l1i_misses: counter("cache.l1i.misses"),
+            l1d_hits: counter("cache.l1d.hits"),
+            l1d_misses: counter("cache.l1d.misses"),
+            l2_hits: counter("cache.l2.hits"),
+            l2_misses: counter("cache.l2.misses"),
+            l3_hits: counter("cache.l3.hits"),
+            l3_misses: counter("cache.l3.misses"),
+            dram_accesses: counter("cache.dram.accesses"),
+            walks_served_l2: counter("cache.walks.served_l2"),
+            walks_served_l3: counter("cache.walks.served_l3"),
+            walks_served_dram: counter("cache.walks.served_dram"),
+        }
+    }
+}
+
 /// Per-level aggregate counters (summed over cores for private levels).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct LevelStats {
     /// Aggregate L1 instruction-cache stats.
     pub l1i: CacheStats,
@@ -72,7 +113,7 @@ pub struct LevelStats {
 }
 
 /// Hierarchy-wide counters exposed by [`CacheHierarchy::stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
 pub struct HierarchyStats {
     /// Per-level cache counters.
     pub levels: LevelStats,
@@ -116,6 +157,7 @@ pub struct CacheHierarchy {
     walks_served_l2: u64,
     walks_served_l3: u64,
     walks_served_dram: u64,
+    telem: HierarchyTelemetry,
 }
 
 impl CacheHierarchy {
@@ -127,21 +169,35 @@ impl CacheHierarchy {
     pub fn new(config: HierarchyConfig) -> Self {
         assert!(config.cores > 0, "hierarchy needs at least one core");
         CacheHierarchy {
-            l1i: (0..config.cores).map(|_| SetAssocCache::new(config.l1i)).collect(),
-            l1d: (0..config.cores).map(|_| SetAssocCache::new(config.l1d)).collect(),
-            l2: (0..config.cores).map(|_| SetAssocCache::new(config.l2)).collect(),
+            l1i: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l1i))
+                .collect(),
+            l1d: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l1d))
+                .collect(),
+            l2: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l2))
+                .collect(),
             l3: SetAssocCache::new(config.l3),
             dram: Dram::new(config.dram),
             config,
             walks_served_l2: 0,
             walks_served_l3: 0,
             walks_served_dram: 0,
+            telem: HierarchyTelemetry::default(),
         }
     }
 
     /// The configuration this hierarchy was built with.
     pub fn config(&self) -> &HierarchyConfig {
         &self.config
+    }
+
+    /// Routes the hierarchy's counters into `registry` under the
+    /// `cache.*` namespace (`cache.l1d.hits`, `cache.walks.served_l3`,
+    /// …).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telem = HierarchyTelemetry::from_registry(registry);
     }
 
     /// Serves one access and returns its latency in CPU cycles.
@@ -170,42 +226,67 @@ impl CacheHierarchy {
 
         // L1 (core accesses only).
         if origin == AccessOrigin::Core {
-            let l1 = if kind.is_fetch() { &mut self.l1i[c] } else { &mut self.l1d[c] };
+            let is_fetch = kind.is_fetch();
+            let l1 = if is_fetch {
+                &mut self.l1i[c]
+            } else {
+                &mut self.l1d[c]
+            };
             latency += l1.config().access_cycles;
             if l1.probe_and_touch(line, is_write) {
+                let hits = if is_fetch {
+                    &self.telem.l1i_hits
+                } else {
+                    &self.telem.l1d_hits
+                };
+                hits.incr();
                 return latency;
             }
+            let misses = if is_fetch {
+                &self.telem.l1i_misses
+            } else {
+                &self.telem.l1d_misses
+            };
+            misses.incr();
         }
 
         // L2.
         latency += self.l2[c].config().access_cycles;
         if self.l2[c].probe_and_touch(line, is_write) {
+            self.telem.l2_hits.incr();
             if origin == AccessOrigin::PageWalker {
                 self.walks_served_l2 += 1;
+                self.telem.walks_served_l2.incr();
             } else {
                 self.fill_l1(c, kind, line);
             }
             return latency;
         }
+        self.telem.l2_misses.incr();
 
         // L3 (shared).
         latency += self.l3.config().access_cycles;
         if self.l3.probe_and_touch(line, is_write) {
+            self.telem.l3_hits.incr();
             self.fill_l2(c, line, is_write);
             if origin == AccessOrigin::PageWalker {
                 self.walks_served_l3 += 1;
+                self.telem.walks_served_l3.incr();
             } else {
                 self.fill_l1(c, kind, line);
             }
             return latency;
         }
+        self.telem.l3_misses.incr();
 
         // DRAM.
         latency += self.dram.access(addr, now + latency);
+        self.telem.dram_accesses.incr();
         self.l3.fill(line, is_write);
         self.fill_l2(c, line, is_write);
         if origin == AccessOrigin::PageWalker {
             self.walks_served_dram += 1;
+            self.telem.walks_served_dram.incr();
         } else {
             self.fill_l1(c, kind, line);
         }
@@ -255,7 +336,11 @@ impl CacheHierarchy {
     }
 
     fn fill_l1(&mut self, core: usize, kind: AccessKind, line: u64) {
-        let l1 = if kind.is_fetch() { &mut self.l1i[core] } else { &mut self.l1d[core] };
+        let l1 = if kind.is_fetch() {
+            &mut self.l1i[core]
+        } else {
+            &mut self.l1d[core]
+        };
         l1.fill(line, kind.is_write());
     }
 
@@ -290,7 +375,13 @@ mod tests {
         let addr = PhysAddr::new(0x20_0000);
         mem.access(core, addr, AccessKind::Read, AccessOrigin::PageWalker, 0);
         // The walker fill reaches L2 but not L1.
-        let l2_hit = mem.access(core, addr, AccessKind::Read, AccessOrigin::PageWalker, 1_000);
+        let l2_hit = mem.access(
+            core,
+            addr,
+            AccessKind::Read,
+            AccessOrigin::PageWalker,
+            1_000,
+        );
         assert_eq!(l2_hit, 8, "second walker request should hit the L2");
         assert_eq!(mem.stats().levels.l1d.fills, 0);
     }
@@ -300,10 +391,22 @@ mod tests {
         let mut mem = hierarchy(2);
         let addr = PhysAddr::new(0x30_0000);
         // Core 0's walker misses everywhere and fills L3.
-        let cold = mem.access(CoreId::new(0), addr, AccessKind::Read, AccessOrigin::PageWalker, 0);
+        let cold = mem.access(
+            CoreId::new(0),
+            addr,
+            AccessKind::Read,
+            AccessOrigin::PageWalker,
+            0,
+        );
         // Core 1's walker misses its private L2 but hits the shared L3 —
         // the Fig. 7 cross-container reuse.
-        let warm = mem.access(CoreId::new(1), addr, AccessKind::Read, AccessOrigin::PageWalker, 1_000);
+        let warm = mem.access(
+            CoreId::new(1),
+            addr,
+            AccessKind::Read,
+            AccessOrigin::PageWalker,
+            1_000,
+        );
         assert!(warm < cold);
         assert_eq!(warm, 8 + 32, "L2 miss + L3 hit");
         assert_eq!(mem.stats().walks_served_l3, 1);
@@ -350,7 +453,13 @@ mod tests {
         let core = CoreId::new(0);
         // Dirty many distinct lines mapping over the whole L1 so evictions occur.
         for i in 0..10_000u64 {
-            mem.access(core, PhysAddr::new(i * 64), AccessKind::Write, AccessOrigin::Core, i);
+            mem.access(
+                core,
+                PhysAddr::new(i * 64),
+                AccessKind::Write,
+                AccessOrigin::Core,
+                i,
+            );
         }
         assert!(mem.stats().levels.l1d.writebacks > 0);
     }
@@ -359,6 +468,12 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn core_bounds_are_checked() {
         let mut mem = hierarchy(1);
-        mem.access(CoreId::new(1), PhysAddr::new(0), AccessKind::Read, AccessOrigin::Core, 0);
+        mem.access(
+            CoreId::new(1),
+            PhysAddr::new(0),
+            AccessKind::Read,
+            AccessOrigin::Core,
+            0,
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! The per-core page-walk cache (PWC).
 
+use bf_telemetry::{Counter, Registry};
 use bf_types::{Cycles, PageTableLevel, PhysAddr};
 
 /// Geometry of the page-walk cache (Table I: 16 entries per level, 4-way,
@@ -13,7 +14,7 @@ use bf_types::{Cycles, PageTableLevel, PhysAddr};
 /// assert_eq!(config.entries_per_level, 16);
 /// assert_eq!(config.ways, 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct PwcConfig {
     /// Entries per cached level (PGD, PUD, PMD).
     pub entries_per_level: usize,
@@ -34,7 +35,7 @@ impl Default for PwcConfig {
 }
 
 /// Hit/miss counters exposed by [`PageWalkCache::stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct PwcStats {
     /// Probes that found the entry.
     pub hits: u64,
@@ -80,6 +81,8 @@ pub struct PageWalkCache {
     levels: [Vec<Vec<PwcWay>>; 3],
     clock: u64,
     stats: PwcStats,
+    telem_hits: Counter,
+    telem_misses: Counter,
 }
 
 impl PageWalkCache {
@@ -102,12 +105,22 @@ impl PageWalkCache {
             levels: [make(), make(), make()],
             clock: 0,
             stats: PwcStats::default(),
+            telem_hits: Counter::new(),
+            telem_misses: Counter::new(),
         }
     }
 
     /// The geometry this PWC was built with.
     pub fn config(&self) -> &PwcConfig {
         &self.config
+    }
+
+    /// Routes this PWC's counters into `registry` as `pwc.hits` /
+    /// `pwc.misses`. Per-core PWCs attached to one registry aggregate
+    /// into machine-wide totals.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telem_hits = registry.counter("pwc.hits");
+        self.telem_misses = registry.counter("pwc.misses");
     }
 
     /// Hit/miss counters.
@@ -133,10 +146,12 @@ impl PageWalkCache {
             if way.valid && way.tag == key {
                 way.last_used = clock;
                 self.stats.hits += 1;
+                self.telem_hits.incr();
                 return true;
             }
         }
         self.stats.misses += 1;
+        self.telem_misses.incr();
         false
     }
 

@@ -15,7 +15,7 @@ use bf_types::{Cycles, CACHE_LINE_BYTES};
 /// assert_eq!(l2.ways, 8);
 /// assert_eq!(l2.access_cycles, 8);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -75,7 +75,7 @@ impl CacheConfig {
 }
 
 /// Hit/miss/writeback counters exposed by [`SetAssocCache::stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct CacheStats {
     /// Probes that found the line.
     pub hits: u64,

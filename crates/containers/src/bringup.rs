@@ -65,42 +65,93 @@ impl BringupProfile {
         let mut steps = Vec::new();
 
         let sample = |steps: &mut Vec<BringupStep>,
-                          region: &crate::layout::Region,
-                          fraction: f64,
-                          kind: AccessKind,
-                          rng: &mut StdRng| {
+                      region: &crate::layout::Region,
+                      fraction: f64,
+                      kind: AccessKind,
+                      rng: &mut StdRng| {
             if region.is_empty() || fraction <= 0.0 {
                 return;
             }
             let pages = region.pages();
             for page in 0..pages {
                 if rng.gen_bool(fraction.min(1.0)) {
-                    steps.push(BringupStep { va: region.page(page), kind });
+                    steps.push(BringupStep {
+                        va: region.page(page),
+                        kind,
+                    });
                 }
             }
         };
 
         for infra in &layout.infra {
-            sample(&mut steps, infra, self.infra_fraction, AccessKind::Fetch, &mut rng);
+            sample(
+                &mut steps,
+                infra,
+                self.infra_fraction,
+                AccessKind::Fetch,
+                &mut rng,
+            );
         }
-        sample(&mut steps, &layout.code, self.code_fraction, AccessKind::Fetch, &mut rng);
+        sample(
+            &mut steps,
+            &layout.code,
+            self.code_fraction,
+            AccessKind::Fetch,
+            &mut rng,
+        );
         for lib in &layout.libs {
-            sample(&mut steps, lib, self.lib_fraction, AccessKind::Fetch, &mut rng);
+            sample(
+                &mut steps,
+                lib,
+                self.lib_fraction,
+                AccessKind::Fetch,
+                &mut rng,
+            );
         }
         if !layout.middleware.is_empty() {
-            sample(&mut steps, &layout.middleware, self.lib_fraction, AccessKind::Fetch, &mut rng);
+            sample(
+                &mut steps,
+                &layout.middleware,
+                self.lib_fraction,
+                AccessKind::Fetch,
+                &mut rng,
+            );
         }
         // Reads of private data precede the writes (the gradual
         // read-then-write pattern of Section III-A).
-        sample(&mut steps, &layout.data, self.data_write_fraction * 1.5, AccessKind::Read, &mut rng);
-        sample(&mut steps, &layout.data, self.data_write_fraction, AccessKind::Write, &mut rng);
-        sample(&mut steps, &layout.lib_data, self.data_write_fraction, AccessKind::Write, &mut rng);
+        sample(
+            &mut steps,
+            &layout.data,
+            self.data_write_fraction * 1.5,
+            AccessKind::Read,
+            &mut rng,
+        );
+        sample(
+            &mut steps,
+            &layout.data,
+            self.data_write_fraction,
+            AccessKind::Write,
+            &mut rng,
+        );
+        sample(
+            &mut steps,
+            &layout.lib_data,
+            self.data_write_fraction,
+            AccessKind::Write,
+            &mut rng,
+        );
 
         for page in 0..self.heap_touch_pages.min(layout.heap.pages()) {
-            steps.push(BringupStep { va: layout.heap.page(page), kind: AccessKind::Write });
+            steps.push(BringupStep {
+                va: layout.heap.page(page),
+                kind: AccessKind::Write,
+            });
         }
         for page in 0..self.stack_touch_pages.min(layout.stack.pages()) {
-            steps.push(BringupStep { va: layout.stack.page(page), kind: AccessKind::Write });
+            steps.push(BringupStep {
+                va: layout.stack.page(page),
+                kind: AccessKind::Write,
+            });
         }
         steps
     }
@@ -163,16 +214,27 @@ mod tests {
         let data_reads: Vec<usize> = steps
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.kind == AccessKind::Read && layout.data.start <= s.va && s.va.raw() < layout.data.start.raw() + layout.data.bytes)
+            .filter(|(_, s)| {
+                s.kind == AccessKind::Read
+                    && layout.data.start <= s.va
+                    && s.va.raw() < layout.data.start.raw() + layout.data.bytes
+            })
             .map(|(i, _)| i)
             .collect();
         let data_writes: Vec<usize> = steps
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.kind == AccessKind::Write && layout.data.start <= s.va && s.va.raw() < layout.data.start.raw() + layout.data.bytes)
+            .filter(|(_, s)| {
+                s.kind == AccessKind::Write
+                    && layout.data.start <= s.va
+                    && s.va.raw() < layout.data.start.raw() + layout.data.bytes
+            })
             .map(|(i, _)| i)
             .collect();
-        assert!(!data_writes.is_empty(), "bring-up must write some data pages");
+        assert!(
+            !data_writes.is_empty(),
+            "bring-up must write some data pages"
+        );
         assert!(
             data_reads.first().unwrap() < data_writes.first().unwrap(),
             "reads precede writes (Section III-A)"
@@ -181,14 +243,24 @@ mod tests {
 
     #[test]
     fn heap_touches_are_bounded() {
-        let profile = BringupProfile { heap_touch_pages: 1_000_000, ..Default::default() };
+        let profile = BringupProfile {
+            heap_touch_pages: 1_000_000,
+            ..Default::default()
+        };
         let layout = layout();
         let steps = profile.steps(&layout, 1);
         let heap_writes = steps
             .iter()
-            .filter(|s| layout.heap.start <= s.va && s.va.raw() < layout.heap.start.raw() + layout.heap.bytes)
+            .filter(|s| {
+                layout.heap.start <= s.va
+                    && s.va.raw() < layout.heap.start.raw() + layout.heap.bytes
+            })
             .count();
-        assert_eq!(heap_writes as u64, layout.heap.pages(), "clamped to the heap size");
+        assert_eq!(
+            heap_writes as u64,
+            layout.heap.pages(),
+            "clamped to the heap size"
+        );
     }
 
     #[test]

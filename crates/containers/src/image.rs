@@ -172,7 +172,11 @@ impl ContainerImage {
             if bytes > 0 {
                 let len = pages(bytes);
                 let file = kernel.register_file(len);
-                files.push(ImageFile { file, bytes: len, kind });
+                files.push(ImageFile {
+                    file,
+                    bytes: len,
+                    kind,
+                });
             }
         };
         add(kernel, spec.binary_code_bytes, ImageFileKind::BinaryCode);
@@ -183,7 +187,10 @@ impl ContainerImage {
         add(kernel, spec.lib_data_bytes, ImageFileKind::LibraryData);
         add(kernel, spec.middleware_bytes, ImageFileKind::Middleware);
         match dataset {
-            Some(file) => files.push(ImageFile { kind: ImageFileKind::Dataset, ..file }),
+            Some(file) => files.push(ImageFile {
+                kind: ImageFileKind::Dataset,
+                ..file
+            }),
             None => add(kernel, spec.dataset_bytes, ImageFileKind::Dataset),
         }
         ContainerImage {
@@ -226,7 +233,10 @@ mod tests {
         assert_eq!(serving.dataset_bytes, 500 << 20);
 
         let function = ImageSpec::function("parse");
-        assert!(function.private_lib_bytes.is_empty(), "functions use catalog libs");
+        assert!(
+            function.private_lib_bytes.is_empty(),
+            "functions use catalog libs"
+        );
         assert!(!function.thp_heap);
         assert!(function.binary_code_bytes < serving.binary_code_bytes);
     }

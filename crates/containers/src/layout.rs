@@ -29,7 +29,10 @@ impl Region {
 
     /// An empty region at address zero (for absent components).
     pub fn empty() -> Self {
-        Region { start: VirtAddr::new(0), bytes: 0 }
+        Region {
+            start: VirtAddr::new(0),
+            bytes: 0,
+        }
     }
 
     /// Whether the region maps anything.

@@ -222,7 +222,11 @@ impl ContainerRuntime {
                 MmapRequest::file_shared(Segment::Lib, f.file, 0, f.bytes, rx),
             )?);
         }
-        for f in image.files().iter().filter(|f| f.kind == ImageFileKind::Library) {
+        for f in image
+            .files()
+            .iter()
+            .filter(|f| f.kind == ImageFileKind::Library)
+        {
             libs.push(mmap(
                 kernel,
                 MmapRequest::file_shared(Segment::Lib, f.file, 0, f.bytes, rx),
@@ -230,20 +234,32 @@ impl ContainerRuntime {
         }
 
         let middleware = match image.file_of(ImageFileKind::Middleware) {
-            Some(f) => mmap(kernel, MmapRequest::file_shared(Segment::Lib, f.file, 0, f.bytes, rx))?,
+            Some(f) => mmap(
+                kernel,
+                MmapRequest::file_shared(Segment::Lib, f.file, 0, f.bytes, rx),
+            )?,
             None => Region::empty(),
         };
 
         let code = match image.file_of(ImageFileKind::BinaryCode) {
-            Some(f) => mmap(kernel, MmapRequest::file_shared(Segment::Code, f.file, 0, f.bytes, ro))?,
+            Some(f) => mmap(
+                kernel,
+                MmapRequest::file_shared(Segment::Code, f.file, 0, f.bytes, ro),
+            )?,
             None => Region::empty(),
         };
         let data = match image.file_of(ImageFileKind::BinaryData) {
-            Some(f) => mmap(kernel, MmapRequest::file_private(Segment::Data, f.file, 0, f.bytes, rw))?,
+            Some(f) => mmap(
+                kernel,
+                MmapRequest::file_private(Segment::Data, f.file, 0, f.bytes, rw),
+            )?,
             None => Region::empty(),
         };
         let lib_data = match image.file_of(ImageFileKind::LibraryData) {
-            Some(f) => mmap(kernel, MmapRequest::file_private(Segment::Data, f.file, 0, f.bytes, rw))?,
+            Some(f) => mmap(
+                kernel,
+                MmapRequest::file_private(Segment::Data, f.file, 0, f.bytes, rw),
+            )?,
             None => Region::empty(),
         };
 
@@ -251,12 +267,21 @@ impl ContainerRuntime {
         // access data "through the mounting of directories and the
         // memory mapping of files", Section I).
         let dataset = match image.file_of(ImageFileKind::Dataset) {
-            Some(f) => mmap(kernel, MmapRequest::file_shared(Segment::FileMap, f.file, 0, f.bytes, rw))?,
+            Some(f) => mmap(
+                kernel,
+                MmapRequest::file_shared(Segment::FileMap, f.file, 0, f.bytes, rw),
+            )?,
             None => Region::empty(),
         };
 
-        let heap = mmap(kernel, MmapRequest::anon(Segment::Heap, spec.heap_bytes, rw, spec.thp_heap))?;
-        let stack = mmap(kernel, MmapRequest::anon(Segment::Stack, spec.stack_bytes, rw, false))?;
+        let heap = mmap(
+            kernel,
+            MmapRequest::anon(Segment::Heap, spec.heap_bytes, rw, spec.thp_heap),
+        )?;
+        let stack = mmap(
+            kernel,
+            MmapRequest::anon(Segment::Stack, spec.stack_bytes, rw, false),
+        )?;
 
         Ok((
             ContainerLayout {
@@ -273,7 +298,6 @@ impl ContainerRuntime {
             cost,
         ))
     }
-
 }
 
 #[cfg(test)]
@@ -282,7 +306,11 @@ mod tests {
     use bf_os::KernelConfig;
 
     fn setup(share: bool) -> (Kernel, ContainerRuntime) {
-        let config = if share { KernelConfig::babelfish() } else { KernelConfig::baseline() };
+        let config = if share {
+            KernelConfig::babelfish()
+        } else {
+            KernelConfig::baseline()
+        };
         let mut kernel = Kernel::new(config);
         let runtime = ContainerRuntime::new(&mut kernel);
         (kernel, runtime)
@@ -293,7 +321,9 @@ mod tests {
         let (mut kernel, mut runtime) = setup(false);
         let image = runtime.build_image(&mut kernel, &ImageSpec::data_serving("httpd", 8 << 20));
         let group = runtime.create_group(&mut kernel);
-        let c = runtime.create_container(&mut kernel, &image, group).unwrap();
+        let c = runtime
+            .create_container(&mut kernel, &image, group)
+            .unwrap();
         let layout = c.layout();
         assert!(!layout.code.is_empty());
         assert!(!layout.dataset.is_empty());
@@ -308,8 +338,12 @@ mod tests {
         let (mut kernel, mut runtime) = setup(true);
         let image = runtime.build_image(&mut kernel, &ImageSpec::data_serving("mongo", 8 << 20));
         let group = runtime.create_group(&mut kernel);
-        let a = runtime.create_container(&mut kernel, &image, group).unwrap();
-        let b = runtime.create_container(&mut kernel, &image, group).unwrap();
+        let a = runtime
+            .create_container(&mut kernel, &image, group)
+            .unwrap();
+        let b = runtime
+            .create_container(&mut kernel, &image, group)
+            .unwrap();
         assert_ne!(a.pid(), b.pid());
         assert_eq!(a.layout(), b.layout(), "same canonical addresses");
         // The forked container has real VMAs at those addresses.
@@ -350,7 +384,9 @@ mod tests {
         );
         // In the same group they land at the same canonical address too.
         let group = runtime.create_group(&mut kernel);
-        let a = runtime.create_container(&mut kernel, &parse, group).unwrap();
+        let a = runtime
+            .create_container(&mut kernel, &parse, group)
+            .unwrap();
         let b = runtime.create_container(&mut kernel, &hash, group).unwrap();
         assert_eq!(a.layout().libs[0], b.layout().libs[0]);
         // But their binaries are different files.
@@ -369,14 +405,20 @@ mod tests {
             let (mut kernel, mut runtime) = setup(share);
             let image = runtime.build_image(&mut kernel, &ImageSpec::data_serving("db", 4 << 20));
             let group = runtime.create_group(&mut kernel);
-            let first = runtime.create_container(&mut kernel, &image, group).unwrap();
+            let first = runtime
+                .create_container(&mut kernel, &image, group)
+                .unwrap();
             // Warm the first container's libraries.
             for lib in &first.layout().libs.clone() {
                 for page in 0..lib.pages() {
-                    kernel.handle_fault(first.pid(), lib.page(page), false).unwrap();
+                    kernel
+                        .handle_fault(first.pid(), lib.page(page), false)
+                        .unwrap();
                 }
             }
-            let second = runtime.create_container(&mut kernel, &image, group).unwrap();
+            let second = runtime
+                .create_container(&mut kernel, &image, group)
+                .unwrap();
             assert_eq!(second.creation_cost(), first.creation_cost());
             // The second container has no translations yet...
             let lib = second.layout().libs[0];

@@ -9,6 +9,7 @@
 use bf_containers::{BringupProfile, ContainerRuntime, ImageSpec};
 use bf_os::pagemap::{self, CensusReport};
 use bf_sim::{Machine, MachineStats, Mode, SimConfig};
+use bf_telemetry::Snapshot;
 use bf_types::{Ccid, CoreId, Cycles, Pid};
 use bf_workloads::{
     AccessDensity, DataServing, FioCompute, FunctionKind, FunctionWorkload, GraphCompute, Op,
@@ -66,7 +67,7 @@ impl CensusApp {
 /// footprints comfortably past the L2 TLB reach (1536 × 4 KB = 6 MB), so
 /// the pressure effects survive the scaling. `paper_scaled()` is the
 /// bench default; `smoke_test()` keeps unit tests fast.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize)]
 pub struct ExperimentConfig {
     /// Core count.
     pub cores: usize,
@@ -124,7 +125,7 @@ impl ExperimentConfig {
 }
 
 /// Result of a data-serving run (Fig. 11 latency metrics).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct ServingResult {
     /// Mean request latency in cycles.
     pub mean_latency: f64,
@@ -134,20 +135,25 @@ pub struct ServingResult {
     pub exec_cycles: Cycles,
     /// Full machine statistics of the window.
     pub stats: MachineStats,
+    /// Registry snapshot of the measurement window (empty with
+    /// telemetry compiled out).
+    pub telemetry: Snapshot,
 }
 
 /// Result of a compute run (Fig. 11 execution-time metric).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct ComputeResult {
     /// Cycles to retire the measured instruction budget (average across
     /// cores) — the execution-time proxy.
     pub exec_cycles: Cycles,
     /// Full machine statistics of the window.
     pub stats: MachineStats,
+    /// Registry snapshot of the measurement window.
+    pub telemetry: Snapshot,
 }
 
 /// Result of a FaaS run (Section VII-C function metrics).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct FunctionsResult {
     /// (function name, bring-up cycles), in start order.
     pub bringup_cycles: Vec<(String, Cycles)>,
@@ -157,6 +163,8 @@ pub struct FunctionsResult {
     pub exec_cycles: Vec<(String, Cycles)>,
     /// Full machine statistics over the whole run.
     pub stats: MachineStats,
+    /// Registry snapshot over the whole run.
+    pub telemetry: Snapshot,
 }
 
 impl FunctionsResult {
@@ -230,17 +238,14 @@ pub fn run_serving(mode: Mode, variant: ServingVariant, cfg: &ExperimentConfig) 
         p95_latency: stats.latency.percentile(95.0),
         exec_cycles,
         stats,
+        telemetry: machine.telemetry_snapshot(),
     }
 }
 
 /// Like [`run_serving`] but hands back the whole machine, so callers can
 /// inspect kernel structures (used by the Section VII-D measured-overhead
 /// accounting).
-pub fn run_serving_machine(
-    mode: Mode,
-    variant: ServingVariant,
-    cfg: &ExperimentConfig,
-) -> Machine {
+pub fn run_serving_machine(mode: Mode, variant: ServingVariant, cfg: &ExperimentConfig) -> Machine {
     serving_machine(mode, variant, cfg).0
 }
 
@@ -267,8 +272,9 @@ fn serving_machine(
 
     machine.run_instructions(cfg.warmup_instructions);
     machine.reset_measurement();
-    let clock_start: Vec<Cycles> =
-        (0..cfg.cores).map(|c| machine.core_clock(CoreId::new(c))).collect();
+    let clock_start: Vec<Cycles> = (0..cfg.cores)
+        .map(|c| machine.core_clock(CoreId::new(c)))
+        .collect();
     machine.run_instructions(cfg.measure_instructions);
     let exec_cycles = mean_clock_delta(&machine, &clock_start);
     (machine, exec_cycles)
@@ -297,12 +303,17 @@ pub fn run_compute(mode: Mode, kind: ComputeKind, cfg: &ExperimentConfig) -> Com
 
     machine.run_instructions(cfg.warmup_instructions);
     machine.reset_measurement();
-    let clock_start: Vec<Cycles> =
-        (0..cfg.cores).map(|c| machine.core_clock(CoreId::new(c))).collect();
+    let clock_start: Vec<Cycles> = (0..cfg.cores)
+        .map(|c| machine.core_clock(CoreId::new(c)))
+        .collect();
     machine.run_instructions(cfg.measure_instructions);
     let exec_cycles = mean_clock_delta(&machine, &clock_start);
 
-    ComputeResult { exec_cycles, stats: machine.stats() }
+    ComputeResult {
+        exec_cycles,
+        stats: machine.stats(),
+        telemetry: machine.telemetry_snapshot(),
+    }
 }
 
 /// Runs the FaaS experiment: the three functions started in sequence on
@@ -352,6 +363,7 @@ pub fn run_functions(
         bringup_cycles: bringups,
         exec_cycles: execs,
         stats: machine.stats(),
+        telemetry: machine.telemetry_snapshot(),
     }
 }
 
@@ -433,10 +445,7 @@ pub fn run_census(app: CensusApp, cfg: &ExperimentConfig) -> CensusReport {
 }
 
 /// Registers the single input file the three functions all mount.
-fn shared_input(
-    machine: &mut Machine,
-    cfg: &ExperimentConfig,
-) -> bf_containers::ImageFile {
+fn shared_input(machine: &mut Machine, cfg: &ExperimentConfig) -> bf_containers::ImageFile {
     bf_containers::ImageFile {
         file: machine.kernel_mut().register_file(cfg.function_input_bytes),
         bytes: cfg.function_input_bytes,
@@ -455,7 +464,11 @@ fn drive_to_done(
     let start = machine.core_clock(core);
     loop {
         match workload.next_op() {
-            Op::Access { va, kind, instrs_before } => {
+            Op::Access {
+                va,
+                kind,
+                instrs_before,
+            } => {
                 machine.retire(core, instrs_before as u64 + 1);
                 machine.execute_access(core.index(), pid, va, kind);
             }
@@ -558,7 +571,11 @@ mod tests {
         let cfg = tiny();
         let report = run_census(CensusApp::Serving(ServingVariant::Httpd), &cfg);
         assert!(report.total.total() > 0);
-        assert!(report.shareable_fraction() > 0.2, "{}", report.shareable_fraction());
+        assert!(
+            report.shareable_fraction() > 0.2,
+            "{}",
+            report.shareable_fraction()
+        );
         assert!(report.active_reduction() > 0.0);
 
         let functions = run_census(CensusApp::Functions, &cfg);

@@ -16,7 +16,7 @@ use bf_types::{Cycles, PhysAddr};
 /// assert_eq!(config.channels, 2);
 /// assert!(config.row_miss_cycles > config.row_hit_cycles);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct DramConfig {
     /// Independent channels.
     pub channels: usize,
@@ -57,7 +57,7 @@ impl DramConfig {
 }
 
 /// Aggregate counters exposed by [`Dram::stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct DramStats {
     /// Total accesses served.
     pub accesses: u64,
@@ -188,7 +188,10 @@ mod tests {
         let miss = dram.access(PhysAddr::new(0x4_0000), 0);
         // 128 bytes later: same channel (even line), same row.
         let hit = dram.access(PhysAddr::new(0x4_0080), 100_000);
-        assert!(hit < miss, "open-row access should be faster ({hit} vs {miss})");
+        assert!(
+            hit < miss,
+            "open-row access should be faster ({hit} vs {miss})"
+        );
         assert_eq!(dram.stats().row_hits, 1);
         assert_eq!(dram.stats().row_misses, 1);
     }
@@ -215,7 +218,10 @@ mod tests {
         let b = PhysAddr::new(config.row_bytes * banks_per_chan);
         let _ = dram.access(a, 0);
         let lat_b = dram.access(b, 100_000);
-        assert_eq!(lat_b, config.row_miss_cycles, "row conflict must pay full miss");
+        assert_eq!(
+            lat_b, config.row_miss_cycles,
+            "row conflict must pay full miss"
+        );
     }
 
     #[test]

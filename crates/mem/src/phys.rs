@@ -54,9 +54,7 @@ impl PhysMemory {
     pub fn read_u64(&self, addr: PhysAddr) -> u64 {
         assert_eq!(addr.raw() % 8, 0, "misaligned 64-bit read at {addr}");
         let index = (addr.raw() % 4096 / 8) as usize;
-        self.pages
-            .get(&addr.ppn())
-            .map_or(0, |page| page[index])
+        self.pages.get(&addr.ppn()).map_or(0, |page| page[index])
     }
 
     /// Writes the 64-bit word at a physical address, materialising the

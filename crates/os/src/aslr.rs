@@ -60,7 +60,7 @@ impl std::fmt::Display for Segment {
 }
 
 /// Which ASLR configuration the kernel runs (Section IV-D).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
 pub enum AslrMode {
     /// ASLR-SW: one private seed per CCID group; every process in the
     /// group gets the same layout, so TLB and page-table entries match at

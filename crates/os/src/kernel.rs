@@ -6,6 +6,7 @@ use crate::file::{FileId, PageCache};
 use crate::process::Process;
 use crate::vma::{Backing, MmapRequest, Vma};
 use bf_pgtable::{AddressSpace, EntryValue, MaskPage, TableStore};
+use bf_telemetry::{Counter, Histogram, Registry};
 use bf_types::{
     Ccid, Cycles, PageFlags, PageSize, PageTableLevel, Pcid, Pid, Ppn, VirtAddr, TABLE_ENTRIES,
 };
@@ -28,7 +29,7 @@ use std::collections::{HashMap, HashSet};
 /// let babelfish = KernelConfig::babelfish();
 /// assert!(babelfish.share_page_tables);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct KernelConfig {
     /// Enable BabelFish page-table sharing (Section III-B).
     pub share_page_tables: bool,
@@ -162,7 +163,7 @@ impl std::error::Error for FaultError {}
 
 /// What kind of fault was serviced (Section II-B taxonomy plus the
 /// BabelFish-specific outcomes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
 pub enum FaultKind {
     /// Page was resident; only the entry was installed.
     Minor,
@@ -226,7 +227,7 @@ pub struct FaultResolution {
 }
 
 /// Kernel activity counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct KernelStats {
     /// Minor faults serviced.
     pub minor_faults: u64,
@@ -267,7 +268,10 @@ struct RegionKey {
 
 impl RegionKey {
     fn of(ccid: Ccid, va: VirtAddr) -> Self {
-        RegionKey { ccid, region: va.raw() >> 21 }
+        RegionKey {
+            ccid,
+            region: va.raw() >> 21,
+        }
     }
 
     fn base(&self) -> VirtAddr {
@@ -282,20 +286,40 @@ impl RegionKey {
 /// private some of pages mapped by the table").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BackingKey {
-    File { file: FileId, first_page: u64, private: bool, huge: bool, perms: u64 },
-    Anon { origin: u64, perms: u64 },
+    File {
+        file: FileId,
+        first_page: u64,
+        private: bool,
+        huge: bool,
+        perms: u64,
+    },
+    Anon {
+        origin: u64,
+        perms: u64,
+    },
 }
 
 fn backing_key(vma: &Vma, region_base: VirtAddr) -> BackingKey {
-    let probe = if region_base < vma.start() { vma.start() } else { region_base };
+    let probe = if region_base < vma.start() {
+        vma.start()
+    } else {
+        region_base
+    };
     match vma.backing() {
         Backing::File { private, huge, .. } => {
             let (file, first_page) = vma.file_page(probe);
-            BackingKey::File { file, first_page, private, huge, perms: vma.perms().bits() }
+            BackingKey::File {
+                file,
+                first_page,
+                private,
+                huge,
+                perms: vma.perms().bits(),
+            }
         }
-        Backing::Anon { origin, .. } => {
-            BackingKey::Anon { origin, perms: vma.perms().bits() }
-        }
+        Backing::Anon { origin, .. } => BackingKey::Anon {
+            origin,
+            perms: vma.perms().bits(),
+        },
     }
 }
 
@@ -304,6 +328,45 @@ struct SharedRegion {
     pte_table: Ppn,
     members: Vec<Pid>,
     backing: BackingKey,
+}
+
+/// Fault-path latency recorders (`os.fault.*_cycles` histograms of
+/// kernel cycles charged per serviced fault, plus `os.fork.cycles`).
+#[derive(Debug, Clone, Default)]
+struct KernelTelemetry {
+    minor_cycles: Histogram,
+    major_cycles: Histogram,
+    cow_cycles: Histogram,
+    shared_resolved_cycles: Histogram,
+    spurious_cycles: Histogram,
+    fork_cycles: Histogram,
+    /// Shared with every MaskPage (same cell as the table store's
+    /// `pgtable.maskpage_cow_marks`).
+    cow_marks: Counter,
+}
+
+impl KernelTelemetry {
+    fn attach(registry: &Registry) -> Self {
+        KernelTelemetry {
+            minor_cycles: registry.histogram("os.fault.minor_cycles"),
+            major_cycles: registry.histogram("os.fault.major_cycles"),
+            cow_cycles: registry.histogram("os.fault.cow_cycles"),
+            shared_resolved_cycles: registry.histogram("os.fault.shared_resolved_cycles"),
+            spurious_cycles: registry.histogram("os.fault.spurious_cycles"),
+            fork_cycles: registry.histogram("os.fork.cycles"),
+            cow_marks: registry.counter("pgtable.maskpage_cow_marks"),
+        }
+    }
+
+    fn fault_cycles(&self, kind: FaultKind) -> &Histogram {
+        match kind {
+            FaultKind::Minor => &self.minor_cycles,
+            FaultKind::Major => &self.major_cycles,
+            FaultKind::Cow => &self.cow_cycles,
+            FaultKind::SharedResolved => &self.shared_resolved_cycles,
+            FaultKind::Spurious => &self.spurious_cycles,
+        }
+    }
 }
 
 /// The modelled kernel. See the [crate-level documentation](crate) for an
@@ -330,6 +393,7 @@ pub struct Kernel {
     free_pcids: Vec<Pcid>,
     next_pcid: u16,
     stats: KernelStats,
+    telem: KernelTelemetry,
 }
 
 impl Kernel {
@@ -353,6 +417,18 @@ impl Kernel {
             next_pcid: 1,
             config,
             stats: KernelStats::default(),
+            telem: KernelTelemetry::default(),
+        }
+    }
+
+    /// Routes the kernel's `os.*` histograms, the table store's
+    /// `pgtable.*` handles, and every MaskPage's CoW-mark counter into
+    /// `registry`.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telem = KernelTelemetry::attach(registry);
+        self.store.attach_telemetry(registry);
+        for maskpage in self.maskpages.values_mut() {
+            maskpage.set_telemetry(self.telem.cow_marks.clone());
         }
     }
 
@@ -416,7 +492,8 @@ impl Kernel {
         self.next_pid += 1;
         let pcid = self.alloc_pcid()?;
         let space = AddressSpace::new(&mut self.store, pid, pcid, group);
-        self.processes.insert(pid, Process::new(pid, pcid, group, space));
+        self.processes
+            .insert(pid, Process::new(pid, pcid, group, space));
         self.stats.spawns += 1;
         Ok(pid)
     }
@@ -469,7 +546,9 @@ impl Kernel {
     /// Frame of the MaskPage covering `va` for `group` (for the timing of
     /// the parallel MaskPage fetch on TLB misses, Appendix).
     pub fn maskpage_frame(&self, group: Ccid, va: VirtAddr) -> Option<Ppn> {
-        self.maskpages.get(&(group, va.raw() >> 30)).map(|mp| mp.frame())
+        self.maskpages
+            .get(&(group, va.raw() >> 30))
+            .map(|mp| mp.frame())
     }
 
     /// Number of MaskPages currently allocated (Section VII-D space
@@ -515,11 +594,20 @@ impl Kernel {
         let backing = match request.backing {
             Backing::Anon { thp, .. } => {
                 self.next_anon_origin += 1;
-                Backing::Anon { origin: anon_origin, thp }
+                Backing::Anon {
+                    origin: anon_origin,
+                    thp,
+                }
             }
             file => file,
         };
-        proc.add_vma(Vma::new(start, request.length, backing, request.perms, request.segment));
+        proc.add_vma(Vma::new(
+            start,
+            request.length,
+            backing,
+            request.perms,
+            request.segment,
+        ));
         Ok(start)
     }
 
@@ -544,7 +632,11 @@ impl Kernel {
 
         let mut region = vma.start().align_down(PageSize::Size2M);
         while region < vma.end() {
-            let probe = if region < vma.start() { vma.start() } else { region };
+            let probe = if region < vma.start() {
+                vma.start()
+            } else {
+                region
+            };
             let key = RegionKey::of(ccid, probe);
 
             // Drop the membership (if any) and detach the table pointer.
@@ -562,12 +654,14 @@ impl Kernel {
             let own = proc.space.table_at(&self.store, probe, PageTableLevel::Pte);
             match own {
                 Some(table) if is_member && Some(table) == shared_table => {
-                    proc.space.detach_table(&mut self.store, probe, PageTableLevel::Pte);
+                    proc.space
+                        .detach_table(&mut self.store, probe, PageTableLevel::Pte);
                 }
                 Some(_) => {
                     // Private table (or privatised copy): detach frees it
                     // when this was the last reference.
-                    proc.space.detach_table(&mut self.store, probe, PageTableLevel::Pte);
+                    proc.space
+                        .detach_table(&mut self.store, probe, PageTableLevel::Pte);
                 }
                 None => {
                     // Possibly a huge leaf (THP / huge file): clear it.
@@ -599,7 +693,9 @@ impl Kernel {
     /// Sets the ACCESSED flag on the leaf translating `va` (called by the
     /// simulator on L2 TLB fills; drives the "Active" bars of Fig. 9).
     pub fn mark_accessed(&mut self, pid: Pid, va: VirtAddr) {
-        let Some(proc) = self.processes.get_mut(&pid) else { return };
+        let Some(proc) = self.processes.get_mut(&pid) else {
+            return;
+        };
         let walk = proc.space.walk(&self.store, va);
         if let Some((mut leaf, size)) = walk.leaf() {
             if !leaf.flags.contains(PageFlags::ACCESSED) {
@@ -659,6 +755,9 @@ impl Kernel {
             self.populate(pid, va, &vma, is_write)?
         };
         self.stats.fault_cycles += resolution.cost;
+        self.telem
+            .fault_cycles(resolution.kind)
+            .record(resolution.cost);
         Ok(resolution)
     }
 
@@ -719,7 +818,8 @@ impl Kernel {
                     // the joiner's pmd_t needs the ORPC bit (Fig. 5a).
                     if self.pc_bitmask(ccid, va) != 0 {
                         let proc = self.processes.get_mut(&pid).unwrap();
-                        proc.space.set_pmd_opc(&mut self.store, va, None, Some(true));
+                        proc.space
+                            .set_pmd_opc(&mut self.store, va, None, Some(true));
                     }
                     cost += self.config.attach_table_cycles;
                     // The entry may already be there: fault avoided.
@@ -735,8 +835,8 @@ impl Kernel {
                 // table must stay clean for future joiners
                 // (Section III-B: sharers cannot keep private pages in a
                 // shared table).
-                let private_page =
-                    matches!(vma.backing(), Backing::Anon { .. }) || (is_write && vma.write_is_cow());
+                let private_page = matches!(vma.backing(), Backing::Anon { .. })
+                    || (is_write && vma.write_is_cow());
                 if private_page {
                     let (privatize_cost, mut inv) = self.privatize_region(pid, va)?;
                     cost += privatize_cost;
@@ -762,7 +862,11 @@ impl Kernel {
                     self.store.share_table(table); // the registry's reference
                     self.shared_regions.insert(
                         key,
-                        SharedRegion { pte_table: table, members: vec![pid], backing: my_backing },
+                        SharedRegion {
+                            pte_table: table,
+                            members: vec![pid],
+                            backing: my_backing,
+                        },
                     );
                 }
             }
@@ -815,7 +919,12 @@ impl Kernel {
                 if vma.perms().contains(PageFlags::WRITE) {
                     flags |= PageFlags::WRITE;
                 }
-                (frame, flags, FaultKind::Minor, self.config.minor_fault_cycles)
+                (
+                    frame,
+                    flags,
+                    FaultKind::Minor,
+                    self.config.minor_fault_cycles,
+                )
             }
         };
         if owned {
@@ -920,11 +1029,19 @@ impl Kernel {
                         }
                     }
                     let (kind, install_cost) = self.install_huge_file_leaf(pid, va, vma)?;
-                    return Ok(FaultResolution { kind, cost: cost + install_cost, invalidations: Vec::new() });
+                    return Ok(FaultResolution {
+                        kind,
+                        cost: cost + install_cost,
+                        invalidations: Vec::new(),
+                    });
                 }
                 // Different backing at the same GB: private install.
                 let (kind, install_cost) = self.install_huge_file_leaf(pid, va, vma)?;
-                return Ok(FaultResolution { kind, cost: cost + install_cost, invalidations: Vec::new() });
+                return Ok(FaultResolution {
+                    kind,
+                    cost: cost + install_cost,
+                    invalidations: Vec::new(),
+                });
             }
             // First toucher: install, then publish the PMD table.
             let (kind, install_cost) = self.install_huge_file_leaf(pid, va, vma)?;
@@ -936,13 +1053,25 @@ impl Kernel {
             self.store.share_table(table); // registry reference
             self.shared_pmd_regions.insert(
                 (ccid, gb),
-                SharedRegion { pte_table: table, members: vec![pid], backing: my_backing },
+                SharedRegion {
+                    pte_table: table,
+                    members: vec![pid],
+                    backing: my_backing,
+                },
             );
-            return Ok(FaultResolution { kind, cost: cost + install_cost, invalidations: Vec::new() });
+            return Ok(FaultResolution {
+                kind,
+                cost: cost + install_cost,
+                invalidations: Vec::new(),
+            });
         }
 
         let (kind, install_cost) = self.install_huge_file_leaf(pid, va, vma)?;
-        Ok(FaultResolution { kind, cost: cost + install_cost, invalidations: Vec::new() })
+        Ok(FaultResolution {
+            kind,
+            cost: cost + install_cost,
+            invalidations: Vec::new(),
+        })
     }
 
     /// Locates the huge chunk in the page cache and writes the PMD leaf.
@@ -1067,10 +1196,18 @@ impl Kernel {
             flags |= PageFlags::OWNED;
         }
         let proc = self.processes.get_mut(&pid).unwrap();
-        proc.space
-            .write_leaf(&mut self.store, va, PageSize::Size4K, EntryValue::new(copy, flags));
+        proc.space.write_leaf(
+            &mut self.store,
+            va,
+            PageSize::Size4K,
+            EntryValue::new(copy, flags),
+        );
 
-        Ok(FaultResolution { kind: FaultKind::Cow, cost, invalidations })
+        Ok(FaultResolution {
+            kind: FaultKind::Cow,
+            cost,
+            invalidations,
+        })
     }
 
     /// The BabelFish privatisation: assign a PC-bitmask bit, clone the
@@ -1089,17 +1226,21 @@ impl Kernel {
         // MaskPage bookkeeping; overflow triggers the Appendix fallback.
         // A capacity of 0 models the no-PC-bitmask design of
         // Section VII-D: sharing stops on the first CoW.
-        let capacity = self.config.pc_bitmask_capacity.min(bf_types::PC_BITMASK_BITS);
+        let capacity = self
+            .config
+            .pc_bitmask_capacity
+            .min(bf_types::PC_BITMASK_BITS);
         if !self.overflowed.contains(&gb) {
             let maskpage = match self.maskpages.get_mut(&gb) {
                 Some(mp) => mp,
                 None => {
                     let frame = self.store.frames.alloc().ok_or(FaultError::OutOfMemory)?;
-                    self.maskpages.entry(gb).or_insert_with(|| MaskPage::new(frame))
+                    let mut maskpage = MaskPage::new(frame);
+                    maskpage.set_telemetry(self.telem.cow_marks.clone());
+                    self.maskpages.entry(gb).or_insert(maskpage)
                 }
             };
-            let over_capacity =
-                maskpage.bit_of(pid).is_none() && maskpage.writers() >= capacity;
+            let over_capacity = maskpage.bit_of(pid).is_none() && maskpage.writers() >= capacity;
             if over_capacity {
                 self.stats.maskpage_overflows += 1;
                 self.overflowed.insert(gb);
@@ -1131,12 +1272,16 @@ impl Kernel {
         // Set ORPC on the remaining sharers' pmd_t entries (Fig. 5a).
         for member in &remaining {
             if let Some(proc) = self.processes.get_mut(member) {
-                proc.space.set_pmd_opc(&mut self.store, va, None, Some(true));
+                proc.space
+                    .set_pmd_opc(&mut self.store, va, None, Some(true));
             }
         }
 
         // Clone the page of 512 pte_t translations, O bit set on each.
-        let private = self.store.clone_table(shared_table).ok_or(FaultError::OutOfMemory)?;
+        let private = self
+            .store
+            .clone_table(shared_table)
+            .ok_or(FaultError::OutOfMemory)?;
         for i in 0..TABLE_ENTRIES {
             let mut entry = self.store.read(private, i);
             if entry.is_present() {
@@ -1145,8 +1290,10 @@ impl Kernel {
             }
         }
         let proc = self.processes.get_mut(&pid).unwrap();
-        proc.space.replace_table(&mut self.store, va, PageTableLevel::Pte, private);
-        proc.space.set_pmd_opc(&mut self.store, va, Some(true), None);
+        proc.space
+            .replace_table(&mut self.store, va, PageTableLevel::Pte, private);
+        proc.space
+            .set_pmd_opc(&mut self.store, va, Some(true), None);
 
         self.stats.privatizations += 1;
         // Only the single shared entry for this VPN is invalidated; the
@@ -1171,7 +1318,10 @@ impl Kernel {
         let registry_release = shared_table;
         let mut cost: Cycles = 0;
         for member in region.members {
-            let private = self.store.clone_table(shared_table).ok_or(FaultError::OutOfMemory)?;
+            let private = self
+                .store
+                .clone_table(shared_table)
+                .ok_or(FaultError::OutOfMemory)?;
             for i in 0..TABLE_ENTRIES {
                 let mut entry = self.store.read(private, i);
                 if entry.is_present() {
@@ -1182,7 +1332,8 @@ impl Kernel {
             if let Some(proc) = self.processes.get_mut(&member) {
                 proc.space
                     .replace_table(&mut self.store, va, PageTableLevel::Pte, private);
-                proc.space.set_pmd_opc(&mut self.store, va, Some(true), None);
+                proc.space
+                    .set_pmd_opc(&mut self.store, va, Some(true), None);
                 // The region is no longer table-shareable for this VMA.
                 if let Some(vma) = proc.vma_for_mut(va) {
                     vma.set_shareable(false);
@@ -1196,7 +1347,11 @@ impl Kernel {
         let ccid = key.ccid;
         Ok((
             cost,
-            vec![Invalidation::SharedRange { start: key.base(), pages: 512, ccid }],
+            vec![Invalidation::SharedRange {
+                start: key.base(),
+                pages: 512,
+                ccid,
+            }],
         ))
     }
 
@@ -1206,7 +1361,11 @@ impl Kernel {
         cost: Cycles,
         invalidations: Vec<Invalidation>,
     ) -> FaultResolution {
-        FaultResolution { kind, cost, invalidations }
+        FaultResolution {
+            kind,
+            cost,
+            invalidations,
+        }
     }
 
     /// A table may be published for the group only if it holds no
@@ -1285,17 +1444,39 @@ impl Kernel {
             let thp_vma = vma.backing().is_thp();
             let mut region = vma.start().align_down(PageSize::Size2M);
             while region < vma.end() {
-                let probe = if region < vma.start() { vma.start() } else { region };
+                let probe = if region < vma.start() {
+                    vma.start()
+                } else {
+                    region
+                };
                 if thp_vma {
-                    cost += self.fork_copy_thp_region(parent_pid, child_pid, probe, vma, &mut any_cow_transform)?;
+                    cost += self.fork_copy_thp_region(
+                        parent_pid,
+                        child_pid,
+                        probe,
+                        vma,
+                        &mut any_cow_transform,
+                    )?;
                 } else {
                     let share = self.config.share_page_tables
                         && vma.shareable()
                         && !self.overflowed.contains(&(ccid, probe.raw() >> 30));
                     if share {
-                        cost += self.fork_share_region(parent_pid, child_pid, probe, vma, &mut any_cow_transform)?;
+                        cost += self.fork_share_region(
+                            parent_pid,
+                            child_pid,
+                            probe,
+                            vma,
+                            &mut any_cow_transform,
+                        )?;
                     } else {
-                        cost += self.fork_copy_region(parent_pid, child_pid, probe, vma, &mut any_cow_transform)?;
+                        cost += self.fork_copy_region(
+                            parent_pid,
+                            child_pid,
+                            probe,
+                            vma,
+                            &mut any_cow_transform,
+                        )?;
                     }
                 }
                 region = region.offset(PageSize::Size2M.bytes());
@@ -1304,6 +1485,7 @@ impl Kernel {
 
         self.stats.forks += 1;
         self.stats.fork_cycles += cost;
+        self.telem.fork_cycles.record(cost);
         let invalidations = if any_cow_transform {
             vec![Invalidation::Process { pcid: parent_pcid }]
         } else {
@@ -1323,10 +1505,10 @@ impl Kernel {
         any_cow_transform: &mut bool,
     ) -> Result<Cycles, KernelError> {
         let ccid = self.process(parent_pid).ccid();
-        let parent_table = self
-            .process(parent_pid)
-            .space
-            .table_at(&self.store, probe, PageTableLevel::Pte);
+        let parent_table =
+            self.process(parent_pid)
+                .space
+                .table_at(&self.store, probe, PageTableLevel::Pte);
         let Some(parent_table) = parent_table else {
             return Ok(0); // nothing populated here yet
         };
@@ -1401,10 +1583,10 @@ impl Kernel {
         vma: &Vma,
         any_cow_transform: &mut bool,
     ) -> Result<Cycles, KernelError> {
-        let parent_table = self
-            .process(parent_pid)
-            .space
-            .table_at(&self.store, probe, PageTableLevel::Pte);
+        let parent_table =
+            self.process(parent_pid)
+                .space
+                .table_at(&self.store, probe, PageTableLevel::Pte);
         let Some(parent_table) = parent_table else {
             return Ok(0);
         };
@@ -1430,7 +1612,13 @@ impl Kernel {
             let child = self.processes.get_mut(&child_pid).unwrap();
             child
                 .space
-                .map(&mut self.store, va, entry.ppn, PageSize::Size4K, entry.flags)
+                .map(
+                    &mut self.store,
+                    va,
+                    entry.ppn,
+                    PageSize::Size4K,
+                    entry.flags,
+                )
                 .map_err(|_| KernelError::OutOfMemory)?;
             copied += 1;
         }
@@ -1464,7 +1652,13 @@ impl Kernel {
         let child = self.processes.get_mut(&child_pid).unwrap();
         child
             .space
-            .map(&mut self.store, base, leaf.ppn, PageSize::Size2M, leaf.flags.without(PageFlags::HUGE))
+            .map(
+                &mut self.store,
+                base,
+                leaf.ppn,
+                PageSize::Size2M,
+                leaf.flags.without(PageFlags::HUGE),
+            )
             .map_err(|_| KernelError::OutOfMemory)?;
         self.stats.fork_pte_copies += 1;
         Ok(self.config.fork_per_entry_cycles)
@@ -1529,7 +1723,11 @@ mod tests {
     }
 
     fn kernel(share: bool) -> Kernel {
-        let mut config = if share { KernelConfig::babelfish() } else { KernelConfig::baseline() };
+        let mut config = if share {
+            KernelConfig::babelfish()
+        } else {
+            KernelConfig::baseline()
+        };
         config.thp = false;
         Kernel::new(config)
     }
@@ -1561,8 +1759,18 @@ mod tests {
         assert_eq!(ppn_a, ppn_b);
         // ...but through *different* pte_ts.
         assert_ne!(
-            k.space(a).walk(k.store(), va).steps().last().unwrap().entry_addr,
-            k.space(b).walk(k.store(), va).steps().last().unwrap().entry_addr
+            k.space(a)
+                .walk(k.store(), va)
+                .steps()
+                .last()
+                .unwrap()
+                .entry_addr,
+            k.space(b)
+                .walk(k.store(), va)
+                .steps()
+                .last()
+                .unwrap()
+                .entry_addr
         );
     }
 
@@ -1572,17 +1780,34 @@ mod tests {
         let (a, b, va) = two_mappers(&mut k, 0x4000);
         k.handle_fault(a, va, false).unwrap();
         let fb = k.handle_fault(b, va, false).unwrap();
-        assert_eq!(fb.kind, FaultKind::SharedResolved, "B reuses A's entry (Fig. 7)");
+        assert_eq!(
+            fb.kind,
+            FaultKind::SharedResolved,
+            "B reuses A's entry (Fig. 7)"
+        );
         assert_eq!(k.stats().shared_resolved, 1);
         // Identical entry address: one pte_t for the group (Fig. 6).
         assert_eq!(
-            k.space(a).walk(k.store(), va).steps().last().unwrap().entry_addr,
-            k.space(b).walk(k.store(), va).steps().last().unwrap().entry_addr
+            k.space(a)
+                .walk(k.store(), va)
+                .steps()
+                .last()
+                .unwrap()
+                .entry_addr,
+            k.space(b)
+                .walk(k.store(), va)
+                .steps()
+                .last()
+                .unwrap()
+                .entry_addr
         );
         // Later pages of the region fault only once for the whole group.
         let va2 = va.offset(0x1000);
         k.handle_fault(b, va2, false).unwrap();
-        assert!(k.space(a).walk(k.store(), va2).leaf().is_some(), "A sees B's fill");
+        assert!(
+            k.space(a).walk(k.store(), va2).leaf().is_some(),
+            "A sees B's fill"
+        );
     }
 
     #[test]
@@ -1610,10 +1835,14 @@ mod tests {
             let parent = k.spawn(group).unwrap();
             let file = k.register_file(0x10_000);
             let va = k
-                .mmap(parent, MmapRequest::file_shared(Segment::Lib, file, 0, 0x10_000, PageFlags::USER))
+                .mmap(
+                    parent,
+                    MmapRequest::file_shared(Segment::Lib, file, 0, 0x10_000, PageFlags::USER),
+                )
                 .unwrap();
             for i in 0..16u64 {
-                k.handle_fault(parent, va.offset(i * 0x1000), false).unwrap();
+                k.handle_fault(parent, va.offset(i * 0x1000), false)
+                    .unwrap();
             }
             let (child, _cost, _inv) = k.fork(parent).unwrap();
             if share {
@@ -1635,13 +1864,17 @@ mod tests {
         let group = k.create_group();
         let parent = k.spawn(group).unwrap();
         let va = k
-            .mmap(parent, MmapRequest::anon(Segment::Heap, 0x2000, user_rw(), false))
+            .mmap(
+                parent,
+                MmapRequest::anon(Segment::Heap, 0x2000, user_rw(), false),
+            )
             .unwrap();
         k.handle_fault(parent, va, true).unwrap();
         let original = k.space(parent).walk(k.store(), va).leaf().unwrap().0.ppn;
         let (child, _, inv) = k.fork(parent).unwrap();
         assert!(
-            inv.iter().any(|i| matches!(i, Invalidation::Process { .. })),
+            inv.iter()
+                .any(|i| matches!(i, Invalidation::Process { .. })),
             "parent's TLB must drop its writable entries"
         );
         // Both see the frame CoW-protected.
@@ -1653,7 +1886,10 @@ mod tests {
         assert_eq!(res.kind, FaultKind::Cow);
         let child_ppn = k.space(child).walk(k.store(), va).leaf().unwrap().0.ppn;
         assert_ne!(child_ppn, original);
-        assert_eq!(k.space(parent).walk(k.store(), va).leaf().unwrap().0.ppn, original);
+        assert_eq!(
+            k.space(parent).walk(k.store(), va).leaf().unwrap().0.ppn,
+            original
+        );
     }
 
     #[test]
@@ -1662,7 +1898,10 @@ mod tests {
         let group = k.create_group();
         let parent = k.spawn(group).unwrap();
         let va = k
-            .mmap(parent, MmapRequest::anon(Segment::Heap, 0x4000, user_rw(), false))
+            .mmap(
+                parent,
+                MmapRequest::anon(Segment::Heap, 0x4000, user_rw(), false),
+            )
             .unwrap();
         k.handle_fault(parent, va, true).unwrap();
         k.handle_fault(parent, va.offset(0x1000), true).unwrap();
@@ -1684,11 +1923,19 @@ mod tests {
         let child_leaf = k.space(child).walk(k.store(), va).leaf().unwrap().0;
         assert_ne!(child_leaf.ppn, shared_ppn);
         assert!(child_leaf.flags.contains(PageFlags::OWNED));
-        assert_eq!(k.space(parent).walk(k.store(), va).leaf().unwrap().0.ppn, shared_ppn);
+        assert_eq!(
+            k.space(parent).walk(k.store(), va).leaf().unwrap().0.ppn,
+            shared_ppn
+        );
 
         // The untouched second page still points at the shared frame in
         // the child's private table, CoW-protected and owned.
-        let second = k.space(child).walk(k.store(), va.offset(0x1000)).leaf().unwrap().0;
+        let second = k
+            .space(child)
+            .walk(k.store(), va.offset(0x1000))
+            .leaf()
+            .unwrap()
+            .0;
         assert!(second.flags.contains(PageFlags::OWNED));
         assert!(second.flags.contains(PageFlags::COW));
 
@@ -1697,7 +1944,12 @@ mod tests {
         assert_eq!(k.pc_bit(parent, va), None);
         // The remaining sharer's pmd_t has ORPC set.
         let parent_walk = k.space(parent).walk(k.store(), va);
-        assert!(parent_walk.pmd_step().unwrap().value.flags.contains(PageFlags::ORPC));
+        assert!(parent_walk
+            .pmd_step()
+            .unwrap()
+            .value
+            .flags
+            .contains(PageFlags::ORPC));
         // The MaskPage is materialised for hardware access.
         assert!(k.maskpage_frame(group, va).is_some());
     }
@@ -1708,7 +1960,10 @@ mod tests {
         let group = k.create_group();
         let root = k.spawn(group).unwrap();
         let va = k
-            .mmap(root, MmapRequest::anon(Segment::Heap, 0x1000, user_rw(), false))
+            .mmap(
+                root,
+                MmapRequest::anon(Segment::Heap, 0x1000, user_rw(), false),
+            )
             .unwrap();
         k.handle_fault(root, va, true).unwrap();
         // 33 forked children all write the page.
@@ -1729,7 +1984,10 @@ mod tests {
                 assert!(i >= 31, "overflow can only happen from the 33rd writer on");
             }
         }
-        assert!(overflow_seen, "33+ writers must overflow the 32-bit PC bitmask");
+        assert!(
+            overflow_seen,
+            "33+ writers must overflow the 32-bit PC bitmask"
+        );
         assert!(k.stats().maskpage_overflows >= 1);
         // Every child still ends with its own private copy.
         let mut ppns: Vec<_> = children
@@ -1751,7 +2009,10 @@ mod tests {
         let group = k.create_group();
         let parent = k.spawn(group).unwrap();
         let va = k
-            .mmap(parent, MmapRequest::anon(Segment::Heap, 0x2000, user_rw(), false))
+            .mmap(
+                parent,
+                MmapRequest::anon(Segment::Heap, 0x2000, user_rw(), false),
+            )
             .unwrap();
         k.handle_fault(parent, va, true).unwrap();
         let (child, _, _) = k.fork(parent).unwrap();
@@ -1799,7 +2060,10 @@ mod tests {
         let a = k.spawn(group).unwrap();
         let file = k.register_file(0x2000);
         let va = k
-            .mmap(a, MmapRequest::file_private(Segment::Data, file, 0, 0x2000, user_rw()))
+            .mmap(
+                a,
+                MmapRequest::file_private(Segment::Data, file, 0, 0x2000, user_rw()),
+            )
             .unwrap();
         // Read first: CoW-protected mapping of the cache frame.
         k.handle_fault(a, va, false).unwrap();
@@ -1822,7 +2086,10 @@ mod tests {
         let group = k.create_group();
         let a = k.spawn(group).unwrap();
         let va = k
-            .mmap(a, MmapRequest::anon(Segment::Heap, 4 << 20, user_rw(), true))
+            .mmap(
+                a,
+                MmapRequest::anon(Segment::Heap, 4 << 20, user_rw(), true),
+            )
             .unwrap();
         k.handle_fault(a, va.offset(0x12345), false).unwrap();
         let (leaf, size) = k.space(a).walk(k.store(), va).leaf().unwrap();
@@ -1836,7 +2103,10 @@ mod tests {
         let mut k = kernel(false);
         let group = k.create_group();
         let a = k.spawn(group).unwrap();
-        assert_eq!(k.handle_fault(a, VirtAddr::new(0xdead_b000), false), Err(FaultError::SegFault));
+        assert_eq!(
+            k.handle_fault(a, VirtAddr::new(0xdead_b000), false),
+            Err(FaultError::SegFault)
+        );
     }
 
     #[test]
@@ -1846,7 +2116,10 @@ mod tests {
         let a = k.spawn(group).unwrap();
         let file = k.register_file(0x1000);
         let va = k
-            .mmap(a, MmapRequest::file_shared(Segment::Lib, file, 0, 0x1000, PageFlags::USER))
+            .mmap(
+                a,
+                MmapRequest::file_shared(Segment::Lib, file, 0, 0x1000, PageFlags::USER),
+            )
             .unwrap();
         k.handle_fault(a, va, false).unwrap();
         let res = k.handle_fault(a, va, false).unwrap();
@@ -1859,7 +2132,10 @@ mod tests {
         let (a, b, va) = two_mappers(&mut k, 0x4000);
         k.handle_fault(a, va, false).unwrap();
         k.handle_fault(b, va, false).unwrap();
-        let table = k.space(a).table_at(k.store(), va, PageTableLevel::Pte).unwrap();
+        let table = k
+            .space(a)
+            .table_at(k.store(), va, PageTableLevel::Pte)
+            .unwrap();
         // Two process pointers + the group registry's own reference.
         assert_eq!(k.store().sharers(table), 3);
         let inv = k.exit(a);
@@ -1895,7 +2171,10 @@ mod tests {
         let group = k.create_group();
         let root = k.spawn(group).unwrap();
         let va = k
-            .mmap(root, MmapRequest::anon(Segment::Heap, 0x2000, user_rw(), false))
+            .mmap(
+                root,
+                MmapRequest::anon(Segment::Heap, 0x2000, user_rw(), false),
+            )
             .unwrap();
         k.handle_fault(root, va, true).unwrap();
         let mut children = Vec::new();
@@ -1905,7 +2184,11 @@ mod tests {
         }
         for (i, &child) in children.iter().enumerate() {
             k.handle_fault(child, va, true).unwrap();
-            assert_eq!(k.pc_bit(child, va), Some(i), "bits assigned in writing order");
+            assert_eq!(
+                k.pc_bit(child, va),
+                Some(i),
+                "bits assigned in writing order"
+            );
         }
         // The bitmask the hardware would load has exactly those bits.
         assert_eq!(k.pc_bitmask(group, va), 0b1111);
@@ -1930,7 +2213,10 @@ mod tests {
         let group = k.create_group();
         let root = k.spawn(group).unwrap();
         let va = k
-            .mmap(root, MmapRequest::anon(Segment::Heap, 0x4000, user_rw(), false))
+            .mmap(
+                root,
+                MmapRequest::anon(Segment::Heap, 0x4000, user_rw(), false),
+            )
             .unwrap();
         k.handle_fault(root, va, true).unwrap();
         let (c1, _, _) = k.fork(root).unwrap();
@@ -1973,7 +2259,11 @@ mod tests {
         k.exit(a);
         // The newcomer (b never faulted yet) attaches the surviving table.
         let fb = k.handle_fault(b, va, false).unwrap();
-        assert_eq!(fb.kind, FaultKind::SharedResolved, "a's table served b after a's exit");
+        assert_eq!(
+            fb.kind,
+            FaultKind::SharedResolved,
+            "a's table served b after a's exit"
+        );
         // A brand-new group member also benefits.
         let c = k.spawn(group).unwrap();
         let file_req = {
@@ -1981,8 +2271,9 @@ mod tests {
             // replay the group-canonical mmap (same segment, same file).
             let vma = *k.process(b).vma_for(va).unwrap();
             match vma.backing() {
-                Backing::File { file, .. } => MmapRequest::file_shared(
-                    Segment::Lib, file, 0, vma.length(), PageFlags::USER),
+                Backing::File { file, .. } => {
+                    MmapRequest::file_shared(Segment::Lib, file, 0, vma.length(), PageFlags::USER)
+                }
                 _ => unreachable!(),
             }
         };
@@ -1997,14 +2288,20 @@ mod tests {
         let (a, b, va) = two_mappers(&mut k, 0x4000);
         k.handle_fault(a, va, false).unwrap();
         k.handle_fault(b, va, false).unwrap();
-        let table = k.space(a).table_at(k.store(), va, PageTableLevel::Pte).unwrap();
+        let table = k
+            .space(a)
+            .table_at(k.store(), va, PageTableLevel::Pte)
+            .unwrap();
         assert_eq!(k.store().sharers(table), 3, "a + b + registry");
 
         let inv = k.munmap(a, va).unwrap();
         assert!(matches!(inv[0], Invalidation::Process { .. }));
         assert_eq!(k.store().sharers(table), 2, "a detached");
         assert!(k.process(a).vma_for(va).is_none(), "VMA gone");
-        assert!(k.space(b).walk(k.store(), va).leaf().is_some(), "b unaffected");
+        assert!(
+            k.space(b).walk(k.store(), va).leaf().is_some(),
+            "b unaffected"
+        );
         // a faulting there again now segfaults.
         assert_eq!(k.handle_fault(a, va, false), Err(FaultError::SegFault));
     }
@@ -2015,7 +2312,10 @@ mod tests {
         let group = k.create_group();
         let a = k.spawn(group).unwrap();
         let va = k
-            .mmap(a, MmapRequest::anon(Segment::Heap, 0x4000, user_rw(), false))
+            .mmap(
+                a,
+                MmapRequest::anon(Segment::Heap, 0x4000, user_rw(), false),
+            )
             .unwrap();
         k.handle_fault(a, va, true).unwrap();
         let live_before = k.store().stats().live_tables;
@@ -2033,9 +2333,15 @@ mod tests {
         let group = k.create_group();
         let a = k.spawn(group).unwrap();
         let va = k
-            .mmap(a, MmapRequest::anon(Segment::Heap, 0x4000, user_rw(), false))
+            .mmap(
+                a,
+                MmapRequest::anon(Segment::Heap, 0x4000, user_rw(), false),
+            )
             .unwrap();
-        assert!(k.munmap(a, va.offset(0x1000)).is_err(), "must name the VMA start");
+        assert!(
+            k.munmap(a, va.offset(0x1000)).is_err(),
+            "must name the VMA start"
+        );
         assert!(k.munmap(a, va).is_ok());
         assert!(k.munmap(a, va).is_err(), "double munmap fails");
     }
@@ -2047,12 +2353,29 @@ mod tests {
         let a = k.spawn(group).unwrap();
         let file = k.register_file(0x1000);
         let va = k
-            .mmap(a, MmapRequest::file_shared(Segment::Lib, file, 0, 0x1000, PageFlags::USER))
+            .mmap(
+                a,
+                MmapRequest::file_shared(Segment::Lib, file, 0, 0x1000, PageFlags::USER),
+            )
             .unwrap();
         k.handle_fault(a, va, false).unwrap();
-        assert!(!k.space(a).walk(k.store(), va).leaf().unwrap().0.flags.contains(PageFlags::ACCESSED));
+        assert!(!k
+            .space(a)
+            .walk(k.store(), va)
+            .leaf()
+            .unwrap()
+            .0
+            .flags
+            .contains(PageFlags::ACCESSED));
         k.mark_accessed(a, va);
-        assert!(k.space(a).walk(k.store(), va).leaf().unwrap().0.flags.contains(PageFlags::ACCESSED));
+        assert!(k
+            .space(a)
+            .walk(k.store(), va)
+            .leaf()
+            .unwrap()
+            .0
+            .flags
+            .contains(PageFlags::ACCESSED));
     }
 
     #[test]
@@ -2076,8 +2399,14 @@ mod tests {
         // B's first touch attaches A's PMD table: no fault.
         let fb = k.handle_fault(b, va, false).unwrap();
         assert_eq!(fb.kind, FaultKind::SharedResolved);
-        let ta = k.space(a).table_at(k.store(), va, PageTableLevel::Pmd).unwrap();
-        let tb = k.space(b).table_at(k.store(), va, PageTableLevel::Pmd).unwrap();
+        let ta = k
+            .space(a)
+            .table_at(k.store(), va, PageTableLevel::Pmd)
+            .unwrap();
+        let tb = k
+            .space(b)
+            .table_at(k.store(), va, PageTableLevel::Pmd)
+            .unwrap();
         assert_eq!(ta, tb, "one PMD table for the group");
         assert_eq!(k.store().sharers(ta), 3, "A + B + registry");
 
@@ -2109,15 +2438,23 @@ mod tests {
         k.mmap(b, req).unwrap();
         k.handle_fault(a, va, false).unwrap();
         let fb = k.handle_fault(b, va, false).unwrap();
-        assert_eq!(fb.kind, FaultKind::Minor, "chunk resident, but B pays its own fault");
+        assert_eq!(
+            fb.kind,
+            FaultKind::Minor,
+            "chunk resident, but B pays its own fault"
+        );
         // Same physical run through the page cache, separate PMD tables.
         assert_eq!(
             k.space(a).walk(k.store(), va).leaf().unwrap().0.ppn,
             k.space(b).walk(k.store(), va).leaf().unwrap().0.ppn
         );
         assert_ne!(
-            k.space(a).table_at(k.store(), va, PageTableLevel::Pmd).unwrap(),
-            k.space(b).table_at(k.store(), va, PageTableLevel::Pmd).unwrap()
+            k.space(a)
+                .table_at(k.store(), va, PageTableLevel::Pmd)
+                .unwrap(),
+            k.space(b)
+                .table_at(k.store(), va, PageTableLevel::Pmd)
+                .unwrap()
         );
     }
 
@@ -2132,10 +2469,16 @@ mod tests {
         let fa = k.register_file(0x2000);
         let fb = k.register_file(0x2000);
         let va_a = k
-            .mmap(a, MmapRequest::file_shared(Segment::FileMap, fa, 0, 0x2000, PageFlags::USER))
+            .mmap(
+                a,
+                MmapRequest::file_shared(Segment::FileMap, fa, 0, 0x2000, PageFlags::USER),
+            )
             .unwrap();
         let va_b = k
-            .mmap(b, MmapRequest::file_shared(Segment::FileMap, fb, 0, 0x2000, PageFlags::USER))
+            .mmap(
+                b,
+                MmapRequest::file_shared(Segment::FileMap, fb, 0, 0x2000, PageFlags::USER),
+            )
             .unwrap();
         assert_eq!(va_a, va_b, "same canonical address");
         k.handle_fault(a, va_a, false).unwrap();
@@ -2145,8 +2488,14 @@ mod tests {
         let ppn_a = k.space(a).walk(k.store(), va_a).leaf().unwrap().0.ppn;
         let ppn_b = k.space(b).walk(k.store(), va_b).leaf().unwrap().0.ppn;
         assert_ne!(ppn_a, ppn_b, "different files => different frames");
-        let ta = k.space(a).table_at(k.store(), va_a, PageTableLevel::Pte).unwrap();
-        let tb = k.space(b).table_at(k.store(), va_b, PageTableLevel::Pte).unwrap();
+        let ta = k
+            .space(a)
+            .table_at(k.store(), va_a, PageTableLevel::Pte)
+            .unwrap();
+        let tb = k
+            .space(b)
+            .table_at(k.store(), va_b, PageTableLevel::Pte)
+            .unwrap();
         assert_ne!(ta, tb, "no table sharing across different backings");
     }
 
@@ -2165,8 +2514,14 @@ mod tests {
         let fb = k.handle_fault(b, va_b, false).unwrap();
         assert_ne!(fb.kind, FaultKind::SharedResolved);
         // Same physical page via the page cache, but separate pte_ts.
-        let ta = k.space(a).table_at(k.store(), va_a, PageTableLevel::Pte).unwrap();
-        let tb = k.space(b).table_at(k.store(), va_b, PageTableLevel::Pte).unwrap();
+        let ta = k
+            .space(a)
+            .table_at(k.store(), va_a, PageTableLevel::Pte)
+            .unwrap();
+        let tb = k
+            .space(b)
+            .table_at(k.store(), va_b, PageTableLevel::Pte)
+            .unwrap();
         assert_ne!(ta, tb);
     }
 }

@@ -12,7 +12,7 @@ use bf_types::{Ccid, PageFlags, PageSize};
 use std::collections::HashMap;
 
 /// Counts for one Fig. 9 bar (total or active).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct PteBreakdown {
     /// `pte_t`s with an identical twin in another process of the group.
     pub shareable: u64,
@@ -30,7 +30,7 @@ impl PteBreakdown {
 }
 
 /// The full Fig. 9 census for one CCID group.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct CensusReport {
     /// All `pte_t`s mapped by the group (leftmost bar).
     pub total: PteBreakdown,
@@ -145,7 +145,11 @@ mod tests {
     use crate::vma::MmapRequest;
 
     fn build_group(share: bool) -> (Kernel, Ccid) {
-        let mut config = if share { KernelConfig::babelfish() } else { KernelConfig::baseline() };
+        let mut config = if share {
+            KernelConfig::babelfish()
+        } else {
+            KernelConfig::baseline()
+        };
         config.thp = false;
         let mut kernel = Kernel::new(config);
         let group = kernel.create_group();
@@ -157,18 +161,32 @@ mod tests {
         kernel.mmap(b, req).unwrap();
         // Both touch 8 shared file pages.
         for i in 0..8u64 {
-            kernel.handle_fault(a, va.offset(i * 0x1000), false).unwrap();
-            kernel.handle_fault(b, va.offset(i * 0x1000), false).unwrap();
+            kernel
+                .handle_fault(a, va.offset(i * 0x1000), false)
+                .unwrap();
+            kernel
+                .handle_fault(b, va.offset(i * 0x1000), false)
+                .unwrap();
             kernel.mark_accessed(a, va.offset(i * 0x1000));
             kernel.mark_accessed(b, va.offset(i * 0x1000));
         }
         // Each also touches 4 private anonymous pages.
         for pid in [a, b] {
             let heap = kernel
-                .mmap(pid, MmapRequest::anon(Segment::Heap, 0x4000, PageFlags::USER | PageFlags::WRITE, false))
+                .mmap(
+                    pid,
+                    MmapRequest::anon(
+                        Segment::Heap,
+                        0x4000,
+                        PageFlags::USER | PageFlags::WRITE,
+                        false,
+                    ),
+                )
                 .unwrap();
             for i in 0..4u64 {
-                kernel.handle_fault(pid, heap.offset(i * 0x1000), true).unwrap();
+                kernel
+                    .handle_fault(pid, heap.offset(i * 0x1000), true)
+                    .unwrap();
                 kernel.mark_accessed(pid, heap.offset(i * 0x1000));
             }
         }
@@ -223,7 +241,10 @@ mod tests {
         let a = kernel.spawn(group).unwrap();
         let file = kernel.register_file(0x2000);
         let va = kernel
-            .mmap(a, MmapRequest::file_shared(Segment::Lib, file, 0, 0x2000, PageFlags::USER))
+            .mmap(
+                a,
+                MmapRequest::file_shared(Segment::Lib, file, 0, 0x2000, PageFlags::USER),
+            )
             .unwrap();
         kernel.handle_fault(a, va, false).unwrap(); // mapped but never marked
         let report = census(&kernel, group);

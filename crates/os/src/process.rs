@@ -129,7 +129,10 @@ mod tests {
         Vma::new(
             VirtAddr::new(start),
             len,
-            Backing::Anon { origin: 1, thp: false },
+            Backing::Anon {
+                origin: 1,
+                thp: false,
+            },
             PageFlags::USER,
             Segment::Heap,
         )

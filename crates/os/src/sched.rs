@@ -129,7 +129,11 @@ impl Scheduler {
                     Some(next) => {
                         state.runnable.push_back(pid);
                         state.current = Some(next);
-                        SchedDecision::Switch { from: Some(pid), to: next, cost: switch_cost }
+                        SchedDecision::Switch {
+                            from: Some(pid),
+                            to: next,
+                            cost: switch_cost,
+                        }
                     }
                     None => SchedDecision::Continue,
                 }
@@ -138,7 +142,11 @@ impl Scheduler {
                 Some(next) => {
                     state.current = Some(next);
                     state.ran_in_quantum = 0;
-                    SchedDecision::Switch { from: None, to: next, cost: switch_cost }
+                    SchedDecision::Switch {
+                        from: None,
+                        to: next,
+                        cost: switch_cost,
+                    }
                 }
                 None => SchedDecision::Idle,
             },
@@ -158,7 +166,11 @@ impl Scheduler {
         match state.runnable.pop_front() {
             Some(next) => {
                 state.current = Some(next);
-                SchedDecision::Switch { from, to: next, cost: switch_cost }
+                SchedDecision::Switch {
+                    from,
+                    to: next,
+                    cost: switch_cost,
+                }
             }
             None => SchedDecision::Idle,
         }
@@ -185,7 +197,11 @@ mod tests {
         sched.assign(core0(), Pid::new(1));
         assert_eq!(
             sched.tick(core0(), 0),
-            SchedDecision::Switch { from: None, to: Pid::new(1), cost: 5 }
+            SchedDecision::Switch {
+                from: None,
+                to: Pid::new(1),
+                cost: 5
+            }
         );
         assert_eq!(sched.current(core0()), Some(Pid::new(1)));
     }

@@ -95,8 +95,14 @@ impl Vma {
         perms: PageFlags,
         segment: Segment,
     ) -> Self {
-        assert!(start.is_aligned(PageSize::Size4K), "VMA start must be page-aligned");
-        assert!(length > 0 && length.is_multiple_of(PageSize::Size4K.bytes()), "VMA length must be whole pages");
+        assert!(
+            start.is_aligned(PageSize::Size4K),
+            "VMA start must be page-aligned"
+        );
+        assert!(
+            length > 0 && length.is_multiple_of(PageSize::Size4K.bytes()),
+            "VMA length must be whole pages"
+        );
         Vma {
             start,
             length,
@@ -209,7 +215,12 @@ impl MmapRequest {
         MmapRequest {
             segment,
             length,
-            backing: Backing::File { file, offset, private: false, huge: false },
+            backing: Backing::File {
+                file,
+                offset,
+                private: false,
+                huge: false,
+            },
             perms,
         }
     }
@@ -228,12 +239,19 @@ impl MmapRequest {
         perms: PageFlags,
     ) -> Self {
         let huge = PageSize::Size2M.bytes();
-        assert!(offset.is_multiple_of(huge) && length.is_multiple_of(huge) && length > 0,
-                "huge mappings are whole 2 MB chunks");
+        assert!(
+            offset.is_multiple_of(huge) && length.is_multiple_of(huge) && length > 0,
+            "huge mappings are whole 2 MB chunks"
+        );
         MmapRequest {
             segment,
             length,
-            backing: Backing::File { file, offset, private: false, huge: true },
+            backing: Backing::File {
+                file,
+                offset,
+                private: false,
+                huge: true,
+            },
             perms,
         }
     }
@@ -249,7 +267,12 @@ impl MmapRequest {
         MmapRequest {
             segment,
             length,
-            backing: Backing::File { file, offset, private: true, huge: false },
+            backing: Backing::File {
+                file,
+                offset,
+                private: true,
+                huge: false,
+            },
             perms,
         }
     }
@@ -273,7 +296,12 @@ mod tests {
         Vma::new(
             VirtAddr::new(0x10_0000),
             0x10_000,
-            Backing::File { file: FileId::new(1), offset: 0x2000, private, huge: false },
+            Backing::File {
+                file: FileId::new(1),
+                offset: 0x2000,
+                private,
+                huge: false,
+            },
             PageFlags::USER | PageFlags::WRITE,
             Segment::Lib,
         )
@@ -312,7 +340,10 @@ mod tests {
         let anon = Vma::new(
             VirtAddr::new(0x1000),
             0x1000,
-            Backing::Anon { origin: 1, thp: false },
+            Backing::Anon {
+                origin: 1,
+                thp: false,
+            },
             PageFlags::USER | PageFlags::WRITE,
             Segment::Heap,
         );
@@ -325,7 +356,10 @@ mod tests {
         let mut anon = Vma::new(
             VirtAddr::new(0x1000),
             0x1000,
-            Backing::Anon { origin: 1, thp: false },
+            Backing::Anon {
+                origin: 1,
+                thp: false,
+            },
             PageFlags::USER,
             Segment::Heap,
         );
@@ -340,7 +374,10 @@ mod tests {
         let _ = Vma::new(
             VirtAddr::new(0x1001),
             0x1000,
-            Backing::Anon { origin: 0, thp: false },
+            Backing::Anon {
+                origin: 0,
+                thp: false,
+            },
             PageFlags::USER,
             Segment::Heap,
         );
@@ -352,7 +389,10 @@ mod tests {
         let _ = Vma::new(
             VirtAddr::new(0x1000),
             0,
-            Backing::Anon { origin: 0, thp: false },
+            Backing::Anon {
+                origin: 0,
+                thp: false,
+            },
             PageFlags::USER,
             Segment::Heap,
         );
@@ -360,10 +400,18 @@ mod tests {
 
     #[test]
     fn request_constructors_set_backing() {
-        let shared = MmapRequest::file_shared(Segment::Lib, FileId::new(1), 0, 0x1000, PageFlags::USER);
-        assert!(matches!(shared.backing, Backing::File { private: false, .. }));
-        let private = MmapRequest::file_private(Segment::Data, FileId::new(1), 0, 0x1000, PageFlags::USER);
-        assert!(matches!(private.backing, Backing::File { private: true, .. }));
+        let shared =
+            MmapRequest::file_shared(Segment::Lib, FileId::new(1), 0, 0x1000, PageFlags::USER);
+        assert!(matches!(
+            shared.backing,
+            Backing::File { private: false, .. }
+        ));
+        let private =
+            MmapRequest::file_private(Segment::Data, FileId::new(1), 0, 0x1000, PageFlags::USER);
+        assert!(matches!(
+            private.backing,
+            Backing::File { private: true, .. }
+        ));
         let anon = MmapRequest::anon(Segment::Heap, 0x1000, PageFlags::USER, true);
         assert!(anon.backing.is_thp());
     }

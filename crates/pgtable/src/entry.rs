@@ -76,7 +76,10 @@ impl EntryValue {
     ///
     /// Panics if `index` ≥ 512.
     pub fn entry_addr(table: Ppn, index: usize) -> PhysAddr {
-        assert!(index < bf_types::TABLE_ENTRIES, "entry index {index} out of range");
+        assert!(
+            index < bf_types::TABLE_ENTRIES,
+            "entry index {index} out of range"
+        );
         PhysAddr::new(table.base_addr().raw() + (index as u64) * bf_types::PTE_BYTES)
     }
 }

@@ -50,8 +50,10 @@ pub mod entry;
 pub mod maskpage;
 pub mod space;
 pub mod store;
+pub mod telemetry;
 
 pub use entry::EntryValue;
 pub use maskpage::{MaskPage, MaskPageFull};
 pub use space::{AddressSpace, MapError, WalkResult, WalkStep};
 pub use store::{TableStore, TableStoreStats};
+pub use telemetry::PgtableTelemetry;

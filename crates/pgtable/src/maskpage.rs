@@ -1,5 +1,6 @@
 //! The MaskPage: per-PMD-table-set CoW bookkeeping (Appendix, Fig. 12/13).
 
+use bf_telemetry::Counter;
 use bf_types::{Pid, Ppn, PC_BITMASK_BITS, TABLE_ENTRIES};
 
 /// Error returned when a 33rd distinct process performs a CoW in a
@@ -47,6 +48,7 @@ pub struct MaskPage {
     frame: Ppn,
     masks: Box<[u32; TABLE_ENTRIES]>,
     pid_list: Vec<Pid>,
+    cow_marks: Counter,
 }
 
 impl MaskPage {
@@ -56,7 +58,15 @@ impl MaskPage {
             frame,
             masks: Box::new([0; TABLE_ENTRIES]),
             pid_list: Vec::new(),
+            cow_marks: Counter::new(),
         }
+    }
+
+    /// Routes this MaskPage's CoW-mark events into a shared counter
+    /// (typically `pgtable.maskpage_cow_marks` cloned from
+    /// [`crate::store::TableStore::telemetry`]).
+    pub fn set_telemetry(&mut self, cow_marks: Counter) {
+        self.cow_marks = cow_marks;
     }
 
     /// The backing frame (for hardware-access timing).
@@ -95,8 +105,14 @@ impl MaskPage {
     ///
     /// Panics if `pmd_index` ≥ 512 or `bit` ≥ 32.
     pub fn set_bit(&mut self, pmd_index: usize, bit: usize) {
-        assert!(pmd_index < TABLE_ENTRIES, "pmd index {pmd_index} out of range");
+        assert!(
+            pmd_index < TABLE_ENTRIES,
+            "pmd index {pmd_index} out of range"
+        );
         assert!(bit < PC_BITMASK_BITS, "PC bit {bit} out of range");
+        if self.masks[pmd_index] & (1 << bit) == 0 {
+            self.cow_marks.incr();
+        }
         self.masks[pmd_index] |= 1 << bit;
     }
 
@@ -107,7 +123,10 @@ impl MaskPage {
     ///
     /// Panics if `pmd_index` ≥ 512.
     pub fn mask(&self, pmd_index: usize) -> u32 {
-        assert!(pmd_index < TABLE_ENTRIES, "pmd index {pmd_index} out of range");
+        assert!(
+            pmd_index < TABLE_ENTRIES,
+            "pmd index {pmd_index} out of range"
+        );
         self.masks[pmd_index]
     }
 

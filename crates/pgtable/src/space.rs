@@ -133,7 +133,12 @@ impl AddressSpace {
     /// Panics if the frame pool cannot supply the PGD page.
     pub fn new(store: &mut TableStore, pid: Pid, pcid: Pcid, ccid: Ccid) -> Self {
         let pgd = store.alloc_table().expect("no memory for PGD");
-        AddressSpace { pid, pcid, ccid, pgd }
+        AddressSpace {
+            pid,
+            pcid,
+            ccid,
+            pgd,
+        }
     }
 
     /// The owning process id.
@@ -165,12 +170,20 @@ impl AddressSpace {
             let index = va.level_index(level);
             let entry_addr = EntryValue::entry_addr(table, index);
             let value = store.read(table, index);
-            steps.push(WalkStep { level, table, index, entry_addr, value });
+            steps.push(WalkStep {
+                level,
+                table,
+                index,
+                entry_addr,
+                value,
+            });
             if !value.is_present() || level == PageTableLevel::Pte || value.is_huge_leaf() {
                 break;
             }
             table = value.ppn;
         }
+        store.telemetry().walks.incr();
+        store.telemetry().walk_depth.record(steps.len() as u64);
         WalkResult { steps }
     }
 
@@ -191,7 +204,9 @@ impl AddressSpace {
         size: PageSize,
         flags: PageFlags,
     ) -> Result<(), MapError> {
-        if size.is_huge() && (!va.is_aligned(size) || !frame.raw().is_multiple_of(size.base_pages())) {
+        if size.is_huge()
+            && (!va.is_aligned(size) || !frame.raw().is_multiple_of(size.base_pages()))
+        {
             return Err(MapError::Misaligned);
         }
         let leaf_level = match size {
@@ -525,7 +540,9 @@ impl AddressSpace {
 
     fn assemble_va(pgd_i: usize, pud_i: usize, pmd_i: usize, pte_i: usize) -> VirtAddr {
         VirtAddr::new(
-            ((pgd_i as u64) << 39) | ((pud_i as u64) << 30) | ((pmd_i as u64) << 21)
+            ((pgd_i as u64) << 39)
+                | ((pud_i as u64) << 30)
+                | ((pmd_i as u64) << 21)
                 | ((pte_i as u64) << 12),
         )
     }
@@ -550,7 +567,9 @@ mod tests {
         let (mut store, mut space) = setup();
         let va = VirtAddr::new(0x7f12_3456_7000);
         let frame = store.frames.alloc().unwrap();
-        space.map(&mut store, va, frame, PageSize::Size4K, user_flags()).unwrap();
+        space
+            .map(&mut store, va, frame, PageSize::Size4K, user_flags())
+            .unwrap();
         let walk = space.walk(&store, va);
         assert_eq!(walk.steps().len(), 4, "full 4-level walk");
         let (leaf, size) = walk.leaf().unwrap();
@@ -574,10 +593,18 @@ mod tests {
         let va2 = VirtAddr::new(0x2000);
         let f1 = store.frames.alloc().unwrap();
         let f2 = store.frames.alloc().unwrap();
-        space.map(&mut store, va1, f1, PageSize::Size4K, user_flags()).unwrap();
+        space
+            .map(&mut store, va1, f1, PageSize::Size4K, user_flags())
+            .unwrap();
         let tables_before = store.stats().live_tables;
-        space.map(&mut store, va2, f2, PageSize::Size4K, user_flags()).unwrap();
-        assert_eq!(store.stats().live_tables, tables_before, "same PTE table reused");
+        space
+            .map(&mut store, va2, f2, PageSize::Size4K, user_flags())
+            .unwrap();
+        assert_eq!(
+            store.stats().live_tables,
+            tables_before,
+            "same PTE table reused"
+        );
     }
 
     #[test]
@@ -585,7 +612,9 @@ mod tests {
         let (mut store, mut space) = setup();
         let va = VirtAddr::new(0x4000_0000);
         let run = store.frames.alloc_contiguous(512, 512).unwrap();
-        space.map(&mut store, va, run, PageSize::Size2M, user_flags()).unwrap();
+        space
+            .map(&mut store, va, run, PageSize::Size2M, user_flags())
+            .unwrap();
         let walk = space.walk(&store, va.offset(0x12345));
         let (leaf, size) = walk.leaf().unwrap();
         assert_eq!(size, PageSize::Size2M);
@@ -613,10 +642,12 @@ mod tests {
         let mut b = AddressSpace::new(&mut store, Pid::new(2), Pcid::new(2), Ccid::new(0));
         let va = VirtAddr::new(0x7f00_0000_0000);
         let frame = store.frames.alloc().unwrap();
-        a.map(&mut store, va, frame, PageSize::Size4K, user_flags()).unwrap();
+        a.map(&mut store, va, frame, PageSize::Size4K, user_flags())
+            .unwrap();
 
         let pte_table = a.table_at(&store, va, PageTableLevel::Pte).unwrap();
-        b.map_shared_table(&mut store, va, PageTableLevel::Pte, pte_table).unwrap();
+        b.map_shared_table(&mut store, va, PageTableLevel::Pte, pte_table)
+            .unwrap();
 
         assert_eq!(store.sharers(pte_table), 2);
         let walk_b = b.walk(&store, va);
@@ -635,15 +666,18 @@ mod tests {
         let mut b = AddressSpace::new(&mut store, Pid::new(2), Pcid::new(2), Ccid::new(0));
         let base = VirtAddr::new(0x7f00_0000_0000);
         let f1 = store.frames.alloc().unwrap();
-        a.map(&mut store, base, f1, PageSize::Size4K, user_flags()).unwrap();
+        a.map(&mut store, base, f1, PageSize::Size4K, user_flags())
+            .unwrap();
         let pte_table = a.table_at(&store, base, PageTableLevel::Pte).unwrap();
-        b.map_shared_table(&mut store, base, PageTableLevel::Pte, pte_table).unwrap();
+        b.map_shared_table(&mut store, base, PageTableLevel::Pte, pte_table)
+            .unwrap();
 
         // A faults in a second page of the region: B sees it too — only
         // one minor fault for the group (Section III-B).
         let va2 = base.offset(0x1000);
         let f2 = store.frames.alloc().unwrap();
-        a.map(&mut store, va2, f2, PageSize::Size4K, user_flags()).unwrap();
+        a.map(&mut store, va2, f2, PageSize::Size4K, user_flags())
+            .unwrap();
         assert_eq!(b.walk(&store, va2).leaf().unwrap().0.ppn, f2);
     }
 
@@ -653,9 +687,11 @@ mod tests {
         let mut b = AddressSpace::new(&mut store, Pid::new(2), Pcid::new(2), Ccid::new(0));
         let va = VirtAddr::new(0x7f00_0000_0000);
         let frame = store.frames.alloc().unwrap();
-        a.map(&mut store, va, frame, PageSize::Size4K, user_flags()).unwrap();
+        a.map(&mut store, va, frame, PageSize::Size4K, user_flags())
+            .unwrap();
         let pmd_table = a.table_at(&store, va, PageTableLevel::Pmd).unwrap();
-        b.map_shared_table(&mut store, va, PageTableLevel::Pmd, pmd_table).unwrap();
+        b.map_shared_table(&mut store, va, PageTableLevel::Pmd, pmd_table)
+            .unwrap();
         // B reaches mappings anywhere under that PMD (512 × 2 MB).
         assert_eq!(b.walk(&store, va).leaf().unwrap().0.ppn, frame);
     }
@@ -666,7 +702,9 @@ mod tests {
         let mut space = AddressSpace::new(&mut store, Pid::new(1), Pcid::new(1), Ccid::new(0));
         let va = VirtAddr::new(0x40_0000_0000); // 1 GB-aligned
         let run = store.frames.alloc_contiguous(512 * 512, 512 * 512).unwrap();
-        space.map(&mut store, va, run, PageSize::Size1G, user_flags()).unwrap();
+        space
+            .map(&mut store, va, run, PageSize::Size1G, user_flags())
+            .unwrap();
         let walk = space.walk(&store, va.offset(0x1234_5678));
         let (leaf, size) = walk.leaf().unwrap();
         assert_eq!(size, PageSize::Size1G);
@@ -684,15 +722,18 @@ mod tests {
         let mut b = AddressSpace::new(&mut store, Pid::new(2), Pcid::new(2), Ccid::new(0));
         let va = VirtAddr::new(0x7f00_0000_0000);
         let frame = store.frames.alloc().unwrap();
-        a.map(&mut store, va, frame, PageSize::Size4K, user_flags()).unwrap();
+        a.map(&mut store, va, frame, PageSize::Size4K, user_flags())
+            .unwrap();
         let pud_table = a.table_at(&store, va, PageTableLevel::Pud).unwrap();
-        b.map_shared_table(&mut store, va, PageTableLevel::Pud, pud_table).unwrap();
+        b.map_shared_table(&mut store, va, PageTableLevel::Pud, pud_table)
+            .unwrap();
         assert_eq!(store.sharers(pud_table), 2);
         // B reaches anything under the shared PUD, even mappings A adds
         // later in a *different* 1 GB region of the same PUD.
         let far = va.offset(3 << 30);
         let frame2 = store.frames.alloc().unwrap();
-        a.map(&mut store, far, frame2, PageSize::Size4K, user_flags()).unwrap();
+        a.map(&mut store, far, frame2, PageSize::Size4K, user_flags())
+            .unwrap();
         assert_eq!(b.walk(&store, far).leaf().unwrap().0.ppn, frame2);
         // Tear-down releases correctly from the PUD split point.
         b.destroy(&mut store);
@@ -718,14 +759,21 @@ mod tests {
         let (mut store, mut a) = setup();
         let va = VirtAddr::new(0x1000);
         let frame = store.frames.alloc().unwrap();
-        a.map(&mut store, va, frame, PageSize::Size4K, user_flags()).unwrap();
+        a.map(&mut store, va, frame, PageSize::Size4K, user_flags())
+            .unwrap();
         let other = store.alloc_table().unwrap();
         let result = a.map_shared_table(&mut store, va, PageTableLevel::Pte, other);
         assert_eq!(result, Err(MapError::Conflict));
         // Re-sharing the same table is an idempotent no-op.
         let mine = a.table_at(&store, va, PageTableLevel::Pte).unwrap();
-        assert!(a.map_shared_table(&mut store, va, PageTableLevel::Pte, mine).is_ok());
-        assert_eq!(store.sharers(mine), 1, "no double count on idempotent share");
+        assert!(a
+            .map_shared_table(&mut store, va, PageTableLevel::Pte, mine)
+            .is_ok());
+        assert_eq!(
+            store.sharers(mine),
+            1,
+            "no double count on idempotent share"
+        );
     }
 
     #[test]
@@ -734,9 +782,11 @@ mod tests {
         let mut b = AddressSpace::new(&mut store, Pid::new(2), Pcid::new(2), Ccid::new(0));
         let va = VirtAddr::new(0x7f00_0000_0000);
         let frame = store.frames.alloc().unwrap();
-        a.map(&mut store, va, frame, PageSize::Size4K, user_flags()).unwrap();
+        a.map(&mut store, va, frame, PageSize::Size4K, user_flags())
+            .unwrap();
         let shared = a.table_at(&store, va, PageTableLevel::Pte).unwrap();
-        b.map_shared_table(&mut store, va, PageTableLevel::Pte, shared).unwrap();
+        b.map_shared_table(&mut store, va, PageTableLevel::Pte, shared)
+            .unwrap();
 
         // B privatises: clone + replace (the CoW protocol's bulk copy).
         let private = store.clone_table(shared).unwrap();
@@ -744,7 +794,11 @@ mod tests {
         assert_eq!(old, shared);
         assert_eq!(store.sharers(shared), 1, "B released its reference");
         assert_eq!(b.table_at(&store, va, PageTableLevel::Pte), Some(private));
-        assert_eq!(b.walk(&store, va).leaf().unwrap().0.ppn, frame, "clone kept translations");
+        assert_eq!(
+            b.walk(&store, va).leaf().unwrap().0.ppn,
+            frame,
+            "clone kept translations"
+        );
     }
 
     #[test]
@@ -753,13 +807,21 @@ mod tests {
         let mut b = AddressSpace::new(&mut store, Pid::new(2), Pcid::new(2), Ccid::new(0));
         let va = VirtAddr::new(0x7f00_0000_0000);
         let frame = store.frames.alloc().unwrap();
-        a.map(&mut store, va, frame, PageSize::Size4K, user_flags()).unwrap();
+        a.map(&mut store, va, frame, PageSize::Size4K, user_flags())
+            .unwrap();
         let shared = a.table_at(&store, va, PageTableLevel::Pte).unwrap();
-        b.map_shared_table(&mut store, va, PageTableLevel::Pte, shared).unwrap();
+        b.map_shared_table(&mut store, va, PageTableLevel::Pte, shared)
+            .unwrap();
         assert_eq!(store.sharers(shared), 2);
-        assert_eq!(b.detach_table(&mut store, va, PageTableLevel::Pte), Some(shared));
+        assert_eq!(
+            b.detach_table(&mut store, va, PageTableLevel::Pte),
+            Some(shared)
+        );
         assert_eq!(store.sharers(shared), 1, "A keeps the table");
-        assert!(b.walk(&store, va).leaf().is_none(), "B no longer maps the page");
+        assert!(
+            b.walk(&store, va).leaf().is_none(),
+            "B no longer maps the page"
+        );
         assert!(a.walk(&store, va).leaf().is_some());
         // Detaching again is a no-op.
         assert_eq!(b.detach_table(&mut store, va, PageTableLevel::Pte), None);
@@ -773,7 +835,8 @@ mod tests {
         let (mut store, mut a) = setup();
         let va = VirtAddr::new(0x7f00_0000_0000);
         let frame = store.frames.alloc().unwrap();
-        a.map(&mut store, va, frame, PageSize::Size4K, user_flags()).unwrap();
+        a.map(&mut store, va, frame, PageSize::Size4K, user_flags())
+            .unwrap();
         assert!(a.set_pmd_opc(&mut store, va, Some(false), Some(true)));
         let walk = a.walk(&store, va);
         let pmd = walk.pmd_step().unwrap();
@@ -786,7 +849,8 @@ mod tests {
         let (mut store, mut a) = setup();
         let va = VirtAddr::new(0x5000);
         let frame = store.frames.alloc().unwrap();
-        a.map(&mut store, va, frame, PageSize::Size4K, user_flags()).unwrap();
+        a.map(&mut store, va, frame, PageSize::Size4K, user_flags())
+            .unwrap();
         let old = a.unmap(&mut store, va, PageSize::Size4K).unwrap();
         assert_eq!(old.ppn, frame);
         assert!(a.walk(&store, va).leaf().is_none());
@@ -798,7 +862,14 @@ mod tests {
         let (mut store, mut a) = setup();
         let va = VirtAddr::new(0x5000);
         let frame = store.frames.alloc().unwrap();
-        a.map(&mut store, va, frame, PageSize::Size4K, user_flags() | PageFlags::COW).unwrap();
+        a.map(
+            &mut store,
+            va,
+            frame,
+            PageSize::Size4K,
+            user_flags() | PageFlags::COW,
+        )
+        .unwrap();
         let (leaf, _) = a.walk(&store, va).leaf().unwrap();
         assert!(leaf.flags.contains(PageFlags::COW));
         let new_frame = store.frames.alloc().unwrap();
@@ -816,7 +887,8 @@ mod tests {
         for i in 0..10u64 {
             let va = VirtAddr::new(0x10_0000 + i * 0x1000);
             let frame = store.frames.alloc().unwrap();
-            a.map(&mut store, va, frame, PageSize::Size4K, user_flags()).unwrap();
+            a.map(&mut store, va, frame, PageSize::Size4K, user_flags())
+                .unwrap();
             expected.push((va, frame));
         }
         let mut seen = Vec::new();
@@ -835,9 +907,11 @@ mod tests {
         let mut b = AddressSpace::new(&mut store, Pid::new(2), Pcid::new(2), Ccid::new(0));
         let va = VirtAddr::new(0x7f00_0000_0000);
         let frame = store.frames.alloc().unwrap();
-        a.map(&mut store, va, frame, PageSize::Size4K, user_flags()).unwrap();
+        a.map(&mut store, va, frame, PageSize::Size4K, user_flags())
+            .unwrap();
         let shared = a.table_at(&store, va, PageTableLevel::Pte).unwrap();
-        b.map_shared_table(&mut store, va, PageTableLevel::Pte, shared).unwrap();
+        b.map_shared_table(&mut store, va, PageTableLevel::Pte, shared)
+            .unwrap();
 
         let live_before = store.stats().live_tables;
         b.destroy(&mut store);

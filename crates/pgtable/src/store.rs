@@ -2,12 +2,14 @@
 //! per-table sharer counters of Section IV-B.
 
 use crate::entry::EntryValue;
+use crate::telemetry::PgtableTelemetry;
 use bf_mem::{FrameAllocator, PhysMemory};
+use bf_telemetry::Registry;
 use bf_types::Ppn;
 use std::collections::HashMap;
 
 /// Counters exposed by [`TableStore::stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct TableStoreStats {
     /// Table pages currently allocated.
     pub live_tables: u64,
@@ -50,6 +52,7 @@ pub struct TableStore {
     pub frames: FrameAllocator,
     sharers: HashMap<Ppn, u16>,
     stats: TableStoreStats,
+    telem: PgtableTelemetry,
 }
 
 impl TableStore {
@@ -60,7 +63,19 @@ impl TableStore {
             frames: FrameAllocator::new(frame_capacity),
             sharers: HashMap::new(),
             stats: TableStoreStats::default(),
+            telem: PgtableTelemetry::default(),
         }
+    }
+
+    /// Routes this store's `pgtable.*` handles into `registry`.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telem = PgtableTelemetry::attach(registry);
+    }
+
+    /// The store's recording handles (used by [`crate::AddressSpace::walk`],
+    /// which only sees `&TableStore`).
+    pub fn telemetry(&self) -> &PgtableTelemetry {
+        &self.telem
     }
 
     /// Allocates a zeroed table page with one sharer.
@@ -70,6 +85,7 @@ impl TableStore {
         let frame = self.frames.alloc()?;
         self.sharers.insert(frame, 1);
         self.stats.tables_allocated += 1;
+        self.telem.tables_allocated.incr();
         self.stats.live_tables += 1;
         self.stats.peak_tables = self.stats.peak_tables.max(self.stats.live_tables);
         Some(frame)
@@ -109,6 +125,7 @@ impl TableStore {
             self.mem.release_page(table);
             self.frames.dec_ref(table);
             self.stats.tables_freed += 1;
+            self.telem.tables_freed.incr();
             self.stats.live_tables -= 1;
             true
         } else {
@@ -193,7 +210,10 @@ mod tests {
         store.release_table(table);
         let again = store.alloc_table().unwrap();
         assert_eq!(again, table, "frame should be recycled");
-        assert!(!store.read(again, 0).is_present(), "contents must be zeroed");
+        assert!(
+            !store.read(again, 0).is_present(),
+            "contents must be zeroed"
+        );
     }
 
     #[test]

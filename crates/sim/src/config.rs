@@ -59,7 +59,11 @@ impl Mode {
     pub fn aslr_transformation(&self) -> bool {
         matches!(
             self,
-            Mode::BabelFish { share_tlb: true, aslr: AslrMode::Hardware, .. }
+            Mode::BabelFish {
+                share_tlb: true,
+                aslr: AslrMode::Hardware,
+                ..
+            }
         )
     }
 
@@ -68,8 +72,14 @@ impl Mode {
         match self {
             Mode::Baseline => TlbGroupConfig::baseline(),
             Mode::BaselineLargerTlb => TlbGroupConfig::baseline_larger_tlb(),
-            Mode::BabelFish { share_tlb: false, .. } => TlbGroupConfig::baseline(),
-            Mode::BabelFish { share_tlb: true, aslr, .. } => match aslr {
+            Mode::BabelFish {
+                share_tlb: false, ..
+            } => TlbGroupConfig::baseline(),
+            Mode::BabelFish {
+                share_tlb: true,
+                aslr,
+                ..
+            } => match aslr {
                 AslrMode::Hardware => TlbGroupConfig::babelfish_aslr_hw(),
                 AslrMode::SoftwareOnly => TlbGroupConfig::babelfish_aslr_sw(),
             },
@@ -80,7 +90,11 @@ impl Mode {
     pub fn kernel_config(&self) -> KernelConfig {
         match self {
             Mode::Baseline | Mode::BaselineLargerTlb => KernelConfig::baseline(),
-            Mode::BabelFish { share_page_tables, aslr, .. } => {
+            Mode::BabelFish {
+                share_page_tables,
+                aslr,
+                ..
+            } => {
                 let mut config = if *share_page_tables {
                     KernelConfig::babelfish()
                 } else {
@@ -93,15 +107,55 @@ impl Mode {
     }
 
     /// Short name for reports.
+    ///
+    /// Serialization note: `Mode` serializes as an object carrying this
+    /// name plus the BabelFish switches (hand-written because the shim
+    /// derive does not handle data-carrying enum variants).
     pub fn name(&self) -> &'static str {
         match self {
             Mode::Baseline => "baseline",
             Mode::BaselineLargerTlb => "baseline-larger-tlb",
-            Mode::BabelFish { share_tlb: true, share_page_tables: true, .. } => "babelfish",
-            Mode::BabelFish { share_tlb: true, share_page_tables: false, .. } => "babelfish-tlb-only",
-            Mode::BabelFish { share_tlb: false, share_page_tables: true, .. } => "babelfish-pt-only",
+            Mode::BabelFish {
+                share_tlb: true,
+                share_page_tables: true,
+                ..
+            } => "babelfish",
+            Mode::BabelFish {
+                share_tlb: true,
+                share_page_tables: false,
+                ..
+            } => "babelfish-tlb-only",
+            Mode::BabelFish {
+                share_tlb: false,
+                share_page_tables: true,
+                ..
+            } => "babelfish-pt-only",
             Mode::BabelFish { .. } => "babelfish-disabled",
         }
+    }
+}
+
+impl serde::Serialize for Mode {
+    fn to_value(&self) -> serde::Value {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(
+            "name".to_string(),
+            serde::Value::String(self.name().to_string()),
+        );
+        if let Mode::BabelFish {
+            share_tlb,
+            share_page_tables,
+            aslr,
+        } = self
+        {
+            map.insert("share_tlb".to_string(), serde::Value::Bool(*share_tlb));
+            map.insert(
+                "share_page_tables".to_string(),
+                serde::Value::Bool(*share_page_tables),
+            );
+            map.insert("aslr".to_string(), aslr.to_value());
+        }
+        serde::Value::Object(map)
     }
 }
 
@@ -114,7 +168,7 @@ impl Mode {
 /// let config = SimConfig::new(8, Mode::Baseline);
 /// assert_eq!(config.quantum_cycles, 20_000_000, "10 ms at 2 GHz");
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize)]
 pub struct SimConfig {
     /// Core count (8 in Table I).
     pub cores: usize,

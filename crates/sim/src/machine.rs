@@ -7,6 +7,7 @@ use bf_cache::{AccessOrigin, CacheHierarchy, PageWalkCache};
 use bf_containers::{BringupProfile, Container};
 use bf_os::{FaultKind, Invalidation, Kernel, SchedDecision, Scheduler};
 use bf_pgtable::WalkResult;
+use bf_telemetry::{Counter, Histogram, Registry, Snapshot, TraceEvent, TraceKind};
 use bf_tlb::group::TlbAccess;
 use bf_tlb::{LookupResult, TlbFill, TlbGroup};
 use bf_types::{AccessKind, CoreId, Cycles, PageFlags, PageSize, PageTableLevel, Pid, VirtAddr};
@@ -19,6 +20,22 @@ struct CoreState {
     clock: Cycles,
     instructions: u64,
     active: bool,
+}
+
+/// Machine-level recording handles (`sim.*` names).
+#[derive(Debug, Clone, Default)]
+struct SimTelemetry {
+    walks: Counter,
+    request_cycles: Histogram,
+}
+
+impl SimTelemetry {
+    fn attach(registry: &Registry) -> Self {
+        SimTelemetry {
+            walks: registry.counter("sim.walks"),
+            request_cycles: registry.histogram("sim.request_cycles"),
+        }
+    }
 }
 
 /// The simulated server (see the [crate docs](crate) for the modelled
@@ -44,6 +61,11 @@ pub struct Machine {
     major_faults: u64,
     cow_faults: u64,
     shared_resolved: u64,
+    registry: Registry,
+    telem: SimTelemetry,
+    /// Registry state at the last [`Machine::reset_measurement`];
+    /// [`Machine::telemetry_snapshot`] reports the delta since then.
+    telemetry_baseline: Snapshot,
 }
 
 impl std::fmt::Debug for Machine {
@@ -57,22 +79,43 @@ impl std::fmt::Debug for Machine {
 }
 
 impl Machine {
-    /// Builds the machine for `config`.
+    /// Builds the machine for `config`, with every component's counters
+    /// routed into one fresh [`Registry`].
     pub fn new(config: SimConfig) -> Self {
+        Self::with_registry(config, Registry::new())
+    }
+
+    /// Builds the machine for `config` over a caller-provided registry
+    /// (e.g. one with a larger trace-ring capacity).
+    pub fn with_registry(config: SimConfig, registry: Registry) -> Self {
         let cores = (0..config.cores)
-            .map(|_| CoreState {
-                tlbs: TlbGroup::new(config.mode.tlb_config()),
-                pwc: PageWalkCache::new(config.pwc),
-                clock: 0,
-                instructions: 0,
-                active: true,
+            .map(|_| {
+                let mut tlbs = TlbGroup::new(config.mode.tlb_config());
+                tlbs.attach_telemetry(&registry);
+                let mut pwc = PageWalkCache::new(config.pwc);
+                pwc.attach_telemetry(&registry);
+                CoreState {
+                    tlbs,
+                    pwc,
+                    clock: 0,
+                    instructions: 0,
+                    active: true,
+                }
             })
             .collect();
+        let mut kernel = Kernel::new(config.kernel);
+        kernel.attach_telemetry(&registry);
+        let mut hierarchy = CacheHierarchy::new(config.hierarchy);
+        hierarchy.attach_telemetry(&registry);
         Machine {
-            kernel: Kernel::new(config.kernel),
+            kernel,
             cores,
-            hierarchy: CacheHierarchy::new(config.hierarchy),
-            sched: Scheduler::new(config.cores, config.quantum_cycles, config.context_switch_cycles),
+            hierarchy,
+            sched: Scheduler::new(
+                config.cores,
+                config.quantum_cycles,
+                config.context_switch_cycles,
+            ),
             workloads: HashMap::new(),
             core_of: HashMap::new(),
             request_start: HashMap::new(),
@@ -83,8 +126,23 @@ impl Machine {
             major_faults: 0,
             cow_faults: 0,
             shared_resolved: 0,
+            telem: SimTelemetry::attach(&registry),
+            telemetry_baseline: registry.snapshot(),
+            registry,
             config,
         }
+    }
+
+    /// The machine-wide telemetry registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Telemetry snapshot of the current measurement window: counter and
+    /// histogram deltas since the last [`Machine::reset_measurement`]
+    /// (or boot).
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.registry.snapshot().delta(&self.telemetry_baseline)
     }
 
     /// The configuration.
@@ -155,6 +213,7 @@ impl Machine {
         self.major_faults = 0;
         self.cow_faults = 0;
         self.shared_resolved = 0;
+        self.telemetry_baseline = self.registry.snapshot();
         let starts: Vec<Pid> = self.request_start.keys().copied().collect();
         for pid in starts {
             let core = self.core_of[&pid];
@@ -209,9 +268,7 @@ impl Machine {
                 .iter()
                 .enumerate()
                 .filter(|(i, c)| {
-                    c.active
-                        && c.instructions < budget
-                        && self.sched_has_work(CoreId::new(*i))
+                    c.active && c.instructions < budget && self.sched_has_work(CoreId::new(*i))
                 })
                 .min_by_key(|(_, c)| c.clock)
                 .map(|(i, _)| i);
@@ -277,7 +334,11 @@ impl Machine {
         };
 
         match op {
-            Op::Access { va, kind, instrs_before } => {
+            Op::Access {
+                va,
+                kind,
+                instrs_before,
+            } => {
                 let compute = instrs_before as u64 / self.config.issue_width.max(1);
                 self.cores[core_index].clock += compute;
                 self.cores[core_index].instructions += instrs_before as u64 + 1;
@@ -294,6 +355,7 @@ impl Machine {
                 let start = self.request_start.get(&pid).copied().unwrap_or(clock);
                 if clock > start {
                     self.latency.record(clock - start);
+                    self.telem.request_cycles.record(clock - start);
                 }
                 self.request_start.insert(pid, clock);
             }
@@ -374,6 +436,7 @@ impl Machine {
             cycles += resolution.cost;
             self.breakdown.fault_cycles += resolution.cost;
             self.count_fault(resolution.kind);
+            self.trace_fault(core_index, cycles, &access, resolution.kind);
             pending_invalidations.extend(resolution.invalidations.iter().copied());
             self.apply_invalidations(&pending_invalidations);
             pending_invalidations.clear();
@@ -384,11 +447,15 @@ impl Machine {
             let mut attempts = 0;
             loop {
                 attempts += 1;
-                assert!(attempts <= 4, "fault loop did not converge at {va} for {pid}");
+                assert!(
+                    attempts <= 4,
+                    "fault loop did not converge at {va} for {pid}"
+                );
                 let (walk_cycles, walk) = self.hardware_walk(core_index, pid, va);
                 cycles += walk_cycles;
                 self.breakdown.walk_cycles += walk_cycles;
                 self.walks += 1;
+                self.telem.walks.incr();
 
                 let leaf = walk.leaf();
                 let cow_write = leaf
@@ -417,6 +484,7 @@ impl Machine {
                 cycles += resolution.cost;
                 self.breakdown.fault_cycles += resolution.cost;
                 self.count_fault(resolution.kind);
+                self.trace_fault(core_index, cycles, &access, resolution.kind);
                 self.apply_invalidations(&resolution.invalidations);
             }
         }
@@ -430,8 +498,9 @@ impl Machine {
             .access(core_id, paddr, kind, AccessOrigin::Core, now);
         // The OoO core hides part of the data latency through MLP; the
         // translation path above cannot be hidden.
-        let mem_cycles =
-            ((raw_mem as f64) * (1.0 - self.config.memory_overlap)).round().max(1.0) as Cycles;
+        let mem_cycles = ((raw_mem as f64) * (1.0 - self.config.memory_overlap))
+            .round()
+            .max(1.0) as Cycles;
         cycles += mem_cycles;
         self.breakdown.memory_cycles += mem_cycles;
 
@@ -520,8 +589,7 @@ impl Machine {
         pmd_flags: PageFlags,
         access: &TlbAccess,
     ) -> TlbFill {
-        let owned =
-            entry.flags.contains(PageFlags::OWNED) || pmd_flags.contains(PageFlags::OWNED);
+        let owned = entry.flags.contains(PageFlags::OWNED) || pmd_flags.contains(PageFlags::OWNED);
         let orpc = !owned && pmd_flags.contains(PageFlags::ORPC);
         let ccid = access.ccid;
         TlbFill {
@@ -533,7 +601,11 @@ impl Machine {
             ccid,
             owned,
             orpc,
-            pc_bitmask: if orpc { self.kernel.pc_bitmask(ccid, va) } else { 0 },
+            pc_bitmask: if orpc {
+                self.kernel.pc_bitmask(ccid, va)
+            } else {
+                0
+            },
             loader: pid,
         }
     }
@@ -569,6 +641,29 @@ impl Machine {
             FaultKind::SharedResolved => self.shared_resolved += 1,
             FaultKind::Spurious => {}
         }
+    }
+
+    /// Emits one structured trace event for a serviced fault.
+    fn trace_fault(&self, core_index: usize, cycles: Cycles, access: &TlbAccess, kind: FaultKind) {
+        self.registry.tracer().record(TraceEvent {
+            cycle: self.cores[core_index].clock + cycles,
+            cpu: core_index as u32,
+            kind: if kind == FaultKind::Cow {
+                TraceKind::CowMark
+            } else {
+                TraceKind::Fault
+            },
+            ccid: access.ccid.raw(),
+            pid: access.pid.raw(),
+            vpn: access.va.vpn(PageSize::Size4K).raw(),
+            detail: match kind {
+                FaultKind::Minor => "minor",
+                FaultKind::Major => "major",
+                FaultKind::Cow => "cow",
+                FaultKind::SharedResolved => "shared-resolved",
+                FaultKind::Spurious => "spurious",
+            },
+        });
     }
 
     /// Faults in every page of `pid`'s VMAs without charging time — the
@@ -640,8 +735,8 @@ mod tests {
     use super::*;
     use crate::config::Mode;
     use bf_containers::{ContainerRuntime, ImageSpec};
-    use bf_os::Segment;
     use bf_os::MmapRequest;
+    use bf_os::Segment;
 
     fn machine(mode: Mode) -> Machine {
         Machine::new(SimConfig::new(2, mode).with_frames(1 << 20))
@@ -654,7 +749,10 @@ mod tests {
         let pid = kernel.spawn(group).unwrap();
         let file = kernel.register_file(pages * 4096);
         let va = kernel
-            .mmap(pid, MmapRequest::file_shared(Segment::Lib, file, 0, pages * 4096, PageFlags::USER))
+            .mmap(
+                pid,
+                MmapRequest::file_shared(Segment::Lib, file, 0, pages * 4096, PageFlags::USER),
+            )
             .unwrap();
         (pid, va)
     }
@@ -690,7 +788,11 @@ mod tests {
         let shared = m.execute_access(0, b, va, AccessKind::Read);
         let stats = m.stats();
         assert_eq!(stats.tlb.l2.data_shared_hits, 1, "B hit A's L2 entry");
-        assert_eq!(stats.minor_faults + stats.major_faults, 1, "B faulted nothing");
+        assert_eq!(
+            stats.minor_faults + stats.major_faults,
+            1,
+            "B faulted nothing"
+        );
         // The shared path pays L1 miss + ASLR + L2 hit + memory, well
         // under a walk + fault.
         assert!(shared < 100, "shared access latency {shared}");
@@ -714,7 +816,10 @@ mod tests {
         assert_eq!(stats.tlb.l2.data_shared_hits, 0);
         assert_eq!(stats.walks, 4, "each container walks, faults, re-walks");
         assert_eq!(stats.major_faults, 1);
-        assert_eq!(stats.minor_faults, 1, "B pays its own minor fault (Fig. 7 top)");
+        assert_eq!(
+            stats.minor_faults, 1,
+            "B pays its own minor fault (Fig. 7 top)"
+        );
     }
 
     #[test]
@@ -724,7 +829,15 @@ mod tests {
         let group = kernel.create_group();
         let parent = kernel.spawn(group).unwrap();
         let va = kernel
-            .mmap(parent, MmapRequest::anon(Segment::Heap, 0x4000, PageFlags::USER | PageFlags::WRITE, false))
+            .mmap(
+                parent,
+                MmapRequest::anon(
+                    Segment::Heap,
+                    0x4000,
+                    PageFlags::USER | PageFlags::WRITE,
+                    false,
+                ),
+            )
             .unwrap();
         kernel.handle_fault(parent, va, true).unwrap();
         let (child, _, inv) = kernel.fork(parent).unwrap();
@@ -738,7 +851,12 @@ mod tests {
         // Parent's next read misses the (invalidated) shared entry but
         // re-walks successfully to the original frame.
         m.execute_access(0, parent, va, AccessKind::Read);
-        let leaf = m.kernel().space(parent).walk(m.kernel().store(), va).leaf().unwrap();
+        let leaf = m
+            .kernel()
+            .space(parent)
+            .walk(m.kernel().store(), va)
+            .leaf()
+            .unwrap();
         assert!(!leaf.0.flags.contains(PageFlags::OWNED));
     }
 
@@ -824,10 +942,21 @@ mod tests {
         let pid = kernel.spawn(group).unwrap();
         let file = kernel.register_file(64 * 4096);
         let va = kernel
-            .mmap(pid, MmapRequest::file_shared(Segment::Lib, file, 0, 64 * 4096, PageFlags::USER))
+            .mmap(
+                pid,
+                MmapRequest::file_shared(Segment::Lib, file, 0, 64 * 4096, PageFlags::USER),
+            )
             .unwrap();
         let heap = kernel
-            .mmap(pid, MmapRequest::anon(Segment::Heap, 32 * 4096, PageFlags::USER | PageFlags::WRITE, false))
+            .mmap(
+                pid,
+                MmapRequest::anon(
+                    Segment::Heap,
+                    32 * 4096,
+                    PageFlags::USER | PageFlags::WRITE,
+                    false,
+                ),
+            )
             .unwrap();
         m.prefault(pid);
         m.reset_measurement();
@@ -838,8 +967,11 @@ mod tests {
             m.execute_access(0, pid, heap.offset(page * 4096), AccessKind::Write);
         }
         let stats = m.stats();
-        assert_eq!(stats.minor_faults + stats.major_faults + stats.cow_faults, 0,
-            "prefaulted state must not fault");
+        assert_eq!(
+            stats.minor_faults + stats.major_faults + stats.cow_faults,
+            0,
+            "prefaulted state must not fault"
+        );
     }
 
     #[test]
@@ -851,7 +983,12 @@ mod tests {
         let b = kernel.spawn(group).unwrap();
         let file = kernel.register_file(4 << 20);
         let req = MmapRequest::file_shared_huge(
-            Segment::FileMap, file, 0, 4 << 20, PageFlags::USER | PageFlags::WRITE);
+            Segment::FileMap,
+            file,
+            0,
+            4 << 20,
+            PageFlags::USER | PageFlags::WRITE,
+        );
         let va = kernel.mmap(a, req).unwrap();
         kernel.mmap(b, req).unwrap();
 
@@ -860,11 +997,18 @@ mod tests {
         // further walk — the 2 MB L1 TLB structure covers it.
         let walks_after_first = m.stats().walks;
         m.execute_access(0, a, va.offset(0x12345), AccessKind::Read);
-        assert_eq!(m.stats().walks, walks_after_first, "no walk within the huge page");
+        assert_eq!(
+            m.stats().walks,
+            walks_after_first,
+            "no walk within the huge page"
+        );
         // The other container shares the L2 entry (same core).
         m.execute_access(0, b, va.offset(0x1000), AccessKind::Read);
         let stats = m.stats();
-        assert_eq!(stats.tlb.l2.data_shared_hits, 1, "B hit A's shared 2MB entry");
+        assert_eq!(
+            stats.tlb.l2.data_shared_hits, 1,
+            "B hit A's shared 2MB entry"
+        );
         assert_eq!(stats.major_faults, 1, "one chunk read for the group");
     }
 
@@ -886,7 +1030,10 @@ mod tests {
         kernel.mmap(b, req).unwrap();
         m.execute_access(0, a, va, AccessKind::Read);
         let shared = m.execute_access(0, b, va, AccessKind::Read);
-        assert!(shared <= 4, "ASLR-SW allows an L1 TLB shared hit, got {shared}");
+        assert!(
+            shared <= 4,
+            "ASLR-SW allows an L1 TLB shared hit, got {shared}"
+        );
         assert_eq!(m.stats().tlb.l1d.data_shared_hits, 1);
     }
 
@@ -897,7 +1044,15 @@ mod tests {
         let group = kernel.create_group();
         let parent = kernel.spawn(group).unwrap();
         let va = kernel
-            .mmap(parent, MmapRequest::anon(Segment::Heap, 0x2000, PageFlags::USER | PageFlags::WRITE, false))
+            .mmap(
+                parent,
+                MmapRequest::anon(
+                    Segment::Heap,
+                    0x2000,
+                    PageFlags::USER | PageFlags::WRITE,
+                    false,
+                ),
+            )
             .unwrap();
         kernel.handle_fault(parent, va, true).unwrap();
         let (child, _, inv) = kernel.fork(parent).unwrap();
@@ -927,7 +1082,10 @@ mod tests {
             let pid = kernel.spawn(g).unwrap();
             let file = kernel.register_file(4096);
             let va = kernel
-                .mmap(pid, MmapRequest::file_shared(Segment::Lib, file, 0, 4096, PageFlags::USER))
+                .mmap(
+                    pid,
+                    MmapRequest::file_shared(Segment::Lib, file, 0, 4096, PageFlags::USER),
+                )
                 .unwrap();
             (pid, va)
         };
@@ -942,7 +1100,10 @@ mod tests {
             let pid = kernel.spawn(g).unwrap();
             let file = kernel.register_file(4096);
             let va = kernel
-                .mmap(pid, MmapRequest::file_shared(Segment::Lib, file, 0, 4096, PageFlags::USER))
+                .mmap(
+                    pid,
+                    MmapRequest::file_shared(Segment::Lib, file, 0, 4096, PageFlags::USER),
+                )
                 .unwrap();
             (pid, va)
         };
@@ -971,8 +1132,69 @@ mod tests {
         m.execute_access(0, a, va, AccessKind::Read);
         m.execute_access(0, b, va, AccessKind::Read);
         let stats = m.stats();
-        assert_eq!(stats.tlb.l2.data_shared_hits, 0, "a bigger TLB still cannot share");
+        assert_eq!(
+            stats.tlb.l2.data_shared_hits, 0,
+            "a bigger TLB still cannot share"
+        );
         assert_eq!(stats.minor_faults, 1, "and B still pays its fault");
+    }
+
+    #[test]
+    fn telemetry_registry_matches_legacy_stats() {
+        let mut m = machine(Mode::babelfish());
+        let (pid, va) = process_with_file(&mut m, 8);
+        for page in 0..8u64 {
+            m.execute_access(0, pid, va.offset(page * 4096), AccessKind::Read);
+        }
+        let stats = m.stats();
+        let snap = m.telemetry_snapshot();
+        if bf_telemetry::enabled() {
+            assert_eq!(snap.counter("tlb.l1d.hits"), stats.tlb.l1d.hits());
+            assert_eq!(snap.counter("tlb.l1d.misses"), stats.tlb.l1d.misses());
+            assert_eq!(snap.counter("tlb.l2.hits"), stats.tlb.l2.hits());
+            assert_eq!(snap.counter("tlb.l2.misses"), stats.tlb.l2.misses());
+            assert_eq!(snap.counter("sim.walks"), stats.walks);
+            // Prefault-free run: the kernel fault histograms cover every
+            // machine-observed fault.
+            let faults = snap
+                .histogram("os.fault.minor_cycles")
+                .map_or(0, |h| h.count)
+                + snap
+                    .histogram("os.fault.major_cycles")
+                    .map_or(0, |h| h.count)
+                + snap.histogram("os.fault.cow_cycles").map_or(0, |h| h.count)
+                + snap
+                    .histogram("os.fault.shared_resolved_cycles")
+                    .map_or(0, |h| h.count);
+            assert_eq!(
+                faults,
+                stats.minor_faults + stats.major_faults + stats.cow_faults + stats.shared_resolved
+            );
+            assert!(!m.registry().tracer().is_empty(), "faults were traced");
+        } else {
+            assert_eq!(snap.counter("tlb.l1d.hits"), 0);
+        }
+    }
+
+    #[test]
+    fn telemetry_snapshot_windows_at_reset() {
+        let mut m = machine(Mode::babelfish());
+        let (pid, va) = process_with_file(&mut m, 4);
+        m.execute_access(0, pid, va, AccessKind::Read);
+        m.reset_measurement();
+        let snap = m.telemetry_snapshot();
+        assert_eq!(snap.counter("sim.walks"), 0, "delta restarts at reset");
+        m.execute_access(0, pid, va, AccessKind::Read);
+        let expected = if bf_telemetry::enabled() {
+            m.stats().tlb.l1d.hits()
+        } else {
+            0
+        };
+        assert_eq!(
+            m.telemetry_snapshot().counter("tlb.l1d.hits"),
+            expected,
+            "post-reset window matches the legacy view"
+        );
     }
 
     #[test]

@@ -67,9 +67,23 @@ impl LatencyStats {
     }
 }
 
+/// Serializes as a summary object (count/mean/p50/p95/p99), not the raw
+/// sample vector — results files stay bounded regardless of run length.
+impl serde::Serialize for LatencyStats {
+    fn to_value(&self) -> serde::Value {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("count".to_string(), serde::Value::U64(self.count() as u64));
+        map.insert("mean".to_string(), serde::Value::F64(self.mean()));
+        map.insert("p50".to_string(), serde::Value::U64(self.percentile(50.0)));
+        map.insert("p95".to_string(), serde::Value::U64(self.percentile(95.0)));
+        map.insert("p99".to_string(), serde::Value::U64(self.percentile(99.0)));
+        serde::Value::Object(map)
+    }
+}
+
 /// Where translation time went (useful for debugging the shape of the
 /// results; the Table II attribution itself uses the ablation modes).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct TranslationBreakdown {
     /// Cycles in TLB lookups (L1 + L2 + ASLR adder).
     pub tlb_cycles: Cycles,
@@ -98,7 +112,7 @@ impl TranslationBreakdown {
 }
 
 /// Aggregate machine statistics for one measurement window.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize)]
 pub struct MachineStats {
     /// Instructions retired (memory accesses + non-memory instructions).
     pub instructions: u64,
@@ -211,7 +225,10 @@ mod tests {
 
     #[test]
     fn mpki_and_fractions() {
-        let mut stats = MachineStats { instructions: 10_000, ..Default::default() };
+        let mut stats = MachineStats {
+            instructions: 10_000,
+            ..Default::default()
+        };
         stats.tlb.l2.data_misses = 50;
         stats.tlb.l2.instr_misses = 10;
         stats.tlb.l2.data_hits = 200;
@@ -233,7 +250,11 @@ mod tests {
             switch_cycles: 6,
         };
         assert_eq!(breakdown.total(), 21);
-        let stats = MachineStats { breakdown, instructions: 42, ..Default::default() };
+        let stats = MachineStats {
+            breakdown,
+            instructions: 42,
+            ..Default::default()
+        };
         assert_eq!(stats.cycles(), 21);
         assert!((stats.ipc() - 2.0).abs() < 1e-9);
     }

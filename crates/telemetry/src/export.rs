@@ -1,0 +1,136 @@
+//! Results-directory export: pretty JSON for whole documents, CSV for
+//! quick spreadsheet ingestion of snapshots.
+
+use crate::snapshot::Snapshot;
+use serde::Serialize;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Builds `dir/<stem>-<unix-seconds>.<ext>`, the naming convention for
+/// benchmark artifacts under `results/`.
+pub fn results_path(dir: impl AsRef<Path>, stem: &str, ext: &str) -> PathBuf {
+    let seconds = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    dir.as_ref().join(format!("{stem}-{seconds}.{ext}"))
+}
+
+/// Writes `value` as pretty-printed JSON to `path`, creating parent
+/// directories as needed.
+pub fn write_json<T: Serialize + ?Sized>(path: impl AsRef<Path>, value: &T) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(json.as_bytes())?;
+    file.write_all(b"\n")
+}
+
+/// Renders a snapshot as CSV: one `counter` row per counter and one
+/// `histogram` row per histogram (summary statistics only — the full
+/// bucket vectors live in the JSON export).
+pub fn snapshot_to_csv(snapshot: &Snapshot) -> String {
+    let mut out = String::from("kind,name,value,count,sum,min,max,mean\n");
+    for (name, value) in &snapshot.counters {
+        out.push_str(&format!("counter,{},{},,,,,\n", csv_field(name), value));
+    }
+    for (name, hist) in &snapshot.histograms {
+        let min = if hist.count == 0 {
+            String::new()
+        } else {
+            hist.min.to_string()
+        };
+        out.push_str(&format!(
+            "histogram,{},,{},{},{},{},{}\n",
+            csv_field(name),
+            hist.count,
+            hist.sum,
+            min,
+            hist.max,
+            hist.mean(),
+        ));
+    }
+    out
+}
+
+/// Writes [`snapshot_to_csv`] output to `path`, creating parent
+/// directories as needed.
+pub fn write_csv(path: impl AsRef<Path>, snapshot: &Snapshot) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, snapshot_to_csv(snapshot))
+}
+
+/// Quotes a CSV field if it contains a delimiter (metric names never
+/// should, but defend anyway).
+fn csv_field(raw: &str) -> String {
+    if raw.contains([',', '"', '\n']) {
+        format!("\"{}\"", raw.replace('"', "\"\""))
+    } else {
+        raw.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::HistogramSnapshot;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut snapshot = Snapshot::default();
+        snapshot.counters.insert("tlb.l1d.hits".into(), 42);
+        let mut hist = HistogramSnapshot {
+            count: 2,
+            sum: 30,
+            min: 10,
+            max: 20,
+            ..Default::default()
+        };
+        hist.buckets[5] = 2;
+        snapshot.histograms.insert("walk.cycles".into(), hist);
+        snapshot
+    }
+
+    #[test]
+    fn csv_has_header_and_both_row_kinds() {
+        let csv = snapshot_to_csv(&sample_snapshot());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,value,count,sum,min,max,mean");
+        assert_eq!(lines[1], "counter,tlb.l1d.hits,42,,,,,");
+        assert_eq!(lines[2], "histogram,walk.cycles,,2,30,10,20,15");
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let dir = std::env::temp_dir().join("bf-telemetry-test-export");
+        let path = dir.join("nested").join("snap.json");
+        write_json(&path, &sample_snapshot()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            value
+                .get("counters")
+                .and_then(|c| c.get("tlb.l1d.hits"))
+                .and_then(|v| v.as_u64()),
+            Some(42)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn results_path_embeds_stem_and_extension() {
+        let p = results_path("results", "fig10", "json");
+        let name = p.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            name.starts_with("fig10-") && name.ends_with(".json"),
+            "{name}"
+        );
+    }
+}

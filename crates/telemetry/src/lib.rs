@@ -1,0 +1,40 @@
+//! # bf-telemetry
+//!
+//! Observability subsystem for the BabelFish reproduction: hierarchical
+//! lock-free [`Counter`]s and log2-bucketed [`Histogram`]s behind a
+//! shared [`Registry`], a bounded ring-buffered event [`Tracer`], epoch
+//! [`Snapshot`]s with delta/merge semantics, and JSON/CSV exporters for
+//! `results/` artifacts.
+//!
+//! ## Zero overhead when off
+//!
+//! Everything hot-path lives behind the `on` cargo feature (enabled by
+//! default). With `--no-default-features` every handle ([`Counter`],
+//! [`Histogram`], [`Registry`], [`Tracer`]) becomes a zero-sized type
+//! and every record method an empty `#[inline(always)]` body, so
+//! instrumented call sites compile to the exact uninstrumented machine
+//! code. Consumer crates therefore need **no** `cfg` guards — they
+//! instrument unconditionally and let the feature decide.
+//!
+//! [`Snapshot`] and the exporters stay available in both modes (an
+//! off-mode registry just snapshots empty), so export plumbing never
+//! needs gating either.
+//!
+//! ## Naming convention
+//!
+//! Metric names are dot-separated hierarchies owned by the emitting
+//! crate: `tlb.l1d.hits`, `cache.l2.walker_misses`, `walk.depth`,
+//! `os.fault.cow_cycles`. The registry interns each name once; handles
+//! are cheap `Arc` clones that record without taking any lock.
+
+mod export;
+mod metrics;
+mod registry;
+mod snapshot;
+mod trace;
+
+pub use export::{results_path, snapshot_to_csv, write_csv, write_json};
+pub use metrics::{enabled, Counter, Histogram};
+pub use registry::Registry;
+pub use snapshot::{HistogramSnapshot, Snapshot, BUCKETS};
+pub use trace::{TraceEvent, TraceKind, Tracer};

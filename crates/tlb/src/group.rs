@@ -1,6 +1,7 @@
 //! The full per-core TLB complement of Table I: L1 I-TLB, L1 D-TLBs and
 //! unified L2 TLBs for the three page sizes.
 
+use crate::telemetry::TlbTelemetry;
 use crate::tlb::{LookupMode, LookupRequest, LookupResult, Tlb, TlbConfig, TlbFill, TlbStats};
 use bf_types::{AccessKind, Ccid, Cycles, PageSize, Pcid, Pid, VirtAddr};
 
@@ -103,7 +104,7 @@ impl TlbAccess {
 }
 
 /// Aggregated counters for the three TLB roles of a core.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct TlbGroupStats {
     /// L1 instruction TLB.
     pub l1i: TlbStats,
@@ -187,13 +188,32 @@ impl TlbGroup {
         &self.config
     }
 
+    /// Routes this core's TLB counters into `registry` under the
+    /// `tlb.l1i.*`, `tlb.l1d.*` and `tlb.l2.*` namespaces. All cores of
+    /// a machine attach to the same registry, so those counters are
+    /// machine-wide totals matching the merged [`TlbGroupStats`] view.
+    pub fn attach_telemetry(&mut self, registry: &bf_telemetry::Registry) {
+        self.l1i
+            .set_telemetry(TlbTelemetry::for_role(registry, "l1i"));
+        let l1d = TlbTelemetry::for_role(registry, "l1d");
+        for tlb in [&mut self.l1d_4k, &mut self.l1d_2m, &mut self.l1d_1g] {
+            tlb.set_telemetry(l1d.clone());
+        }
+        let l2 = TlbTelemetry::for_role(registry, "l2");
+        for tlb in [&mut self.l2_4k, &mut self.l2_2m, &mut self.l2_1g] {
+            tlb.set_telemetry(l2.clone());
+        }
+    }
+
     /// Probes the L1 level (I-TLB for fetches; the three D-TLBs for
     /// data). Returns the outcome and the 1-cycle access time.
     pub fn lookup_l1(&mut self, access: &TlbAccess) -> (LookupResult, Cycles) {
         let kind = access.kind;
         let cycles = 1;
         if kind.is_fetch() {
-            let result = self.l1i.lookup_kind(&access.request(PageSize::Size4K), kind);
+            let result = self
+                .l1i
+                .lookup_kind(&access.request(PageSize::Size4K), kind);
             return (result, cycles);
         }
         for (size, tlb) in [
@@ -206,7 +226,12 @@ impl TlbGroup {
                 return (result, cycles);
             }
         }
-        (LookupResult::Miss { bitmask_consulted: false }, cycles)
+        (
+            LookupResult::Miss {
+                bitmask_consulted: false,
+            },
+            cycles,
+        )
     }
 
     /// Probes the unified L2 level (all three page sizes in parallel).
@@ -237,7 +262,9 @@ impl TlbGroup {
         let long = self.l2_4k.config().access_cycles_long;
         let cycles = if consulted { long } else { short };
         (
-            outcome.unwrap_or(LookupResult::Miss { bitmask_consulted: consulted }),
+            outcome.unwrap_or(LookupResult::Miss {
+                bitmask_consulted: consulted,
+            }),
             cycles,
         )
     }
@@ -424,7 +451,10 @@ mod tests {
     #[test]
     fn gigabyte_pages_use_the_1g_structures() {
         let mut group = TlbGroup::new(TlbGroupConfig::baseline());
-        group.fill(AccessKind::Read, fill_for(0x40_0000_0000, 1, PageSize::Size1G));
+        group.fill(
+            AccessKind::Read,
+            fill_for(0x40_0000_0000, 1, PageSize::Size1G),
+        );
         // Anywhere within the gigabyte hits the same entry.
         let acc = access(0x40_3fff_ffff, 1, AccessKind::Read);
         let (result, _) = group.lookup_l1(&acc);
@@ -432,10 +462,16 @@ mod tests {
         // The 1G L1 structure holds only 4 entries (Table I): a fifth
         // distinct gigabyte evicts the LRU one.
         for i in 1..5u64 {
-            group.fill(AccessKind::Read, fill_for(0x40_0000_0000 + (i << 30), 1, PageSize::Size1G));
+            group.fill(
+                AccessKind::Read,
+                fill_for(0x40_0000_0000 + (i << 30), 1, PageSize::Size1G),
+            );
         }
         let (result, _) = group.lookup_l1(&access(0x40_0000_0000, 1, AccessKind::Read));
-        assert!(!result.entry_present(), "4-entry FA structure evicted the oldest");
+        assert!(
+            !result.entry_present(),
+            "4-entry FA structure evicted the oldest"
+        );
         // ...but the 16-entry L2 1G structure still holds it.
         let (result, _) = group.lookup_l2(&access(0x40_0000_0000, 1, AccessKind::Read));
         assert!(result.entry_present());
@@ -455,7 +491,10 @@ mod tests {
     #[test]
     fn huge_fetch_mappings_stay_l2_only() {
         let mut group = TlbGroup::new(TlbGroupConfig::baseline());
-        group.fill(AccessKind::Fetch, fill_for(0x4000_0000, 1, PageSize::Size2M));
+        group.fill(
+            AccessKind::Fetch,
+            fill_for(0x4000_0000, 1, PageSize::Size2M),
+        );
         let acc = access(0x4000_0000, 1, AccessKind::Fetch);
         assert!(!group.lookup_l1(&acc).0.entry_present());
         assert!(group.lookup_l2(&acc).0.entry_present());

@@ -55,8 +55,10 @@
 
 pub mod group;
 pub mod opc;
+pub mod telemetry;
 pub mod tlb;
 
 pub use group::{TlbGroup, TlbGroupConfig, TlbGroupStats};
 pub use opc::OpcField;
+pub use telemetry::TlbTelemetry;
 pub use tlb::{Hit, LookupMode, LookupRequest, LookupResult, Tlb, TlbConfig, TlbFill, TlbStats};

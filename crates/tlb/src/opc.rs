@@ -82,7 +82,10 @@ impl OpcField {
     ///
     /// Panics if `index` ≥ 32.
     pub fn pc_bit(self, index: usize) -> bool {
-        assert!(index < PC_BITMASK_BITS, "PC bitmask bit {index} out of range");
+        assert!(
+            index < PC_BITMASK_BITS,
+            "PC bitmask bit {index} out of range"
+        );
         self.pc_bitmask & (1 << index) != 0
     }
 
@@ -92,7 +95,10 @@ impl OpcField {
     ///
     /// Panics if `index` ≥ 32.
     pub fn set_pc_bit(&mut self, index: usize) {
-        assert!(index < PC_BITMASK_BITS, "PC bitmask bit {index} out of range");
+        assert!(
+            index < PC_BITMASK_BITS,
+            "PC bitmask bit {index} out of range"
+        );
         self.pc_bitmask |= 1 << index;
     }
 

@@ -1,0 +1,55 @@
+//! Telemetry handles for the TLB structures.
+
+use bf_telemetry::{Counter, Registry};
+
+/// Shared counter handles for one TLB role (`l1i`, `l1d`, `l2`).
+///
+/// Every structure of a role holds a clone of the same handle set, so
+/// registry totals aggregate across the per-page-size structures by
+/// construction. The counters are incremented at exactly the sites that
+/// update [`crate::TlbStats`], which keeps the registry view equal to
+/// the legacy stats view field for field.
+///
+/// Unattached structures hold default (standalone) handles: recording
+/// still works, it just is not visible in any registry.
+#[derive(Debug, Clone, Default)]
+pub struct TlbTelemetry {
+    /// Lookups that hit, both streams (`tlb.<role>.hits`).
+    pub hits: Counter,
+    /// Lookups that missed, both streams (`tlb.<role>.misses`).
+    pub misses: Counter,
+    /// Hits on entries loaded by a different process
+    /// (`tlb.<role>.shared_hits`).
+    pub shared_hits: Counter,
+    /// Hits on O = 1 private-copy entries (`tlb.<role>.private_copy_hits`).
+    pub private_copy_hits: Counter,
+    /// Shared → private transitions observed at fill time
+    /// (`tlb.<role>.ownership_transitions`).
+    pub ownership_transitions: Counter,
+    /// CoW faults raised from this role (`tlb.<role>.cow_faults`).
+    pub cow_faults: Counter,
+    /// Lookups that consulted the PC bitmask (`tlb.<role>.bitmask_checks`).
+    pub bitmask_checks: Counter,
+    /// Entries installed (`tlb.<role>.fills`).
+    pub fills: Counter,
+    /// Valid entries evicted (`tlb.<role>.evictions`).
+    pub evictions: Counter,
+}
+
+impl TlbTelemetry {
+    /// Handles under the `tlb.<role>.*` namespace of `registry`.
+    pub fn for_role(registry: &Registry, role: &str) -> Self {
+        let counter = |leaf: &str| registry.counter(&format!("tlb.{role}.{leaf}"));
+        TlbTelemetry {
+            hits: counter("hits"),
+            misses: counter("misses"),
+            shared_hits: counter("shared_hits"),
+            private_copy_hits: counter("private_copy_hits"),
+            ownership_transitions: counter("ownership_transitions"),
+            cow_faults: counter("cow_faults"),
+            bitmask_checks: counter("bitmask_checks"),
+            fills: counter("fills"),
+            evictions: counter("evictions"),
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! (conventional Fig. 1 and BabelFish Fig. 8).
 
 use crate::opc::OpcField;
+use crate::telemetry::TlbTelemetry;
 use bf_types::{AccessKind, Ccid, Cycles, PageFlags, PageSize, Pcid, Pid, Ppn, Vpn};
 
 /// How lookups match entries.
@@ -45,7 +46,12 @@ pub struct TlbConfig {
 impl TlbConfig {
     /// L1 data TLB, 4 KB pages: 64 entries, 4-way, 1 cycle.
     pub fn l1d_4k() -> Self {
-        TlbConfig { entries: 64, ways: 4, access_cycles_short: 1, access_cycles_long: 1 }
+        TlbConfig {
+            entries: 64,
+            ways: 4,
+            access_cycles_short: 1,
+            access_cycles_long: 1,
+        }
     }
 
     /// L1 instruction TLB, 4 KB pages: 64 entries, 4-way, 1 cycle.
@@ -55,17 +61,32 @@ impl TlbConfig {
 
     /// L1 data TLB, 2 MB pages: 32 entries, 4-way, 1 cycle.
     pub fn l1d_2m() -> Self {
-        TlbConfig { entries: 32, ways: 4, access_cycles_short: 1, access_cycles_long: 1 }
+        TlbConfig {
+            entries: 32,
+            ways: 4,
+            access_cycles_short: 1,
+            access_cycles_long: 1,
+        }
     }
 
     /// L1 data TLB, 1 GB pages: 4 entries, fully associative, 1 cycle.
     pub fn l1d_1g() -> Self {
-        TlbConfig { entries: 4, ways: 4, access_cycles_short: 1, access_cycles_long: 1 }
+        TlbConfig {
+            entries: 4,
+            ways: 4,
+            access_cycles_short: 1,
+            access_cycles_long: 1,
+        }
     }
 
     /// L2 unified TLB, 4 KB pages: 1536 entries, 12-way, 10 or 12 cycles.
     pub fn l2_4k() -> Self {
-        TlbConfig { entries: 1536, ways: 12, access_cycles_short: 10, access_cycles_long: 12 }
+        TlbConfig {
+            entries: 1536,
+            ways: 12,
+            access_cycles_short: 10,
+            access_cycles_long: 12,
+        }
     }
 
     /// L2 unified TLB, 2 MB pages: 1536 entries, 12-way, 10 or 12 cycles.
@@ -75,7 +96,12 @@ impl TlbConfig {
 
     /// L2 unified TLB, 1 GB pages: 16 entries, 4-way, 10 or 12 cycles.
     pub fn l2_1g() -> Self {
-        TlbConfig { entries: 16, ways: 4, access_cycles_short: 10, access_cycles_long: 12 }
+        TlbConfig {
+            entries: 16,
+            ways: 4,
+            access_cycles_short: 10,
+            access_cycles_long: 12,
+        }
     }
 
     /// The "larger conventional L2 TLB" of Section VII-C: the CCID + O-PC
@@ -83,7 +109,12 @@ impl TlbConfig {
     /// conventional entries instead (≈ 1.5× capacity at a similar entry
     /// footprint).
     pub fn l2_4k_larger_baseline() -> Self {
-        TlbConfig { entries: 2304, ways: 12, access_cycles_short: 10, access_cycles_long: 10 }
+        TlbConfig {
+            entries: 2304,
+            ways: 12,
+            access_cycles_short: 10,
+            access_cycles_long: 10,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -186,7 +217,7 @@ impl LookupResult {
 }
 
 /// Hit/miss counters, split by data/instruction stream for Fig. 10.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct TlbStats {
     /// Data-stream hits.
     pub data_hits: u64,
@@ -281,6 +312,7 @@ pub struct Tlb {
     sets: Vec<Vec<Entry>>,
     clock: u64,
     stats: TlbStats,
+    telem: TlbTelemetry,
 }
 
 impl Tlb {
@@ -300,7 +332,16 @@ impl Tlb {
             mode,
             clock: 0,
             stats: TlbStats::default(),
+            telem: TlbTelemetry::default(),
         }
+    }
+
+    /// Routes this structure's counters into a shared telemetry handle
+    /// set (see [`crate::TlbGroup::attach_telemetry`]). Structures of a
+    /// role share clones of one set, so registry totals aggregate across
+    /// page sizes automatically.
+    pub fn set_telemetry(&mut self, telem: TlbTelemetry) {
+        self.telem = telem;
     }
 
     /// The geometry this TLB was built with.
@@ -344,7 +385,7 @@ impl Tlb {
         let set_index = (req.vpn.raw() % self.sets.len() as u64) as usize;
         let mode = self.mode;
         let mut bitmask_consulted = false;
-        let mut outcome: Option<(usize, Hit)> = None;
+        let mut outcome: Option<(usize, Hit, bool)> = None;
 
         for (way_index, entry) in self.sets[set_index].iter().enumerate() {
             if !entry.valid || entry.vpn != req.vpn {
@@ -390,21 +431,26 @@ impl Tlb {
                 shared: entry.loader != req.pid,
                 bitmask_consulted,
             };
-            outcome = Some((way_index, hit));
+            outcome = Some((way_index, hit, entry.opc.is_owned()));
             break;
         }
 
         if bitmask_consulted {
             self.stats.bitmask_checks += 1;
+            self.telem.bitmask_checks.incr();
         }
 
         match outcome {
-            Some((way_index, hit)) => {
+            Some((way_index, hit, owned_entry)) => {
                 self.sets[set_index][way_index].last_used = clock;
+                if owned_entry && mode == LookupMode::BabelFish {
+                    self.telem.private_copy_hits.incr();
+                }
                 // Fig. 8 step 5: a write to a CoW page raises a fault even
                 // though the translation is present.
                 if req.is_write && hit.flags.contains(PageFlags::COW) {
                     self.stats.cow_faults += 1;
+                    self.telem.cow_faults.incr();
                     self.count_hit(kind, hit.shared);
                     LookupResult::CowFault(hit)
                 } else {
@@ -428,6 +474,15 @@ impl Tlb {
         let set_index = (fill.vpn.raw() % self.sets.len() as u64) as usize;
         let mode = self.mode;
         let set = &mut self.sets[set_index];
+
+        // A private copy arriving while the group's shared entry is
+        // resident marks a shared → private ownership transition for
+        // this VPN (the CoW protocol of Section III-A).
+        let ownership_transition = mode == LookupMode::BabelFish
+            && fill.owned
+            && set
+                .iter()
+                .any(|e| e.valid && e.vpn == fill.vpn && e.ccid == fill.ccid && !e.opc.is_owned());
 
         let same_identity = |e: &Entry| {
             e.valid
@@ -454,6 +509,7 @@ impl Tlb {
                 .map(|(i, _)| i)
                 .expect("set has at least one way");
             self.stats.evictions += 1;
+            self.telem.evictions.incr();
             i
         };
 
@@ -480,6 +536,10 @@ impl Tlb {
             last_used: clock,
         };
         self.stats.fills += 1;
+        self.telem.fills.incr();
+        if ownership_transition {
+            self.telem.ownership_transitions.incr();
+        }
     }
 
     /// Invalidates the *shared* (O = 0) entry for a VPN in a CCID group —
@@ -533,6 +593,10 @@ impl Tlb {
     }
 
     fn count_hit(&mut self, kind: AccessKind, shared: bool) {
+        self.telem.hits.incr();
+        if shared {
+            self.telem.shared_hits.incr();
+        }
         if kind.is_fetch() {
             self.stats.instr_hits += 1;
             if shared {
@@ -547,6 +611,7 @@ impl Tlb {
     }
 
     fn count_miss(&mut self, kind: AccessKind) {
+        self.telem.misses.incr();
         if kind.is_fetch() {
             self.stats.instr_misses += 1;
         } else {
@@ -676,7 +741,10 @@ mod tests {
         r.pc_bit = Some(0);
         let result = tlb.lookup(&r);
         let hit = result.hit().unwrap();
-        assert!(!hit.bitmask_consulted, "ORPC=0 must short-circuit (Fig. 5b)");
+        assert!(
+            !hit.bitmask_consulted,
+            "ORPC=0 must short-circuit (Fig. 5b)"
+        );
         assert_eq!(tlb.stats().bitmask_checks, 0);
     }
 
@@ -748,7 +816,12 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         // 2-entry, 2-way single-set TLB.
-        let config = TlbConfig { entries: 2, ways: 2, access_cycles_short: 1, access_cycles_long: 1 };
+        let config = TlbConfig {
+            entries: 2,
+            ways: 2,
+            access_cycles_short: 1,
+            access_cycles_long: 1,
+        };
         let mut tlb = Tlb::new(config, LookupMode::Conventional);
         tlb.fill(fill(1, 1, 0, 1));
         tlb.fill(fill(2, 1, 0, 1));
@@ -803,8 +876,16 @@ mod tests {
 
     #[test]
     fn stats_merge_adds_fields() {
-        let mut a = TlbStats { data_hits: 1, instr_misses: 2, ..Default::default() };
-        let b = TlbStats { data_hits: 3, cow_faults: 1, ..Default::default() };
+        let mut a = TlbStats {
+            data_hits: 1,
+            instr_misses: 2,
+            ..Default::default()
+        };
+        let b = TlbStats {
+            data_hits: 3,
+            cow_faults: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.data_hits, 4);
         assert_eq!(a.instr_misses, 2);

@@ -61,7 +61,11 @@ impl Pcid {
     ///
     /// Panics if `raw` does not fit in [`Pcid::BITS`] bits.
     pub fn new(raw: u16) -> Self {
-        assert!(raw < (1 << Self::BITS), "PCID {raw} exceeds {} bits", Self::BITS);
+        assert!(
+            raw < (1 << Self::BITS),
+            "PCID {raw} exceeds {} bits",
+            Self::BITS
+        );
         Pcid(raw)
     }
 
@@ -108,7 +112,11 @@ impl Ccid {
     ///
     /// Panics if `raw` does not fit in [`Ccid::BITS`] bits.
     pub fn new(raw: u16) -> Self {
-        assert!(raw < (1 << Self::BITS), "CCID {raw} exceeds {} bits", Self::BITS);
+        assert!(
+            raw < (1 << Self::BITS),
+            "CCID {raw} exceeds {} bits",
+            Self::BITS
+        );
         Ccid(raw)
     }
 

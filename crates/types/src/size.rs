@@ -10,8 +10,7 @@
 /// assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
 /// assert_eq!(PageSize::Size2M.base_pages(), 512);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum PageSize {
     /// 4 KB base page (PTE leaf).
     #[default]
@@ -54,7 +53,6 @@ impl PageSize {
         !matches!(self, PageSize::Size4K)
     }
 }
-
 
 impl std::fmt::Display for PageSize {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -39,8 +39,14 @@ impl GraphCompute {
     ///
     /// Panics if the layout has no dataset or heap.
     pub fn new(layout: ContainerLayout, seed: u64) -> Self {
-        assert!(!layout.dataset.is_empty(), "graph compute requires a dataset (the graph)");
-        assert!(!layout.heap.is_empty(), "graph compute requires a heap (edge buffers)");
+        assert!(
+            !layout.dataset.is_empty(),
+            "graph compute requires a dataset (the graph)"
+        );
+        assert!(
+            !layout.heap.is_empty(),
+            "graph compute requires a heap (edge buffers)"
+        );
         GraphCompute {
             fetcher: CodeFetcher::new(layout.code_regions(), 0.05),
             rng: StdRng::seed_from_u64(seed),
@@ -92,7 +98,11 @@ impl Workload for GraphCompute {
             _ => {
                 let pages = (self.layout.heap.pages() / 2).max(1);
                 let page = self.rng.gen_range(0..pages);
-                let kind = if self.rng.gen_bool(0.6) { AccessKind::Write } else { AccessKind::Read };
+                let kind = if self.rng.gen_bool(0.6) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 Op::Access {
                     va: self.layout.heap.page(page),
                     kind,
@@ -175,7 +185,11 @@ impl Workload for FioCompute {
         }
         let page = self.run_page + (Self::RUN_PAGES - self.run_remaining) as u64;
         self.run_remaining -= 1;
-        let kind = if self.rng.gen_bool(0.3) { AccessKind::Write } else { AccessKind::Read };
+        let kind = if self.rng.gen_bool(0.3) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         Op::Access {
             va: self.layout.dataset.page(page % self.layout.dataset.pages()),
             kind,
@@ -217,10 +231,19 @@ mod tests {
         let mut fetches = 0;
         for _ in 0..1_000 {
             match graph.next_op() {
-                Op::Access { va, kind: AccessKind::Read, .. }
-                    if va >= lay.dataset.start => dataset_reads += 1,
-                Op::Access { kind: AccessKind::Write, .. } => heap_writes += 1,
-                Op::Access { kind: AccessKind::Fetch, .. } => fetches += 1,
+                Op::Access {
+                    va,
+                    kind: AccessKind::Read,
+                    ..
+                } if va >= lay.dataset.start => dataset_reads += 1,
+                Op::Access {
+                    kind: AccessKind::Write,
+                    ..
+                } => heap_writes += 1,
+                Op::Access {
+                    kind: AccessKind::Fetch,
+                    ..
+                } => fetches += 1,
                 _ => {}
             }
         }
@@ -234,11 +257,20 @@ mod tests {
         let mut graph = GraphCompute::new(layout(), 1);
         let mut pages = std::collections::HashSet::new();
         for _ in 0..2_000 {
-            if let Op::Access { va, kind: AccessKind::Read, .. } = graph.next_op() {
+            if let Op::Access {
+                va,
+                kind: AccessKind::Read,
+                ..
+            } = graph.next_op()
+            {
                 pages.insert(va.raw() >> 12);
             }
         }
-        assert!(pages.len() > 500, "neighbour lookups spread wide: {}", pages.len());
+        assert!(
+            pages.len() > 500,
+            "neighbour lookups spread wide: {}",
+            pages.len()
+        );
     }
 
     #[test]
@@ -286,7 +318,11 @@ mod tests {
         let a = collect(1);
         let b = collect(2);
         let overlap = a.intersection(&b).count();
-        assert!(overlap * 3 > a.len(), "aligned runs share many pages: {overlap}/{}", a.len());
+        assert!(
+            overlap * 3 > a.len(),
+            "aligned runs share many pages: {overlap}/{}",
+            a.len()
+        );
     }
 
     #[test]

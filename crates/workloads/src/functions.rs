@@ -20,8 +20,11 @@ pub enum FunctionKind {
 
 impl FunctionKind {
     /// All three functions, the set co-scheduled on each core.
-    pub const ALL: [FunctionKind; 3] =
-        [FunctionKind::Parse, FunctionKind::Hash, FunctionKind::Marshal];
+    pub const ALL: [FunctionKind; 3] = [
+        FunctionKind::Parse,
+        FunctionKind::Hash,
+        FunctionKind::Marshal,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -134,7 +137,10 @@ impl FunctionWorkload {
         layout: ContainerLayout,
         seed: u64,
     ) -> Self {
-        assert!(!layout.dataset.is_empty(), "functions need the shared input mapping");
+        assert!(
+            !layout.dataset.is_empty(),
+            "functions need the shared input mapping"
+        );
         assert!(!layout.heap.is_empty(), "functions need a heap");
         let rng = StdRng::seed_from_u64(seed);
         // Every function reads the same mounted input from the start
@@ -279,7 +285,12 @@ mod tests {
             let mut f = FunctionWorkload::new(FunctionKind::Hash, density, layout(), 2);
             let mut pages = std::collections::HashSet::new();
             for op in run_to_done(&mut f) {
-                if let Op::Access { va, kind: AccessKind::Read, .. } = op {
+                if let Op::Access {
+                    va,
+                    kind: AccessKind::Read,
+                    ..
+                } = op
+                {
                     pages.insert(va.raw() >> 12);
                 }
             }
@@ -300,10 +311,21 @@ mod tests {
             let mut f = FunctionWorkload::new(FunctionKind::Marshal, density, layout(), 3);
             run_to_done(&mut f)
                 .iter()
-                .filter(|op| matches!(op, Op::Access { kind: AccessKind::Read, .. }))
+                .filter(|op| {
+                    matches!(
+                        op,
+                        Op::Access {
+                            kind: AccessKind::Read,
+                            ..
+                        }
+                    )
+                })
                 .count()
         };
-        assert_eq!(count_reads(AccessDensity::Dense), count_reads(AccessDensity::Sparse));
+        assert_eq!(
+            count_reads(AccessDensity::Dense),
+            count_reads(AccessDensity::Sparse)
+        );
     }
 
     #[test]
@@ -312,7 +334,11 @@ mod tests {
         let reads: Vec<u64> = run_to_done(&mut f)
             .iter()
             .filter_map(|op| match op {
-                Op::Access { va, kind: AccessKind::Read, .. } => Some(va.raw() >> 12),
+                Op::Access {
+                    va,
+                    kind: AccessKind::Read,
+                    ..
+                } => Some(va.raw() >> 12),
                 _ => None,
             })
             .collect();
@@ -327,13 +353,22 @@ mod tests {
         let mut f = FunctionWorkload::new(FunctionKind::Hash, AccessDensity::Dense, lay.clone(), 5);
         let mut lib_fetches = 0;
         for op in run_to_done(&mut f) {
-            if let Op::Access { va, kind: AccessKind::Fetch, .. } = op {
-                if va >= lay.libs[0].start && va.raw() < lay.libs[0].start.raw() + lay.libs[0].bytes {
+            if let Op::Access {
+                va,
+                kind: AccessKind::Fetch,
+                ..
+            } = op
+            {
+                if va >= lay.libs[0].start && va.raw() < lay.libs[0].start.raw() + lay.libs[0].bytes
+                {
                     lib_fetches += 1;
                 }
             }
         }
-        assert!(lib_fetches > 0, "initialisation touches the shared libraries");
+        assert!(
+            lib_fetches > 0,
+            "initialisation touches the shared libraries"
+        );
     }
 
     #[test]

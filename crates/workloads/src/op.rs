@@ -116,7 +116,8 @@ impl CodeFetcher {
                 self.current_page = (self.current_page + 1) % self.total_pages;
             }
         }
-        self.page_addr(self.current_page).offset(self.offset_in_page)
+        self.page_addr(self.current_page)
+            .offset(self.offset_in_page)
     }
 
     /// Total code pages covered.

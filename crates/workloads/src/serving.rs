@@ -31,8 +31,11 @@ pub enum ServingVariant {
 
 impl ServingVariant {
     /// All variants, in the paper's reporting order.
-    pub const ALL: [ServingVariant; 3] =
-        [ServingVariant::MongoDb, ServingVariant::ArangoDb, ServingVariant::Httpd];
+    pub const ALL: [ServingVariant; 3] = [
+        ServingVariant::MongoDb,
+        ServingVariant::ArangoDb,
+        ServingVariant::Httpd,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -146,7 +149,10 @@ impl DataServing {
     ///
     /// Panics if the layout has no dataset or heap.
     pub fn new(variant: ServingVariant, layout: ContainerLayout, seed: u64) -> Self {
-        assert!(!layout.dataset.is_empty(), "data serving requires a dataset");
+        assert!(
+            !layout.dataset.is_empty(),
+            "data serving requires a dataset"
+        );
         assert!(!layout.heap.is_empty(), "data serving requires a heap");
         let profile = variant.profile();
         let zipf = ZipfianGenerator::new(layout.dataset.pages(), profile.zipf_theta);
@@ -283,7 +289,15 @@ mod tests {
         let profile = ServingVariant::MongoDb.profile();
         let fetches = ops
             .iter()
-            .filter(|op| matches!(op, Op::Access { kind: AccessKind::Fetch, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    Op::Access {
+                        kind: AccessKind::Fetch,
+                        ..
+                    }
+                )
+            })
             .count() as u32;
         assert_eq!(fetches, profile.request_fetches);
         assert_eq!(
@@ -298,7 +312,12 @@ mod tests {
         let lay = layout();
         let mut workload = DataServing::new(ServingVariant::ArangoDb, lay.clone(), 2);
         for _ in 0..500 {
-            if let Op::Access { va, kind: AccessKind::Read, .. } = workload.next_op() {
+            if let Op::Access {
+                va,
+                kind: AccessKind::Read,
+                ..
+            } = workload.next_op()
+            {
                 let in_dataset = va >= lay.dataset.start
                     && va.raw() < lay.dataset.start.raw() + lay.dataset.bytes;
                 let in_heap =
@@ -316,7 +335,12 @@ mod tests {
         let pages = |w: &mut DataServing| -> std::collections::HashSet<u64> {
             let mut set = std::collections::HashSet::new();
             for _ in 0..2_000 {
-                if let Op::Access { va, kind: AccessKind::Read, .. } = w.next_op() {
+                if let Op::Access {
+                    va,
+                    kind: AccessKind::Read,
+                    ..
+                } = w.next_op()
+                {
                     set.insert(va.raw() >> 12);
                 }
             }

@@ -47,7 +47,13 @@ impl ZipfianGenerator {
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
         let _ = zeta2; // folded into eta
-        ZipfianGenerator { items, theta, alpha, zetan, eta }
+        ZipfianGenerator {
+            items,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     /// Number of items.
@@ -81,7 +87,9 @@ impl ZipfianGenerator {
         if n <= exact_limit {
             (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
         } else {
-            let head: f64 = (1..=exact_limit).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let head: f64 = (1..=exact_limit)
+                .map(|i| 1.0 / (i as f64).powf(theta))
+                .sum();
             // Integral tail approximation.
             let tail = ((n as f64).powf(1.0 - theta) - (exact_limit as f64).powf(1.0 - theta))
                 / (1.0 - theta);

@@ -21,10 +21,17 @@ fn main() {
     let heap = kernel
         .mmap(
             parent,
-            MmapRequest::anon(Segment::Heap, 0x4000, PageFlags::USER | PageFlags::WRITE, false),
+            MmapRequest::anon(
+                Segment::Heap,
+                0x4000,
+                PageFlags::USER | PageFlags::WRITE,
+                false,
+            ),
         )
         .expect("mmap");
-    kernel.handle_fault(parent, heap, true).expect("first touch");
+    kernel
+        .handle_fault(parent, heap, true)
+        .expect("first touch");
     let (child, fork_cost, _) = kernel.fork(parent).expect("fork");
     println!("forked {child} from {parent} in {fork_cost} kernel cycles");
 
@@ -40,7 +47,10 @@ fn main() {
     // The child writes: the BabelFish CoW protocol runs.
     let resolution = kernel.handle_fault(child, heap, true).expect("CoW");
     println!("\nchild wrote the CoW page:");
-    println!("  kind: {:?}, cost: {} cycles", resolution.kind, resolution.cost);
+    println!(
+        "  kind: {:?}, cost: {} cycles",
+        resolution.kind, resolution.cost
+    );
     for inv in &resolution.invalidations {
         match inv {
             Invalidation::Shared { va, ccid } => println!(
@@ -58,8 +68,18 @@ fn main() {
         "  MaskPage bitmask for this 2MB region: {:#034b}",
         kernel.pc_bitmask(group, heap)
     );
-    let child_leaf = kernel.space(child).walk(kernel.store(), heap).leaf().unwrap().0;
-    let parent_leaf = kernel.space(parent).walk(kernel.store(), heap).leaf().unwrap().0;
+    let child_leaf = kernel
+        .space(child)
+        .walk(kernel.store(), heap)
+        .leaf()
+        .unwrap()
+        .0;
+    let parent_leaf = kernel
+        .space(parent)
+        .walk(kernel.store(), heap)
+        .leaf()
+        .unwrap()
+        .0;
     println!(
         "  child now owns {} (O bit: {}), parent still shares {}",
         child_leaf.ppn,
@@ -69,7 +89,12 @@ fn main() {
     let parent_pmd = kernel.space(parent).walk(kernel.store(), heap);
     println!(
         "  parent's pmd_t ORPC bit: {} (hardware now loads the PC bitmask)",
-        parent_pmd.pmd_step().unwrap().value.flags.contains(PageFlags::ORPC)
+        parent_pmd
+            .pmd_step()
+            .unwrap()
+            .value
+            .flags
+            .contains(PageFlags::ORPC)
     );
 
     // Push past the 32-writer limit: the Appendix fallback.
@@ -107,7 +132,10 @@ fn main() {
         .space(parent)
         .table_at(kernel.store(), heap, PageTableLevel::Pte)
         .unwrap();
-    println!("\nparent's PTE table {table} has {} sharers", kernel.store().sharers(table));
+    println!(
+        "\nparent's PTE table {table} has {} sharers",
+        kernel.store().sharers(table)
+    );
     for pid in kernel.group_members(group) {
         kernel.exit(pid);
     }

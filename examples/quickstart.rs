@@ -54,12 +54,20 @@ fn main() {
     machine.attach(
         CoreId::new(0),
         first.pid(),
-        Box::new(DataServing::new(ServingVariant::MongoDb, first.layout().clone(), 1)),
+        Box::new(DataServing::new(
+            ServingVariant::MongoDb,
+            first.layout().clone(),
+            1,
+        )),
     );
     machine.attach(
         CoreId::new(0),
         second.pid(),
-        Box::new(DataServing::new(ServingVariant::MongoDb, second.layout().clone(), 2)),
+        Box::new(DataServing::new(
+            ServingVariant::MongoDb,
+            second.layout().clone(),
+            2,
+        )),
     );
     machine.run_instructions(200_000);
 
@@ -75,5 +83,8 @@ fn main() {
         stats.minor_faults, stats.major_faults, stats.shared_resolved
     );
     println!("  requests completed:      {}", stats.latency.count());
-    println!("  mean request latency:    {:.0} cycles", stats.latency.mean());
+    println!(
+        "  mean request latency:    {:.0} cycles",
+        stats.latency.mean()
+    );
 }

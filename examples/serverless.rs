@@ -16,7 +16,10 @@ fn main() {
         let bf = run_functions(Mode::babelfish(), density, &cfg);
 
         println!("== {} functions ==", density.name());
-        println!("{:<10} {:>14} {:>14} {:>9}", "function", "baseline", "babelfish", "gain");
+        println!(
+            "{:<10} {:>14} {:>14} {:>9}",
+            "function", "baseline", "babelfish", "gain"
+        );
         for ((name, b), (_, f)) in base.exec_cycles.iter().zip(bf.exec_cycles.iter()) {
             println!(
                 "{:<10} {:>13}c {:>13}c {:>8.1}%",
@@ -26,15 +29,17 @@ fn main() {
                 (1.0 - *f as f64 / *b as f64) * 100.0
             );
         }
-        println!(
-            "(the leading function is cold in both systems; the paper reports the others)"
-        );
+        println!("(the leading function is cold in both systems; the paper reports the others)");
         println!(
             "follower mean: {:.0}c -> {:.0}c ({:.1}% reduction; paper: {}%)\n",
             base.follower_mean_exec(),
             bf.follower_mean_exec(),
             (1.0 - bf.follower_mean_exec() / base.follower_mean_exec()) * 100.0,
-            if density == AccessDensity::Dense { 10 } else { 55 },
+            if density == AccessDensity::Dense {
+                10
+            } else {
+                55
+            },
         );
         println!(
             "bring-up mean: {:.0}c -> {:.0}c ({:.1}% reduction; paper: 8%)\n",

@@ -1,0 +1,203 @@
+//! Offline `#[derive(Serialize)]` for the vendored serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which cannot be fetched in this offline environment). Supports the
+//! two shapes the workspace derives on:
+//!
+//! * structs with named fields → a JSON object keyed by field name;
+//! * enums whose variants all carry no data → a JSON string of the
+//!   variant name.
+//!
+//! Generic parameters, tuple structs, and data-carrying enum variants
+//! are rejected with a compile error — hand-write the impl for those
+//! (see `Mode` in `bf-sim` for an example).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim trait) for a named-field struct
+/// or a fieldless enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("generated impl must parse"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error must parse"),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut index = 0;
+
+    // Skip attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(index) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => index += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                index += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(index) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        index += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let shape = match tokens.get(index) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum keyword, found {other:?}")),
+    };
+    index += 1;
+
+    let name = match tokens.get(index) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    index += 1;
+
+    if matches!(tokens.get(index), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "#[derive(Serialize)] shim does not support generics on `{name}`"
+        ));
+    }
+
+    let body = match tokens.get(index) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "#[derive(Serialize)] shim supports only braced structs/enums (`{name}`)"
+            ))
+        }
+    };
+
+    match shape.as_str() {
+        "struct" => {
+            let fields = named_fields(body)?;
+            if fields.is_empty() {
+                return Err(format!("`{name}` has no named fields to serialize"));
+            }
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert({f:?}.to_owned(), serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            Ok(format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut map = std::collections::BTreeMap::new();\n\
+                         {inserts}\
+                         serde::Value::Object(map)\n\
+                     }}\n\
+                 }}"
+            ))
+        }
+        "enum" => {
+            let variants = unit_variants(&name, body)?;
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::String({v:?}.to_owned()),\n"))
+                .collect();
+            Ok(format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            ))
+        }
+        other => Err(format!("cannot derive Serialize for `{other}` items")),
+    }
+}
+
+/// Field names of a named-field struct body, tolerating attributes,
+/// visibility, and generic types containing commas (angle-bracket depth
+/// is tracked; `->` in type position is not supported).
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut at_field_start = true;
+    let mut pending_name: Option<String> = None;
+    let mut tokens = body.into_iter().peekable();
+
+    while let Some(token) = tokens.next() {
+        match &token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '#' if at_field_start => {
+                    tokens.next(); // the [...] group
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if pending_name.is_some() => {
+                    fields.push(pending_name.take().expect("checked above"));
+                    at_field_start = false;
+                }
+                ',' if angle_depth == 0 => at_field_start = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if at_field_start => {
+                let word = id.to_string();
+                if word == "pub" {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                } else {
+                    pending_name = Some(word);
+                    at_field_start = false;
+                    // Expect the very next token to be ':'.
+                    match tokens.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == ':' => {
+                            fields.push(pending_name.take().expect("just set"));
+                        }
+                        other => {
+                            return Err(format!(
+                                "unsupported struct shape near {other:?} (tuple struct?)"
+                            ))
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(fields)
+}
+
+/// Variant names of a fieldless enum body; data-carrying variants are an
+/// error.
+fn unit_variants(name: &str, body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut at_variant_start = true;
+    let mut tokens = body.into_iter().peekable();
+
+    while let Some(token) = tokens.next() {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '#' && at_variant_start => {
+                tokens.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => at_variant_start = true,
+            TokenTree::Ident(id) if at_variant_start => {
+                variants.push(id.to_string());
+                at_variant_start = false;
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    return Err(format!(
+                        "#[derive(Serialize)] shim cannot handle data-carrying variant \
+                         `{name}::{id}` — hand-write the impl"
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    if variants.is_empty() {
+        return Err(format!("`{name}` has no variants to serialize"));
+    }
+    Ok(variants)
+}

@@ -20,7 +20,11 @@ fn serving_improves_latency_and_mpki() {
     for variant in ServingVariant::ALL {
         let base = run_serving(Mode::Baseline, variant, &cfg);
         let bf = run_serving(Mode::babelfish(), variant, &cfg);
-        assert!(base.stats.latency.count() > 10, "{}: requests ran", variant.name());
+        assert!(
+            base.stats.latency.count() > 10,
+            "{}: requests ran",
+            variant.name()
+        );
         assert!(
             bf.mean_latency < base.mean_latency,
             "{}: mean latency must improve ({} vs {})",
@@ -36,7 +40,11 @@ fn serving_improves_latency_and_mpki() {
         // Fig. 10b: BabelFish serves a sizable share of L2 hits from
         // entries other processes loaded; the baseline cannot, by
         // construction.
-        assert!(bf.stats.l2_data_shared_hit_fraction() > 0.0, "{}", variant.name());
+        assert!(
+            bf.stats.l2_data_shared_hit_fraction() > 0.0,
+            "{}",
+            variant.name()
+        );
         assert_eq!(base.stats.tlb.l2.data_shared_hits, 0);
     }
 }
@@ -74,7 +82,10 @@ fn functions_gain_more_when_sparse() {
     let dense = reduction(AccessDensity::Dense);
     let sparse = reduction(AccessDensity::Sparse);
     assert!(dense > 0.0, "dense functions gain ({dense})");
-    assert!(sparse > dense, "sparse gains dominate ({sparse} vs {dense})");
+    assert!(
+        sparse > dense,
+        "sparse gains dominate ({sparse} vs {dense})"
+    );
 }
 
 #[test]
@@ -115,7 +126,10 @@ fn ablation_modes_bracket_the_full_design() {
     let pt = run_functions(Mode::babelfish_pt_only(), density, &cfg).follower_mean_exec();
     let full = run_functions(Mode::babelfish(), density, &cfg).follower_mean_exec();
     assert!(pt < base, "page-table sharing alone helps sparse functions");
-    assert!(full <= pt * 1.05, "the full design keeps the page-table gains");
+    assert!(
+        full <= pt * 1.05,
+        "the full design keeps the page-table gains"
+    );
 }
 
 #[test]
@@ -143,7 +157,10 @@ fn determinism_same_seed_same_result() {
     let cfg = cfg();
     let a = run_serving(Mode::babelfish(), ServingVariant::Httpd, &cfg);
     let b = run_serving(Mode::babelfish(), ServingVariant::Httpd, &cfg);
-    assert_eq!(a.exec_cycles, b.exec_cycles, "runs are a pure function of the seed");
+    assert_eq!(
+        a.exec_cycles, b.exec_cycles,
+        "runs are a pure function of the seed"
+    );
     assert_eq!(a.stats.instructions, b.stats.instructions);
     assert_eq!(a.stats.tlb.l2.data_misses, b.stats.tlb.l2.data_misses);
 }

@@ -40,7 +40,13 @@ fn setup(mode: Mode) -> Scenario {
     let warm = kernel.spawn(other_group).unwrap();
     let warm_va = kernel.mmap(warm, req).unwrap();
     kernel.handle_fault(warm, warm_va, false).unwrap();
-    Scenario { machine, a, b, c, vpn0 }
+    Scenario {
+        machine,
+        a,
+        b,
+        c,
+        vpn0,
+    }
 }
 
 #[test]
@@ -62,7 +68,11 @@ fn conventional_every_container_pays_full_price() {
     s.machine.execute_access(0, s.c, s.vpn0, AccessKind::Read);
     let after_c = s.machine.stats();
     assert_eq!(after_c.minor_faults, 3, "C suffers its own minor fault");
-    assert_eq!(after_c.tlb.l2.hits(), 0, "no one reuses anyone's TLB entries");
+    assert_eq!(
+        after_c.tlb.l2.hits(),
+        0,
+        "no one reuses anyone's TLB entries"
+    );
 }
 
 #[test]
@@ -80,7 +90,10 @@ fn babelfish_b_reuses_tables_c_reuses_tlb() {
     s.machine.execute_access(1, s.b, s.vpn0, AccessKind::Read);
     let after_b = s.machine.stats();
     assert_eq!(after_b.minor_faults, 1, "B does not suffer a minor fault");
-    assert_eq!(after_b.shared_resolved, 1, "B merely attached the shared table");
+    assert_eq!(
+        after_b.shared_resolved, 1,
+        "B merely attached the shared table"
+    );
 
     // C on core 0: hits the TLB entry A brought in — no walk at all.
     // (C's tables never even map the page: the TLB entry alone serves.)
@@ -89,8 +102,14 @@ fn babelfish_b_reuses_tables_c_reuses_tlb() {
     let after_c = s.machine.stats();
     assert_eq!(after_c.minor_faults, 1, "C does not fault either");
     assert_eq!(after_c.walks, walks_before_c, "C performs no page walk");
-    assert_eq!(after_c.tlb.l2.data_shared_hits, 1, "C hits A's shared L2 entry");
-    assert!(latency_c < 40, "a very fast translation ({latency_c} cycles)");
+    assert_eq!(
+        after_c.tlb.l2.data_shared_hits, 1,
+        "C hits A's shared L2 entry"
+    );
+    assert!(
+        latency_c < 40,
+        "a very fast translation ({latency_c} cycles)"
+    );
 }
 
 #[test]
@@ -98,13 +117,18 @@ fn babelfish_walk_is_served_from_shared_caches() {
     // Compare B's walk latency across architectures: BabelFish's walk
     // hits cache lines A's walker brought into the shared L3.
     let mut conventional = setup(Mode::Baseline);
-    conventional.machine.execute_access(0, conventional.a, conventional.vpn0, AccessKind::Read);
-    let conv_b = conventional
+    conventional
         .machine
-        .execute_access(1, conventional.b, conventional.vpn0, AccessKind::Read);
+        .execute_access(0, conventional.a, conventional.vpn0, AccessKind::Read);
+    let conv_b =
+        conventional
+            .machine
+            .execute_access(1, conventional.b, conventional.vpn0, AccessKind::Read);
 
     let mut babelfish = setup(Mode::babelfish());
-    babelfish.machine.execute_access(0, babelfish.a, babelfish.vpn0, AccessKind::Read);
+    babelfish
+        .machine
+        .execute_access(0, babelfish.a, babelfish.vpn0, AccessKind::Read);
     let bf_b = babelfish
         .machine
         .execute_access(1, babelfish.b, babelfish.vpn0, AccessKind::Read);
