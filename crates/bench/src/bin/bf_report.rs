@@ -1,0 +1,7 @@
+//! Thin CLI wrapper over [`bf_bench::report`]: diff two results JSON
+//! documents or gate a run against a committed baseline.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(bf_bench::report::run_cli(&args));
+}

@@ -159,7 +159,11 @@ fn main() {
             Value::Array(rows.iter().map(row_to_value).collect()),
         ),
     ]);
-    let path = bf_telemetry::results_path("results", "fig10_tlb", "json");
-    bf_telemetry::write_json(&path, &doc).expect("writing results JSON");
-    println!("\nwrote {}", path.display());
+    let (stamped, latest) =
+        bf_bench::write_results("fig10_tlb", &doc).expect("writing results JSON");
+    println!("\nwrote {} (and {})", latest.display(), stamped.display());
+
+    if let Some(trace) = bf_bench::write_trace_artifact("fig10_tlb", &cfg) {
+        println!("wrote {} (load at ui.perfetto.dev)", trace.display());
+    }
 }

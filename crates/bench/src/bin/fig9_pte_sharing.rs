@@ -118,7 +118,7 @@ fn main() {
             ]),
         ),
     ]);
-    let path = bf_telemetry::results_path("results", "fig9_pte_sharing", "json");
-    bf_telemetry::write_json(&path, &doc).expect("writing results JSON");
-    println!("\nwrote {}", path.display());
+    let (stamped, latest) =
+        bf_bench::write_results("fig9_pte_sharing", &doc).expect("writing results JSON");
+    println!("\nwrote {} (and {})", latest.display(), stamped.display());
 }

@@ -7,8 +7,12 @@
 //! Binaries accept an optional `--quick` flag to run the smoke-test
 //! configuration instead of the full scaled one.
 
-use babelfish::experiment::ExperimentConfig;
+use babelfish::experiment::{run_serving_machine, ExperimentConfig};
+use babelfish::{Mode, ServingVariant};
 use serde::Value;
+use std::path::{Path, PathBuf};
+
+pub mod report;
 
 /// Percentage reduction of `new` relative to `base` (positive = better).
 ///
@@ -25,14 +29,68 @@ pub fn reduction_pct(base: f64, new: f64) -> f64 {
     }
 }
 
-/// Picks the experiment configuration from the process arguments
-/// (`--quick` selects the smoke-test size).
+/// Picks the experiment configuration from the process arguments:
+/// `--quick` selects the smoke-test size, and `--trace[=N]` (or the
+/// `BF_TRACE=N` environment variable) turns on span tracing of every
+/// Nth memory access.
 pub fn config_from_args() -> ExperimentConfig {
-    if std::env::args().any(|a| a == "--quick") {
+    let mut cfg = if std::env::args().any(|a| a == "--quick") {
         ExperimentConfig::smoke_test()
     } else {
         ExperimentConfig::paper_scaled()
+    };
+    cfg.trace_sample_every = trace_sample_from_args();
+    cfg
+}
+
+/// Default sampling interval for a bare `--trace` flag.
+pub const DEFAULT_TRACE_SAMPLE: u64 = 64;
+
+/// Span-trace sampling interval from the process arguments/environment:
+/// `--trace` (every [`DEFAULT_TRACE_SAMPLE`]th access), `--trace=N`, or
+/// `BF_TRACE=N`. Returns 0 (tracing off) when none is given.
+pub fn trace_sample_from_args() -> u64 {
+    for arg in std::env::args() {
+        if arg == "--trace" {
+            return DEFAULT_TRACE_SAMPLE;
+        }
+        if let Some(n) = arg.strip_prefix("--trace=") {
+            return n.parse().unwrap_or(DEFAULT_TRACE_SAMPLE);
+        }
     }
+    std::env::var("BF_TRACE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Writes `doc` under `results/` twice: a timestamped archival copy and
+/// a stable `<stem>-latest.json` overwritten on every run, which tooling
+/// (and the CI regression gate) can point at. Returns
+/// `(timestamped, latest)`.
+pub fn write_results(stem: &str, doc: &Value) -> std::io::Result<(PathBuf, PathBuf)> {
+    let stamped = bf_telemetry::results_path("results", stem, "json");
+    bf_telemetry::write_json(&stamped, doc)?;
+    let latest = Path::new("results").join(format!("{stem}-latest.json"));
+    bf_telemetry::write_json(&latest, doc)?;
+    Ok((stamped, latest))
+}
+
+/// Runs one traced BabelFish data-serving window and writes its Chrome
+/// trace-event JSON to `results/trace-<name>.json` (load it at
+/// `ui.perfetto.dev` or `chrome://tracing`). Returns `None` when tracing
+/// is off (`cfg.trace_sample_every == 0`) or telemetry is compiled out.
+pub fn write_trace_artifact(name: &str, cfg: &ExperimentConfig) -> Option<PathBuf> {
+    if cfg.trace_sample_every == 0 || !bf_telemetry::enabled() {
+        return None;
+    }
+    let machine = run_serving_machine(Mode::babelfish(), ServingVariant::MongoDb, cfg);
+    let path = Path::new("results").join(format!("trace-{name}.json"));
+    machine
+        .spans()
+        .write_chrome_trace(&path)
+        .expect("writing trace JSON");
+    Some(path)
 }
 
 /// Prints a rule-of-dashes header.

@@ -1,0 +1,516 @@
+//! `bf-report`: diff two results/telemetry JSON documents and gate on
+//! regressions.
+//!
+//! The figure binaries write nested JSON documents (stats, telemetry
+//! snapshots, derived figures). This module flattens such a document
+//! into dotted-path metrics — histograms become `.count`/`.mean`/
+//! `.p50`/`.p90`/`.p99` — so two runs can be compared metric by metric:
+//!
+//! ```text
+//! bf-report diff  results/fig10_tlb-latest.json results/fig10_tlb-old.json
+//! bf-report check ci/baseline/fig10_tlb-quick.json results/fig10_tlb-latest.json \
+//!     --gate 'mongodb.d_mpki_reduction_pct=-25%'
+//! ```
+//!
+//! `check` exits non-zero when any gated metric moves past its
+//! threshold: `name=+P%` fails when the metric *rises* more than P %
+//! above the baseline (for metrics where up is bad, e.g. MPKI);
+//! `name=-P%` fails when it *falls* more than P % below (for metrics
+//! where down is bad, e.g. a reduction percentage).
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Flattens a results document into `dotted.path -> f64` metrics.
+///
+/// Objects recurse with `.key` segments; arrays of objects use the
+/// element's `app`/`name` field as the segment when present (the shape
+/// the figure binaries emit for their `rows`), else the index. Objects
+/// carrying both `count` and `buckets` are treated as histogram
+/// snapshots and summarised into count/mean/percentiles instead of
+/// being walked bucket by bucket.
+pub fn flatten(doc: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    walk(doc, String::new(), &mut out);
+    out
+}
+
+fn walk(value: &Value, path: String, out: &mut BTreeMap<String, f64>) {
+    match value {
+        Value::Object(map) => {
+            if map.contains_key("count") && map.contains_key("buckets") {
+                flatten_histogram(map, &path, out);
+                return;
+            }
+            for (key, child) in map {
+                walk(child, join(&path, key), out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let segment = item
+                    .get("app")
+                    .or_else(|| item.get("name"))
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| i.to_string());
+                walk(item, join(&path, &segment), out);
+            }
+        }
+        _ => {
+            if let Some(n) = value.as_f64() {
+                out.insert(path, n);
+            }
+        }
+    }
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_owned()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+/// Summarises one histogram snapshot (the `bf-telemetry` log2-bucket
+/// export: bucket 0 holds the value 0, bucket `i` holds
+/// `[2^(i-1), 2^i)`).
+fn flatten_histogram(map: &BTreeMap<String, Value>, path: &str, out: &mut BTreeMap<String, f64>) {
+    let count = map.get("count").and_then(Value::as_f64).unwrap_or(0.0);
+    out.insert(join(path, "count"), count);
+    if let Some(mean) = map.get("mean").and_then(Value::as_f64) {
+        out.insert(join(path, "mean"), mean);
+    }
+    let buckets: Vec<u64> = map
+        .get("buckets")
+        .and_then(Value::as_array)
+        .map(|a| a.iter().filter_map(Value::as_u64).collect())
+        .unwrap_or_default();
+    for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+        out.insert(join(path, label), bucket_percentile(&buckets, q));
+    }
+}
+
+/// The `q`-quantile upper bound from log2 bucket counts (bucket `i`'s
+/// representative value is `2^i - 1`; bucket 0 is exactly 0).
+fn bucket_percentile(buckets: &[u64], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (q * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= target {
+            return if i == 0 {
+                0.0
+            } else {
+                ((1u64 << i) - 1) as f64
+            };
+        }
+    }
+    ((1u64 << (buckets.len() - 1)) - 1) as f64
+}
+
+/// One metric's movement between two documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Dotted metric path.
+    pub name: String,
+    /// Value in the first (baseline) document, if present.
+    pub base: Option<f64>,
+    /// Value in the second (current) document, if present.
+    pub current: Option<f64>,
+}
+
+impl DiffRow {
+    /// Relative change in percent (`+` = current larger). `None` when
+    /// either side is missing or the baseline is zero with movement.
+    pub fn ratio_pct(&self) -> Option<f64> {
+        let (base, current) = (self.base?, self.current?);
+        if base == 0.0 {
+            return if current == 0.0 { Some(0.0) } else { None };
+        }
+        Some((current - base) / base.abs() * 100.0)
+    }
+
+    /// Sort key: biggest relative movers first, metrics that appeared or
+    /// vanished (or moved off a zero baseline) ahead of everything.
+    fn magnitude(&self) -> f64 {
+        self.ratio_pct().map_or(f64::INFINITY, f64::abs)
+    }
+}
+
+/// Flattens both documents and returns every metric whose value moved
+/// (or exists on only one side), biggest relative movement first.
+pub fn diff(base: &Value, current: &Value) -> Vec<DiffRow> {
+    let base = flatten(base);
+    let current = flatten(current);
+    let mut names: Vec<&String> = base.keys().chain(current.keys()).collect();
+    names.sort();
+    names.dedup();
+    let mut rows: Vec<DiffRow> = names
+        .into_iter()
+        .map(|name| DiffRow {
+            name: name.clone(),
+            base: base.get(name).copied(),
+            current: current.get(name).copied(),
+        })
+        .filter(|row| row.base != row.current)
+        .collect();
+    rows.sort_by(|a, b| {
+        b.magnitude()
+            .partial_cmp(&a.magnitude())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    rows
+}
+
+/// Renders the top `top` diff rows as an aligned text table.
+pub fn render_diff(rows: &[DiffRow], top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<56} {:>14} {:>14} {:>9}",
+        "metric", "base", "current", "change"
+    );
+    for row in rows.iter().take(top) {
+        let fmt = |v: Option<f64>| v.map_or("-".to_owned(), |n| format!("{n:.3}"));
+        let change = row
+            .ratio_pct()
+            .map_or("new/gone".to_owned(), |p| format!("{p:+.1}%"));
+        let _ = writeln!(
+            out,
+            "{:<56} {:>14} {:>14} {:>9}",
+            row.name,
+            fmt(row.base),
+            fmt(row.current),
+            change
+        );
+    }
+    if rows.len() > top {
+        let _ = writeln!(out, "... and {} more changed metrics", rows.len() - top);
+    }
+    out
+}
+
+/// Which direction of movement a [`Gate`] treats as a regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateDirection {
+    /// `name=+P%`: fail when the metric rises more than P % (up is bad).
+    RiseIsBad,
+    /// `name=-P%`: fail when the metric falls more than P % (down is bad).
+    FallIsBad,
+}
+
+/// A regression threshold on one metric, parsed from `name=+10%` /
+/// `name=-20%`. `name` matches a flattened path exactly or as a
+/// `.`-separated suffix (`d_mpki_reduction_pct` matches every row's
+/// reduction metric).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// Metric name (exact dotted path or suffix).
+    pub name: String,
+    /// Regression direction.
+    pub direction: GateDirection,
+    /// Allowed movement in percent before the gate fails.
+    pub tolerance_pct: f64,
+}
+
+impl Gate {
+    /// Parses a `name=+P%` / `name=-P%` specification.
+    pub fn parse(spec: &str) -> Result<Gate, String> {
+        let (name, bound) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("gate '{spec}': expected name=+P% or name=-P%"))?;
+        let bound = bound.strip_suffix('%').unwrap_or(bound);
+        let (direction, digits) = match bound.as_bytes().first() {
+            Some(b'+') => (GateDirection::RiseIsBad, &bound[1..]),
+            Some(b'-') => (GateDirection::FallIsBad, &bound[1..]),
+            _ => {
+                return Err(format!(
+                    "gate '{spec}': threshold must start with + (rise is bad) or - (fall is bad)"
+                ))
+            }
+        };
+        let tolerance_pct: f64 = digits
+            .parse()
+            .map_err(|_| format!("gate '{spec}': bad threshold '{digits}'"))?;
+        if name.is_empty() || tolerance_pct < 0.0 {
+            return Err(format!("gate '{spec}': empty name or negative threshold"));
+        }
+        Ok(Gate {
+            name: name.to_owned(),
+            direction,
+            tolerance_pct,
+        })
+    }
+
+    fn matches(&self, path: &str) -> bool {
+        path == self.name || path.ends_with(&format!(".{}", self.name))
+    }
+}
+
+/// One gate evaluated against one matching metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateResult {
+    /// The flattened metric path the gate matched.
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed movement in percent.
+    pub change_pct: f64,
+    /// Whether the movement exceeded the gate's tolerance in the bad
+    /// direction.
+    pub failed: bool,
+}
+
+/// Evaluates `gates` over the two documents. Errors when a gate matches
+/// no metric present in both documents (a misspelt gate must not pass
+/// silently).
+pub fn check(base: &Value, current: &Value, gates: &[Gate]) -> Result<Vec<GateResult>, String> {
+    let base = flatten(base);
+    let current = flatten(current);
+    let mut results = Vec::new();
+    for gate in gates {
+        let mut matched = false;
+        for (path, &b) in &base {
+            if !gate.matches(path) {
+                continue;
+            }
+            let Some(&c) = current.get(path) else {
+                return Err(format!(
+                    "gate '{}': metric '{path}' missing from current document",
+                    gate.name
+                ));
+            };
+            matched = true;
+            let change_pct = if b == 0.0 {
+                if c == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY * (c - b).signum()
+                }
+            } else {
+                (c - b) / b.abs() * 100.0
+            };
+            let failed = match gate.direction {
+                GateDirection::RiseIsBad => change_pct > gate.tolerance_pct,
+                GateDirection::FallIsBad => change_pct < -gate.tolerance_pct,
+            };
+            results.push(GateResult {
+                metric: path.clone(),
+                base: b,
+                current: c,
+                change_pct,
+                failed,
+            });
+        }
+        if !matched {
+            return Err(format!("gate '{}': no metric matches", gate.name));
+        }
+    }
+    Ok(results)
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e:?}"))
+}
+
+/// The `bf-report` command line: `diff <a> <b> [--top N]` or
+/// `check <baseline> <current> --gate SPEC...`. Returns the process
+/// exit code (0 ok, 1 regression, 2 usage/IO error).
+pub fn run_cli(args: &[String]) -> i32 {
+    match run(args) {
+        Ok(regressed) => {
+            if regressed {
+                1
+            } else {
+                0
+            }
+        }
+        Err(message) => {
+            eprintln!("bf-report: {message}");
+            2
+        }
+    }
+}
+
+const USAGE: &str = "usage: bf-report diff <base.json> <current.json> [--top N]\n       bf-report check <baseline.json> <current.json> --gate 'name=+P%' [--gate ...] [--top N]";
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut mode = None;
+    let mut files = Vec::new();
+    let mut gates = Vec::new();
+    let mut top = 20usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "diff" | "--diff" if mode.is_none() => mode = Some("diff"),
+            "check" | "--check" if mode.is_none() => mode = Some("check"),
+            "--gate" => {
+                let spec = iter.next().ok_or("--gate needs a specification")?;
+                gates.push(Gate::parse(spec)?);
+            }
+            "--top" => {
+                let n = iter.next().ok_or("--top needs a number")?;
+                top = n.parse().map_err(|_| format!("bad --top '{n}'"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other if !other.starts_with("--") => files.push(other.to_owned()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    let mode = mode.ok_or(USAGE)?;
+    let [base_path, current_path] = files.as_slice() else {
+        return Err(format!(
+            "expected two JSON files, got {}\n{USAGE}",
+            files.len()
+        ));
+    };
+    let base = load(base_path)?;
+    let current = load(current_path)?;
+
+    let rows = diff(&base, &current);
+    print!("{}", render_diff(&rows, top));
+    if mode == "diff" {
+        return Ok(false);
+    }
+
+    if gates.is_empty() {
+        return Err("check mode needs at least one --gate".to_owned());
+    }
+    let results = check(&base, &current, &gates)?;
+    let mut regressed = false;
+    println!();
+    for r in &results {
+        let verdict = if r.failed { "FAIL" } else { "ok" };
+        regressed |= r.failed;
+        println!(
+            "{verdict:>4}  {:<56} {:>12.3} -> {:>12.3} ({:+.1}%)",
+            r.metric, r.base, r.current, r.change_pct
+        );
+    }
+    if regressed {
+        println!("\nregression gate FAILED");
+    } else {
+        println!("\nall gates passed");
+    }
+    Ok(regressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json_object;
+
+    fn doc(mpki: f64, reduction: f64) -> Value {
+        json_object([(
+            "rows",
+            Value::Array(vec![json_object([
+                ("app", Value::String("mongodb".to_owned())),
+                ("d_mpki", Value::F64(mpki)),
+                ("d_mpki_reduction_pct", Value::F64(reduction)),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn flatten_uses_app_names_and_histograms() {
+        let doc = json_object([
+            (
+                "rows",
+                Value::Array(vec![json_object([
+                    ("app", Value::String("fio".to_owned())),
+                    ("x", Value::U64(7)),
+                ])]),
+            ),
+            (
+                "latency",
+                json_object([
+                    ("count", Value::U64(4)),
+                    ("mean", Value::F64(2.5)),
+                    (
+                        "buckets",
+                        Value::Array(vec![
+                            Value::U64(1), // value 0
+                            Value::U64(1), // value 1
+                            Value::U64(2), // values 2..4
+                        ]),
+                    ),
+                ]),
+            ),
+        ]);
+        let flat = flatten(&doc);
+        assert_eq!(flat.get("rows.fio.x"), Some(&7.0));
+        assert_eq!(flat.get("latency.count"), Some(&4.0));
+        assert_eq!(flat.get("latency.p50"), Some(&1.0));
+        assert_eq!(flat.get("latency.p99"), Some(&3.0));
+        assert!(
+            !flat.keys().any(|k| k.starts_with("latency.buckets")),
+            "histograms are summarised, not walked"
+        );
+    }
+
+    #[test]
+    fn diff_ranks_biggest_movers_first() {
+        let a = json_object([("x", Value::F64(100.0)), ("y", Value::F64(10.0))]);
+        let b = json_object([("x", Value::F64(101.0)), ("y", Value::F64(20.0))]);
+        let rows = diff(&a, &b);
+        assert_eq!(rows[0].name, "y");
+        assert_eq!(rows[0].ratio_pct(), Some(100.0));
+        assert_eq!(rows[1].name, "x");
+    }
+
+    #[test]
+    fn gate_parses_both_directions() {
+        let up = Gate::parse("mpki=+10%").unwrap();
+        assert_eq!(up.direction, GateDirection::RiseIsBad);
+        assert_eq!(up.tolerance_pct, 10.0);
+        let down = Gate::parse("reduction=-25").unwrap();
+        assert_eq!(down.direction, GateDirection::FallIsBad);
+        assert!(Gate::parse("nope").is_err());
+        assert!(Gate::parse("x=10%").is_err(), "sign is required");
+    }
+
+    #[test]
+    fn seeded_regression_trips_the_gate() {
+        // Baseline reduction 60 %, current collapses to 20 %: a 66 %
+        // relative fall, far past the 25 % tolerance.
+        let baseline = doc(2.0, 60.0);
+        let current = doc(2.1, 20.0);
+        let gates = [Gate::parse("d_mpki_reduction_pct=-25%").unwrap()];
+        let results = check(&baseline, &current, &gates).unwrap();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].failed);
+
+        // Small wobble stays inside the tolerance.
+        let ok = check(&baseline, &doc(2.1, 55.0), &gates).unwrap();
+        assert!(!ok[0].failed);
+    }
+
+    #[test]
+    fn misspelt_gate_is_an_error_not_a_pass() {
+        let baseline = doc(2.0, 60.0);
+        let gates = [Gate::parse("no_such_metric=-25%").unwrap()];
+        assert!(check(&baseline, &baseline, &gates).is_err());
+    }
+
+    #[test]
+    fn rise_is_bad_gate_catches_mpki_growth() {
+        let baseline = doc(2.0, 60.0);
+        let worse = doc(3.0, 60.0); // +50 % MPKI
+        let gates = [Gate::parse("d_mpki=+10%").unwrap()];
+        let results = check(&baseline, &worse, &gates).unwrap();
+        assert!(results[0].failed);
+        let better = doc(1.0, 60.0); // falling MPKI never fails a + gate
+        assert!(!check(&baseline, &better, &gates).unwrap()[0].failed);
+    }
+}

@@ -158,6 +158,7 @@ pub struct CacheHierarchy {
     walks_served_l3: u64,
     walks_served_dram: u64,
     telem: HierarchyTelemetry,
+    spans: bf_telemetry::SpanTracer,
 }
 
 impl CacheHierarchy {
@@ -185,6 +186,7 @@ impl CacheHierarchy {
             walks_served_l3: 0,
             walks_served_dram: 0,
             telem: HierarchyTelemetry::default(),
+            spans: bf_telemetry::SpanTracer::new(),
         }
     }
 
@@ -198,6 +200,7 @@ impl CacheHierarchy {
     /// …).
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.telem = HierarchyTelemetry::from_registry(registry);
+        self.spans = registry.spans();
     }
 
     /// Serves one access and returns its latency in CPU cycles.
@@ -240,6 +243,7 @@ impl CacheHierarchy {
                     &self.telem.l1d_hits
                 };
                 hits.incr();
+                self.spans.instant("cache.l1.hit", &[]);
                 return latency;
             }
             let misses = if is_fetch {
@@ -260,6 +264,7 @@ impl CacheHierarchy {
             } else {
                 self.fill_l1(c, kind, line);
             }
+            self.spans.instant("cache.l2.hit", &[]);
             return latency;
         }
         self.telem.l2_misses.incr();
@@ -275,6 +280,7 @@ impl CacheHierarchy {
             } else {
                 self.fill_l1(c, kind, line);
             }
+            self.spans.instant("cache.l3.hit", &[]);
             return latency;
         }
         self.telem.l3_misses.incr();
@@ -290,6 +296,7 @@ impl CacheHierarchy {
         } else {
             self.fill_l1(c, kind, line);
         }
+        self.spans.instant("cache.dram", &[]);
         latency
     }
 

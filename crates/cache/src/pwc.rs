@@ -83,6 +83,7 @@ pub struct PageWalkCache {
     stats: PwcStats,
     telem_hits: Counter,
     telem_misses: Counter,
+    spans: bf_telemetry::SpanTracer,
 }
 
 impl PageWalkCache {
@@ -107,6 +108,7 @@ impl PageWalkCache {
             stats: PwcStats::default(),
             telem_hits: Counter::new(),
             telem_misses: Counter::new(),
+            spans: bf_telemetry::SpanTracer::new(),
         }
     }
 
@@ -121,6 +123,7 @@ impl PageWalkCache {
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.telem_hits = registry.counter("pwc.hits");
         self.telem_misses = registry.counter("pwc.misses");
+        self.spans = registry.spans();
     }
 
     /// Hit/miss counters.
@@ -142,17 +145,30 @@ impl PageWalkCache {
         let set_count = sets.len() as u64;
         let key = entry_addr.raw() / 8;
         let set = &mut sets[(key % set_count) as usize];
-        for way in set.iter_mut() {
+        let hit = set.iter_mut().any(|way| {
             if way.valid && way.tag == key {
                 way.last_used = clock;
-                self.stats.hits += 1;
-                self.telem_hits.incr();
-                return true;
+                true
+            } else {
+                false
             }
+        });
+        let depth = match level {
+            PageTableLevel::Pgd => 0,
+            PageTableLevel::Pud => 1,
+            PageTableLevel::Pmd => 2,
+            PageTableLevel::Pte => unreachable!("level_sets rejected PTE"),
+        };
+        if hit {
+            self.stats.hits += 1;
+            self.telem_hits.incr();
+            self.spans.instant("pwc.hit", &[("level", depth)]);
+        } else {
+            self.stats.misses += 1;
+            self.telem_misses.incr();
+            self.spans.instant("pwc.miss", &[("level", depth)]);
         }
-        self.stats.misses += 1;
-        self.telem_misses.incr();
-        false
+        hit
     }
 
     /// Inserts the entry at `entry_addr` for `level` (LRU replacement).

@@ -90,6 +90,8 @@ pub struct ExperimentConfig {
     /// requires scaling the quantum too, or co-located containers never
     /// interleave at all within the measurement.
     pub quantum_cycles: u64,
+    /// Span-trace every Nth memory access (0 disables span tracing).
+    pub trace_sample_every: u64,
 }
 
 impl ExperimentConfig {
@@ -105,6 +107,7 @@ impl ExperimentConfig {
             seed: 0x5eed,
             frames: 1 << 21, // 8 GB
             quantum_cycles: 100_000,
+            trace_sample_every: 0,
         }
     }
 
@@ -120,6 +123,7 @@ impl ExperimentConfig {
             seed: 0x5eed,
             frames: 1 << 20, // 4 GB
             quantum_cycles: 40_000,
+            trace_sample_every: 0,
         }
     }
 }
@@ -189,7 +193,9 @@ impl FunctionsResult {
 }
 
 fn sim_config(mode: Mode, cfg: &ExperimentConfig, thp: bool) -> SimConfig {
-    let mut sim = SimConfig::new(cfg.cores, mode).with_frames(cfg.frames);
+    let mut sim = SimConfig::new(cfg.cores, mode)
+        .with_frames(cfg.frames)
+        .with_trace_sampling(cfg.trace_sample_every);
     sim.quantum_cycles = cfg.quantum_cycles;
     if !thp {
         sim = sim.without_thp();

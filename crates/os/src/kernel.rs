@@ -343,6 +343,8 @@ struct KernelTelemetry {
     /// Shared with every MaskPage (same cell as the table store's
     /// `pgtable.maskpage_cow_marks`).
     cow_marks: Counter,
+    /// Span tracer for fault/CoW/MaskPage events on sampled accesses.
+    spans: bf_telemetry::SpanTracer,
 }
 
 impl KernelTelemetry {
@@ -355,6 +357,7 @@ impl KernelTelemetry {
             spurious_cycles: registry.histogram("os.fault.spurious_cycles"),
             fork_cycles: registry.histogram("os.fork.cycles"),
             cow_marks: registry.counter("pgtable.maskpage_cow_marks"),
+            spans: registry.spans(),
         }
     }
 
@@ -758,6 +761,18 @@ impl Kernel {
         self.telem
             .fault_cycles(resolution.kind)
             .record(resolution.cost);
+        // Retrospective span: the cost is only known now, so emit a
+        // complete begin/end pair covering the kernel time.
+        let span_name = match resolution.kind {
+            FaultKind::Minor => "os.fault.minor",
+            FaultKind::Major => "os.fault.major",
+            FaultKind::Cow => "os.fault.cow",
+            FaultKind::SharedResolved => "os.fault.shared_resolved",
+            FaultKind::Spurious => "os.fault.spurious",
+        };
+        self.telem
+            .spans
+            .span(span_name, resolution.cost, &[("va", va.raw())]);
         Ok(resolution)
     }
 
@@ -1150,6 +1165,9 @@ impl Kernel {
             let base = va.align_down(PageSize::Size2M);
             proc.space
                 .write_leaf(&mut self.store, base, size, EntryValue::new(run, flags));
+            self.telem
+                .spans
+                .instant("os.cow.thp_copy", &[("va", va.raw())]);
             return Ok(FaultResolution {
                 kind: FaultKind::Cow,
                 cost: self.config.cow_fault_cycles + self.config.thp_cow_copy_cycles,
@@ -1191,6 +1209,9 @@ impl Kernel {
         // Allocate the private copy of the written page and redirect the
         // (now private) leaf.
         let copy = self.store.frames.alloc().ok_or(FaultError::OutOfMemory)?;
+        self.telem
+            .spans
+            .instant("os.cow.private_copy", &[("va", va.raw())]);
         let mut flags = leaf.flags.without(PageFlags::COW) | PageFlags::WRITE | PageFlags::PRESENT;
         if owned {
             flags |= PageFlags::OWNED;
@@ -1249,6 +1270,10 @@ impl Kernel {
             match maskpage.assign_bit(pid) {
                 Ok(bit) => {
                     maskpage.set_bit(va.pmd_index(), bit);
+                    self.telem.spans.instant(
+                        "os.maskpage.mark",
+                        &[("bit", bit as u64), ("pmd", va.pmd_index() as u64)],
+                    );
                 }
                 Err(_) => {
                     self.stats.maskpage_overflows += 1;

@@ -184,6 +184,10 @@ impl AddressSpace {
         }
         store.telemetry().walks.incr();
         store.telemetry().walk_depth.record(steps.len() as u64);
+        store
+            .telemetry()
+            .spans
+            .instant("pgtable.walk", &[("levels", steps.len() as u64)]);
         WalkResult { steps }
     }
 

@@ -6,7 +6,7 @@
 //! (crate::AddressSpace::walk), which only sees `&TableStore`, can record
 //! through the shared `&self` handles.
 
-use bf_telemetry::{Counter, Histogram, Registry};
+use bf_telemetry::{Counter, Histogram, Registry, SpanTracer};
 
 /// Recording handles for page-table events. Default handles are
 /// detached (registry-less); [`PgtableTelemetry::attach`] routes them
@@ -24,6 +24,8 @@ pub struct PgtableTelemetry {
     /// PC-bitmask bits set — one per MaskPage CoW privatisation event
     /// (`pgtable.maskpage_cow_marks`).
     pub cow_marks: Counter,
+    /// Span tracer for per-walk instants on sampled accesses.
+    pub spans: SpanTracer,
 }
 
 impl PgtableTelemetry {
@@ -35,6 +37,7 @@ impl PgtableTelemetry {
             tables_allocated: registry.counter("pgtable.tables_allocated"),
             tables_freed: registry.counter("pgtable.tables_freed"),
             cow_marks: registry.counter("pgtable.maskpage_cow_marks"),
+            spans: registry.spans(),
         }
     }
 }

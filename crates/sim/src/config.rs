@@ -196,6 +196,8 @@ pub struct SimConfig {
     pub memory_overlap: f64,
     /// Kernel cost-model overrides (derived from `mode` by default).
     pub kernel: KernelConfig,
+    /// Span-trace every Nth memory access (0 disables span tracing).
+    pub trace_sample_every: u64,
 }
 
 impl SimConfig {
@@ -212,6 +214,7 @@ impl SimConfig {
             aslr_transform_cycles: 2,
             memory_overlap: 0.6,
             kernel: mode.kernel_config(),
+            trace_sample_every: 0,
         }
     }
 
@@ -225,6 +228,12 @@ impl SimConfig {
     /// Disables THP (the MongoDB/ArangoDB configurations — Section VI).
     pub fn without_thp(mut self) -> Self {
         self.kernel.thp = false;
+        self
+    }
+
+    /// Enables span tracing of every `every`-th memory access (0 = off).
+    pub fn with_trace_sampling(mut self, every: u64) -> Self {
+        self.trace_sample_every = every;
         self
     }
 }

@@ -7,7 +7,9 @@ use bf_cache::{AccessOrigin, CacheHierarchy, PageWalkCache};
 use bf_containers::{BringupProfile, Container};
 use bf_os::{FaultKind, Invalidation, Kernel, SchedDecision, Scheduler};
 use bf_pgtable::WalkResult;
-use bf_telemetry::{Counter, Histogram, Registry, Snapshot, TraceEvent, TraceKind};
+use bf_telemetry::{
+    Counter, Histogram, Registry, Snapshot, SpanTracer, SpanTrack, TraceEvent, TraceKind,
+};
 use bf_tlb::group::TlbAccess;
 use bf_tlb::{LookupResult, TlbFill, TlbGroup};
 use bf_types::{AccessKind, CoreId, Cycles, PageFlags, PageSize, PageTableLevel, Pid, VirtAddr};
@@ -63,6 +65,10 @@ pub struct Machine {
     shared_resolved: u64,
     registry: Registry,
     telem: SimTelemetry,
+    /// The registry's span tracer; the machine owns the clock, so it
+    /// runs the sampling gate and advances the trace cursor as each
+    /// pipeline stage of a sampled access completes.
+    spans: SpanTracer,
     /// Registry state at the last [`Machine::reset_measurement`];
     /// [`Machine::telemetry_snapshot`] reports the delta since then.
     telemetry_baseline: Snapshot,
@@ -88,6 +94,10 @@ impl Machine {
     /// Builds the machine for `config` over a caller-provided registry
     /// (e.g. one with a larger trace-ring capacity).
     pub fn with_registry(config: SimConfig, registry: Registry) -> Self {
+        let spans = registry.spans();
+        if config.trace_sample_every > 0 {
+            spans.set_sampling(config.trace_sample_every);
+        }
         let cores = (0..config.cores)
             .map(|_| {
                 let mut tlbs = TlbGroup::new(config.mode.tlb_config());
@@ -127,6 +137,7 @@ impl Machine {
             cow_faults: 0,
             shared_resolved: 0,
             telem: SimTelemetry::attach(&registry),
+            spans,
             telemetry_baseline: registry.snapshot(),
             registry,
             config,
@@ -136,6 +147,12 @@ impl Machine {
     /// The machine-wide telemetry registry.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The machine-wide span tracer (empty unless
+    /// [`SimConfig::trace_sample_every`] is non-zero).
+    pub fn spans(&self) -> SpanTracer {
+        self.registry.spans()
     }
 
     /// Telemetry snapshot of the current measurement window: counter and
@@ -393,10 +410,23 @@ impl Machine {
             kind,
         };
 
+        // Sampling gate: latches whether this access is span-traced.
+        // Every trace call below is a no-op for unsampled accesses.
+        let clock_base = self.cores[core_index].clock;
+        self.spans.sample_access(
+            SpanTrack::new(access.ccid.raw() as u32, pid.raw()),
+            clock_base,
+        );
+        self.spans
+            .begin("access", &[("va", va.raw()), ("write", is_write as u64)]);
+
         // --- L1 TLB ---
+        self.spans.begin("tlb.l1", &[]);
         let (l1_result, l1_cycles) = self.cores[core_index].tlbs.lookup_l1(&access);
         cycles += l1_cycles;
         self.breakdown.tlb_cycles += l1_cycles;
+        self.spans.set_now(clock_base + cycles);
+        self.spans.end();
 
         let mut translated: Option<(bf_types::Ppn, PageSize)> = None;
         let mut faulted_cow_hit = false;
@@ -411,10 +441,14 @@ impl Machine {
             if self.config.mode.aslr_transformation() {
                 cycles += self.config.aslr_transform_cycles;
                 self.breakdown.tlb_cycles += self.config.aslr_transform_cycles;
+                self.spans.set_now(clock_base + cycles);
             }
+            self.spans.begin("tlb.l2", &[]);
             let (l2_result, l2_cycles) = self.cores[core_index].tlbs.lookup_l2(&access);
             cycles += l2_cycles;
             self.breakdown.tlb_cycles += l2_cycles;
+            self.spans.set_now(clock_base + cycles);
+            self.spans.end();
             match l2_result {
                 LookupResult::Hit(hit) => {
                     // Refill the L1 from the L2 entry.
@@ -429,12 +463,15 @@ impl Machine {
 
         // --- CoW fault raised from a TLB hit (Fig. 8 step 6) ---
         if faulted_cow_hit {
+            // The kernel emits its own retrospective fault span starting
+            // at the current trace cursor.
             let resolution = self
                 .kernel
                 .handle_fault(pid, va, is_write)
                 .expect("CoW fault resolution failed");
             cycles += resolution.cost;
             self.breakdown.fault_cycles += resolution.cost;
+            self.spans.set_now(clock_base + cycles);
             self.count_fault(resolution.kind);
             self.trace_fault(core_index, cycles, &access, resolution.kind);
             pending_invalidations.extend(resolution.invalidations.iter().copied());
@@ -451,11 +488,14 @@ impl Machine {
                     attempts <= 4,
                     "fault loop did not converge at {va} for {pid}"
                 );
+                self.spans.begin("walk", &[("attempt", attempts)]);
                 let (walk_cycles, walk) = self.hardware_walk(core_index, pid, va);
                 cycles += walk_cycles;
                 self.breakdown.walk_cycles += walk_cycles;
                 self.walks += 1;
                 self.telem.walks.incr();
+                self.spans.set_now(clock_base + cycles);
+                self.spans.end();
 
                 let leaf = walk.leaf();
                 let cow_write = leaf
@@ -483,6 +523,7 @@ impl Machine {
                     .unwrap_or_else(|e| panic!("unresolvable fault at {va} for {pid}: {e}"));
                 cycles += resolution.cost;
                 self.breakdown.fault_cycles += resolution.cost;
+                self.spans.set_now(clock_base + cycles);
                 self.count_fault(resolution.kind);
                 self.trace_fault(core_index, cycles, &access, resolution.kind);
                 self.apply_invalidations(&resolution.invalidations);
@@ -493,6 +534,7 @@ impl Machine {
         let (ppn, size) = translated.expect("translation must have succeeded");
         let paddr = ppn.base_addr().offset(va.page_offset(size));
         let now = self.cores[core_index].clock + cycles;
+        self.spans.begin("mem", &[]);
         let raw_mem = self
             .hierarchy
             .access(core_id, paddr, kind, AccessOrigin::Core, now);
@@ -503,6 +545,32 @@ impl Machine {
             .max(1.0) as Cycles;
         cycles += mem_cycles;
         self.breakdown.memory_cycles += mem_cycles;
+        self.spans.set_now(clock_base + cycles);
+        self.spans.end();
+        self.spans.end(); // closes "access"
+
+        // Counter tracks, sampled once per traced access. The guard
+        // skips the occupancy walks entirely for unsampled accesses (and
+        // compiles them out when telemetry is off).
+        if self.spans.is_active() {
+            let track = SpanTrack::machine(core_index as u32);
+            self.spans.counter(
+                track,
+                "tlb.occupancy",
+                self.cores[core_index].tlbs.resident_entries() as u64,
+            );
+            self.spans.counter(
+                track,
+                "pgtable.live_tables",
+                self.kernel.store().stats().live_tables,
+            );
+            self.spans.counter(
+                track,
+                "pgtable.shared_refs",
+                self.kernel.store().shared_refs(),
+            );
+        }
+        self.spans.finish_access();
 
         self.cores[core_index].clock += cycles;
         cycles
@@ -519,9 +587,21 @@ impl Machine {
         let mut cycles: Cycles = 0;
         let steps = walk.steps().to_vec();
         let last = steps.len().saturating_sub(1);
+        // Trace cursor at walk entry; each step span ends at its own
+        // cumulative offset from here.
+        let trace_base = self.spans.now();
 
         for (i, step) in steps.iter().enumerate() {
             let is_final = i == last;
+            self.spans.begin(
+                match step.level {
+                    PageTableLevel::Pgd => "walk.pgd",
+                    PageTableLevel::Pud => "walk.pud",
+                    PageTableLevel::Pmd => "walk.pmd",
+                    PageTableLevel::Pte => "walk.pte",
+                },
+                &[],
+            );
             let upper_level = matches!(
                 step.level,
                 PageTableLevel::Pgd | PageTableLevel::Pud | PageTableLevel::Pmd
@@ -576,6 +656,8 @@ impl Machine {
                 };
                 cycles += t_entry.max(t_mask);
             }
+            self.spans.set_now(trace_base + cycles);
+            self.spans.end();
         }
         (cycles, walk)
     }

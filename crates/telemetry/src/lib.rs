@@ -31,10 +31,15 @@ mod export;
 mod metrics;
 mod registry;
 mod snapshot;
+mod span;
 mod trace;
 
 pub use export::{results_path, snapshot_to_csv, write_csv, write_json};
 pub use metrics::{enabled, Counter, Histogram};
 pub use registry::Registry;
 pub use snapshot::{HistogramSnapshot, Snapshot, BUCKETS};
+pub use span::{
+    validate_chrome_trace, ChromeTraceSummary, SpanEvent, SpanPhase, SpanTracer, SpanTrack,
+    DEFAULT_SPAN_CAPACITY,
+};
 pub use trace::{TraceEvent, TraceKind, Tracer};

@@ -7,6 +7,7 @@
 
 use crate::metrics::{Counter, Histogram};
 use crate::snapshot::Snapshot;
+use crate::span::SpanTracer;
 use crate::trace::Tracer;
 
 #[cfg(feature = "on")]
@@ -20,6 +21,7 @@ mod enabled {
         counters: Mutex<BTreeMap<String, Counter>>,
         histograms: Mutex<BTreeMap<String, Histogram>>,
         tracer: Tracer,
+        spans: SpanTracer,
     }
 
     /// Shared handle onto one metric namespace. Clones are views of the
@@ -34,11 +36,12 @@ mod enabled {
             Self::default()
         }
 
-        /// Creates an empty registry whose tracer holds at most
-        /// `capacity` events.
+        /// Creates an empty registry whose event tracer and span tracer
+        /// each hold at most `capacity` events.
         pub fn with_trace_capacity(capacity: usize) -> Self {
             Self(Arc::new(RegistryInner {
                 tracer: Tracer::with_capacity(capacity),
+                spans: SpanTracer::with_capacity(capacity),
                 ..RegistryInner::default()
             }))
         }
@@ -60,6 +63,11 @@ mod enabled {
         /// The registry's event tracer.
         pub fn tracer(&self) -> Tracer {
             self.0.tracer.clone()
+        }
+
+        /// The registry's hierarchical span tracer.
+        pub fn spans(&self) -> SpanTracer {
+            self.0.spans.clone()
         }
 
         /// Freezes every registered metric into a [`Snapshot`].
@@ -84,6 +92,7 @@ mod enabled {
                 counters,
                 histograms,
                 trace_dropped: self.0.tracer.dropped(),
+                span_dropped: self.0.spans.dropped(),
             }
         }
     }
@@ -124,6 +133,12 @@ mod disabled {
         #[inline(always)]
         pub fn tracer(&self) -> Tracer {
             Tracer
+        }
+
+        /// A no-op span tracer.
+        #[inline(always)]
+        pub fn spans(&self) -> SpanTracer {
+            SpanTracer
         }
 
         /// Always empty.

@@ -118,6 +118,8 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Trace events dropped because the ring buffer was full.
     pub trace_dropped: u64,
+    /// Span events dropped because the span buffer was full.
+    pub span_dropped: u64,
 }
 
 impl Snapshot {
@@ -142,6 +144,7 @@ impl Snapshot {
             self.histograms.entry(name.clone()).or_default().merge(hist);
         }
         self.trace_dropped = self.trace_dropped.wrapping_add(other.trace_dropped);
+        self.span_dropped = self.span_dropped.wrapping_add(other.span_dropped);
     }
 
     /// Activity after `baseline` was taken, assuming `baseline` is an
@@ -169,6 +172,7 @@ impl Snapshot {
             counters,
             histograms,
             trace_dropped: self.trace_dropped.wrapping_sub(baseline.trace_dropped),
+            span_dropped: self.span_dropped.wrapping_sub(baseline.span_dropped),
         }
     }
 }

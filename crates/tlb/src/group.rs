@@ -161,6 +161,7 @@ pub struct TlbGroup {
     l2_4k: Tlb,
     l2_2m: Tlb,
     l2_1g: Tlb,
+    spans: bf_telemetry::SpanTracer,
 }
 
 impl TlbGroup {
@@ -180,6 +181,7 @@ impl TlbGroup {
             l2_2m: Tlb::new(TlbConfig::l2_2m(), config.l2_mode),
             l2_1g: Tlb::new(TlbConfig::l2_1g(), config.l2_mode),
             config,
+            spans: bf_telemetry::SpanTracer::new(),
         }
     }
 
@@ -203,6 +205,40 @@ impl TlbGroup {
         for tlb in [&mut self.l2_4k, &mut self.l2_2m, &mut self.l2_1g] {
             tlb.set_telemetry(l2.clone());
         }
+        self.spans = registry.spans();
+    }
+
+    /// Emits a span instant classifying one lookup outcome, so sampled
+    /// traces show *why* each level resolved the way it did.
+    fn trace_lookup(&self, level: &str, result: &LookupResult) {
+        let name = match (level, result) {
+            ("l1", LookupResult::Hit(hit)) if hit.shared => "tlb.l1.shared_hit",
+            ("l1", LookupResult::Hit(_)) => "tlb.l1.hit",
+            ("l1", LookupResult::CowFault(_)) => "tlb.l1.cow_fault",
+            ("l1", LookupResult::Miss { .. }) => "tlb.l1.miss",
+            (_, LookupResult::Hit(hit)) if hit.shared => "tlb.l2.shared_hit",
+            (_, LookupResult::Hit(_)) => "tlb.l2.hit",
+            (_, LookupResult::CowFault(_)) => "tlb.l2.cow_fault",
+            (_, LookupResult::Miss { .. }) => "tlb.l2.miss",
+        };
+        self.spans.instant(name, &[]);
+    }
+
+    /// Translations currently resident across all seven structures — the
+    /// machine samples this into the `tlb.occupancy` counter track.
+    pub fn resident_entries(&self) -> usize {
+        [
+            &self.l1i,
+            &self.l1d_4k,
+            &self.l1d_2m,
+            &self.l1d_1g,
+            &self.l2_4k,
+            &self.l2_2m,
+            &self.l2_1g,
+        ]
+        .iter()
+        .map(|tlb| tlb.resident_entries())
+        .sum()
     }
 
     /// Probes the L1 level (I-TLB for fetches; the three D-TLBs for
@@ -214,8 +250,10 @@ impl TlbGroup {
             let result = self
                 .l1i
                 .lookup_kind(&access.request(PageSize::Size4K), kind);
+            self.trace_lookup("l1", &result);
             return (result, cycles);
         }
+        let mut outcome = None;
         for (size, tlb) in [
             (PageSize::Size4K, &mut self.l1d_4k),
             (PageSize::Size2M, &mut self.l1d_2m),
@@ -223,15 +261,15 @@ impl TlbGroup {
         ] {
             let result = tlb.lookup_kind(&access.request(size), kind);
             if result.entry_present() {
-                return (result, cycles);
+                outcome = Some(result);
+                break;
             }
         }
-        (
-            LookupResult::Miss {
-                bitmask_consulted: false,
-            },
-            cycles,
-        )
+        let result = outcome.unwrap_or(LookupResult::Miss {
+            bitmask_consulted: false,
+        });
+        self.trace_lookup("l1", &result);
+        (result, cycles)
     }
 
     /// Probes the unified L2 level (all three page sizes in parallel).
@@ -261,12 +299,11 @@ impl TlbGroup {
         let short = self.l2_4k.config().access_cycles_short;
         let long = self.l2_4k.config().access_cycles_long;
         let cycles = if consulted { long } else { short };
-        (
-            outcome.unwrap_or(LookupResult::Miss {
-                bitmask_consulted: consulted,
-            }),
-            cycles,
-        )
+        let result = outcome.unwrap_or(LookupResult::Miss {
+            bitmask_consulted: consulted,
+        });
+        self.trace_lookup("l2", &result);
+        (result, cycles)
     }
 
     /// Installs a translation at the L2 and, when appropriate, the L1
