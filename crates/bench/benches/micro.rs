@@ -197,6 +197,28 @@ fn bench_telemetry(c: &mut Criterion) {
     group.finish();
 }
 
+/// One full quick experiment cell — the unit of work bf-exec schedules.
+/// This is the end-to-end number the data-layout work moves: TLB arena,
+/// pid slab, and hoisted tracing gate all sit on this path.
+fn bench_quick_cell(c: &mut Criterion) {
+    use babelfish::experiment::{run_serving, ExperimentConfig};
+    use babelfish::ServingVariant;
+    let mut group = c.benchmark_group("sweep_cell");
+    let mut cfg = ExperimentConfig::smoke_test();
+    cfg.warmup_instructions = 1_000;
+    cfg.measure_instructions = 4_000;
+    group.bench_function("serving_mongodb_tiny", |b| {
+        b.iter(|| {
+            black_box(run_serving(
+                Mode::babelfish(),
+                ServingVariant::MongoDb,
+                &cfg,
+            ))
+        })
+    });
+    group.finish();
+}
+
 fn bench_allocators(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate");
     group.bench_function("frame_alloc_free", |b| {
@@ -220,6 +242,7 @@ criterion_group!(
     bench_tlb_lookup,
     bench_maskpage,
     bench_machine_access,
+    bench_quick_cell,
     bench_telemetry,
     bench_allocators
 );

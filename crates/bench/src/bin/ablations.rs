@@ -8,25 +8,32 @@
 //! 3. **TLB-only vs PT-only vs full sharing** — the two mechanisms in
 //!    isolation (the decomposition behind Table II).
 
+use babelfish::exec::Sweep;
 use babelfish::experiment::{run_functions, run_serving, ExperimentConfig};
 use babelfish::{AccessDensity, AslrMode, Mode, ServingVariant};
 use bf_bench::{header, reduction_pct};
 
 fn main() {
-    let cfg = bf_bench::config_from_args();
+    let args = bf_bench::parse_args();
+    let cfg = args.cfg;
 
-    header("Ablation 1: ASLR-HW (default) vs ASLR-SW");
-    let base = run_serving(Mode::Baseline, ServingVariant::MongoDb, &cfg);
-    for (name, aslr) in [
-        ("ASLR-HW", AslrMode::Hardware),
-        ("ASLR-SW", AslrMode::SoftwareOnly),
-    ] {
+    // Ablation 1 cells: Baseline + {ASLR-HW, ASLR-SW} serving runs.
+    let mut sweep = Sweep::new();
+    sweep.cell(move || run_serving(Mode::Baseline, ServingVariant::MongoDb, &cfg));
+    for aslr in [AslrMode::Hardware, AslrMode::SoftwareOnly] {
         let mode = Mode::BabelFish {
             share_tlb: true,
             share_page_tables: true,
             aslr,
         };
-        let result = run_serving(mode, ServingVariant::MongoDb, &cfg);
+        sweep.cell(move || run_serving(mode, ServingVariant::MongoDb, &cfg));
+    }
+    let mut results = sweep.run(args.threads).into_iter();
+
+    header("Ablation 1: ASLR-HW (default) vs ASLR-SW");
+    let base = results.next().expect("baseline cell");
+    for name in ["ASLR-HW", "ASLR-SW"] {
+        let result = results.next().expect("aslr cell");
         println!(
             "{:<8} mean latency reduction {:>5.1}%  (L1D shared hits: {})",
             name,
@@ -36,14 +43,22 @@ fn main() {
     }
     println!("(ASLR-SW also shares at the L1, so it should do no worse)");
 
+    // Ablation 2 cells: one per PC-bitmask capacity.
+    const CAPACITIES: [usize; 4] = [0, 1, 4, 32];
+    let mut sweep = Sweep::new();
+    for capacity in CAPACITIES {
+        sweep.cell(move || {
+            run_functions_with_capacity(Mode::babelfish(), AccessDensity::Dense, &cfg, capacity)
+        });
+    }
+    let results = sweep.run(args.threads);
+
     header("Ablation 2: PC-bitmask capacity (writers before region unshare)");
     println!(
         "{:<10} {:>12} {:>12} {:>10}",
         "capacity", "exec(dense)", "overflows", "privatize"
     );
-    for capacity in [0usize, 1, 4, 32] {
-        let result =
-            run_functions_with_capacity(Mode::babelfish(), AccessDensity::Dense, &cfg, capacity);
+    for (capacity, result) in CAPACITIES.into_iter().zip(results) {
         println!(
             "{:<10} {:>12.0} {:>12} {:>10}",
             capacity, result.0, result.1, result.2
@@ -51,14 +66,22 @@ fn main() {
     }
     println!("(smaller budgets revert regions earlier; 0 = immediate unshare, Section VII-D)");
 
-    header("Ablation 3: sharing mechanisms in isolation (sparse functions)");
-    let base_fn = run_functions(Mode::Baseline, AccessDensity::Sparse, &cfg);
-    for (name, mode) in [
-        ("tlb-only", Mode::babelfish_tlb_only()),
-        ("pt-only", Mode::babelfish_pt_only()),
-        ("full", Mode::babelfish()),
+    // Ablation 3 cells: Baseline + the three sharing decompositions.
+    let mut sweep = Sweep::new();
+    for mode in [
+        Mode::Baseline,
+        Mode::babelfish_tlb_only(),
+        Mode::babelfish_pt_only(),
+        Mode::babelfish(),
     ] {
-        let result = run_functions(mode, AccessDensity::Sparse, &cfg);
+        sweep.cell(move || run_functions(mode, AccessDensity::Sparse, &cfg));
+    }
+    let mut results = sweep.run(args.threads).into_iter();
+
+    header("Ablation 3: sharing mechanisms in isolation (sparse functions)");
+    let base_fn = results.next().expect("baseline cell");
+    for name in ["tlb-only", "pt-only", "full"] {
+        let result = results.next().expect("mode cell");
         println!(
             "{:<10} follower exec reduction {:>5.1}%",
             name,

@@ -3,18 +3,26 @@
 //! Measures `docker start` of function containers from a pre-created
 //! image (fork + mmap + first-touch sequence). The paper reports
 //! BabelFish speeding bring-up by 8 %, with the remaining time dominated
-//! by the Docker engine runtime.
+//! by the Docker engine runtime. The two cells (Baseline, BabelFish)
+//! execute in parallel on the bf-exec sweep runner (`--threads`).
 
+use babelfish::exec::Sweep;
 use babelfish::experiment::run_functions;
 use babelfish::{AccessDensity, Mode};
 use bf_bench::{header, reduction_pct, versus};
 
 fn main() {
-    let cfg = bf_bench::config_from_args();
+    let args = bf_bench::parse_args();
+    let cfg = args.cfg;
 
     header("Section VII-C: function container bring-up time");
-    let base = run_functions(Mode::Baseline, AccessDensity::Dense, &cfg);
-    let bf = run_functions(Mode::babelfish(), AccessDensity::Dense, &cfg);
+    let mut sweep = Sweep::new();
+    for mode in [Mode::Baseline, Mode::babelfish()] {
+        sweep.cell(move || run_functions(mode, AccessDensity::Dense, &cfg));
+    }
+    let mut results = sweep.run(args.threads).into_iter();
+    let base = results.next().expect("baseline cell");
+    let bf = results.next().expect("babelfish cell");
 
     println!(
         "{:<12} {:>14} {:>14} {:>9}",

@@ -5,25 +5,38 @@
 //! leverage the lean nature of containers to run hundreds of them on a
 //! few cores", §I; "sharing pte_ts across more containers would linearly
 //! increase savings", §VII-A). This sweep raises containers-per-core and
-//! reports how BabelFish's mean-latency gain grows.
+//! reports how BabelFish's mean-latency gain grows. Cells execute in
+//! parallel on the bf-exec sweep runner (`--threads`).
 
+use babelfish::exec::Sweep;
 use babelfish::experiment::run_serving;
 use babelfish::{Mode, ServingVariant};
 use bf_bench::{header, reduction_pct};
 
+const DENSITIES: [usize; 4] = [1, 2, 4, 6];
+
 fn main() {
-    let base_cfg = bf_bench::config_from_args();
+    let args = bf_bench::parse_args();
     header("Co-location sweep: BabelFish gain vs containers per core (MongoDB)");
     println!(
         "{:<18} {:>12} {:>12} {:>9} {:>10}",
         "containers/core", "base mean", "bf mean", "gain", "bf shared%"
     );
-    for containers in [1usize, 2, 4, 6] {
-        let mut cfg = base_cfg;
-        cfg.cores = 2;
-        cfg.containers_per_core = containers;
-        let base = run_serving(Mode::Baseline, ServingVariant::MongoDb, &cfg);
-        let bf = run_serving(Mode::babelfish(), ServingVariant::MongoDb, &cfg);
+
+    let mut sweep = Sweep::new();
+    for containers in DENSITIES {
+        for mode in [Mode::Baseline, Mode::babelfish()] {
+            let mut cfg = args.cfg;
+            cfg.cores = 2;
+            cfg.containers_per_core = containers;
+            sweep.cell(move || run_serving(mode, ServingVariant::MongoDb, &cfg));
+        }
+    }
+    let mut results = sweep.run(args.threads).into_iter();
+
+    for containers in DENSITIES {
+        let base = results.next().expect("baseline cell");
+        let bf = results.next().expect("babelfish cell");
         println!(
             "{:<18} {:>11.0}c {:>11.0}c {:>8.1}% {:>9.1}%",
             containers,

@@ -1,6 +1,8 @@
 //! Fig. 10a (L2 TLB MPKI reduction) and Fig. 10b (shared-hit fraction).
 //!
-//! Runs Baseline and BabelFish for every application and prints the
+//! Runs Baseline and BabelFish for every application — cells execute in
+//! parallel on the bf-exec sweep runner (`--threads`) with
+//! deterministic, thread-count-independent output — and prints the
 //! data/instruction L2 TLB MPKI reduction (Fig. 10a) and the fraction of
 //! L2 TLB hits served by entries another process loaded (Fig. 10b).
 //! Also writes the full dataset — legacy stats, telemetry snapshots, and
@@ -8,110 +10,12 @@
 //! Paper reference points: Data Serving D-MPKI −66 %, I-MPKI −96 %;
 //! GraphChi shared hits 48 % (I) / 12 % (D).
 
-use babelfish::experiment::{
-    run_compute, run_functions, run_serving, ComputeKind, ExperimentConfig,
-};
-use babelfish::{AccessDensity, MachineStats, Mode, ServingVariant};
-use bf_bench::{header, json_object, reduction_pct};
-use bf_telemetry::Snapshot;
-use serde::{Serialize, Value};
-
-struct Row {
-    name: &'static str,
-    base: MachineStats,
-    babelfish: MachineStats,
-    base_telemetry: Snapshot,
-    babelfish_telemetry: Snapshot,
-}
-
-fn collect(cfg: &ExperimentConfig) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for variant in ServingVariant::ALL {
-        let base = run_serving(Mode::Baseline, variant, cfg);
-        let bf = run_serving(Mode::babelfish(), variant, cfg);
-        rows.push(Row {
-            name: variant.name(),
-            base: base.stats,
-            babelfish: bf.stats,
-            base_telemetry: base.telemetry,
-            babelfish_telemetry: bf.telemetry,
-        });
-    }
-    for kind in ComputeKind::ALL {
-        let base = run_compute(Mode::Baseline, kind, cfg);
-        let bf = run_compute(Mode::babelfish(), kind, cfg);
-        rows.push(Row {
-            name: kind.name(),
-            base: base.stats,
-            babelfish: bf.stats,
-            base_telemetry: base.telemetry,
-            babelfish_telemetry: bf.telemetry,
-        });
-    }
-    for (name, density) in [
-        ("fn-dense", AccessDensity::Dense),
-        ("fn-sparse", AccessDensity::Sparse),
-    ] {
-        let base = run_functions(Mode::Baseline, density, cfg);
-        let bf = run_functions(Mode::babelfish(), density, cfg);
-        rows.push(Row {
-            name,
-            base: base.stats,
-            babelfish: bf.stats,
-            base_telemetry: base.telemetry,
-            babelfish_telemetry: bf.telemetry,
-        });
-    }
-    rows
-}
-
-/// One row of the JSON export: the raw stats and telemetry for both
-/// modes plus the derived Fig. 10a/10b numbers.
-fn row_to_value(row: &Row) -> Value {
-    json_object([
-        ("app", Value::String(row.name.to_owned())),
-        (
-            "baseline",
-            json_object([
-                ("stats", row.base.to_value()),
-                ("telemetry", row.base_telemetry.to_value()),
-            ]),
-        ),
-        (
-            "babelfish",
-            json_object([
-                ("stats", row.babelfish.to_value()),
-                ("telemetry", row.babelfish_telemetry.to_value()),
-            ]),
-        ),
-        (
-            "d_mpki_reduction_pct",
-            Value::F64(reduction_pct(
-                row.base.l2_data_mpki(),
-                row.babelfish.l2_data_mpki(),
-            )),
-        ),
-        (
-            "i_mpki_reduction_pct",
-            Value::F64(reduction_pct(
-                row.base.l2_instr_mpki(),
-                row.babelfish.l2_instr_mpki(),
-            )),
-        ),
-        (
-            "data_shared_hit_fraction",
-            Value::F64(row.babelfish.l2_data_shared_hit_fraction()),
-        ),
-        (
-            "instr_shared_hit_fraction",
-            Value::F64(row.babelfish.l2_instr_shared_hit_fraction()),
-        ),
-    ])
-}
+use bf_bench::sweeps::fig10_doc;
+use bf_bench::{header, reduction_pct};
 
 fn main() {
-    let cfg = bf_bench::config_from_args();
-    let rows = collect(&cfg);
+    let args = bf_bench::parse_args();
+    let rows = bf_bench::sweeps::fig10_rows(&args.cfg, args.threads);
 
     header("Fig. 10a: L2 TLB MPKI (Baseline -> BabelFish, reduction)");
     println!(
@@ -151,19 +55,12 @@ fn main() {
     }
     println!("ok");
 
-    let doc = json_object([
-        ("figure", Value::String("fig10_tlb".to_owned())),
-        ("config", cfg.to_value()),
-        (
-            "rows",
-            Value::Array(rows.iter().map(row_to_value).collect()),
-        ),
-    ]);
+    let doc = fig10_doc(&args.cfg, &rows);
     let (stamped, latest) =
         bf_bench::write_results("fig10_tlb", &doc).expect("writing results JSON");
     println!("\nwrote {} (and {})", latest.display(), stamped.display());
 
-    if let Some(trace) = bf_bench::write_trace_artifact("fig10_tlb", &cfg) {
+    if let Some(trace) = bf_bench::write_trace_artifact("fig10_tlb", &args.cfg) {
         println!("wrote {} (load at ui.perfetto.dev)", trace.display());
     }
 }

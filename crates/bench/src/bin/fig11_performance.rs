@@ -5,29 +5,26 @@
 //! * Compute: execution time (paper: −11 % on average).
 //! * Functions: execution time of the non-leading functions (paper:
 //!   −10 % dense, −55 % sparse on average).
+//!
+//! Cells execute in parallel on the bf-exec sweep runner (`--threads`)
+//! with deterministic output; the derived reductions are also written
+//! as a timestamped JSON file under `results/`.
 
-use babelfish::experiment::{run_compute, run_functions, run_serving, ComputeKind};
-use babelfish::{AccessDensity, Mode, ServingVariant};
+use bf_bench::sweeps::{fig11_data, fig11_doc};
 use bf_bench::{header, reduction_pct, versus};
 
 fn main() {
-    let cfg = bf_bench::config_from_args();
+    let args = bf_bench::parse_args();
+    let data = fig11_data(&args.cfg, args.threads);
 
     header("Fig. 11: Data Serving latency reduction");
     println!("{:<10} {:>10} {:>10}", "app", "mean", "p95(tail)");
     let mut mean_reductions = Vec::new();
     let mut tail_reductions = Vec::new();
-    for variant in ServingVariant::ALL {
-        let base = run_serving(Mode::Baseline, variant, &cfg);
-        let bf = run_serving(Mode::babelfish(), variant, &cfg);
+    for (name, base, bf) in &data.serving {
         let mean_red = reduction_pct(base.mean_latency, bf.mean_latency);
         let tail_red = reduction_pct(base.p95_latency as f64, bf.p95_latency as f64);
-        println!(
-            "{:<10} {:>9.1}% {:>9.1}%",
-            variant.name(),
-            mean_red,
-            tail_red
-        );
+        println!("{:<10} {:>9.1}% {:>9.1}%", name, mean_red, tail_red);
         mean_reductions.push(mean_red);
         tail_reductions.push(tail_red);
     }
@@ -43,11 +40,9 @@ fn main() {
 
     header("Fig. 11: Compute execution-time reduction");
     let mut compute_reductions = Vec::new();
-    for kind in ComputeKind::ALL {
-        let base = run_compute(Mode::Baseline, kind, &cfg);
-        let bf = run_compute(Mode::babelfish(), kind, &cfg);
+    for (name, base, bf) in &data.compute {
         let red = reduction_pct(base.exec_cycles as f64, bf.exec_cycles as f64);
-        println!("{:<10} {:>9.1}%", kind.name(), red);
+        println!("{:<10} {:>9.1}%", name, red);
         compute_reductions.push(red);
     }
     println!(
@@ -56,12 +51,7 @@ fn main() {
     );
 
     header("Fig. 11: Function execution-time reduction (non-leading functions)");
-    for (label, density, paper) in [
-        ("dense", AccessDensity::Dense, 10.0),
-        ("sparse", AccessDensity::Sparse, 55.0),
-    ] {
-        let base = run_functions(Mode::Baseline, density, &cfg);
-        let bf = run_functions(Mode::babelfish(), density, &cfg);
+    for ((label, base, bf), paper) in data.functions.iter().zip([10.0, 55.0]) {
         let red = reduction_pct(base.follower_mean_exec(), bf.follower_mean_exec());
         println!("{:<10} {}", label, versus(red, paper, "%"));
         // Per-function detail.
@@ -75,4 +65,9 @@ fn main() {
             );
         }
     }
+
+    let doc = fig11_doc(&args.cfg, &data);
+    let (stamped, latest) =
+        bf_bench::write_results("fig11_performance", &doc).expect("writing results JSON");
+    println!("\nwrote {} (and {})", latest.display(), stamped.display());
 }

@@ -9,13 +9,15 @@
 //! Also writes the census dataset as a timestamped JSON file under
 //! `results/`.
 
+use babelfish::exec::Sweep;
 use babelfish::experiment::{run_census, CensusApp, ComputeKind};
 use babelfish::ServingVariant;
 use bf_bench::{header, json_object};
 use serde::{Serialize, Value};
 
 fn main() {
-    let mut cfg = bf_bench::config_from_args();
+    let args = bf_bench::parse_args();
+    let mut cfg = args.cfg;
     // The paper's Fig. 9 was measured natively with two containers of
     // each application (three functions): "Since this plot corresponds
     // to only two containers, the reduction in shareable active pte_ts
@@ -42,8 +44,13 @@ fn main() {
     let mut function_reduction = 0.0;
     let mut json_rows = Vec::new();
 
+    let mut sweep = Sweep::new();
     for app in apps {
-        let report = run_census(app, &cfg);
+        sweep.cell(move || run_census(app, &cfg));
+    }
+    let reports = sweep.run(args.threads);
+
+    for (app, report) in apps.into_iter().zip(reports) {
         json_rows.push(json_object([
             ("app", Value::String(app.name().to_owned())),
             ("census", report.to_value()),

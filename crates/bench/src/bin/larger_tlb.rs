@@ -3,49 +3,64 @@
 //!
 //! Paper reference: the enlarged conventional TLB gains only 2.1 %
 //! (serving mean latency), 0.6 % (compute), 1.1 % / 0.3 % (functions) —
-//! "not a match for BabelFish".
+//! "not a match for BabelFish". Cells (7 workloads × 3 modes) execute
+//! in parallel on the bf-exec sweep runner (`--threads`).
 
+use babelfish::exec::Sweep;
 use babelfish::experiment::{run_compute, run_functions, run_serving, ComputeKind};
 use babelfish::{AccessDensity, Mode, ServingVariant};
 use bf_bench::{header, reduction_pct};
 
+const MODES: [Mode; 3] = [
+    Mode::Baseline,
+    Mode::BaselineLargerTlb,
+    Mode::BabelFish {
+        share_tlb: true,
+        share_page_tables: true,
+        aslr: babelfish::AslrMode::Hardware,
+    },
+];
+
 fn main() {
-    let cfg = bf_bench::config_from_args();
+    let args = bf_bench::parse_args();
+    let cfg = args.cfg;
     header("Section VII-C: BabelFish vs a larger conventional L2 TLB");
     println!(
         "{:<12} {:>12} {:>12}",
         "workload", "larger-TLB", "BabelFish"
     );
 
+    // One cell per (workload, mode), each returning the workload's
+    // headline metric; rows consume them three at a time.
+    let mut sweep = Sweep::new();
+    let mut labels = Vec::new();
     for variant in ServingVariant::ALL {
-        let base = run_serving(Mode::Baseline, variant, &cfg).mean_latency;
-        let larger = run_serving(Mode::BaselineLargerTlb, variant, &cfg).mean_latency;
-        let bf = run_serving(Mode::babelfish(), variant, &cfg).mean_latency;
-        println!(
-            "{:<12} {:>11.1}% {:>11.1}%",
-            variant.name(),
-            reduction_pct(base, larger),
-            reduction_pct(base, bf)
-        );
+        labels.push(variant.name());
+        for mode in MODES {
+            sweep.cell(move || run_serving(mode, variant, &cfg).mean_latency);
+        }
     }
     for kind in ComputeKind::ALL {
-        let base = run_compute(Mode::Baseline, kind, &cfg).exec_cycles as f64;
-        let larger = run_compute(Mode::BaselineLargerTlb, kind, &cfg).exec_cycles as f64;
-        let bf = run_compute(Mode::babelfish(), kind, &cfg).exec_cycles as f64;
-        println!(
-            "{:<12} {:>11.1}% {:>11.1}%",
-            kind.name(),
-            reduction_pct(base, larger),
-            reduction_pct(base, bf)
-        );
+        labels.push(kind.name());
+        for mode in MODES {
+            sweep.cell(move || run_compute(mode, kind, &cfg).exec_cycles as f64);
+        }
     }
     for (label, density) in [
         ("fn-dense", AccessDensity::Dense),
         ("fn-sparse", AccessDensity::Sparse),
     ] {
-        let base = run_functions(Mode::Baseline, density, &cfg).follower_mean_exec();
-        let larger = run_functions(Mode::BaselineLargerTlb, density, &cfg).follower_mean_exec();
-        let bf = run_functions(Mode::babelfish(), density, &cfg).follower_mean_exec();
+        labels.push(label);
+        for mode in MODES {
+            sweep.cell(move || run_functions(mode, density, &cfg).follower_mean_exec());
+        }
+    }
+
+    let mut results = sweep.run(args.threads).into_iter();
+    for label in labels {
+        let base = results.next().expect("baseline cell");
+        let larger = results.next().expect("larger-TLB cell");
+        let bf = results.next().expect("babelfish cell");
         println!(
             "{:<12} {:>11.1}% {:>11.1}%",
             label,

@@ -6,6 +6,7 @@
 //! Baseline vs BabelFish — demonstrating that "BabelFish and huge pages
 //! are complementary techniques that can be used together" (§IV-C).
 
+use babelfish::exec::Sweep;
 use babelfish::os::{MmapRequest, Segment};
 use babelfish::types::{AccessKind, CoreId, PageFlags, PageTableLevel, Pid, VirtAddr};
 use babelfish::{Machine, Mode, SimConfig};
@@ -90,15 +91,24 @@ fn run(mode: Mode, huge: bool) -> Outcome {
 }
 
 fn main() {
+    let args = bf_bench::parse_args();
     header("Sharing levels: PTE-table merging (4KB) vs PMD-table merging (2MB)");
     println!(
         "{:<22} {:>12} {:>10} {:>10} {:>14}",
         "configuration", "cycles", "walks", "L2-miss", "shared level"
     );
+    // Four cells — (page size × mode) — on the bf-exec sweep runner.
+    let mut sweep = Sweep::new();
+    for huge in [false, true] {
+        for mode in [Mode::Baseline, Mode::babelfish()] {
+            sweep.cell(move || run(mode, huge));
+        }
+    }
+    let mut outcomes = sweep.run(args.threads).into_iter();
     let mut rows = Vec::new();
-    for (label, huge) in [("4KB pages", false), ("2MB huge pages", true)] {
-        let base = run(Mode::Baseline, huge);
-        let bf = run(Mode::babelfish(), huge);
+    for (label, _huge) in [("4KB pages", false), ("2MB huge pages", true)] {
+        let base = outcomes.next().expect("baseline cell");
+        let bf = outcomes.next().expect("babelfish cell");
         for (mode, outcome) in [("baseline", &base), ("babelfish", &bf)] {
             println!(
                 "{:<22} {:>12} {:>10} {:>10} {:>14}",

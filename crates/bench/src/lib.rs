@@ -13,6 +13,7 @@ use serde::Value;
 use std::path::{Path, PathBuf};
 
 pub mod report;
+pub mod sweeps;
 
 /// Percentage reduction of `new` relative to `base` (positive = better).
 ///
@@ -29,39 +30,108 @@ pub fn reduction_pct(base: f64, new: f64) -> f64 {
     }
 }
 
-/// Picks the experiment configuration from the process arguments:
-/// `--quick` selects the smoke-test size, and `--trace[=N]` (or the
-/// `BF_TRACE=N` environment variable) turns on span tracing of every
-/// Nth memory access.
-pub fn config_from_args() -> ExperimentConfig {
-    let mut cfg = if std::env::args().any(|a| a == "--quick") {
+/// Default sampling interval for a bare `--trace` flag.
+pub const DEFAULT_TRACE_SAMPLE: u64 = 64;
+
+/// Everything the figure binaries take from the command line, parsed
+/// once by [`parse_args`].
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Experiment size + trace sampling (`--quick`, `--trace[=N]`).
+    pub cfg: ExperimentConfig,
+    /// Worker threads for the cell sweep (`--threads N`, `BF_THREADS`,
+    /// or the host's available parallelism).
+    pub threads: usize,
+}
+
+const USAGE: &str = "options:
+  --quick        smoke-test configuration instead of the full paper-scaled one
+  --trace[=N]    span-trace every Nth access (default N=64; BF_TRACE=N also works)
+  --threads N    worker threads for the experiment sweep (BF_THREADS also works;
+                 defaults to the host's available parallelism)
+  -h, --help     this message";
+
+/// Parses the benchmark command line (everything after argv[0]).
+///
+/// Unlike the old per-flag scanners this walks the arguments exactly
+/// once and rejects anything it does not understand, so a typo like
+/// `--quik` fails loudly instead of silently running the full
+/// paper-scaled configuration.
+fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
+    let mut quick = false;
+    let mut trace: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--trace" => trace = Some(DEFAULT_TRACE_SAMPLE),
+            "--threads" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--threads requires a value".to_owned())?;
+                threads = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid --threads value: {value}"))?,
+                );
+            }
+            "-h" | "--help" => return Err(String::new()),
+            _ => {
+                if let Some(n) = arg.strip_prefix("--trace=") {
+                    trace = Some(
+                        n.parse()
+                            .map_err(|_| format!("invalid --trace value: {n}"))?,
+                    );
+                } else if let Some(n) = arg.strip_prefix("--threads=") {
+                    threads = Some(
+                        n.parse()
+                            .map_err(|_| format!("invalid --threads value: {n}"))?,
+                    );
+                } else {
+                    return Err(format!("unknown argument: {arg}"));
+                }
+            }
+        }
+    }
+    let mut cfg = if quick {
         ExperimentConfig::smoke_test()
     } else {
         ExperimentConfig::paper_scaled()
     };
-    cfg.trace_sample_every = trace_sample_from_args();
-    cfg
+    cfg.trace_sample_every = trace.unwrap_or_else(|| {
+        std::env::var("BF_TRACE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    });
+    Ok(BenchArgs {
+        cfg,
+        threads: babelfish::exec::thread_count(threads),
+    })
 }
 
-/// Default sampling interval for a bare `--trace` flag.
-pub const DEFAULT_TRACE_SAMPLE: u64 = 64;
-
-/// Span-trace sampling interval from the process arguments/environment:
-/// `--trace` (every [`DEFAULT_TRACE_SAMPLE`]th access), `--trace=N`, or
-/// `BF_TRACE=N`. Returns 0 (tracing off) when none is given.
-pub fn trace_sample_from_args() -> u64 {
-    for arg in std::env::args() {
-        if arg == "--trace" {
-            return DEFAULT_TRACE_SAMPLE;
-        }
-        if let Some(n) = arg.strip_prefix("--trace=") {
-            return n.parse().unwrap_or(DEFAULT_TRACE_SAMPLE);
+/// Parses the process arguments into a [`BenchArgs`], printing the
+/// usage message and exiting non-zero on anything unrecognised.
+pub fn parse_args() -> BenchArgs {
+    match parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            let program = std::env::args().next().unwrap_or_else(|| "bench".into());
+            if message.is_empty() {
+                // -h / --help: usage to stdout, success.
+                println!("usage: {program} [options]\n{USAGE}");
+                std::process::exit(0);
+            }
+            eprintln!("error: {message}\nusage: {program} [options]\n{USAGE}");
+            std::process::exit(2);
         }
     }
-    std::env::var("BF_TRACE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+}
+
+/// Back-compat sugar for binaries that only need the configuration.
+pub fn config_from_args() -> ExperimentConfig {
+    parse_args().cfg
 }
 
 /// Writes `doc` under `results/` twice: a timestamped archival copy and
@@ -135,6 +205,33 @@ mod tests {
             reduction_pct(100.0, 120.0) < 0.0,
             "regressions are negative"
         );
+    }
+
+    fn parse_ok(args: &[&str]) -> BenchArgs {
+        parse(args.iter().map(|s| s.to_string())).expect("args should parse")
+    }
+
+    #[test]
+    fn quick_trace_and_threads_parse_in_one_pass() {
+        let args = parse_ok(&["--quick", "--trace=16", "--threads", "4"]);
+        assert_eq!(
+            args.cfg.measure_instructions,
+            babelfish::experiment::ExperimentConfig::smoke_test().measure_instructions
+        );
+        assert_eq!(args.cfg.trace_sample_every, 16);
+        assert_eq!(args.threads, 4);
+        let args = parse_ok(&["--threads=2", "--trace"]);
+        assert_eq!(args.threads, 2);
+        assert_eq!(args.cfg.trace_sample_every, DEFAULT_TRACE_SAMPLE);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse(["--quik".to_string()].into_iter()).is_err());
+        assert!(parse(["extra".to_string()].into_iter()).is_err());
+        assert!(parse(["--threads".to_string()].into_iter()).is_err());
+        assert!(parse(["--threads".to_string(), "x".to_string()].into_iter()).is_err());
+        assert!(parse(["--trace=abc".to_string()].into_iter()).is_err());
     }
 
     #[test]

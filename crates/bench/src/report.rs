@@ -16,7 +16,20 @@
 //! threshold: `name=+P%` fails when the metric *rises* more than P %
 //! above the baseline (for metrics where up is bad, e.g. MPKI);
 //! `name=-P%` fails when it *falls* more than P % below (for metrics
-//! where down is bad, e.g. a reduction percentage).
+//! where down is bad, e.g. a reduction percentage); `name=~P%` fails on
+//! movement in *either* direction (for metrics that must be identical,
+//! e.g. a parallel run gated against its serial twin).
+//!
+//! `time` wraps wall-clock comparisons of whole binaries:
+//!
+//! ```text
+//! bf-report time --out results/timing-fig10.json \
+//!     --run 'serial=./target/release/fig10_tlb --quick --threads 1' \
+//!     --run 't2=./target/release/fig10_tlb --quick --threads 2'
+//! ```
+//!
+//! which reports each duration plus every later run's speedup against
+//! the first (serial-first convention).
 
 use serde::Value;
 use std::collections::BTreeMap;
@@ -205,6 +218,10 @@ pub enum GateDirection {
     RiseIsBad,
     /// `name=-P%`: fail when the metric falls more than P % (down is bad).
     FallIsBad,
+    /// `name=~P%`: fail when the metric moves more than P % in *either*
+    /// direction (any drift is bad — e.g. metrics that must be identical
+    /// between a serial and a parallel run).
+    AnyIsBad,
 }
 
 /// A regression threshold on one metric, parsed from `name=+10%` /
@@ -231,9 +248,11 @@ impl Gate {
         let (direction, digits) = match bound.as_bytes().first() {
             Some(b'+') => (GateDirection::RiseIsBad, &bound[1..]),
             Some(b'-') => (GateDirection::FallIsBad, &bound[1..]),
+            Some(b'~') => (GateDirection::AnyIsBad, &bound[1..]),
             _ => {
                 return Err(format!(
-                    "gate '{spec}': threshold must start with + (rise is bad) or - (fall is bad)"
+                    "gate '{spec}': threshold must start with + (rise is bad), \
+                     - (fall is bad) or ~ (any drift is bad)"
                 ))
             }
         };
@@ -303,6 +322,7 @@ pub fn check(base: &Value, current: &Value, gates: &[Gate]) -> Result<Vec<GateRe
             let failed = match gate.direction {
                 GateDirection::RiseIsBad => change_pct > gate.tolerance_pct,
                 GateDirection::FallIsBad => change_pct < -gate.tolerance_pct,
+                GateDirection::AnyIsBad => change_pct.abs() > gate.tolerance_pct,
             };
             results.push(GateResult {
                 metric: path.clone(),
@@ -324,6 +344,110 @@ fn load(path: &str) -> Result<Value, String> {
     serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e:?}"))
 }
 
+/// One wall-clock measurement from `bf-report time`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedRun {
+    /// Label from the `label=command...` specification.
+    pub name: String,
+    /// The command line that was executed.
+    pub command: String,
+    /// Wall-clock duration in seconds.
+    pub seconds: f64,
+}
+
+/// Builds the `results/timing-*.json` document: every run's wall-clock
+/// plus each later run's speedup relative to the *first* run (the
+/// convention: list the serial run first, parallel runs after).
+pub fn timing_doc(runs: &[TimedRun]) -> Value {
+    let rows = runs
+        .iter()
+        .map(|r| {
+            crate::json_object([
+                ("name", Value::String(r.name.clone())),
+                ("command", Value::String(r.command.clone())),
+                ("seconds", Value::F64(r.seconds)),
+            ])
+        })
+        .collect();
+    let mut speedups = BTreeMap::new();
+    if let Some(first) = runs.first() {
+        for run in &runs[1..] {
+            let speedup = if run.seconds > 0.0 {
+                first.seconds / run.seconds
+            } else {
+                f64::INFINITY
+            };
+            speedups.insert(run.name.clone(), Value::F64(speedup));
+        }
+    }
+    crate::json_object([
+        ("runs", Value::Array(rows)),
+        ("speedup_vs_first", Value::Object(speedups)),
+    ])
+}
+
+/// `bf-report time`: run each `label=command args...` spec, measure its
+/// wall-clock, print a table, and (with `--out`) write [`timing_doc`]
+/// JSON. Errors if any command exits non-zero.
+fn run_time(args: &[String]) -> Result<bool, String> {
+    let mut out = None;
+    let mut specs = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--run" => specs.push(iter.next().ok_or("--run needs 'label=command...'")?),
+            "--out" => out = Some(iter.next().ok_or("--out needs a path")?),
+            other => return Err(format!("unknown time argument '{other}'\n{USAGE}")),
+        }
+    }
+    if specs.is_empty() {
+        return Err(format!("time mode needs at least one --run\n{USAGE}"));
+    }
+    let mut runs = Vec::new();
+    for spec in specs {
+        let (name, command) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--run '{spec}': expected label=command..."))?;
+        let words: Vec<&str> = command.split_whitespace().collect();
+        let [program, rest @ ..] = words.as_slice() else {
+            return Err(format!("--run '{spec}': empty command"));
+        };
+        let start = std::time::Instant::now();
+        let status = std::process::Command::new(program)
+            .args(rest)
+            .stdout(std::process::Stdio::null())
+            .status()
+            .map_err(|e| format!("running '{command}': {e}"))?;
+        let seconds = start.elapsed().as_secs_f64();
+        if !status.success() {
+            return Err(format!("'{command}' exited with {status}"));
+        }
+        println!("{name:<16} {seconds:>9.3}s  {command}");
+        runs.push(TimedRun {
+            name: name.to_owned(),
+            command: command.to_owned(),
+            seconds,
+        });
+    }
+    let doc = timing_doc(&runs);
+    if let Some(speedups) = doc.get("speedup_vs_first").and_then(|v| match v {
+        Value::Object(map) => Some(map),
+        _ => None,
+    }) {
+        for (name, speedup) in speedups {
+            if let Some(s) = speedup.as_f64() {
+                println!("{name:<16} {s:>8.2}x vs {}", runs[0].name);
+            }
+        }
+    }
+    if let Some(path) = out {
+        bf_telemetry::write_json(path.as_str(), &doc)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(false)
+}
+
 /// The `bf-report` command line: `diff <a> <b> [--top N]` or
 /// `check <baseline> <current> --gate SPEC...`. Returns the process
 /// exit code (0 ok, 1 regression, 2 usage/IO error).
@@ -343,9 +467,12 @@ pub fn run_cli(args: &[String]) -> i32 {
     }
 }
 
-const USAGE: &str = "usage: bf-report diff <base.json> <current.json> [--top N]\n       bf-report check <baseline.json> <current.json> --gate 'name=+P%' [--gate ...] [--top N]";
+const USAGE: &str = "usage: bf-report diff <base.json> <current.json> [--top N]\n       bf-report check <baseline.json> <current.json> --gate 'name=+P%|-P%|~P%' [--gate ...] [--top N]\n       bf-report time --run 'label=command args...' [--run ...] [--out timing.json]";
 
 fn run(args: &[String]) -> Result<bool, String> {
+    if args.first().map(String::as_str) == Some("time") {
+        return run_time(&args[1..]);
+    }
     let mut mode = None;
     let mut files = Vec::new();
     let mut gates = Vec::new();
@@ -501,6 +628,59 @@ mod tests {
         let baseline = doc(2.0, 60.0);
         let gates = [Gate::parse("no_such_metric=-25%").unwrap()];
         assert!(check(&baseline, &baseline, &gates).is_err());
+    }
+
+    #[test]
+    fn any_is_bad_gate_catches_drift_both_ways() {
+        let gate = Gate::parse("d_mpki=~0%").unwrap();
+        assert_eq!(gate.direction, GateDirection::AnyIsBad);
+        let baseline = doc(2.0, 60.0);
+        for drifted in [doc(2.1, 60.0), doc(1.9, 60.0)] {
+            let results = check(&baseline, &drifted, std::slice::from_ref(&gate)).unwrap();
+            assert!(results[0].failed, "any drift must fail a ~0% gate");
+        }
+        let same = check(&baseline, &doc(2.0, 60.0), std::slice::from_ref(&gate)).unwrap();
+        assert!(!same[0].failed);
+    }
+
+    #[test]
+    fn timing_doc_reports_speedup_vs_first() {
+        let runs = [
+            TimedRun {
+                name: "serial".into(),
+                command: "fig10 --threads 1".into(),
+                seconds: 4.0,
+            },
+            TimedRun {
+                name: "t4".into(),
+                command: "fig10 --threads 4".into(),
+                seconds: 1.0,
+            },
+        ];
+        let doc = timing_doc(&runs);
+        let flat = flatten(&doc);
+        assert_eq!(flat.get("runs.serial.seconds"), Some(&4.0));
+        assert_eq!(flat.get("runs.t4.seconds"), Some(&1.0));
+        assert_eq!(flat.get("speedup_vs_first.t4"), Some(&4.0));
+        assert!(
+            !flat.contains_key("speedup_vs_first.serial"),
+            "the reference run has no self-speedup"
+        );
+    }
+
+    #[test]
+    fn time_mode_measures_real_commands() {
+        // `true` exits 0 instantly; a failing command must error out.
+        let args: Vec<String> = ["time", "--run", "noop=true"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run_cli(&args), 0);
+        let bad: Vec<String> = ["time", "--run", "boom=false"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run_cli(&bad), 2);
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Sweep definitions shared between the figure binaries and the
+//! determinism tests.
+//!
+//! Each function builds the figure's experiment cells as a
+//! [`Sweep`](babelfish::exec::Sweep), runs them on `threads` workers,
+//! and reassembles the results in cell order. Every cell constructs its
+//! own `Machine` (and therefore its own private telemetry `Registry`),
+//! so cells share no mutable state and the collected rows — and any
+//! JSON document derived from them — are byte-identical for every
+//! thread count.
+
+use crate::{json_object, reduction_pct};
+use babelfish::exec::Sweep;
+use babelfish::experiment::{
+    run_compute, run_functions, run_serving, ComputeKind, ComputeResult, ExperimentConfig,
+    FunctionsResult, ServingResult,
+};
+use babelfish::{AccessDensity, MachineStats, Mode, ServingVariant};
+use bf_telemetry::Snapshot;
+use serde::{Serialize, Value};
+
+/// One application row of Fig. 10: Baseline and BabelFish stats plus
+/// their telemetry snapshots.
+pub struct Fig10Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Baseline stats.
+    pub base: MachineStats,
+    /// BabelFish stats.
+    pub babelfish: MachineStats,
+    /// Baseline telemetry snapshot.
+    pub base_telemetry: Snapshot,
+    /// BabelFish telemetry snapshot.
+    pub babelfish_telemetry: Snapshot,
+}
+
+/// One Fig. 10 application: its name plus a boxed runner producing the
+/// raw stats and telemetry for one mode.
+type Fig10App = (
+    &'static str,
+    Box<dyn Fn(Mode, &ExperimentConfig) -> (MachineStats, Snapshot) + Send + Sync>,
+);
+
+/// The seven Fig. 10 applications in paper order.
+fn fig10_apps() -> Vec<Fig10App> {
+    let mut apps: Vec<Fig10App> = Vec::new();
+    for variant in ServingVariant::ALL {
+        apps.push((
+            variant.name(),
+            Box::new(move |mode, cfg| {
+                let r = run_serving(mode, variant, cfg);
+                (r.stats, r.telemetry)
+            }),
+        ));
+    }
+    for kind in ComputeKind::ALL {
+        apps.push((
+            kind.name(),
+            Box::new(move |mode, cfg| {
+                let r = run_compute(mode, kind, cfg);
+                (r.stats, r.telemetry)
+            }),
+        ));
+    }
+    for (name, density) in [
+        ("fn-dense", AccessDensity::Dense),
+        ("fn-sparse", AccessDensity::Sparse),
+    ] {
+        apps.push((
+            name,
+            Box::new(move |mode, cfg| {
+                let r = run_functions(mode, density, cfg);
+                (r.stats, r.telemetry)
+            }),
+        ));
+    }
+    apps
+}
+
+/// Runs the Fig. 10 cells — every application under Baseline and
+/// BabelFish — on `threads` workers.
+pub fn fig10_rows(cfg: &ExperimentConfig, threads: usize) -> Vec<Fig10Row> {
+    let cfg = *cfg;
+    let mut sweep = Sweep::new();
+    let mut names = Vec::new();
+    for (name, runner) in fig10_apps() {
+        names.push(name);
+        let runner = std::sync::Arc::new(runner);
+        let base_runner = runner.clone();
+        sweep.cell(move || base_runner(Mode::Baseline, &cfg));
+        sweep.cell(move || runner(Mode::babelfish(), &cfg));
+    }
+    let mut results = sweep.run(threads).into_iter();
+    names
+        .into_iter()
+        .map(|name| {
+            let (base, base_telemetry) = results.next().expect("base cell");
+            let (babelfish, babelfish_telemetry) = results.next().expect("babelfish cell");
+            Fig10Row {
+                name,
+                base,
+                babelfish,
+                base_telemetry,
+                babelfish_telemetry,
+            }
+        })
+        .collect()
+}
+
+/// One row of the Fig. 10 JSON export: the raw stats and telemetry for
+/// both modes plus the derived Fig. 10a/10b numbers.
+pub fn fig10_row_value(row: &Fig10Row) -> Value {
+    json_object([
+        ("app", Value::String(row.name.to_owned())),
+        (
+            "baseline",
+            json_object([
+                ("stats", row.base.to_value()),
+                ("telemetry", row.base_telemetry.to_value()),
+            ]),
+        ),
+        (
+            "babelfish",
+            json_object([
+                ("stats", row.babelfish.to_value()),
+                ("telemetry", row.babelfish_telemetry.to_value()),
+            ]),
+        ),
+        (
+            "d_mpki_reduction_pct",
+            Value::F64(reduction_pct(
+                row.base.l2_data_mpki(),
+                row.babelfish.l2_data_mpki(),
+            )),
+        ),
+        (
+            "i_mpki_reduction_pct",
+            Value::F64(reduction_pct(
+                row.base.l2_instr_mpki(),
+                row.babelfish.l2_instr_mpki(),
+            )),
+        ),
+        (
+            "data_shared_hit_fraction",
+            Value::F64(row.babelfish.l2_data_shared_hit_fraction()),
+        ),
+        (
+            "instr_shared_hit_fraction",
+            Value::F64(row.babelfish.l2_instr_shared_hit_fraction()),
+        ),
+    ])
+}
+
+/// The complete Fig. 10 results document.
+pub fn fig10_doc(cfg: &ExperimentConfig, rows: &[Fig10Row]) -> Value {
+    json_object([
+        ("figure", Value::String("fig10_tlb".to_owned())),
+        ("config", cfg.to_value()),
+        (
+            "rows",
+            Value::Array(rows.iter().map(fig10_row_value).collect()),
+        ),
+    ])
+}
+
+/// The Fig. 11 dataset: per-application Baseline/BabelFish result pairs
+/// for the three workload classes.
+pub struct Fig11Data {
+    /// `(app, baseline, babelfish)` per serving variant.
+    pub serving: Vec<(&'static str, ServingResult, ServingResult)>,
+    /// `(app, baseline, babelfish)` per compute kind.
+    pub compute: Vec<(&'static str, ComputeResult, ComputeResult)>,
+    /// `(label, baseline, babelfish)` per function density.
+    pub functions: Vec<(&'static str, FunctionsResult, FunctionsResult)>,
+}
+
+enum Fig11Cell {
+    Serving(Box<ServingResult>),
+    Compute(Box<ComputeResult>),
+    Functions(Box<FunctionsResult>),
+}
+
+impl Fig11Cell {
+    fn serving(self) -> ServingResult {
+        match self {
+            Fig11Cell::Serving(r) => *r,
+            _ => unreachable!("cell order fixed at submission"),
+        }
+    }
+    fn compute(self) -> ComputeResult {
+        match self {
+            Fig11Cell::Compute(r) => *r,
+            _ => unreachable!("cell order fixed at submission"),
+        }
+    }
+    fn functions(self) -> FunctionsResult {
+        match self {
+            Fig11Cell::Functions(r) => *r,
+            _ => unreachable!("cell order fixed at submission"),
+        }
+    }
+}
+
+/// Runs the Fig. 11 cells — serving, compute, and function workloads,
+/// Baseline and BabelFish — on `threads` workers.
+pub fn fig11_data(cfg: &ExperimentConfig, threads: usize) -> Fig11Data {
+    let cfg = *cfg;
+    let mut sweep = Sweep::new();
+    for variant in ServingVariant::ALL {
+        for mode in [Mode::Baseline, Mode::babelfish()] {
+            sweep.cell(move || Fig11Cell::Serving(Box::new(run_serving(mode, variant, &cfg))));
+        }
+    }
+    for kind in ComputeKind::ALL {
+        for mode in [Mode::Baseline, Mode::babelfish()] {
+            sweep.cell(move || Fig11Cell::Compute(Box::new(run_compute(mode, kind, &cfg))));
+        }
+    }
+    for density in [AccessDensity::Dense, AccessDensity::Sparse] {
+        for mode in [Mode::Baseline, Mode::babelfish()] {
+            sweep.cell(move || Fig11Cell::Functions(Box::new(run_functions(mode, density, &cfg))));
+        }
+    }
+
+    let mut cells = sweep.run(threads).into_iter();
+    let mut next = || cells.next().expect("cell count fixed at submission");
+    Fig11Data {
+        serving: ServingVariant::ALL
+            .iter()
+            .map(|v| (v.name(), next().serving(), next().serving()))
+            .collect(),
+        compute: ComputeKind::ALL
+            .iter()
+            .map(|k| (k.name(), next().compute(), next().compute()))
+            .collect(),
+        functions: ["dense", "sparse"]
+            .iter()
+            .map(|label| (*label, next().functions(), next().functions()))
+            .collect(),
+    }
+}
+
+/// The Fig. 11 results document (latency/execution reductions per app).
+pub fn fig11_doc(cfg: &ExperimentConfig, data: &Fig11Data) -> Value {
+    let serving: Vec<Value> = data
+        .serving
+        .iter()
+        .map(|(name, base, bf)| {
+            json_object([
+                ("app", Value::String((*name).to_owned())),
+                (
+                    "mean_latency_reduction_pct",
+                    Value::F64(reduction_pct(base.mean_latency, bf.mean_latency)),
+                ),
+                (
+                    "p95_latency_reduction_pct",
+                    Value::F64(reduction_pct(
+                        base.p95_latency as f64,
+                        bf.p95_latency as f64,
+                    )),
+                ),
+            ])
+        })
+        .collect();
+    let compute: Vec<Value> = data
+        .compute
+        .iter()
+        .map(|(name, base, bf)| {
+            json_object([
+                ("app", Value::String((*name).to_owned())),
+                (
+                    "exec_reduction_pct",
+                    Value::F64(reduction_pct(
+                        base.exec_cycles as f64,
+                        bf.exec_cycles as f64,
+                    )),
+                ),
+            ])
+        })
+        .collect();
+    let functions: Vec<Value> = data
+        .functions
+        .iter()
+        .map(|(label, base, bf)| {
+            json_object([
+                ("density", Value::String((*label).to_owned())),
+                (
+                    "follower_exec_reduction_pct",
+                    Value::F64(reduction_pct(
+                        base.follower_mean_exec(),
+                        bf.follower_mean_exec(),
+                    )),
+                ),
+            ])
+        })
+        .collect();
+    json_object([
+        ("figure", Value::String("fig11_performance".to_owned())),
+        ("config", cfg.to_value()),
+        ("serving", Value::Array(serving)),
+        ("compute", Value::Array(compute)),
+        ("functions", Value::Array(functions)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::smoke_test();
+        cfg.measure_instructions = 4_000;
+        cfg.warmup_instructions = 1_000;
+        cfg
+    }
+
+    #[test]
+    fn fig10_rows_keep_submission_order() {
+        let rows = fig10_rows(&tiny(), 2);
+        let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            [
+                "mongodb",
+                "arangodb",
+                "httpd",
+                "graphchi",
+                "fio",
+                "fn-dense",
+                "fn-sparse"
+            ]
+        );
+    }
+}

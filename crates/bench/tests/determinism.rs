@@ -1,0 +1,51 @@
+//! The bf-exec contract: a sweep's results depend only on the cell
+//! list, never on the worker count. This drives the same Fig. 10 sweep
+//! serially and on four workers and requires byte-identical JSON and
+//! identical per-cell telemetry snapshots — the property the CI timing
+//! job gates on for the real `--quick` dataset.
+
+use babelfish::experiment::ExperimentConfig;
+use bf_bench::sweeps::{fig10_doc, fig10_rows};
+
+/// A config small enough that 14 cells finish in seconds but large
+/// enough that every workload actually touches the TLB hierarchy.
+fn tiny_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke_test();
+    cfg.warmup_instructions = 1_000;
+    cfg.measure_instructions = 4_000;
+    cfg
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let cfg = tiny_config();
+    let serial = fig10_rows(&cfg, 1);
+    let parallel = fig10_rows(&cfg, 4);
+
+    // Row order is submission order in both cases.
+    let names: Vec<_> = serial.iter().map(|r| r.name).collect();
+    assert_eq!(names, parallel.iter().map(|r| r.name).collect::<Vec<_>>());
+
+    // Each cell's private telemetry registry must be unaffected by the
+    // other cells running concurrently.
+    for (s, p) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(
+            s.base_telemetry, p.base_telemetry,
+            "{}: baseline telemetry drifted across thread counts",
+            s.name
+        );
+        assert_eq!(
+            s.babelfish_telemetry, p.babelfish_telemetry,
+            "{}: babelfish telemetry drifted across thread counts",
+            s.name
+        );
+    }
+
+    // And the JSON document the binary writes must match byte for byte.
+    let doc_serial = serde_json::to_string(&fig10_doc(&cfg, &serial)).unwrap();
+    let doc_parallel = serde_json::to_string(&fig10_doc(&cfg, &parallel)).unwrap();
+    assert_eq!(
+        doc_serial, doc_parallel,
+        "results JSON must not depend on --threads"
+    );
+}

@@ -1,0 +1,225 @@
+//! # bf-exec: deterministic parallel sweep execution
+//!
+//! Every figure-regenerating binary runs a list of independent
+//! *experiment cells* — one `(mode, app, config)` combination, each
+//! building its own [`Machine`](crate::Machine) with a private
+//! telemetry `Registry`. The cells share no state, so they can run on
+//! any number of worker threads; determinism comes from *collection*,
+//! not scheduling: results land in a pre-sized slot vector indexed by
+//! cell id, and the caller consumes them in submission order. Output
+//! ordering, JSON results files, and telemetry snapshots are therefore
+//! byte-identical to a serial run regardless of thread count.
+//!
+//! No external dependencies: scoped `std` threads pull cell indices
+//! from one atomic counter (work stealing degenerates to a fetch-add).
+//!
+//! ```
+//! use babelfish::exec::Sweep;
+//!
+//! let mut sweep = Sweep::new();
+//! for i in 0..8u64 {
+//!     sweep.cell(move || i * i);
+//! }
+//! assert_eq!(sweep.run(4), vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+type Job<T> = Box<dyn FnOnce() -> T + Send>;
+
+/// An ordered list of independent experiment cells, executed by
+/// [`Sweep::run`] on a bounded worker pool with slot-ordered result
+/// collection.
+pub struct Sweep<T> {
+    cells: Vec<Job<T>>,
+}
+
+impl<T> Default for Sweep<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Sweep<T> {
+    /// An empty sweep.
+    pub fn new() -> Self {
+        Sweep { cells: Vec::new() }
+    }
+
+    /// Appends one cell. Its id — and the slot its result is returned
+    /// in — is the number of cells added before it.
+    pub fn cell(&mut self, run: impl FnOnce() -> T + Send + 'static) -> usize {
+        self.cells.push(Box::new(run));
+        self.cells.len() - 1
+    }
+
+    /// Number of cells queued.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cells are queued.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+impl<T: Send> Sweep<T> {
+    /// Runs every cell on `min(cells, threads.max(1))` workers and
+    /// returns the results in cell order.
+    ///
+    /// `threads <= 1` short-circuits to a plain serial loop on the
+    /// calling thread (no pool, no locks). A panicking cell propagates
+    /// the panic to the caller after the scope joins.
+    pub fn run(self, threads: usize) -> Vec<T> {
+        let workers = threads.max(1).min(self.cells.len());
+        if workers <= 1 {
+            return self.cells.into_iter().map(|job| job()).collect();
+        }
+
+        // Jobs and result slots, one mutex per cell: workers only ever
+        // touch the slot for the cell they claimed, so there is no
+        // contention — the mutexes exist to make the slots Sync.
+        let jobs: Vec<Mutex<Option<Job<T>>>> = self
+            .cells
+            .into_iter()
+            .map(|job| Mutex::new(Some(job)))
+            .collect();
+        let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let cell = next.fetch_add(1, Ordering::Relaxed);
+                    if cell >= jobs.len() {
+                        break;
+                    }
+                    let job = jobs[cell]
+                        .lock()
+                        .expect("job mutex poisoned")
+                        .take()
+                        .expect("each cell is claimed exactly once");
+                    let result = job();
+                    *slots[cell].lock().expect("slot mutex poisoned") = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot mutex poisoned")
+                    .expect("every cell ran to completion")
+            })
+            .collect()
+    }
+}
+
+/// Resolves the worker count for a sweep: an explicit request (e.g.
+/// `--threads N`) wins, then the `BF_THREADS` environment variable,
+/// then [`std::thread::available_parallelism`]. Zero requests are
+/// treated as "serial" (1).
+pub fn thread_count(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    if let Ok(value) = std::env::var("BF_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn squares_sweep(n: u64) -> Sweep<u64> {
+        let mut sweep = Sweep::new();
+        for i in 0..n {
+            sweep.cell(move || i * i);
+        }
+        sweep
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let expected: Vec<u64> = (0..32).map(|i| i * i).collect();
+        assert_eq!(squares_sweep(32).run(1), expected);
+        for threads in [2, 3, 4, 7, 32, 100] {
+            assert_eq!(
+                squares_sweep(32).run(threads),
+                expected,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sweep_returns_empty() {
+        assert!(Sweep::<u64>::new().run(4).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_cells_is_fine() {
+        assert_eq!(squares_sweep(2).run(16), vec![0, 1]);
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        let mut sweep = Sweep::new();
+        for _ in 0..64 {
+            sweep.cell(|| RUNS.fetch_add(1, Ordering::Relaxed));
+        }
+        sweep.run(8);
+        assert_eq!(RUNS.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn results_use_submission_order_not_completion_order() {
+        // Cells that finish in reverse submission order (later cells are
+        // cheaper) must still collect in submission order.
+        let mut sweep = Sweep::new();
+        for i in 0..8u64 {
+            sweep.cell(move || {
+                if i < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(10 - i));
+                }
+                i
+            });
+        }
+        assert_eq!(sweep.run(8), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_means_serial() {
+        assert_eq!(squares_sweep(4).run(0), vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn explicit_thread_request_wins() {
+        assert_eq!(thread_count(Some(3)), 3);
+        assert_eq!(thread_count(Some(0)), 1, "zero is clamped to serial");
+    }
+
+    #[test]
+    #[should_panic]
+    fn cell_panics_propagate() {
+        let mut sweep = Sweep::new();
+        for i in 0..6u64 {
+            sweep.cell(move || {
+                assert!(i != 3, "cell 3 exploded");
+                i
+            });
+        }
+        sweep.run(2);
+    }
+}

@@ -32,8 +32,10 @@
 //! * [`tlb`], [`pgtable`] — the paper's contribution;
 //! * [`os`], [`containers`], [`workloads`] — the software stack;
 //! * [`sim`] — the Table I machine;
-//! * [`analytic`] — Table III / Section VII-D models.
+//! * [`analytic`] — Table III / Section VII-D models;
+//! * [`exec`] — deterministic parallel execution of experiment sweeps.
 
+pub mod exec;
 pub mod experiment;
 
 pub use bf_analytic as analytic;

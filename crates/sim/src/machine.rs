@@ -14,7 +14,6 @@ use bf_tlb::group::TlbAccess;
 use bf_tlb::{LookupResult, TlbFill, TlbGroup};
 use bf_types::{AccessKind, CoreId, Cycles, PageFlags, PageSize, PageTableLevel, Pid, VirtAddr};
 use bf_workloads::{Op, Workload};
-use std::collections::HashMap;
 
 struct CoreState {
     tlbs: TlbGroup,
@@ -22,6 +21,18 @@ struct CoreState {
     clock: Cycles,
     instructions: u64,
     active: bool,
+}
+
+/// Everything the machine tracks per attached process. Stored in a
+/// dense slab indexed by raw pid (the kernel allocates pids
+/// sequentially from 1), so the per-access lookups in `step_core` are
+/// a bounds-checked array index instead of three `HashMap` probes.
+struct ProcState {
+    workload: Box<dyn Workload>,
+    core: usize,
+    /// Core clock at the start of the in-flight request, once the first
+    /// request boundary has been seen.
+    request_start: Option<Cycles>,
 }
 
 /// Machine-level recording handles (`sim.*` names).
@@ -53,9 +64,8 @@ pub struct Machine {
     cores: Vec<CoreState>,
     hierarchy: CacheHierarchy,
     sched: Scheduler,
-    workloads: HashMap<Pid, Box<dyn Workload>>,
-    core_of: HashMap<Pid, usize>,
-    request_start: HashMap<Pid, Cycles>,
+    /// Dense per-process slab, indexed by raw pid.
+    procs: Vec<Option<ProcState>>,
     latency: LatencyStats,
     breakdown: TranslationBreakdown,
     walks: u64,
@@ -69,6 +79,11 @@ pub struct Machine {
     /// runs the sampling gate and advances the trace cursor as each
     /// pipeline stage of a sampled access completes.
     spans: SpanTracer,
+    /// Hoisted span-sampling gate: true only when span tracing can ever
+    /// fire (`trace_sample_every > 0` and telemetry compiled in). Every
+    /// span call in the access pipeline sits behind this one predictable
+    /// branch, so the tracing-off hot path does no per-stage work.
+    tracing: bool,
     /// Registry state at the last [`Machine::reset_measurement`];
     /// [`Machine::telemetry_snapshot`] reports the delta since then.
     telemetry_baseline: Snapshot,
@@ -79,7 +94,10 @@ impl std::fmt::Debug for Machine {
         f.debug_struct("Machine")
             .field("mode", &self.config.mode.name())
             .field("cores", &self.cores.len())
-            .field("workloads", &self.workloads.len())
+            .field(
+                "workloads",
+                &self.procs.iter().filter(|p| p.is_some()).count(),
+            )
             .finish()
     }
 }
@@ -95,6 +113,7 @@ impl Machine {
     /// (e.g. one with a larger trace-ring capacity).
     pub fn with_registry(config: SimConfig, registry: Registry) -> Self {
         let spans = registry.spans();
+        let tracing = config.trace_sample_every > 0 && bf_telemetry::enabled();
         if config.trace_sample_every > 0 {
             spans.set_sampling(config.trace_sample_every);
         }
@@ -126,9 +145,7 @@ impl Machine {
                 config.quantum_cycles,
                 config.context_switch_cycles,
             ),
-            workloads: HashMap::new(),
-            core_of: HashMap::new(),
-            request_start: HashMap::new(),
+            procs: Vec::new(),
             latency: LatencyStats::default(),
             breakdown: TranslationBreakdown::default(),
             walks: 0,
@@ -138,6 +155,7 @@ impl Machine {
             shared_resolved: 0,
             telem: SimTelemetry::attach(&registry),
             spans,
+            tracing,
             telemetry_baseline: registry.snapshot(),
             registry,
             config,
@@ -177,11 +195,24 @@ impl Machine {
         &mut self.kernel
     }
 
+    /// Slot of `pid` in the dense process slab.
+    #[inline(always)]
+    fn proc_slot(pid: Pid) -> usize {
+        pid.raw() as usize
+    }
+
     /// Assigns `pid` to `core` and gives it a workload to run.
     pub fn attach(&mut self, core: CoreId, pid: Pid, workload: Box<dyn Workload>) {
         self.sched.assign(core, pid);
-        self.core_of.insert(pid, core.index());
-        self.workloads.insert(pid, workload);
+        let slot = Self::proc_slot(pid);
+        if slot >= self.procs.len() {
+            self.procs.resize_with(slot + 1, || None);
+        }
+        self.procs[slot] = Some(ProcState {
+            workload,
+            core: core.index(),
+            request_start: None,
+        });
         self.cores[core.index()].active = true;
     }
 
@@ -191,9 +222,9 @@ impl Machine {
         let invalidations = self.kernel.exit(pid);
         self.apply_invalidations(&invalidations);
         self.sched.remove(pid);
-        self.workloads.remove(&pid);
-        self.core_of.remove(&pid);
-        self.request_start.remove(&pid);
+        if let Some(slot) = self.procs.get_mut(Self::proc_slot(pid)) {
+            *slot = None;
+        }
     }
 
     /// Applies kernel-issued TLB invalidations to every core (the
@@ -231,11 +262,11 @@ impl Machine {
         self.cow_faults = 0;
         self.shared_resolved = 0;
         self.telemetry_baseline = self.registry.snapshot();
-        let starts: Vec<Pid> = self.request_start.keys().copied().collect();
-        for pid in starts {
-            let core = self.core_of[&pid];
-            let clock = self.cores[core].clock;
-            self.request_start.insert(pid, clock);
+        let clocks: Vec<Cycles> = self.cores.iter().map(|c| c.clock).collect();
+        for proc in self.procs.iter_mut().flatten() {
+            if proc.request_start.is_some() {
+                proc.request_start = Some(clocks[proc.core]);
+            }
         }
     }
 
@@ -341,8 +372,12 @@ impl Machine {
             },
         };
 
-        let op = match self.workloads.get_mut(&pid) {
-            Some(workload) => workload.next_op(),
+        let op = match self
+            .procs
+            .get_mut(Self::proc_slot(pid))
+            .and_then(|p| p.as_mut())
+        {
+            Some(proc) => proc.workload.next_op(),
             None => {
                 // Process without a workload (exited): drop it.
                 self.sched.remove(pid);
@@ -369,12 +404,15 @@ impl Machine {
             }
             Op::RequestEnd => {
                 let clock = self.cores[core_index].clock;
-                let start = self.request_start.get(&pid).copied().unwrap_or(clock);
+                let proc = self.procs[Self::proc_slot(pid)]
+                    .as_mut()
+                    .expect("RequestEnd from an attached process");
+                let start = proc.request_start.unwrap_or(clock);
+                proc.request_start = Some(clock);
                 if clock > start {
                     self.latency.record(clock - start);
                     self.telem.request_cycles.record(clock - start);
                 }
-                self.request_start.insert(pid, clock);
             }
             Op::Done => {
                 self.exit_process(pid);
@@ -410,23 +448,31 @@ impl Machine {
             kind,
         };
 
-        // Sampling gate: latches whether this access is span-traced.
-        // Every trace call below is a no-op for unsampled accesses.
+        // Hoisted sampling gate: `tracing` is false unless span tracing
+        // was configured, so the off path takes one predictable branch
+        // per stage instead of calling into the tracer. When on,
+        // `sample_access` latches whether *this* access is traced and
+        // every call below no-ops for unsampled accesses.
+        let tracing = self.tracing;
         let clock_base = self.cores[core_index].clock;
-        self.spans.sample_access(
-            SpanTrack::new(access.ccid.raw() as u32, pid.raw()),
-            clock_base,
-        );
-        self.spans
-            .begin("access", &[("va", va.raw()), ("write", is_write as u64)]);
+        if tracing {
+            self.spans.sample_access(
+                SpanTrack::new(access.ccid.raw() as u32, pid.raw()),
+                clock_base,
+            );
+            self.spans
+                .begin("access", &[("va", va.raw()), ("write", is_write as u64)]);
+            self.spans.begin("tlb.l1", &[]);
+        }
 
         // --- L1 TLB ---
-        self.spans.begin("tlb.l1", &[]);
         let (l1_result, l1_cycles) = self.cores[core_index].tlbs.lookup_l1(&access);
         cycles += l1_cycles;
         self.breakdown.tlb_cycles += l1_cycles;
-        self.spans.set_now(clock_base + cycles);
-        self.spans.end();
+        if tracing {
+            self.spans.set_now(clock_base + cycles);
+            self.spans.end();
+        }
 
         let mut translated: Option<(bf_types::Ppn, PageSize)> = None;
         let mut faulted_cow_hit = false;
@@ -441,14 +487,20 @@ impl Machine {
             if self.config.mode.aslr_transformation() {
                 cycles += self.config.aslr_transform_cycles;
                 self.breakdown.tlb_cycles += self.config.aslr_transform_cycles;
-                self.spans.set_now(clock_base + cycles);
+                if tracing {
+                    self.spans.set_now(clock_base + cycles);
+                }
             }
-            self.spans.begin("tlb.l2", &[]);
+            if tracing {
+                self.spans.begin("tlb.l2", &[]);
+            }
             let (l2_result, l2_cycles) = self.cores[core_index].tlbs.lookup_l2(&access);
             cycles += l2_cycles;
             self.breakdown.tlb_cycles += l2_cycles;
-            self.spans.set_now(clock_base + cycles);
-            self.spans.end();
+            if tracing {
+                self.spans.set_now(clock_base + cycles);
+                self.spans.end();
+            }
             match l2_result {
                 LookupResult::Hit(hit) => {
                     // Refill the L1 from the L2 entry.
@@ -471,7 +523,9 @@ impl Machine {
                 .expect("CoW fault resolution failed");
             cycles += resolution.cost;
             self.breakdown.fault_cycles += resolution.cost;
-            self.spans.set_now(clock_base + cycles);
+            if tracing {
+                self.spans.set_now(clock_base + cycles);
+            }
             self.count_fault(resolution.kind);
             self.trace_fault(core_index, cycles, &access, resolution.kind);
             pending_invalidations.extend(resolution.invalidations.iter().copied());
@@ -488,14 +542,18 @@ impl Machine {
                     attempts <= 4,
                     "fault loop did not converge at {va} for {pid}"
                 );
-                self.spans.begin("walk", &[("attempt", attempts)]);
+                if tracing {
+                    self.spans.begin("walk", &[("attempt", attempts)]);
+                }
                 let (walk_cycles, walk) = self.hardware_walk(core_index, pid, va);
                 cycles += walk_cycles;
                 self.breakdown.walk_cycles += walk_cycles;
                 self.walks += 1;
                 self.telem.walks.incr();
-                self.spans.set_now(clock_base + cycles);
-                self.spans.end();
+                if tracing {
+                    self.spans.set_now(clock_base + cycles);
+                    self.spans.end();
+                }
 
                 let leaf = walk.leaf();
                 let cow_write = leaf
@@ -523,7 +581,9 @@ impl Machine {
                     .unwrap_or_else(|e| panic!("unresolvable fault at {va} for {pid}: {e}"));
                 cycles += resolution.cost;
                 self.breakdown.fault_cycles += resolution.cost;
-                self.spans.set_now(clock_base + cycles);
+                if tracing {
+                    self.spans.set_now(clock_base + cycles);
+                }
                 self.count_fault(resolution.kind);
                 self.trace_fault(core_index, cycles, &access, resolution.kind);
                 self.apply_invalidations(&resolution.invalidations);
@@ -534,7 +594,9 @@ impl Machine {
         let (ppn, size) = translated.expect("translation must have succeeded");
         let paddr = ppn.base_addr().offset(va.page_offset(size));
         let now = self.cores[core_index].clock + cycles;
-        self.spans.begin("mem", &[]);
+        if tracing {
+            self.spans.begin("mem", &[]);
+        }
         let raw_mem = self
             .hierarchy
             .access(core_id, paddr, kind, AccessOrigin::Core, now);
@@ -545,32 +607,33 @@ impl Machine {
             .max(1.0) as Cycles;
         cycles += mem_cycles;
         self.breakdown.memory_cycles += mem_cycles;
-        self.spans.set_now(clock_base + cycles);
-        self.spans.end();
-        self.spans.end(); // closes "access"
+        if tracing {
+            self.spans.set_now(clock_base + cycles);
+            self.spans.end();
+            self.spans.end(); // closes "access"
 
-        // Counter tracks, sampled once per traced access. The guard
-        // skips the occupancy walks entirely for unsampled accesses (and
-        // compiles them out when telemetry is off).
-        if self.spans.is_active() {
-            let track = SpanTrack::machine(core_index as u32);
-            self.spans.counter(
-                track,
-                "tlb.occupancy",
-                self.cores[core_index].tlbs.resident_entries() as u64,
-            );
-            self.spans.counter(
-                track,
-                "pgtable.live_tables",
-                self.kernel.store().stats().live_tables,
-            );
-            self.spans.counter(
-                track,
-                "pgtable.shared_refs",
-                self.kernel.store().shared_refs(),
-            );
+            // Counter tracks, sampled once per traced access. The guard
+            // skips the occupancy walks entirely for unsampled accesses.
+            if self.spans.is_active() {
+                let track = SpanTrack::machine(core_index as u32);
+                self.spans.counter(
+                    track,
+                    "tlb.occupancy",
+                    self.cores[core_index].tlbs.resident_entries() as u64,
+                );
+                self.spans.counter(
+                    track,
+                    "pgtable.live_tables",
+                    self.kernel.store().stats().live_tables,
+                );
+                self.spans.counter(
+                    track,
+                    "pgtable.shared_refs",
+                    self.kernel.store().shared_refs(),
+                );
+            }
+            self.spans.finish_access();
         }
-        self.spans.finish_access();
 
         self.cores[core_index].clock += cycles;
         cycles
@@ -587,21 +650,24 @@ impl Machine {
         let mut cycles: Cycles = 0;
         let steps = walk.steps().to_vec();
         let last = steps.len().saturating_sub(1);
+        let tracing = self.tracing;
         // Trace cursor at walk entry; each step span ends at its own
         // cumulative offset from here.
-        let trace_base = self.spans.now();
+        let trace_base = if tracing { self.spans.now() } else { 0 };
 
         for (i, step) in steps.iter().enumerate() {
             let is_final = i == last;
-            self.spans.begin(
-                match step.level {
-                    PageTableLevel::Pgd => "walk.pgd",
-                    PageTableLevel::Pud => "walk.pud",
-                    PageTableLevel::Pmd => "walk.pmd",
-                    PageTableLevel::Pte => "walk.pte",
-                },
-                &[],
-            );
+            if tracing {
+                self.spans.begin(
+                    match step.level {
+                        PageTableLevel::Pgd => "walk.pgd",
+                        PageTableLevel::Pud => "walk.pud",
+                        PageTableLevel::Pmd => "walk.pmd",
+                        PageTableLevel::Pte => "walk.pte",
+                    },
+                    &[],
+                );
+            }
             let upper_level = matches!(
                 step.level,
                 PageTableLevel::Pgd | PageTableLevel::Pud | PageTableLevel::Pmd
@@ -656,8 +722,10 @@ impl Machine {
                 };
                 cycles += t_entry.max(t_mask);
             }
-            self.spans.set_now(trace_base + cycles);
-            self.spans.end();
+            if tracing {
+                self.spans.set_now(trace_base + cycles);
+                self.spans.end();
+            }
         }
         (cycles, walk)
     }

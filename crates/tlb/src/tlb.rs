@@ -302,6 +302,14 @@ impl Default for Entry {
 /// One set-associative TLB structure (a single page size; see
 /// [`crate::TlbGroup`] for the full per-core complement).
 ///
+/// Entries live in one contiguous arena (`sets * ways` slots, set-major)
+/// rather than a `Vec<Vec<_>>`: a lookup touches exactly one cache-line
+/// run instead of chasing a per-set heap pointer. Set selection is a
+/// mask when the set count is a power of two (all Table I geometries)
+/// and falls back to `%` otherwise (e.g. the 192-set larger-baseline
+/// L2) — for power-of-two counts the two are identical, so the layout
+/// change cannot move any metric.
+///
 /// # Examples
 ///
 /// See the [crate-level example](crate).
@@ -309,7 +317,16 @@ impl Default for Entry {
 pub struct Tlb {
     config: TlbConfig,
     mode: LookupMode,
-    sets: Vec<Vec<Entry>>,
+    entries: Box<[Entry]>,
+    sets: usize,
+    ways: usize,
+    /// `sets - 1` when `sets` is a power of two, else `0` with
+    /// `pow2_sets == false`.
+    set_mask: u64,
+    pow2_sets: bool,
+    /// Count of valid entries, maintained incrementally on
+    /// fill/invalidate/flush so `resident_entries` never rescans.
+    resident: usize,
     clock: u64,
     stats: TlbStats,
     telem: TlbTelemetry,
@@ -326,14 +343,38 @@ impl Tlb {
             config.entries > 0 && config.ways > 0 && config.entries.is_multiple_of(config.ways),
             "entries must be a positive multiple of ways"
         );
+        let sets = config.sets();
+        let pow2_sets = sets.is_power_of_two();
         Tlb {
-            sets: vec![vec![Entry::default(); config.ways]; config.sets()],
+            entries: vec![Entry::default(); config.entries].into_boxed_slice(),
+            sets,
+            ways: config.ways,
+            set_mask: if pow2_sets { sets as u64 - 1 } else { 0 },
+            pow2_sets,
+            resident: 0,
             config,
             mode,
             clock: 0,
             stats: TlbStats::default(),
             telem: TlbTelemetry::default(),
         }
+    }
+
+    /// Home set of a VPN: mask for power-of-two set counts, `%` otherwise.
+    #[inline(always)]
+    fn set_index(&self, vpn: Vpn) -> usize {
+        if self.pow2_sets {
+            (vpn.raw() & self.set_mask) as usize
+        } else {
+            (vpn.raw() % self.sets as u64) as usize
+        }
+    }
+
+    /// Arena range of one set's ways.
+    #[inline(always)]
+    fn set_range(&self, set_index: usize) -> core::ops::Range<usize> {
+        let base = set_index * self.ways;
+        base..base + self.ways
     }
 
     /// Routes this structure's counters into a shared telemetry handle
@@ -365,9 +406,17 @@ impl Tlb {
         self.stats = TlbStats::default();
     }
 
-    /// Number of valid entries currently resident.
+    /// Number of valid entries currently resident (O(1): maintained
+    /// incrementally, pinned against a full scan by a property test).
     pub fn resident_entries(&self) -> usize {
-        self.sets.iter().flatten().filter(|e| e.valid).count()
+        self.resident
+    }
+
+    /// Ground-truth resident count by scanning the arena (test oracle for
+    /// the incremental counter).
+    #[cfg(test)]
+    fn resident_scan(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
     }
 
     /// Performs one lookup, updating LRU state and statistics.
@@ -382,12 +431,12 @@ impl Tlb {
     pub fn lookup_kind(&mut self, req: &LookupRequest, kind: AccessKind) -> LookupResult {
         self.clock += 1;
         let clock = self.clock;
-        let set_index = (req.vpn.raw() % self.sets.len() as u64) as usize;
+        let base = self.set_index(req.vpn) * self.ways;
         let mode = self.mode;
         let mut bitmask_consulted = false;
         let mut outcome: Option<(usize, Hit, bool)> = None;
 
-        for (way_index, entry) in self.sets[set_index].iter().enumerate() {
+        for (way_index, entry) in self.entries[base..base + self.ways].iter().enumerate() {
             if !entry.valid || entry.vpn != req.vpn {
                 continue;
             }
@@ -442,7 +491,7 @@ impl Tlb {
 
         match outcome {
             Some((way_index, hit, owned_entry)) => {
-                self.sets[set_index][way_index].last_used = clock;
+                self.entries[base + way_index].last_used = clock;
                 if owned_entry && mode == LookupMode::BabelFish {
                     self.telem.private_copy_hits.incr();
                 }
@@ -471,9 +520,9 @@ impl Tlb {
     pub fn fill(&mut self, fill: TlbFill) {
         self.clock += 1;
         let clock = self.clock;
-        let set_index = (fill.vpn.raw() % self.sets.len() as u64) as usize;
+        let range = self.set_range(self.set_index(fill.vpn));
         let mode = self.mode;
-        let set = &mut self.sets[set_index];
+        let set = &mut self.entries[range];
 
         // A private copy arriving while the group's shared entry is
         // resident marks a shared → private ownership transition for
@@ -523,6 +572,9 @@ impl Tlb {
             OpcField::shared()
         };
 
+        if !set[slot].valid {
+            self.resident += 1;
+        }
         set[slot] = Entry {
             valid: true,
             vpn: fill.vpn,
@@ -547,49 +599,55 @@ impl Tlb {
     /// ("the OS invalidates from the local and remote TLBs the TLB entry
     /// for this VPN that has the O bit equal to zero", Section III-A).
     pub fn invalidate_shared(&mut self, vpn: Vpn, ccid: Ccid) {
-        let set_index = (vpn.raw() % self.sets.len() as u64) as usize;
-        for entry in &mut self.sets[set_index] {
+        let range = self.set_range(self.set_index(vpn));
+        let mut dropped = 0;
+        for entry in &mut self.entries[range] {
             if entry.valid && entry.vpn == vpn && entry.ccid == ccid && !entry.opc.is_owned() {
                 entry.valid = false;
+                dropped += 1;
             }
         }
+        self.resident -= dropped;
     }
 
     /// Invalidates one process's entry for a VPN (conventional CoW /
     /// unmap path).
     pub fn invalidate_page(&mut self, vpn: Vpn, pcid: Pcid) {
-        let set_index = (vpn.raw() % self.sets.len() as u64) as usize;
-        for entry in &mut self.sets[set_index] {
+        let range = self.set_range(self.set_index(vpn));
+        let mut dropped = 0;
+        for entry in &mut self.entries[range] {
             if entry.valid && entry.vpn == vpn && entry.pcid == pcid {
                 entry.valid = false;
+                dropped += 1;
             }
         }
+        self.resident -= dropped;
     }
 
     /// Invalidates every entry belonging to a process (process exit).
     /// Shared BabelFish entries survive — they belong to the group, not
     /// the process.
     pub fn invalidate_process(&mut self, pcid: Pcid) {
-        for set in &mut self.sets {
-            for entry in set.iter_mut() {
-                if entry.valid && entry.pcid == pcid {
-                    let is_shared_group_entry =
-                        self.mode == LookupMode::BabelFish && !entry.opc.is_owned();
-                    if !is_shared_group_entry {
-                        entry.valid = false;
-                    }
+        let mode = self.mode;
+        let mut dropped = 0;
+        for entry in self.entries.iter_mut() {
+            if entry.valid && entry.pcid == pcid {
+                let is_shared_group_entry = mode == LookupMode::BabelFish && !entry.opc.is_owned();
+                if !is_shared_group_entry {
+                    entry.valid = false;
+                    dropped += 1;
                 }
             }
         }
+        self.resident -= dropped;
     }
 
     /// Invalidates everything.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for entry in set.iter_mut() {
-                entry.valid = false;
-            }
+        for entry in self.entries.iter_mut() {
+            entry.valid = false;
         }
+        self.resident = 0;
     }
 
     fn count_hit(&mut self, kind: AccessKind, shared: bool) {
@@ -872,6 +930,114 @@ mod tests {
         let big = TlbConfig::l2_4k_larger_baseline();
         assert!(big.entries > TlbConfig::l2_4k().entries);
         assert_eq!(big.access_cycles_long, big.access_cycles_short);
+    }
+
+    #[test]
+    fn single_vpn_invalidation_probes_only_the_home_set() {
+        // Regression: `invalidate_shared` / `invalidate_page` must probe
+        // only the VPN's home set. Plant a stale entry carrying the same
+        // VPN tag in a *different* set (unreachable via the public API,
+        // which always fills the home set) and check the single-VPN
+        // invalidations leave it untouched.
+        let mut tlb = bf_tlb();
+        let vpn = Vpn::new(10);
+        let home = tlb.set_index(vpn);
+        let foreign = (home + 1) % tlb.sets;
+        let foreign_slot = foreign * tlb.ways;
+        tlb.entries[foreign_slot] = Entry {
+            valid: true,
+            vpn,
+            ppn: Ppn::new(0xdead),
+            size: PageSize::Size4K,
+            flags: PageFlags::PRESENT,
+            pcid: Pcid::new(1),
+            ccid: Ccid::new(5),
+            opc: OpcField::shared(),
+            loader: Pid::new(100),
+            last_used: 0,
+        };
+        tlb.resident += 1;
+
+        tlb.invalidate_shared(vpn, Ccid::new(5));
+        assert!(
+            tlb.entries[foreign_slot].valid,
+            "invalidate_shared scanned beyond the home set"
+        );
+        tlb.invalidate_page(vpn, Pcid::new(1));
+        assert!(
+            tlb.entries[foreign_slot].valid,
+            "invalidate_page scanned beyond the home set"
+        );
+        // Full-structure invalidation still reaches it.
+        tlb.flush();
+        assert!(!tlb.entries[foreign_slot].valid);
+    }
+
+    #[test]
+    fn cross_set_entry_survives_home_set_invalidation() {
+        // Two VPNs in different sets, same CCID: invalidating one must
+        // not disturb the other (public-API flavour of the regression).
+        let mut tlb = bf_tlb();
+        let sets = tlb.sets as u64;
+        tlb.fill(fill(10, 1, 5, 100));
+        tlb.fill(fill(10 + sets / 2, 1, 5, 100)); // lands in another set
+        tlb.invalidate_shared(Vpn::new(10), Ccid::new(5));
+        assert!(!tlb.lookup(&req(10, 2, 5, 200)).entry_present());
+        assert!(tlb.lookup(&req(10 + sets / 2, 2, 5, 200)).entry_present());
+    }
+
+    #[test]
+    fn mask_and_modulo_set_index_agree_for_pow2() {
+        let tlb = bf_tlb();
+        assert!(tlb.pow2_sets);
+        for vpn in [0u64, 1, 127, 128, 129, 0xffff_ffff, u64::MAX] {
+            assert_eq!(
+                tlb.set_index(Vpn::new(vpn)),
+                (vpn % tlb.sets as u64) as usize
+            );
+        }
+        // The Section VII-C larger baseline has 192 sets: not a power of
+        // two, so it takes the `%` path.
+        let big = Tlb::new(TlbConfig::l2_4k_larger_baseline(), LookupMode::Conventional);
+        assert!(!big.pow2_sets);
+        assert_eq!(big.set_index(Vpn::new(193)), 1);
+    }
+
+    proptest::proptest! {
+        /// The incremental resident counter matches a full arena scan
+        /// after any interleaving of fills and invalidations.
+        #[test]
+        fn resident_counter_matches_full_scan(
+            ops in proptest::collection::vec(
+                (0u8..5, 0u64..24, 1u16..4, 0u16..2),
+                1..120,
+            )
+        ) {
+            // Small TLB so fills collide, evict, and dedup often.
+            let config = TlbConfig {
+                entries: 16,
+                ways: 2,
+                access_cycles_short: 1,
+                access_cycles_long: 1,
+            };
+            let mut tlb = Tlb::new(config, LookupMode::BabelFish);
+            for (op, vpn, pcid, owned) in ops {
+                match op {
+                    0 | 1 => {
+                        let mut f = fill(vpn, pcid, 5, pcid as u32);
+                        f.owned = owned == 1;
+                        tlb.fill(f);
+                    }
+                    2 => tlb.invalidate_shared(Vpn::new(vpn), Ccid::new(5)),
+                    3 => tlb.invalidate_page(Vpn::new(vpn), Pcid::new(pcid)),
+                    _ => tlb.invalidate_process(Pcid::new(pcid)),
+                }
+                proptest::prop_assert_eq!(tlb.resident_entries(), tlb.resident_scan());
+            }
+            tlb.flush();
+            proptest::prop_assert_eq!(tlb.resident_entries(), 0);
+            proptest::prop_assert_eq!(tlb.resident_scan(), 0);
+        }
     }
 
     #[test]
