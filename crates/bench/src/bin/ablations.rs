@@ -11,24 +11,39 @@
 use babelfish::exec::Sweep;
 use babelfish::experiment::{run_functions, run_serving, ExperimentConfig};
 use babelfish::{AccessDensity, AslrMode, Mode, ServingVariant};
-use bf_bench::{header, reduction_pct};
+use bf_bench::{header, progress, reduction_pct};
+use bf_telemetry::TimelineSnapshot;
 
 fn main() {
     let args = bf_bench::parse_args();
     let cfg = args.cfg;
+    let quiet = args.quiet;
+    let mut timeline_cells: Vec<(String, Option<TimelineSnapshot>)> = Vec::new();
 
     // Ablation 1 cells: Baseline + {ASLR-HW, ASLR-SW} serving runs.
     let mut sweep = Sweep::new();
-    sweep.cell(move || run_serving(Mode::Baseline, ServingVariant::MongoDb, &cfg));
-    for aslr in [AslrMode::Hardware, AslrMode::SoftwareOnly] {
-        let mode = Mode::BabelFish {
-            share_tlb: true,
-            share_page_tables: true,
-            aslr,
-        };
-        sweep.cell(move || run_serving(mode, ServingVariant::MongoDb, &cfg));
+    for (label, mode) in [
+        ("aslr-baseline", Mode::Baseline),
+        ("aslr-hw", Mode::babelfish()),
+        (
+            "aslr-sw",
+            Mode::BabelFish {
+                share_tlb: true,
+                share_page_tables: true,
+                aslr: AslrMode::SoftwareOnly,
+            },
+        ),
+    ] {
+        sweep.cell(move || {
+            let r = run_serving(mode, ServingVariant::MongoDb, &cfg);
+            progress(quiet, &format!("{label} done"));
+            (label, r)
+        });
     }
-    let mut results = sweep.run(args.threads).into_iter();
+    let mut results = sweep.run(args.threads).into_iter().map(|(label, mut r)| {
+        timeline_cells.push((label.to_owned(), r.timeline.take()));
+        r
+    });
 
     header("Ablation 1: ASLR-HW (default) vs ASLR-SW");
     let base = results.next().expect("baseline cell");
@@ -41,6 +56,7 @@ fn main() {
             result.stats.tlb.l1d.data_shared_hits,
         );
     }
+    drop(results);
     println!("(ASLR-SW also shares at the L1, so it should do no worse)");
 
     // Ablation 2 cells: one per PC-bitmask capacity.
@@ -48,7 +64,14 @@ fn main() {
     let mut sweep = Sweep::new();
     for capacity in CAPACITIES {
         sweep.cell(move || {
-            run_functions_with_capacity(Mode::babelfish(), AccessDensity::Dense, &cfg, capacity)
+            let r = run_functions_with_capacity(
+                Mode::babelfish(),
+                AccessDensity::Dense,
+                &cfg,
+                capacity,
+            );
+            progress(quiet, &format!("bitmask-cap-{capacity} done"));
+            r
         });
     }
     let results = sweep.run(args.threads);
@@ -63,20 +86,33 @@ fn main() {
             "{:<10} {:>12.0} {:>12} {:>10}",
             capacity, result.0, result.1, result.2
         );
+        timeline_cells.push((format!("bitmask-cap-{capacity}"), result.3));
     }
     println!("(smaller budgets revert regions earlier; 0 = immediate unshare, Section VII-D)");
 
     // Ablation 3 cells: Baseline + the three sharing decompositions.
+    let labels = ["fn-sparse-baseline", "tlb-only", "pt-only", "full"];
     let mut sweep = Sweep::new();
-    for mode in [
+    for (label, mode) in labels.into_iter().zip([
         Mode::Baseline,
         Mode::babelfish_tlb_only(),
         Mode::babelfish_pt_only(),
         Mode::babelfish(),
-    ] {
-        sweep.cell(move || run_functions(mode, AccessDensity::Sparse, &cfg));
+    ]) {
+        sweep.cell(move || {
+            let r = run_functions(mode, AccessDensity::Sparse, &cfg);
+            progress(quiet, &format!("{label} done"));
+            r
+        });
     }
-    let mut results = sweep.run(args.threads).into_iter();
+    let mut results = sweep
+        .run(args.threads)
+        .into_iter()
+        .zip(labels)
+        .map(|(mut r, label)| {
+            timeline_cells.push((label.to_owned(), r.timeline.take()));
+            r
+        });
 
     header("Ablation 3: sharing mechanisms in isolation (sparse functions)");
     let base_fn = results.next().expect("baseline cell");
@@ -88,23 +124,36 @@ fn main() {
             reduction_pct(base_fn.follower_mean_exec(), result.follower_mean_exec())
         );
     }
+    drop(results);
     println!("(sparse functions are fault-dominated, so pt-only ≈ full — Table II 0.01)");
+
+    if let Some((_, latest)) = bf_bench::write_timeline_results("ablations", &cfg, &timeline_cells)
+        .expect("writing timeline JSON")
+    {
+        println!(
+            "\nwrote {} (render with bf_report timeline)",
+            latest.display()
+        );
+    }
 }
 
 /// Runs the function experiment with an explicit PC-bitmask capacity,
-/// returning (follower mean exec, maskpage overflows, privatizations).
+/// returning (follower mean exec, maskpage overflows, privatizations,
+/// epoch timeline).
 fn run_functions_with_capacity(
     mode: Mode,
     density: AccessDensity,
     cfg: &ExperimentConfig,
     capacity: usize,
-) -> (f64, u64, u64) {
+) -> (f64, u64, u64, Option<TimelineSnapshot>) {
     use babelfish::containers::{BringupProfile, ContainerRuntime, ImageSpec};
     use babelfish::types::CoreId;
     use babelfish::workloads::{FunctionKind, FunctionWorkload, Op, Workload};
     use babelfish::{Machine, SimConfig};
 
-    let mut sim = SimConfig::new(1, mode).with_frames(cfg.frames);
+    let mut sim = SimConfig::new(1, mode)
+        .with_frames(cfg.frames)
+        .with_timeline(cfg.timeline_every, cfg.timeline_fail_fast);
     sim.kernel.pc_bitmask_capacity = capacity;
     let mut machine = Machine::new(sim);
     let mut runtime = ContainerRuntime::new(machine.kernel_mut());
@@ -151,6 +200,12 @@ fn run_functions_with_capacity(
     }
     let followers = &execs[1..];
     let mean = followers.iter().sum::<u64>() as f64 / followers.len() as f64;
+    let timeline = machine.take_timeline();
     let stats = machine.kernel().stats();
-    (mean, stats.maskpage_overflows, stats.privatizations)
+    (
+        mean,
+        stats.maskpage_overflows,
+        stats.privatizations,
+        timeline,
+    )
 }

@@ -9,20 +9,29 @@
 use babelfish::exec::Sweep;
 use babelfish::experiment::run_functions;
 use babelfish::{AccessDensity, Mode};
-use bf_bench::{header, reduction_pct, versus};
+use bf_bench::{header, progress, reduction_pct, versus};
 
 fn main() {
     let args = bf_bench::parse_args();
     let cfg = args.cfg;
+    let quiet = args.quiet;
 
     header("Section VII-C: function container bring-up time");
     let mut sweep = Sweep::new();
     for mode in [Mode::Baseline, Mode::babelfish()] {
-        sweep.cell(move || run_functions(mode, AccessDensity::Dense, &cfg));
+        sweep.cell(move || {
+            let r = run_functions(mode, AccessDensity::Dense, &cfg);
+            progress(quiet, &format!("fn-dense-{} done", mode.name()));
+            r
+        });
     }
     let mut results = sweep.run(args.threads).into_iter();
-    let base = results.next().expect("baseline cell");
-    let bf = results.next().expect("babelfish cell");
+    let mut base = results.next().expect("baseline cell");
+    let mut bf = results.next().expect("babelfish cell");
+    let timeline_cells = [
+        ("fn-dense-baseline".to_owned(), base.timeline.take()),
+        ("fn-dense-babelfish".to_owned(), bf.timeline.take()),
+    ];
 
     println!(
         "{:<12} {:>14} {:>14} {:>9}",
@@ -42,4 +51,14 @@ fn main() {
     println!(
         "(the residual is docker-engine runtime, as in the paper: \"Most of the\n remaining overheads in bring-up are due to the runtime of the Docker engine\")"
     );
+
+    if let Some((_, latest)) =
+        bf_bench::write_timeline_results("bringup_time", &cfg, &timeline_cells)
+            .expect("writing timeline JSON")
+    {
+        println!(
+            "\nwrote {} (render with bf_report timeline)",
+            latest.display()
+        );
+    }
 }

@@ -11,12 +11,13 @@
 use babelfish::exec::Sweep;
 use babelfish::experiment::run_serving;
 use babelfish::{Mode, ServingVariant};
-use bf_bench::{header, reduction_pct};
+use bf_bench::{header, progress, reduction_pct};
 
 const DENSITIES: [usize; 4] = [1, 2, 4, 6];
 
 fn main() {
     let args = bf_bench::parse_args();
+    let quiet = args.quiet;
     header("Co-location sweep: BabelFish gain vs containers per core (MongoDB)");
     println!(
         "{:<18} {:>12} {:>12} {:>9} {:>10}",
@@ -29,14 +30,19 @@ fn main() {
             let mut cfg = args.cfg;
             cfg.cores = 2;
             cfg.containers_per_core = containers;
-            sweep.cell(move || run_serving(mode, ServingVariant::MongoDb, &cfg));
+            sweep.cell(move || {
+                let r = run_serving(mode, ServingVariant::MongoDb, &cfg);
+                progress(quiet, &format!("colo-{containers}-{} done", mode.name()));
+                r
+            });
         }
     }
     let mut results = sweep.run(args.threads).into_iter();
 
+    let mut timeline_cells = Vec::new();
     for containers in DENSITIES {
-        let base = results.next().expect("baseline cell");
-        let bf = results.next().expect("babelfish cell");
+        let mut base = results.next().expect("baseline cell");
+        let mut bf = results.next().expect("babelfish cell");
         println!(
             "{:<18} {:>11.0}c {:>11.0}c {:>8.1}% {:>9.1}%",
             containers,
@@ -45,7 +51,19 @@ fn main() {
             reduction_pct(base.mean_latency, bf.mean_latency),
             bf.stats.l2_data_shared_hit_fraction() * 100.0,
         );
+        timeline_cells.push((format!("colo-{containers}-baseline"), base.timeline.take()));
+        timeline_cells.push((format!("colo-{containers}-babelfish"), bf.timeline.take()));
     }
     println!("\n(the paper's conservative setting is 2/core; denser co-location");
     println!(" multiplies the replicated translations BabelFish removes)");
+
+    if let Some((_, latest)) =
+        bf_bench::write_timeline_results("colocation_sweep", &args.cfg, &timeline_cells)
+            .expect("writing timeline JSON")
+    {
+        println!(
+            "\nwrote {} (render with bf_report timeline)",
+            latest.display()
+        );
+    }
 }

@@ -10,12 +10,12 @@
 //! Paper reference points: Data Serving D-MPKI −66 %, I-MPKI −96 %;
 //! GraphChi shared hits 48 % (I) / 12 % (D).
 
-use bf_bench::sweeps::fig10_doc;
+use bf_bench::sweeps::{fig10_doc, fig10_timeline_cells};
 use bf_bench::{header, reduction_pct};
 
 fn main() {
     let args = bf_bench::parse_args();
-    let rows = bf_bench::sweeps::fig10_rows(&args.cfg, args.threads);
+    let rows = bf_bench::sweeps::fig10_rows(&args.cfg, args.threads, args.quiet);
 
     header("Fig. 10a: L2 TLB MPKI (Baseline -> BabelFish, reduction)");
     println!(
@@ -59,6 +59,16 @@ fn main() {
     let (stamped, latest) =
         bf_bench::write_results("fig10_tlb", &doc).expect("writing results JSON");
     println!("\nwrote {} (and {})", latest.display(), stamped.display());
+
+    let cells = fig10_timeline_cells(&rows);
+    if let Some((_, latest)) = bf_bench::write_timeline_results("fig10_tlb", &args.cfg, &cells)
+        .expect("writing timeline JSON")
+    {
+        println!(
+            "wrote {} (render with bf_report timeline)",
+            latest.display()
+        );
+    }
 
     if let Some(trace) = bf_bench::write_trace_artifact("fig10_tlb", &args.cfg) {
         println!("wrote {} (load at ui.perfetto.dev)", trace.display());

@@ -10,12 +10,12 @@
 //! with deterministic output; the derived reductions are also written
 //! as a timestamped JSON file under `results/`.
 
-use bf_bench::sweeps::{fig11_data, fig11_doc};
+use bf_bench::sweeps::{fig11_data, fig11_doc, fig11_timeline_cells};
 use bf_bench::{header, reduction_pct, versus};
 
 fn main() {
     let args = bf_bench::parse_args();
-    let data = fig11_data(&args.cfg, args.threads);
+    let data = fig11_data(&args.cfg, args.threads, args.quiet);
 
     header("Fig. 11: Data Serving latency reduction");
     println!("{:<10} {:>10} {:>10}", "app", "mean", "p95(tail)");
@@ -70,4 +70,15 @@ fn main() {
     let (stamped, latest) =
         bf_bench::write_results("fig11_performance", &doc).expect("writing results JSON");
     println!("\nwrote {} (and {})", latest.display(), stamped.display());
+
+    let cells = fig11_timeline_cells(&data);
+    if let Some((_, latest)) =
+        bf_bench::write_timeline_results("fig11_performance", &args.cfg, &cells)
+            .expect("writing timeline JSON")
+    {
+        println!(
+            "wrote {} (render with bf_report timeline)",
+            latest.display()
+        );
+    }
 }

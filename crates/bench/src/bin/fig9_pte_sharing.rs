@@ -10,9 +10,9 @@
 //! `results/`.
 
 use babelfish::exec::Sweep;
-use babelfish::experiment::{run_census, CensusApp, ComputeKind};
+use babelfish::experiment::{run_census_timed, CensusApp, ComputeKind};
 use babelfish::ServingVariant;
-use bf_bench::{header, json_object};
+use bf_bench::{header, json_object, progress};
 use serde::{Serialize, Value};
 
 fn main() {
@@ -44,11 +44,21 @@ fn main() {
     let mut function_reduction = 0.0;
     let mut json_rows = Vec::new();
 
+    let quiet = args.quiet;
     let mut sweep = Sweep::new();
     for app in apps {
-        sweep.cell(move || run_census(app, &cfg));
+        sweep.cell(move || {
+            let r = run_census_timed(app, &cfg);
+            progress(quiet, &format!("{} done", app.name()));
+            r
+        });
     }
-    let reports = sweep.run(args.threads);
+    let (reports, timelines): (Vec<_>, Vec<_>) = sweep.run(args.threads).into_iter().unzip();
+    let timeline_cells: Vec<_> = apps
+        .iter()
+        .zip(timelines)
+        .map(|(app, timeline)| (app.name().to_owned(), timeline))
+        .collect();
 
     for (app, report) in apps.into_iter().zip(reports) {
         json_rows.push(json_object([
@@ -128,4 +138,14 @@ fn main() {
     let (stamped, latest) =
         bf_bench::write_results("fig9_pte_sharing", &doc).expect("writing results JSON");
     println!("\nwrote {} (and {})", latest.display(), stamped.display());
+
+    if let Some((_, latest)) =
+        bf_bench::write_timeline_results("fig9_pte_sharing", &cfg, &timeline_cells)
+            .expect("writing timeline JSON")
+    {
+        println!(
+            "wrote {} (render with bf_report timeline)",
+            latest.display()
+        );
+    }
 }

@@ -9,7 +9,7 @@
 use babelfish::exec::Sweep;
 use babelfish::experiment::{run_compute, run_functions, run_serving, ComputeKind};
 use babelfish::{AccessDensity, Mode, ServingVariant};
-use bf_bench::{header, reduction_pct};
+use bf_bench::{header, progress, reduction_pct};
 
 const MODES: [Mode; 3] = [
     Mode::Baseline,
@@ -31,19 +31,29 @@ fn main() {
     );
 
     // One cell per (workload, mode), each returning the workload's
-    // headline metric; rows consume them three at a time.
+    // headline metric plus its epoch timeline; rows consume them three
+    // at a time.
+    let quiet = args.quiet;
     let mut sweep = Sweep::new();
     let mut labels = Vec::new();
     for variant in ServingVariant::ALL {
         labels.push(variant.name());
         for mode in MODES {
-            sweep.cell(move || run_serving(mode, variant, &cfg).mean_latency);
+            sweep.cell(move || {
+                let mut r = run_serving(mode, variant, &cfg);
+                progress(quiet, &format!("{}-{} done", variant.name(), mode.name()));
+                (r.mean_latency, r.timeline.take())
+            });
         }
     }
     for kind in ComputeKind::ALL {
         labels.push(kind.name());
         for mode in MODES {
-            sweep.cell(move || run_compute(mode, kind, &cfg).exec_cycles as f64);
+            sweep.cell(move || {
+                let mut r = run_compute(mode, kind, &cfg);
+                progress(quiet, &format!("{}-{} done", kind.name(), mode.name()));
+                (r.exec_cycles as f64, r.timeline.take())
+            });
         }
     }
     for (label, density) in [
@@ -52,20 +62,37 @@ fn main() {
     ] {
         labels.push(label);
         for mode in MODES {
-            sweep.cell(move || run_functions(mode, density, &cfg).follower_mean_exec());
+            sweep.cell(move || {
+                let mut r = run_functions(mode, density, &cfg);
+                progress(quiet, &format!("{label}-{} done", mode.name()));
+                (r.follower_mean_exec(), r.timeline.take())
+            });
         }
     }
 
     let mut results = sweep.run(args.threads).into_iter();
+    let mut timeline_cells = Vec::new();
     for label in labels {
-        let base = results.next().expect("baseline cell");
-        let larger = results.next().expect("larger-TLB cell");
-        let bf = results.next().expect("babelfish cell");
+        let (base, base_tl) = results.next().expect("baseline cell");
+        let (larger, larger_tl) = results.next().expect("larger-TLB cell");
+        let (bf, bf_tl) = results.next().expect("babelfish cell");
         println!(
             "{:<12} {:>11.1}% {:>11.1}%",
             label,
             reduction_pct(base, larger),
             reduction_pct(base, bf)
+        );
+        timeline_cells.push((format!("{label}-baseline"), base_tl));
+        timeline_cells.push((format!("{label}-larger-tlb"), larger_tl));
+        timeline_cells.push((format!("{label}-babelfish"), bf_tl));
+    }
+
+    if let Some((_, latest)) = bf_bench::write_timeline_results("larger_tlb", &cfg, &timeline_cells)
+        .expect("writing timeline JSON")
+    {
+        println!(
+            "\nwrote {} (render with bf_report timeline)",
+            latest.display()
         );
     }
 

@@ -7,10 +7,12 @@
 //! are complementary techniques that can be used together" (§IV-C).
 
 use babelfish::exec::Sweep;
+use babelfish::experiment::ExperimentConfig;
 use babelfish::os::{MmapRequest, Segment};
 use babelfish::types::{AccessKind, CoreId, PageFlags, PageTableLevel, Pid, VirtAddr};
 use babelfish::{Machine, Mode, SimConfig};
-use bf_bench::{header, reduction_pct};
+use bf_bench::{header, progress, reduction_pct};
+use bf_telemetry::TimelineSnapshot;
 
 const DATASET: u64 = 32 << 20;
 const ACCESSES: u64 = 60_000;
@@ -32,10 +34,15 @@ struct Outcome {
     walks: u64,
     l2_misses: u64,
     shared_level: Option<PageTableLevel>,
+    timeline: Option<TimelineSnapshot>,
 }
 
-fn run(mode: Mode, huge: bool) -> Outcome {
-    let mut machine = Machine::new(SimConfig::new(1, mode).with_frames(1 << 21));
+fn run(mode: Mode, huge: bool, cfg: &ExperimentConfig) -> Outcome {
+    let mut machine = Machine::new(
+        SimConfig::new(1, mode)
+            .with_frames(1 << 21)
+            .with_timeline(cfg.timeline_every, cfg.timeline_fail_fast),
+    );
     let kernel = machine.kernel_mut();
     let group = kernel.create_group();
     let a = kernel.spawn(group).unwrap();
@@ -87,6 +94,7 @@ fn run(mode: Mode, huge: bool) -> Outcome {
         walks: stats.walks,
         l2_misses: stats.tlb.l2.misses(),
         shared_level,
+        timeline: machine.take_timeline(),
     }
 }
 
@@ -98,17 +106,28 @@ fn main() {
         "configuration", "cycles", "walks", "L2-miss", "shared level"
     );
     // Four cells — (page size × mode) — on the bf-exec sweep runner.
+    let cfg = args.cfg;
+    let quiet = args.quiet;
     let mut sweep = Sweep::new();
     for huge in [false, true] {
         for mode in [Mode::Baseline, Mode::babelfish()] {
-            sweep.cell(move || run(mode, huge));
+            sweep.cell(move || {
+                let r = run(mode, huge, &cfg);
+                let pages = if huge { "2mb" } else { "4kb" };
+                progress(quiet, &format!("{pages}-{} done", mode.name()));
+                r
+            });
         }
     }
     let mut outcomes = sweep.run(args.threads).into_iter();
     let mut rows = Vec::new();
-    for (label, _huge) in [("4KB pages", false), ("2MB huge pages", true)] {
-        let base = outcomes.next().expect("baseline cell");
-        let bf = outcomes.next().expect("babelfish cell");
+    let mut timeline_cells = Vec::new();
+    for (label, huge) in [("4KB pages", false), ("2MB huge pages", true)] {
+        let mut base = outcomes.next().expect("baseline cell");
+        let mut bf = outcomes.next().expect("babelfish cell");
+        let pages = if huge { "2mb" } else { "4kb" };
+        timeline_cells.push((format!("{pages}-baseline"), base.timeline.take()));
+        timeline_cells.push((format!("{pages}-babelfish"), bf.timeline.take()));
         for (mode, outcome) in [("baseline", &base), ("babelfish", &bf)] {
             println!(
                 "{:<22} {:>12} {:>10} {:>10} {:>14}",
@@ -134,4 +153,14 @@ fn main() {
     println!("\n(§IV-C: \"BabelFish and huge pages are complementary techniques\" —");
     println!(" huge pages shrink the translation volume; BabelFish dedups what remains,");
     println!(" merging PMD tables when the mapping uses 2MB pages)");
+
+    if let Some((_, latest)) =
+        bf_bench::write_timeline_results("sharing_levels", &cfg, &timeline_cells)
+            .expect("writing timeline JSON")
+    {
+        println!(
+            "\nwrote {} (render with bf_report timeline)",
+            latest.display()
+        );
+    }
 }

@@ -9,7 +9,8 @@
 
 use babelfish::experiment::{run_serving_machine, ExperimentConfig};
 use babelfish::{Mode, ServingVariant};
-use serde::Value;
+use bf_telemetry::TimelineSnapshot;
+use serde::{Serialize, Value};
 use std::path::{Path, PathBuf};
 
 pub mod report;
@@ -33,23 +34,37 @@ pub fn reduction_pct(base: f64, new: f64) -> f64 {
 /// Default sampling interval for a bare `--trace` flag.
 pub const DEFAULT_TRACE_SAMPLE: u64 = 64;
 
+/// Default epoch interval (accesses) for a bare `--timeline` flag.
+pub const DEFAULT_TIMELINE_EPOCH: u64 = 4096;
+
 /// Everything the figure binaries take from the command line, parsed
 /// once by [`parse_args`].
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
-    /// Experiment size + trace sampling (`--quick`, `--trace[=N]`).
+    /// Experiment size + trace/timeline sampling (`--quick`,
+    /// `--trace[=N]`, `--timeline[=N]`, `--invariants[=MODE]`).
     pub cfg: ExperimentConfig,
     /// Worker threads for the cell sweep (`--threads N`, `BF_THREADS`,
     /// or the host's available parallelism).
     pub threads: usize,
+    /// Suppress per-cell progress lines (`--quiet`).
+    pub quiet: bool,
 }
 
 const USAGE: &str = "options:
-  --quick        smoke-test configuration instead of the full paper-scaled one
-  --trace[=N]    span-trace every Nth access (default N=64; BF_TRACE=N also works)
-  --threads N    worker threads for the experiment sweep (BF_THREADS also works;
-                 defaults to the host's available parallelism)
-  -h, --help     this message";
+  --quick             smoke-test configuration instead of the full paper-scaled one
+  --trace[=N]         span-trace every Nth access (default N=64; BF_TRACE=N also works)
+  --timeline[=N]      seal a telemetry epoch every N accesses and write
+                      results/<figure>-timeline-latest.json (default N=4096;
+                      BF_TIMELINE=N also works)
+  --invariants[=MODE] cross-counter invariant checking at epoch boundaries:
+                      'fail' panics on the first violation, 'record' (the
+                      default when --timeline is on) stores violations in the
+                      timeline export; implies --timeline
+  --threads N         worker threads for the experiment sweep (BF_THREADS also
+                      works; defaults to the host's available parallelism)
+  --quiet             suppress per-cell progress lines on stderr
+  -h, --help          this message";
 
 /// Parses the benchmark command line (everything after argv[0]).
 ///
@@ -59,13 +74,19 @@ const USAGE: &str = "options:
 /// paper-scaled configuration.
 fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
     let mut quick = false;
+    let mut quiet = false;
     let mut trace: Option<u64> = None;
+    let mut timeline: Option<u64> = None;
+    let mut fail_fast: Option<bool> = None;
     let mut threads: Option<usize> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--quiet" => quiet = true,
             "--trace" => trace = Some(DEFAULT_TRACE_SAMPLE),
+            "--timeline" => timeline = Some(DEFAULT_TIMELINE_EPOCH),
+            "--invariants" => fail_fast = Some(true),
             "--threads" => {
                 let value = args
                     .next()
@@ -83,6 +104,17 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
                         n.parse()
                             .map_err(|_| format!("invalid --trace value: {n}"))?,
                     );
+                } else if let Some(n) = arg.strip_prefix("--timeline=") {
+                    timeline = Some(
+                        n.parse()
+                            .map_err(|_| format!("invalid --timeline value: {n}"))?,
+                    );
+                } else if let Some(mode) = arg.strip_prefix("--invariants=") {
+                    fail_fast = Some(match mode {
+                        "fail" => true,
+                        "record" => false,
+                        _ => return Err(format!("invalid --invariants mode: {mode}")),
+                    });
                 } else if let Some(n) = arg.strip_prefix("--threads=") {
                     threads = Some(
                         n.parse()
@@ -99,15 +131,23 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
     } else {
         ExperimentConfig::paper_scaled()
     };
-    cfg.trace_sample_every = trace.unwrap_or_else(|| {
-        std::env::var("BF_TRACE")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0)
+    let env_u64 = |name: &str| std::env::var(name).ok().and_then(|v| v.parse().ok());
+    cfg.trace_sample_every = trace.unwrap_or_else(|| env_u64("BF_TRACE").unwrap_or(0));
+    cfg.timeline_every = timeline.unwrap_or_else(|| {
+        // --invariants alone turns the timeline on (invariants only run
+        // at epoch boundaries).
+        let implied = if fail_fast.is_some() {
+            DEFAULT_TIMELINE_EPOCH
+        } else {
+            0
+        };
+        env_u64("BF_TIMELINE").unwrap_or(implied)
     });
+    cfg.timeline_fail_fast = fail_fast.unwrap_or(false);
     Ok(BenchArgs {
         cfg,
         threads: babelfish::exec::thread_count(threads),
+        quiet,
     })
 }
 
@@ -144,6 +184,96 @@ pub fn write_results(stem: &str, doc: &Value) -> std::io::Result<(PathBuf, PathB
     let latest = Path::new("results").join(format!("{stem}-latest.json"));
     bf_telemetry::write_json(&latest, doc)?;
     Ok((stamped, latest))
+}
+
+/// Prints a per-cell progress line to stderr unless `--quiet` was given.
+/// Progress goes to stderr so the figure tables and JSON paths on stdout
+/// stay machine-consumable.
+pub fn progress(quiet: bool, message: &str) {
+    if !quiet {
+        eprintln!("  [{message}]");
+    }
+}
+
+/// Builds the `<stem>-timeline` results document: one entry per sweep
+/// cell, in submission order, each carrying the cell's
+/// [`TimelineSnapshot`] (or `null` for cells that ran without one).
+/// Each phase additionally gets a derived `l2_mpki` (L2 TLB misses per
+/// kilo-instruction over that phase), the metric the CI phase gates
+/// bite on.
+pub fn timeline_doc(
+    stem: &str,
+    cfg: &ExperimentConfig,
+    cells: &[(String, Option<TimelineSnapshot>)],
+) -> Value {
+    let rows = cells
+        .iter()
+        .map(|(name, timeline)| {
+            let mut value = json_object([
+                ("name", Value::String(name.clone())),
+                ("timeline", timeline.to_value()),
+            ]);
+            annotate_phase_mpki(&mut value);
+            value
+        })
+        .collect();
+    json_object([
+        ("figure", Value::String(format!("{stem}-timeline"))),
+        ("config", cfg.to_value()),
+        ("cells", Value::Array(rows)),
+    ])
+}
+
+/// Inserts `l2_mpki` into every phase summary of one cell value:
+/// `1000 * tlb.l2.misses / sim.instructions` over the phase delta.
+/// Phases that retired no instructions (e.g. an empty `first` third)
+/// get no entry rather than a division by zero.
+fn annotate_phase_mpki(cell: &mut Value) {
+    let phases = cell
+        .get_mut("timeline")
+        .and_then(|t| t.get_mut("phases"))
+        .and_then(|p| match p {
+            Value::Object(map) => Some(map),
+            _ => None,
+        });
+    let Some(phases) = phases else { return };
+    for phase in phases.values_mut() {
+        let Some(delta) = phase.get("delta") else {
+            continue;
+        };
+        let counter = |name: &str| {
+            delta
+                .get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+        };
+        let instructions = counter("sim.instructions");
+        if instructions == 0 {
+            continue;
+        }
+        let mpki = 1000.0 * counter("tlb.l2.misses") as f64 / instructions as f64;
+        if let Value::Object(map) = phase {
+            map.insert("l2_mpki".to_owned(), Value::F64(mpki));
+        }
+    }
+}
+
+/// Writes the [`timeline_doc`] for one figure under `results/` — a
+/// timestamped archival copy plus the stable
+/// `<stem>-timeline-latest.json` — and returns both paths. Returns
+/// `Ok(None)` when timelines were off for the run
+/// (`cfg.timeline_every == 0`) or telemetry is compiled out.
+pub fn write_timeline_results(
+    stem: &str,
+    cfg: &ExperimentConfig,
+    cells: &[(String, Option<TimelineSnapshot>)],
+) -> std::io::Result<Option<(PathBuf, PathBuf)>> {
+    if cfg.timeline_every == 0 || !bf_telemetry::enabled() {
+        return Ok(None);
+    }
+    let doc = timeline_doc(stem, cfg, cells);
+    write_results(&format!("{stem}-timeline"), &doc).map(Some)
 }
 
 /// Runs one traced BabelFish data-serving window and writes its Chrome
@@ -232,6 +362,72 @@ mod tests {
         assert!(parse(["--threads".to_string()].into_iter()).is_err());
         assert!(parse(["--threads".to_string(), "x".to_string()].into_iter()).is_err());
         assert!(parse(["--trace=abc".to_string()].into_iter()).is_err());
+        assert!(parse(["--timeline=abc".to_string()].into_iter()).is_err());
+        assert!(parse(["--invariants=explode".to_string()].into_iter()).is_err());
+        assert!(parse(["--quiet=1".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn timeline_invariants_and_quiet_parse() {
+        let args = parse_ok(&["--quick", "--timeline=128", "--quiet"]);
+        assert_eq!(args.cfg.timeline_every, 128);
+        assert!(!args.cfg.timeline_fail_fast, "record is the default mode");
+        assert!(args.quiet);
+
+        let args = parse_ok(&["--timeline"]);
+        assert_eq!(args.cfg.timeline_every, DEFAULT_TIMELINE_EPOCH);
+        assert!(!args.quiet);
+
+        let args = parse_ok(&["--timeline=64", "--invariants=fail"]);
+        assert_eq!(args.cfg.timeline_every, 64);
+        assert!(args.cfg.timeline_fail_fast);
+
+        let args = parse_ok(&["--timeline=64", "--invariants=record"]);
+        assert!(!args.cfg.timeline_fail_fast);
+
+        // --invariants alone implies the timeline (invariants only run
+        // at epoch boundaries).
+        let args = parse_ok(&["--invariants"]);
+        assert_eq!(args.cfg.timeline_every, DEFAULT_TIMELINE_EPOCH);
+        assert!(args.cfg.timeline_fail_fast);
+
+        let args = parse_ok(&["--quick"]);
+        assert_eq!(args.cfg.timeline_every, 0, "timelines default to off");
+    }
+
+    #[test]
+    fn timeline_doc_annotates_phase_mpki() {
+        use bf_telemetry::{Snapshot, Timeline};
+
+        if !bf_telemetry::enabled() {
+            return;
+        }
+        // Three epochs with known misses/instructions so the phase MPKI
+        // is exact: each epoch adds 5 misses and 1000 instructions.
+        let mut now = Snapshot::default();
+        let mut timeline = Timeline::new(4, 8);
+        for accesses in 1..=12u64 {
+            if timeline.record_access() {
+                *now.counters.entry("tlb.l2.misses".to_owned()).or_insert(0) += 5;
+                *now.counters
+                    .entry("sim.instructions".to_owned())
+                    .or_insert(0) += 1000;
+                timeline.seal_epoch(&now, accesses);
+            }
+        }
+        let snapshot = timeline.finish(&now, 12, Vec::new());
+        let cfg = ExperimentConfig::smoke_test();
+        let doc = timeline_doc("unit", &cfg, &[("cell".to_owned(), Some(snapshot))]);
+        let flat = report::flatten(&doc);
+        assert_eq!(
+            flat.get("cells.cell.timeline.phases.last.l2_mpki"),
+            Some(&5.0),
+            "5 misses per 1000 instructions = 5 MPKI"
+        );
+        assert_eq!(
+            flat.get("cells.cell.timeline.phases.first.l2_mpki"),
+            Some(&5.0)
+        );
     }
 
     #[test]

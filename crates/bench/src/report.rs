@@ -20,6 +20,24 @@
 //! movement in *either* direction (for metrics that must be identical,
 //! e.g. a parallel run gated against its serial twin).
 //!
+//! A gate may name a timeline phase — `l2_mpki@last=+10%` — which
+//! restricts it to metrics inside that phase's summary of a
+//! `<figure>-timeline` export, gating the steady-state (`last`) third
+//! without tripping over warm-up noise in `first`.
+//!
+//! `timeline` renders a `<figure>-timeline-latest.json` export written
+//! by the figure binaries under `--timeline`: per-cell ASCII sparklines
+//! of each metric's per-epoch rate, the first/mid/last phase summary,
+//! and (with a second file) the per-phase diff. It also validates the
+//! export — epoch deltas must sum to the whole-window total and the
+//! recorded invariant-violation list must be empty — and exits 1
+//! otherwise:
+//!
+//! ```text
+//! bf-report timeline results/fig10_tlb-timeline-latest.json
+//! bf-report timeline results/fig10_tlb-timeline-latest.json old-timeline.json
+//! ```
+//!
 //! `time` wraps wall-clock comparisons of whole binaries:
 //!
 //! ```text
@@ -227,11 +245,16 @@ pub enum GateDirection {
 /// A regression threshold on one metric, parsed from `name=+10%` /
 /// `name=-20%`. `name` matches a flattened path exactly or as a
 /// `.`-separated suffix (`d_mpki_reduction_pct` matches every row's
-/// reduction metric).
+/// reduction metric). A `name@phase` form restricts the gate to one
+/// timeline phase: `l2_mpki@last=+10%` gates the steady-state third of
+/// every cell's timeline and ignores the warm-up-heavy `first` third.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Gate {
     /// Metric name (exact dotted path or suffix).
     pub name: String,
+    /// Timeline phase restriction (`first`, `mid` or `last`): the gate
+    /// only matches paths inside that phase's summary.
+    pub phase: Option<String>,
     /// Regression direction.
     pub direction: GateDirection,
     /// Allowed movement in percent before the gate fails.
@@ -239,11 +262,22 @@ pub struct Gate {
 }
 
 impl Gate {
-    /// Parses a `name=+P%` / `name=-P%` specification.
+    /// Parses a `name=+P%` / `name=-P%` / `name@phase=±P%` specification.
     pub fn parse(spec: &str) -> Result<Gate, String> {
         let (name, bound) = spec
             .split_once('=')
             .ok_or_else(|| format!("gate '{spec}': expected name=+P% or name=-P%"))?;
+        let (name, phase) = match name.split_once('@') {
+            Some((metric, phase)) => {
+                if !["first", "mid", "last"].contains(&phase) {
+                    return Err(format!(
+                        "gate '{spec}': phase must be 'first', 'mid' or 'last', got '{phase}'"
+                    ));
+                }
+                (metric, Some(phase.to_owned()))
+            }
+            None => (name, None),
+        };
         let bound = bound.strip_suffix('%').unwrap_or(bound);
         let (direction, digits) = match bound.as_bytes().first() {
             Some(b'+') => (GateDirection::RiseIsBad, &bound[1..]),
@@ -264,13 +298,27 @@ impl Gate {
         }
         Ok(Gate {
             name: name.to_owned(),
+            phase,
             direction,
             tolerance_pct,
         })
     }
 
     fn matches(&self, path: &str) -> bool {
-        path == self.name || path.ends_with(&format!(".{}", self.name))
+        let name_ok = path == self.name || path.ends_with(&format!(".{}", self.name));
+        let phase_ok = self
+            .phase
+            .as_ref()
+            .is_none_or(|p| path.contains(&format!("phases.{p}.")));
+        name_ok && phase_ok
+    }
+
+    /// The gate back in `name[@phase]` form, for error messages.
+    fn spec(&self) -> String {
+        match &self.phase {
+            Some(phase) => format!("{}@{phase}", self.name),
+            None => self.name.clone(),
+        }
     }
 }
 
@@ -306,7 +354,7 @@ pub fn check(base: &Value, current: &Value, gates: &[Gate]) -> Result<Vec<GateRe
             let Some(&c) = current.get(path) else {
                 return Err(format!(
                     "gate '{}': metric '{path}' missing from current document",
-                    gate.name
+                    gate.spec()
                 ));
             };
             matched = true;
@@ -333,7 +381,7 @@ pub fn check(base: &Value, current: &Value, gates: &[Gate]) -> Result<Vec<GateRe
             });
         }
         if !matched {
-            return Err(format!("gate '{}': no metric matches", gate.name));
+            return Err(format!("gate '{}': no metric matches", gate.spec()));
         }
     }
     Ok(results)
@@ -448,6 +496,319 @@ fn run_time(args: &[String]) -> Result<bool, String> {
     Ok(false)
 }
 
+/// The metrics `bf-report timeline` sparklines by default (override
+/// with `--metric`).
+const DEFAULT_TIMELINE_METRICS: [&str; 4] = [
+    "tlb.l2.misses",
+    "pgtable.walks",
+    "cache.dram.accesses",
+    "sim.instructions",
+];
+
+/// Density ramp for the ASCII sparklines (space = zero, `@` = the
+/// series maximum).
+const SPARK_RAMP: &[u8] = b" .:-=+*#@";
+
+/// Renders `values` as one ASCII sparkline character per element,
+/// normalised to the series maximum.
+pub fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = if max <= 0.0 {
+                0
+            } else {
+                ((v / max) * (SPARK_RAMP.len() - 1) as f64).round() as usize
+            };
+            SPARK_RAMP[idx.min(SPARK_RAMP.len() - 1)] as char
+        })
+        .collect()
+}
+
+/// One cell of a `<figure>-timeline` document, picked apart for
+/// rendering and validation. Cells that ran without a timeline (the
+/// JSON `null`) are skipped by [`timeline_cells`].
+struct TimelineCell<'a> {
+    name: String,
+    timeline: &'a Value,
+}
+
+/// Extracts the non-null cells of a timeline document, in order.
+fn timeline_cells(doc: &Value) -> Result<Vec<TimelineCell<'_>>, String> {
+    let cells = doc
+        .get("cells")
+        .and_then(Value::as_array)
+        .ok_or("document has no 'cells' array — not a timeline export?")?;
+    Ok(cells
+        .iter()
+        .enumerate()
+        .filter_map(|(i, cell)| {
+            let timeline = cell.get("timeline")?;
+            if matches!(timeline, Value::Null) {
+                return None;
+            }
+            Some(TimelineCell {
+                name: cell
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .map_or_else(|| i.to_string(), str::to_owned),
+                timeline,
+            })
+        })
+        .collect())
+}
+
+/// Validates the conservation law of one timeline document: for every
+/// cell, the epoch deltas of each counter must sum to the whole-window
+/// total, the epoch access counts must sum to `total_accesses`, and the
+/// recorded violation list must be empty. Returns every failure as a
+/// human-readable line (empty = clean).
+pub fn validate_timeline_doc(doc: &Value) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+    for cell in timeline_cells(doc)? {
+        let epochs = cell
+            .timeline
+            .get("epochs")
+            .and_then(Value::as_array)
+            .unwrap_or(&[]);
+        let accesses: u64 = epochs
+            .iter()
+            .filter_map(|e| e.get("accesses").and_then(Value::as_u64))
+            .sum();
+        let total_accesses = cell
+            .timeline
+            .get("total_accesses")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        if accesses != total_accesses {
+            failures.push(format!(
+                "{}: epoch accesses sum to {accesses}, total_accesses says {total_accesses}",
+                cell.name
+            ));
+        }
+        if let Some(totals) = cell
+            .timeline
+            .get("total")
+            .and_then(|t| t.get("counters"))
+            .and_then(Value::as_object)
+        {
+            for (counter, total) in totals {
+                let total = total.as_u64().unwrap_or(0);
+                let summed: u64 = epochs
+                    .iter()
+                    .filter_map(|e| {
+                        e.get("delta")
+                            .and_then(|d| d.get("counters"))
+                            .and_then(|c| c.get(counter))
+                            .and_then(Value::as_u64)
+                    })
+                    .sum();
+                if summed != total {
+                    failures.push(format!(
+                        "{}: counter '{counter}' epochs sum to {summed}, total says {total}",
+                        cell.name
+                    ));
+                }
+            }
+        }
+        if let Some(violations) = cell
+            .timeline
+            .get("violations")
+            .and_then(Value::as_array)
+            .filter(|v| !v.is_empty())
+        {
+            for violation in violations {
+                let invariant = violation
+                    .get("invariant")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?");
+                let detail = violation
+                    .get("detail")
+                    .and_then(Value::as_str)
+                    .unwrap_or("");
+                let epoch = violation.get("epoch").and_then(Value::as_u64).unwrap_or(0);
+                failures.push(format!(
+                    "{}: invariant '{invariant}' violated at epoch {epoch}: {detail}",
+                    cell.name
+                ));
+            }
+        }
+    }
+    Ok(failures)
+}
+
+/// Renders one timeline document: per-cell sparklines of each chosen
+/// metric's per-epoch rate (events per 1000 accesses) plus the
+/// first/mid/last phase summary table.
+fn render_timeline(doc: &Value, metrics: &[String]) -> Result<(), String> {
+    for cell in timeline_cells(doc)? {
+        let epochs = cell
+            .timeline
+            .get("epochs")
+            .and_then(Value::as_array)
+            .unwrap_or(&[]);
+        let interval = cell
+            .timeline
+            .get("interval")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        let base_interval = cell
+            .timeline
+            .get("base_interval")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        let total_accesses = cell
+            .timeline
+            .get("total_accesses")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        println!(
+            "\n{}: {} epochs x {} accesses ({} total{})",
+            cell.name,
+            epochs.len(),
+            interval,
+            total_accesses,
+            if interval != base_interval {
+                format!(", merge-halved from {base_interval}")
+            } else {
+                String::new()
+            }
+        );
+        for metric in metrics {
+            // Per-epoch rate: counter delta per 1000 accesses, so cells
+            // of different epoch intervals stay comparable.
+            let rates: Vec<f64> = epochs
+                .iter()
+                .map(|e| {
+                    let n = e
+                        .get("delta")
+                        .and_then(|d| d.get("counters"))
+                        .and_then(|c| c.get(metric))
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0);
+                    let accesses = e.get("accesses").and_then(Value::as_u64).unwrap_or(0);
+                    if accesses == 0 {
+                        0.0
+                    } else {
+                        1000.0 * n as f64 / accesses as f64
+                    }
+                })
+                .collect();
+            let max = rates.iter().cloned().fold(0.0f64, f64::max);
+            println!(
+                "  {:<24} |{}| peak {:.1}/1k",
+                metric,
+                sparkline(&rates),
+                max
+            );
+        }
+        if let Some(phases) = cell
+            .timeline
+            .get("phases")
+            .and_then(Value::as_object)
+            .filter(|p| !p.is_empty())
+        {
+            println!(
+                "  {:<8} {:>7} {:>10} {:>10}",
+                "phase", "epochs", "accesses", "l2_mpki"
+            );
+            for name in ["first", "mid", "last"] {
+                let Some(phase) = phases.get(name) else {
+                    continue;
+                };
+                let get = |k: &str| phase.get(k).and_then(Value::as_u64).unwrap_or(0);
+                let mpki = phase
+                    .get("l2_mpki")
+                    .and_then(Value::as_f64)
+                    .map_or("-".to_owned(), |m| format!("{m:.3}"));
+                println!(
+                    "  {:<8} {:>7} {:>10} {:>10}",
+                    name,
+                    get("epochs"),
+                    get("accesses"),
+                    mpki
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Prints the per-phase movement between two timeline documents:
+/// every flattened metric under a `phases.*` summary that moved,
+/// biggest relative movement first.
+fn render_timeline_diff(base: &Value, current: &Value, top: usize) {
+    let rows: Vec<DiffRow> = diff(base, current)
+        .into_iter()
+        .filter(|row| row.name.contains(".phases."))
+        .collect();
+    if rows.is_empty() {
+        println!("no phase-level movement between the two timelines");
+        return;
+    }
+    print!("{}", render_diff(&rows, top));
+}
+
+/// `bf-report timeline <file> [<baseline>]`: validate the conservation
+/// law and recorded invariants of `<file>`, render sparklines and phase
+/// summaries, and (with a second file) print the per-phase diff against
+/// it. Returns `Ok(true)` — exit code 1 — when validation fails.
+fn run_timeline(args: &[String]) -> Result<bool, String> {
+    let mut files = Vec::new();
+    let mut metrics: Vec<String> = Vec::new();
+    let mut top = 20usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--metric" => metrics.push(iter.next().ok_or("--metric needs a counter name")?.clone()),
+            "--top" => {
+                let n = iter.next().ok_or("--top needs a number")?;
+                top = n.parse().map_err(|_| format!("bad --top '{n}'"))?;
+            }
+            other if !other.starts_with("--") => files.push(other.to_owned()),
+            other => return Err(format!("unknown timeline argument '{other}'\n{USAGE}")),
+        }
+    }
+    if metrics.is_empty() {
+        metrics = DEFAULT_TIMELINE_METRICS
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+    }
+    let (current_path, base_path) = match files.as_slice() {
+        [current] => (current, None),
+        [current, base] => (current, Some(base)),
+        _ => {
+            return Err(format!(
+                "timeline mode takes one or two JSON files, got {}\n{USAGE}",
+                files.len()
+            ))
+        }
+    };
+    let current = load(current_path)?;
+    render_timeline(&current, &metrics)?;
+    if let Some(base_path) = base_path {
+        let base = load(base_path)?;
+        println!("\nphase-level movement vs {base_path}:");
+        render_timeline_diff(&base, &current, top);
+    }
+    let failures = validate_timeline_doc(&current)?;
+    if failures.is_empty() {
+        println!("\ntimeline OK: conservation holds, no invariant violations");
+        Ok(false)
+    } else {
+        for failure in &failures {
+            println!("FAIL  {failure}");
+        }
+        println!(
+            "\ntimeline validation FAILED ({} problem(s))",
+            failures.len()
+        );
+        Ok(true)
+    }
+}
+
 /// The `bf-report` command line: `diff <a> <b> [--top N]` or
 /// `check <baseline> <current> --gate SPEC...`. Returns the process
 /// exit code (0 ok, 1 regression, 2 usage/IO error).
@@ -467,11 +828,14 @@ pub fn run_cli(args: &[String]) -> i32 {
     }
 }
 
-const USAGE: &str = "usage: bf-report diff <base.json> <current.json> [--top N]\n       bf-report check <baseline.json> <current.json> --gate 'name=+P%|-P%|~P%' [--gate ...] [--top N]\n       bf-report time --run 'label=command args...' [--run ...] [--out timing.json]";
+const USAGE: &str = "usage: bf-report diff <base.json> <current.json> [--top N]\n       bf-report check <baseline.json> <current.json> --gate 'name[@phase]=+P%|-P%|~P%' [--gate ...] [--top N]\n       bf-report timeline <current.json> [<baseline.json>] [--metric NAME ...] [--top N]\n       bf-report time --run 'label=command args...' [--run ...] [--out timing.json]";
 
 fn run(args: &[String]) -> Result<bool, String> {
     if args.first().map(String::as_str) == Some("time") {
         return run_time(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("timeline") {
+        return run_timeline(&args[1..]);
     }
     let mut mode = None;
     let mut files = Vec::new();
@@ -681,6 +1045,166 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert_eq!(run_cli(&bad), 2);
+    }
+
+    /// A minimal timeline document: one cell, three phases, with the
+    /// given steady-state (`last`) MPKI.
+    fn timeline_phase_doc(last_mpki: f64) -> Value {
+        let phase = |mpki: f64| {
+            json_object([
+                ("epochs", Value::U64(2)),
+                ("accesses", Value::U64(128)),
+                ("l2_mpki", Value::F64(mpki)),
+            ])
+        };
+        json_object([(
+            "cells",
+            Value::Array(vec![json_object([
+                ("name", Value::String("mongodb-babelfish".to_owned())),
+                (
+                    "timeline",
+                    json_object([(
+                        "phases",
+                        json_object([
+                            ("first", phase(9.0)),
+                            ("mid", phase(4.0)),
+                            ("last", phase(last_mpki)),
+                        ]),
+                    )]),
+                ),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn phase_gate_parses_and_matches_only_its_phase() {
+        let gate = Gate::parse("l2_mpki@last=+10%").unwrap();
+        assert_eq!(gate.name, "l2_mpki");
+        assert_eq!(gate.phase.as_deref(), Some("last"));
+        assert!(gate.matches("cells.mongodb-babelfish.timeline.phases.last.l2_mpki"));
+        assert!(
+            !gate.matches("cells.mongodb-babelfish.timeline.phases.first.l2_mpki"),
+            "a @last gate must ignore the warm-up phase"
+        );
+        assert!(Gate::parse("l2_mpki@warmup=+10%").is_err(), "unknown phase");
+    }
+
+    #[test]
+    fn injected_phase_regression_trips_the_gate() {
+        let baseline = timeline_phase_doc(2.0);
+        let regressed = timeline_phase_doc(3.0); // +50 % steady-state MPKI
+        let gates = [Gate::parse("l2_mpki@last=+10%").unwrap()];
+        let results = check(&baseline, &regressed, &gates).unwrap();
+        assert_eq!(results.len(), 1, "only the last phase is gated");
+        assert!(results[0].failed);
+        assert!(results[0].metric.contains("phases.last"));
+
+        // The warm-up phase regressing does not trip a @last gate: its
+        // first-phase MPKI of 9.0 is shared by both documents here, and
+        // an identical steady state passes.
+        let ok = check(&baseline, &timeline_phase_doc(2.1), &gates).unwrap();
+        assert!(!ok[0].failed);
+    }
+
+    #[test]
+    fn sparkline_normalises_to_the_peak() {
+        assert_eq!(sparkline(&[0.0, 4.0, 8.0]), " =@");
+        assert_eq!(sparkline(&[0.0, 0.0]), "  ", "all-zero series stays flat");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    fn timeline_export_doc(epoch_misses: [u64; 2], total_misses: u64) -> Value {
+        let epoch = |misses: u64| {
+            json_object([
+                ("accesses", Value::U64(64)),
+                (
+                    "delta",
+                    json_object([(
+                        "counters",
+                        json_object([("tlb.l2.misses", Value::U64(misses))]),
+                    )]),
+                ),
+            ])
+        };
+        json_object([(
+            "cells",
+            Value::Array(vec![json_object([
+                ("name", Value::String("cell".to_owned())),
+                (
+                    "timeline",
+                    json_object([
+                        ("total_accesses", Value::U64(128)),
+                        (
+                            "epochs",
+                            Value::Array(vec![epoch(epoch_misses[0]), epoch(epoch_misses[1])]),
+                        ),
+                        (
+                            "total",
+                            json_object([(
+                                "counters",
+                                json_object([("tlb.l2.misses", Value::U64(total_misses))]),
+                            )]),
+                        ),
+                        ("violations", Value::Array(vec![])),
+                    ]),
+                ),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn timeline_validation_checks_conservation_and_violations() {
+        let clean = timeline_export_doc([3, 4], 7);
+        assert!(validate_timeline_doc(&clean).unwrap().is_empty());
+
+        // Epoch deltas no longer sum to the total: validation must name
+        // the counter.
+        let broken = timeline_export_doc([3, 4], 9);
+        let failures = validate_timeline_doc(&broken).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("tlb.l2.misses"), "{failures:?}");
+
+        // Cells without a timeline (null) are skipped, not errors.
+        let off = json_object([(
+            "cells",
+            Value::Array(vec![json_object([
+                ("name", Value::String("cell".to_owned())),
+                ("timeline", Value::Null),
+            ])]),
+        )]);
+        assert!(validate_timeline_doc(&off).unwrap().is_empty());
+
+        // A recorded invariant violation fails validation by name.
+        let mut violated = timeline_export_doc([3, 4], 7);
+        if let Some(Value::Array(violations)) = violated
+            .get_mut("cells")
+            .and_then(|c| match c {
+                Value::Array(cells) => cells.first_mut(),
+                _ => None,
+            })
+            .and_then(|cell| cell.get_mut("timeline"))
+            .and_then(|t| t.get_mut("violations"))
+        {
+            violations.push(json_object([
+                (
+                    "invariant",
+                    Value::String("tlb.l2.shared_hits_within_hits".to_owned()),
+                ),
+                ("detail", Value::String("counter corrupted".to_owned())),
+                ("epoch", Value::U64(3)),
+            ]));
+        } else {
+            panic!("test document lost its violations array");
+        }
+        let failures = validate_timeline_doc(&violated).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("tlb.l2.shared_hits_within_hits"),
+            "{failures:?}"
+        );
+
+        // Not a timeline document at all: a hard error, not a pass.
+        assert!(validate_timeline_doc(&json_object([])).is_err());
     }
 
     #[test]

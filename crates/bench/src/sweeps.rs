@@ -9,18 +9,19 @@
 //! JSON document derived from them — are byte-identical for every
 //! thread count.
 
-use crate::{json_object, reduction_pct};
+use crate::{json_object, progress, reduction_pct};
 use babelfish::exec::Sweep;
 use babelfish::experiment::{
     run_compute, run_functions, run_serving, ComputeKind, ComputeResult, ExperimentConfig,
     FunctionsResult, ServingResult,
 };
 use babelfish::{AccessDensity, MachineStats, Mode, ServingVariant};
-use bf_telemetry::Snapshot;
+use bf_telemetry::{Snapshot, TimelineSnapshot};
 use serde::{Serialize, Value};
 
 /// One application row of Fig. 10: Baseline and BabelFish stats plus
-/// their telemetry snapshots.
+/// their telemetry snapshots and (when `--timeline` is on) epoch
+/// timelines.
 pub struct Fig10Row {
     /// Application name.
     pub name: &'static str,
@@ -32,13 +33,20 @@ pub struct Fig10Row {
     pub base_telemetry: Snapshot,
     /// BabelFish telemetry snapshot.
     pub babelfish_telemetry: Snapshot,
+    /// Baseline epoch timeline (None unless timelines are on).
+    pub base_timeline: Option<TimelineSnapshot>,
+    /// BabelFish epoch timeline (None unless timelines are on).
+    pub babelfish_timeline: Option<TimelineSnapshot>,
 }
 
+/// What one Fig. 10 cell produces: stats, telemetry, epoch timeline.
+type Fig10Cell = (MachineStats, Snapshot, Option<TimelineSnapshot>);
+
 /// One Fig. 10 application: its name plus a boxed runner producing the
-/// raw stats and telemetry for one mode.
+/// raw data for one mode.
 type Fig10App = (
     &'static str,
-    Box<dyn Fn(Mode, &ExperimentConfig) -> (MachineStats, Snapshot) + Send + Sync>,
+    Box<dyn Fn(Mode, &ExperimentConfig) -> Fig10Cell + Send + Sync>,
 );
 
 /// The seven Fig. 10 applications in paper order.
@@ -49,7 +57,7 @@ fn fig10_apps() -> Vec<Fig10App> {
             variant.name(),
             Box::new(move |mode, cfg| {
                 let r = run_serving(mode, variant, cfg);
-                (r.stats, r.telemetry)
+                (r.stats, r.telemetry, r.timeline)
             }),
         ));
     }
@@ -58,7 +66,7 @@ fn fig10_apps() -> Vec<Fig10App> {
             kind.name(),
             Box::new(move |mode, cfg| {
                 let r = run_compute(mode, kind, cfg);
-                (r.stats, r.telemetry)
+                (r.stats, r.telemetry, r.timeline)
             }),
         ));
     }
@@ -70,7 +78,7 @@ fn fig10_apps() -> Vec<Fig10App> {
             name,
             Box::new(move |mode, cfg| {
                 let r = run_functions(mode, density, cfg);
-                (r.stats, r.telemetry)
+                (r.stats, r.telemetry, r.timeline)
             }),
         ));
     }
@@ -78,8 +86,9 @@ fn fig10_apps() -> Vec<Fig10App> {
 }
 
 /// Runs the Fig. 10 cells — every application under Baseline and
-/// BabelFish — on `threads` workers.
-pub fn fig10_rows(cfg: &ExperimentConfig, threads: usize) -> Vec<Fig10Row> {
+/// BabelFish — on `threads` workers. `quiet` suppresses the per-cell
+/// progress lines.
+pub fn fig10_rows(cfg: &ExperimentConfig, threads: usize, quiet: bool) -> Vec<Fig10Row> {
     let cfg = *cfg;
     let mut sweep = Sweep::new();
     let mut names = Vec::new();
@@ -87,22 +96,49 @@ pub fn fig10_rows(cfg: &ExperimentConfig, threads: usize) -> Vec<Fig10Row> {
         names.push(name);
         let runner = std::sync::Arc::new(runner);
         let base_runner = runner.clone();
-        sweep.cell(move || base_runner(Mode::Baseline, &cfg));
-        sweep.cell(move || runner(Mode::babelfish(), &cfg));
+        sweep.cell(move || {
+            let r = base_runner(Mode::Baseline, &cfg);
+            progress(quiet, &format!("{name}-baseline done"));
+            r
+        });
+        sweep.cell(move || {
+            let r = runner(Mode::babelfish(), &cfg);
+            progress(quiet, &format!("{name}-babelfish done"));
+            r
+        });
     }
     let mut results = sweep.run(threads).into_iter();
     names
         .into_iter()
         .map(|name| {
-            let (base, base_telemetry) = results.next().expect("base cell");
-            let (babelfish, babelfish_telemetry) = results.next().expect("babelfish cell");
+            let (base, base_telemetry, base_timeline) = results.next().expect("base cell");
+            let (babelfish, babelfish_telemetry, babelfish_timeline) =
+                results.next().expect("babelfish cell");
             Fig10Row {
                 name,
                 base,
                 babelfish,
                 base_telemetry,
                 babelfish_telemetry,
+                base_timeline,
+                babelfish_timeline,
             }
+        })
+        .collect()
+}
+
+/// The Fig. 10 rows as `(cell-name, timeline)` pairs in submission
+/// order — the shape [`crate::write_timeline_results`] takes.
+pub fn fig10_timeline_cells(rows: &[Fig10Row]) -> Vec<(String, Option<TimelineSnapshot>)> {
+    rows.iter()
+        .flat_map(|row| {
+            [
+                (format!("{}-baseline", row.name), row.base_timeline.clone()),
+                (
+                    format!("{}-babelfish", row.name),
+                    row.babelfish_timeline.clone(),
+                ),
+            ]
         })
         .collect()
 }
@@ -202,23 +238,36 @@ impl Fig11Cell {
 }
 
 /// Runs the Fig. 11 cells — serving, compute, and function workloads,
-/// Baseline and BabelFish — on `threads` workers.
-pub fn fig11_data(cfg: &ExperimentConfig, threads: usize) -> Fig11Data {
+/// Baseline and BabelFish — on `threads` workers. `quiet` suppresses
+/// the per-cell progress lines.
+pub fn fig11_data(cfg: &ExperimentConfig, threads: usize, quiet: bool) -> Fig11Data {
     let cfg = *cfg;
     let mut sweep = Sweep::new();
     for variant in ServingVariant::ALL {
         for mode in [Mode::Baseline, Mode::babelfish()] {
-            sweep.cell(move || Fig11Cell::Serving(Box::new(run_serving(mode, variant, &cfg))));
+            sweep.cell(move || {
+                let r = Fig11Cell::Serving(Box::new(run_serving(mode, variant, &cfg)));
+                progress(quiet, &format!("{}-{} done", variant.name(), mode.name()));
+                r
+            });
         }
     }
     for kind in ComputeKind::ALL {
         for mode in [Mode::Baseline, Mode::babelfish()] {
-            sweep.cell(move || Fig11Cell::Compute(Box::new(run_compute(mode, kind, &cfg))));
+            sweep.cell(move || {
+                let r = Fig11Cell::Compute(Box::new(run_compute(mode, kind, &cfg)));
+                progress(quiet, &format!("{}-{} done", kind.name(), mode.name()));
+                r
+            });
         }
     }
     for density in [AccessDensity::Dense, AccessDensity::Sparse] {
         for mode in [Mode::Baseline, Mode::babelfish()] {
-            sweep.cell(move || Fig11Cell::Functions(Box::new(run_functions(mode, density, &cfg))));
+            sweep.cell(move || {
+                let r = Fig11Cell::Functions(Box::new(run_functions(mode, density, &cfg)));
+                progress(quiet, &format!("functions-{} done", mode.name()));
+                r
+            });
         }
     }
 
@@ -238,6 +287,25 @@ pub fn fig11_data(cfg: &ExperimentConfig, threads: usize) -> Fig11Data {
             .map(|label| (*label, next().functions(), next().functions()))
             .collect(),
     }
+}
+
+/// The Fig. 11 cells as `(cell-name, timeline)` pairs in submission
+/// order — the shape [`crate::write_timeline_results`] takes.
+pub fn fig11_timeline_cells(data: &Fig11Data) -> Vec<(String, Option<TimelineSnapshot>)> {
+    let mut cells = Vec::new();
+    for (name, base, bf) in &data.serving {
+        cells.push((format!("{name}-baseline"), base.timeline.clone()));
+        cells.push((format!("{name}-babelfish"), bf.timeline.clone()));
+    }
+    for (name, base, bf) in &data.compute {
+        cells.push((format!("{name}-baseline"), base.timeline.clone()));
+        cells.push((format!("{name}-babelfish"), bf.timeline.clone()));
+    }
+    for (label, base, bf) in &data.functions {
+        cells.push((format!("fn-{label}-baseline"), base.timeline.clone()));
+        cells.push((format!("fn-{label}-babelfish"), bf.timeline.clone()));
+    }
+    cells
 }
 
 /// The Fig. 11 results document (latency/execution reductions per app).
@@ -316,7 +384,7 @@ mod tests {
 
     #[test]
     fn fig10_rows_keep_submission_order() {
-        let rows = fig10_rows(&tiny(), 2);
+        let rows = fig10_rows(&tiny(), 2, true);
         let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
         assert_eq!(
             names,

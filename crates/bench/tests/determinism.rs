@@ -2,10 +2,14 @@
 //! list, never on the worker count. This drives the same Fig. 10 sweep
 //! serially and on four workers and requires byte-identical JSON and
 //! identical per-cell telemetry snapshots — the property the CI timing
-//! job gates on for the real `--quick` dataset.
+//! job gates on for the real `--quick` dataset. The timeline tests
+//! extend the contract to the `--timeline` export: epoch boundaries are
+//! counted in simulated accesses, so the timeline document must also be
+//! byte-identical across thread counts, and a clean run must record no
+//! invariant violations.
 
 use babelfish::experiment::ExperimentConfig;
-use bf_bench::sweeps::{fig10_doc, fig10_rows};
+use bf_bench::sweeps::{fig10_doc, fig10_rows, fig10_timeline_cells};
 
 /// A config small enough that 14 cells finish in seconds but large
 /// enough that every workload actually touches the TLB hierarchy.
@@ -19,8 +23,8 @@ fn tiny_config() -> ExperimentConfig {
 #[test]
 fn parallel_sweep_is_byte_identical_to_serial() {
     let cfg = tiny_config();
-    let serial = fig10_rows(&cfg, 1);
-    let parallel = fig10_rows(&cfg, 4);
+    let serial = fig10_rows(&cfg, 1, true);
+    let parallel = fig10_rows(&cfg, 4, true);
 
     // Row order is submission order in both cases.
     let names: Vec<_> = serial.iter().map(|r| r.name).collect();
@@ -48,4 +52,63 @@ fn parallel_sweep_is_byte_identical_to_serial() {
         doc_serial, doc_parallel,
         "results JSON must not depend on --threads"
     );
+}
+
+#[test]
+fn timeline_export_is_byte_identical_across_thread_counts() {
+    if !bf_telemetry::enabled() {
+        return;
+    }
+    let mut cfg = tiny_config();
+    cfg.timeline_every = 16;
+    let serial = fig10_rows(&cfg, 1, true);
+    let parallel = fig10_rows(&cfg, 4, true);
+
+    let doc_serial = serde_json::to_string(&bf_bench::timeline_doc(
+        "fig10_tlb",
+        &cfg,
+        &fig10_timeline_cells(&serial),
+    ))
+    .unwrap();
+    let doc_parallel = serde_json::to_string(&bf_bench::timeline_doc(
+        "fig10_tlb",
+        &cfg,
+        &fig10_timeline_cells(&parallel),
+    ))
+    .unwrap();
+    assert_eq!(
+        doc_serial, doc_parallel,
+        "timeline JSON must not depend on --threads"
+    );
+}
+
+#[test]
+fn clean_fig10_run_records_timelines_without_violations() {
+    if !bf_telemetry::enabled() {
+        return;
+    }
+    let mut cfg = tiny_config();
+    cfg.timeline_every = 16;
+    // Record mode: a violated invariant would land in the export (and
+    // fail this test) instead of panicking with less context.
+    cfg.timeline_fail_fast = false;
+    for (name, timeline) in fig10_timeline_cells(&fig10_rows(&cfg, 2, true)) {
+        let timeline = timeline.unwrap_or_else(|| panic!("{name}: no timeline recorded"));
+        assert!(
+            timeline.violations.is_empty(),
+            "{name}: clean run must not violate invariants: {:?}",
+            timeline.violations
+        );
+        assert!(
+            !timeline.epochs.is_empty(),
+            "{name}: expected at least one sealed epoch"
+        );
+        // The conservation law, end to end through the experiment
+        // runner: epoch deltas merge back to the window total.
+        assert_eq!(
+            timeline.merged().counters,
+            timeline.total.counters,
+            "{name}: epoch deltas must sum to the window total"
+        );
+    }
 }

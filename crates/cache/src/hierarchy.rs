@@ -99,6 +99,37 @@ impl HierarchyTelemetry {
     }
 }
 
+/// Registers the hierarchy's flow-conservation invariants. Each law
+/// follows from the structure of [`CacheHierarchy::access`]:
+///
+/// - every L2 miss probes L3, and nothing else does;
+/// - every L3 miss goes to DRAM, and nothing else does;
+/// - L2 is probed by L1I misses, L1D misses, and every walker access
+///   (walkers enter at L2 and record exactly one `served_*` counter).
+pub fn register_invariants(set: &mut bf_telemetry::InvariantSet) {
+    set.sum_eq(
+        "cache.l3.flow_conservation",
+        &["cache.l3.hits", "cache.l3.misses"],
+        &["cache.l2.misses"],
+    );
+    set.sum_eq(
+        "cache.dram.flow_conservation",
+        &["cache.dram.accesses"],
+        &["cache.l3.misses"],
+    );
+    set.sum_eq(
+        "cache.l2.flow_conservation",
+        &["cache.l2.hits", "cache.l2.misses"],
+        &[
+            "cache.l1i.misses",
+            "cache.l1d.misses",
+            "cache.walks.served_l2",
+            "cache.walks.served_l3",
+            "cache.walks.served_dram",
+        ],
+    );
+}
+
 /// Per-level aggregate counters (summed over cores for private levels).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct LevelStats {

@@ -36,6 +36,8 @@ pub mod hierarchy;
 pub mod pwc;
 pub mod set_assoc;
 
-pub use hierarchy::{AccessOrigin, CacheHierarchy, HierarchyConfig, HierarchyStats, LevelStats};
+pub use hierarchy::{
+    register_invariants, AccessOrigin, CacheHierarchy, HierarchyConfig, HierarchyStats, LevelStats,
+};
 pub use pwc::{PageWalkCache, PwcConfig, PwcStats};
 pub use set_assoc::{CacheConfig, CacheStats, SetAssocCache};

@@ -9,7 +9,7 @@
 use bf_containers::{BringupProfile, ContainerRuntime, ImageSpec};
 use bf_os::pagemap::{self, CensusReport};
 use bf_sim::{Machine, MachineStats, Mode, SimConfig};
-use bf_telemetry::Snapshot;
+use bf_telemetry::{Snapshot, TimelineSnapshot};
 use bf_types::{Ccid, CoreId, Cycles, Pid};
 use bf_workloads::{
     AccessDensity, DataServing, FioCompute, FunctionKind, FunctionWorkload, GraphCompute, Op,
@@ -92,6 +92,12 @@ pub struct ExperimentConfig {
     pub quantum_cycles: u64,
     /// Span-trace every Nth memory access (0 disables span tracing).
     pub trace_sample_every: u64,
+    /// Seal a telemetry timeline epoch every N memory accesses (0
+    /// disables timelines).
+    pub timeline_every: u64,
+    /// Panic on the first invariant violation at an epoch boundary
+    /// instead of recording it into the timeline export.
+    pub timeline_fail_fast: bool,
 }
 
 impl ExperimentConfig {
@@ -108,6 +114,8 @@ impl ExperimentConfig {
             frames: 1 << 21, // 8 GB
             quantum_cycles: 100_000,
             trace_sample_every: 0,
+            timeline_every: 0,
+            timeline_fail_fast: false,
         }
     }
 
@@ -124,6 +132,8 @@ impl ExperimentConfig {
             frames: 1 << 20, // 4 GB
             quantum_cycles: 40_000,
             trace_sample_every: 0,
+            timeline_every: 0,
+            timeline_fail_fast: false,
         }
     }
 }
@@ -142,6 +152,9 @@ pub struct ServingResult {
     /// Registry snapshot of the measurement window (empty with
     /// telemetry compiled out).
     pub telemetry: Snapshot,
+    /// Epoch timeline of the measurement window (None unless
+    /// [`ExperimentConfig::timeline_every`] is set).
+    pub timeline: Option<TimelineSnapshot>,
 }
 
 /// Result of a compute run (Fig. 11 execution-time metric).
@@ -154,6 +167,9 @@ pub struct ComputeResult {
     pub stats: MachineStats,
     /// Registry snapshot of the measurement window.
     pub telemetry: Snapshot,
+    /// Epoch timeline of the measurement window (None unless
+    /// [`ExperimentConfig::timeline_every`] is set).
+    pub timeline: Option<TimelineSnapshot>,
 }
 
 /// Result of a FaaS run (Section VII-C function metrics).
@@ -169,6 +185,9 @@ pub struct FunctionsResult {
     pub stats: MachineStats,
     /// Registry snapshot over the whole run.
     pub telemetry: Snapshot,
+    /// Epoch timeline over the whole run (None unless
+    /// [`ExperimentConfig::timeline_every`] is set).
+    pub timeline: Option<TimelineSnapshot>,
 }
 
 impl FunctionsResult {
@@ -195,7 +214,8 @@ impl FunctionsResult {
 fn sim_config(mode: Mode, cfg: &ExperimentConfig, thp: bool) -> SimConfig {
     let mut sim = SimConfig::new(cfg.cores, mode)
         .with_frames(cfg.frames)
-        .with_trace_sampling(cfg.trace_sample_every);
+        .with_trace_sampling(cfg.trace_sample_every)
+        .with_timeline(cfg.timeline_every, cfg.timeline_fail_fast);
     sim.quantum_cycles = cfg.quantum_cycles;
     if !thp {
         sim = sim.without_thp();
@@ -237,7 +257,7 @@ fn deploy_containers(
 
 /// Runs one data-serving experiment (Fig. 9/10/11 serving rows).
 pub fn run_serving(mode: Mode, variant: ServingVariant, cfg: &ExperimentConfig) -> ServingResult {
-    let (machine, exec_cycles) = serving_machine(mode, variant, cfg);
+    let (mut machine, exec_cycles) = serving_machine(mode, variant, cfg);
     let stats = machine.stats();
     ServingResult {
         mean_latency: stats.latency.mean(),
@@ -245,6 +265,7 @@ pub fn run_serving(mode: Mode, variant: ServingVariant, cfg: &ExperimentConfig) 
         exec_cycles,
         stats,
         telemetry: machine.telemetry_snapshot(),
+        timeline: machine.take_timeline(),
     }
 }
 
@@ -319,6 +340,7 @@ pub fn run_compute(mode: Mode, kind: ComputeKind, cfg: &ExperimentConfig) -> Com
         exec_cycles,
         stats: machine.stats(),
         telemetry: machine.telemetry_snapshot(),
+        timeline: machine.take_timeline(),
     }
 }
 
@@ -370,12 +392,22 @@ pub fn run_functions(
         exec_cycles: execs,
         stats: machine.stats(),
         telemetry: machine.telemetry_snapshot(),
+        timeline: machine.take_timeline(),
     }
 }
 
 /// Runs the Fig. 9 census: deploy the app's containers, execute a
 /// touch window, and count `pte_t` shareability.
 pub fn run_census(app: CensusApp, cfg: &ExperimentConfig) -> CensusReport {
+    run_census_timed(app, cfg).0
+}
+
+/// Like [`run_census`], also returning the run's epoch timeline (None
+/// unless [`ExperimentConfig::timeline_every`] is set).
+pub fn run_census_timed(
+    app: CensusApp,
+    cfg: &ExperimentConfig,
+) -> (CensusReport, Option<TimelineSnapshot>) {
     // Fig. 9 was measured natively (no BabelFish), so run the baseline.
     match app {
         CensusApp::Serving(variant) => {
@@ -395,7 +427,8 @@ pub fn run_census(app: CensusApp, cfg: &ExperimentConfig) -> CensusReport {
                 machine.attach(core, container.pid(), Box::new(workload));
             }
             machine.run_instructions(cfg.measure_instructions);
-            pagemap::census(machine.kernel(), group)
+            let report = pagemap::census(machine.kernel(), group);
+            (report, machine.take_timeline())
         }
         CensusApp::Compute(kind) => {
             let mut machine = Machine::new(sim_config(Mode::Baseline, cfg, true));
@@ -417,7 +450,8 @@ pub fn run_census(app: CensusApp, cfg: &ExperimentConfig) -> CensusReport {
                 machine.attach(core, container.pid(), workload);
             }
             machine.run_instructions(cfg.measure_instructions);
-            pagemap::census(machine.kernel(), group)
+            let report = pagemap::census(machine.kernel(), group);
+            (report, machine.take_timeline())
         }
         CensusApp::Functions => {
             // Three *live* functions (the census needs their tables).
@@ -445,7 +479,8 @@ pub fn run_census(app: CensusApp, cfg: &ExperimentConfig) -> CensusReport {
                 // census.
                 drive_to_done(&mut machine, core, container.pid(), &mut workload);
             }
-            pagemap::census(machine.kernel(), group)
+            let report = pagemap::census(machine.kernel(), group);
+            (report, machine.take_timeline())
         }
     }
 }

@@ -560,6 +560,19 @@ impl Kernel {
         self.maskpages.len()
     }
 
+    /// Every live MaskPage with its (group, GB-region) key, sorted by
+    /// key so walkers (e.g. invariant checks) see a deterministic order
+    /// regardless of `HashMap` iteration.
+    pub fn maskpages(&self) -> Vec<(Ccid, u64, &MaskPage)> {
+        let mut pages: Vec<_> = self
+            .maskpages
+            .iter()
+            .map(|(&(ccid, region), mp)| (ccid, region, mp))
+            .collect();
+        pages.sort_by_key(|&(ccid, region, _)| (ccid, region));
+        pages
+    }
+
     /// The PC bitmask the hardware loads into the TLB for `va`'s 2 MB
     /// region (Fig. 13: one bitmask per `pmd_t` entry).
     pub fn pc_bitmask(&self, group: Ccid, va: VirtAddr) -> u32 {

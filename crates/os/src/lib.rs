@@ -62,3 +62,22 @@ pub use kernel::{
 pub use process::Process;
 pub use sched::{SchedDecision, Scheduler};
 pub use vma::{Backing, MmapRequest, Vma};
+
+/// Registers the OS/page-table-layer cross-counter invariants:
+///
+/// - every freed table page was allocated first;
+/// - `pgtable.walks` and the `pgtable.walk_depth` histogram are fed by
+///   the same recording site in [`bf_pgtable::AddressSpace::walk`], so
+///   their event counts must agree.
+pub fn register_invariants(set: &mut bf_telemetry::InvariantSet) {
+    set.counter_le(
+        "pgtable.frees_within_allocations",
+        "pgtable.tables_freed",
+        "pgtable.tables_allocated",
+    );
+    set.histogram_count_eq(
+        "pgtable.walk_depth_counts_walks",
+        "pgtable.walk_depth",
+        "pgtable.walks",
+    );
+}

@@ -150,6 +150,28 @@ impl MaskPage {
     pub fn pid_list(&self) -> &[Pid] {
         &self.pid_list
     }
+
+    /// Checks the structural invariant that every set PC-bitmask bit
+    /// refers to an assigned `pid_list` slot: bit `i` set in any mask
+    /// implies `i < pid_list.len()`. Returns the first offending PMD
+    /// index as an error detail.
+    pub fn validate(&self) -> Result<(), String> {
+        let writers = self.pid_list.len();
+        if writers > PC_BITMASK_BITS {
+            return Err(format!(
+                "pid list holds {writers} entries, above the {PC_BITMASK_BITS}-bit capacity"
+            ));
+        }
+        for (pmd_index, &mask) in self.masks.iter().enumerate() {
+            // Shift as u64: `writers` may be 32, the full mask width.
+            if (mask as u64) >> writers != 0 {
+                return Err(format!(
+                    "pmd index {pmd_index}: mask {mask:#x} sets bits at or above pid-list length {writers}"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -220,5 +242,26 @@ mod tests {
     fn bit_of_unknown_pid_is_none() {
         let mp = MaskPage::new(Ppn::new(1));
         assert_eq!(mp.bit_of(Pid::new(1)), None);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_state_and_names_violations() {
+        let mut mp = MaskPage::new(Ppn::new(1));
+        assert_eq!(mp.validate(), Ok(()));
+        let bit = mp.assign_bit(Pid::new(1)).unwrap();
+        mp.set_bit(3, bit);
+        assert_eq!(mp.validate(), Ok(()));
+        // Corrupt: set a bit with no assigned pid behind it.
+        mp.masks[3] |= 1 << 5;
+        let err = mp.validate().unwrap_err();
+        assert!(err.contains("pmd index 3"), "detail names the slot: {err}");
+        // A full 32-writer page with all bits set is still valid.
+        let mut full = MaskPage::new(Ppn::new(2));
+        for i in 0..32 {
+            let b = full.assign_bit(Pid::new(i)).unwrap();
+            full.set_bit(0, b);
+        }
+        assert_eq!(full.mask(0), u32::MAX);
+        assert_eq!(full.validate(), Ok(()));
     }
 }

@@ -198,6 +198,12 @@ pub struct SimConfig {
     pub kernel: KernelConfig,
     /// Span-trace every Nth memory access (0 disables span tracing).
     pub trace_sample_every: u64,
+    /// Seal a telemetry timeline epoch every N memory accesses (0
+    /// disables the timeline; see [`bf_telemetry::Timeline`]).
+    pub timeline_every: u64,
+    /// Panic on the first telemetry invariant violation at an epoch
+    /// boundary instead of recording it into the timeline.
+    pub timeline_fail_fast: bool,
 }
 
 impl SimConfig {
@@ -215,6 +221,8 @@ impl SimConfig {
             memory_overlap: 0.6,
             kernel: mode.kernel_config(),
             trace_sample_every: 0,
+            timeline_every: 0,
+            timeline_fail_fast: false,
         }
     }
 
@@ -234,6 +242,15 @@ impl SimConfig {
     /// Enables span tracing of every `every`-th memory access (0 = off).
     pub fn with_trace_sampling(mut self, every: u64) -> Self {
         self.trace_sample_every = every;
+        self
+    }
+
+    /// Enables epoch timelines every `every` accesses (0 = off), with
+    /// invariant violations either panicking (`fail_fast`) or recorded
+    /// into the timeline export.
+    pub fn with_timeline(mut self, every: u64, fail_fast: bool) -> Self {
+        self.timeline_every = every;
+        self.timeline_fail_fast = fail_fast;
         self
     }
 }

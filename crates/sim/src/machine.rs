@@ -8,7 +8,8 @@ use bf_containers::{BringupProfile, Container};
 use bf_os::{FaultKind, Invalidation, Kernel, SchedDecision, Scheduler};
 use bf_pgtable::WalkResult;
 use bf_telemetry::{
-    Counter, Histogram, Registry, Snapshot, SpanTracer, SpanTrack, TraceEvent, TraceKind,
+    Counter, Histogram, InvariantMode, InvariantSet, Registry, Snapshot, SpanTracer, SpanTrack,
+    Timeline, TimelineSnapshot, TraceEvent, TraceKind, DEFAULT_TIMELINE_CAPACITY,
 };
 use bf_tlb::group::TlbAccess;
 use bf_tlb::{LookupResult, TlbFill, TlbGroup};
@@ -39,6 +40,7 @@ struct ProcState {
 #[derive(Debug, Clone, Default)]
 struct SimTelemetry {
     walks: Counter,
+    instructions: Counter,
     request_cycles: Histogram,
 }
 
@@ -46,9 +48,18 @@ impl SimTelemetry {
     fn attach(registry: &Registry) -> Self {
         SimTelemetry {
             walks: registry.counter("sim.walks"),
+            instructions: registry.counter("sim.instructions"),
             request_cycles: registry.histogram("sim.request_cycles"),
         }
     }
+}
+
+/// Epoch-timeline state, boxed off the hot path: one pointer-sized
+/// `Option` in [`Machine`], only dereferenced at epoch ticks.
+#[derive(Debug)]
+struct TimelineState {
+    timeline: Timeline,
+    invariants: InvariantSet,
 }
 
 /// The simulated server (see the [crate docs](crate) for the modelled
@@ -84,6 +95,14 @@ pub struct Machine {
     /// span call in the access pipeline sits behind this one predictable
     /// branch, so the tracing-off hot path does no per-stage work.
     tracing: bool,
+    /// Hoisted instrumentation gate: `tracing || timeline.is_some()`.
+    /// The single end-of-access branch in `execute_access` tests this
+    /// flag, so the fully-off hot path keeps exactly the branch count it
+    /// had before timelines existed.
+    instrumented: bool,
+    /// Epoch timeline + invariant checking (None unless
+    /// [`SimConfig::timeline_every`] is set and telemetry compiled in).
+    timeline: Option<Box<TimelineState>>,
     /// Registry state at the last [`Machine::reset_measurement`];
     /// [`Machine::telemetry_snapshot`] reports the delta since then.
     telemetry_baseline: Snapshot,
@@ -136,6 +155,26 @@ impl Machine {
         kernel.attach_telemetry(&registry);
         let mut hierarchy = CacheHierarchy::new(config.hierarchy);
         hierarchy.attach_telemetry(&registry);
+        let timeline_on = config.timeline_every > 0 && bf_telemetry::enabled();
+        let timeline = timeline_on.then(|| {
+            let mode = if config.timeline_fail_fast {
+                InvariantMode::FailFast
+            } else {
+                InvariantMode::Record
+            };
+            let mut invariants = InvariantSet::with_builtins(mode);
+            bf_tlb::register_invariants(&mut invariants);
+            bf_cache::register_invariants(&mut invariants);
+            bf_os::register_invariants(&mut invariants);
+            Box::new(TimelineState {
+                timeline: Timeline::with_baseline(
+                    config.timeline_every,
+                    DEFAULT_TIMELINE_CAPACITY,
+                    registry.snapshot(),
+                ),
+                invariants,
+            })
+        });
         Machine {
             kernel,
             cores,
@@ -156,6 +195,8 @@ impl Machine {
             telem: SimTelemetry::attach(&registry),
             spans,
             tracing,
+            instrumented: tracing || timeline.is_some(),
+            timeline,
             telemetry_baseline: registry.snapshot(),
             registry,
             config,
@@ -262,6 +303,9 @@ impl Machine {
         self.cow_faults = 0;
         self.shared_resolved = 0;
         self.telemetry_baseline = self.registry.snapshot();
+        if let Some(state) = self.timeline.as_mut() {
+            state.timeline.restart(self.telemetry_baseline.clone());
+        }
         let clocks: Vec<Cycles> = self.cores.iter().map(|c| c.clock).collect();
         for proc in self.procs.iter_mut().flatten() {
             if proc.request_start.is_some() {
@@ -304,6 +348,7 @@ impl Machine {
         let state = &mut self.cores[core.index()];
         state.clock += cycles;
         state.instructions += instrs;
+        self.telem.instructions.add(instrs);
         self.breakdown.compute_cycles += cycles;
     }
 
@@ -394,6 +439,7 @@ impl Machine {
                 let compute = instrs_before as u64 / self.config.issue_width.max(1);
                 self.cores[core_index].clock += compute;
                 self.cores[core_index].instructions += instrs_before as u64 + 1;
+                self.telem.instructions.add(instrs_before as u64 + 1);
                 self.breakdown.compute_cycles += compute;
                 let access_cycles = self.execute_access(core_index, pid, va, kind);
                 let decision = self.sched.tick(core_id, compute + access_cycles);
@@ -452,7 +498,10 @@ impl Machine {
         // was configured, so the off path takes one predictable branch
         // per stage instead of calling into the tracer. When on,
         // `sample_access` latches whether *this* access is traced and
-        // every call below no-ops for unsampled accesses.
+        // every call below no-ops for unsampled accesses. `instrumented`
+        // additionally covers epoch timelines; the fully-off path pays
+        // only the single end-of-access branch on it.
+        let instrumented = self.instrumented;
         let tracing = self.tracing;
         let clock_base = self.cores[core_index].clock;
         if tracing {
@@ -607,36 +656,105 @@ impl Machine {
             .max(1.0) as Cycles;
         cycles += mem_cycles;
         self.breakdown.memory_cycles += mem_cycles;
-        if tracing {
-            self.spans.set_now(clock_base + cycles);
-            self.spans.end();
-            self.spans.end(); // closes "access"
+        self.cores[core_index].clock += cycles;
+        if instrumented {
+            if tracing {
+                self.spans.set_now(clock_base + cycles);
+                self.spans.end();
+                self.spans.end(); // closes "access"
 
-            // Counter tracks, sampled once per traced access. The guard
-            // skips the occupancy walks entirely for unsampled accesses.
-            if self.spans.is_active() {
-                let track = SpanTrack::machine(core_index as u32);
-                self.spans.counter(
-                    track,
-                    "tlb.occupancy",
-                    self.cores[core_index].tlbs.resident_entries() as u64,
-                );
-                self.spans.counter(
-                    track,
-                    "pgtable.live_tables",
-                    self.kernel.store().stats().live_tables,
-                );
-                self.spans.counter(
-                    track,
-                    "pgtable.shared_refs",
-                    self.kernel.store().shared_refs(),
+                // Counter tracks, sampled once per traced access. The guard
+                // skips the occupancy walks entirely for unsampled accesses.
+                if self.spans.is_active() {
+                    let track = SpanTrack::machine(core_index as u32);
+                    self.spans.counter(
+                        track,
+                        "tlb.occupancy",
+                        self.cores[core_index].tlbs.resident_entries() as u64,
+                    );
+                    self.spans.counter(
+                        track,
+                        "pgtable.live_tables",
+                        self.kernel.store().stats().live_tables,
+                    );
+                    self.spans.counter(
+                        track,
+                        "pgtable.shared_refs",
+                        self.kernel.store().shared_refs(),
+                    );
+                }
+                self.spans.finish_access();
+            }
+            self.epoch_tick(core_index);
+        }
+        cycles
+    }
+
+    /// Counts one access against the timeline and, at epoch boundaries,
+    /// seals the epoch and runs the invariant set. Off the hot path: the
+    /// caller only reaches here when instrumentation is on.
+    fn epoch_tick(&mut self, core_index: usize) {
+        let Some(mut state) = self.timeline.take() else {
+            return; // span tracing on, timeline off
+        };
+        if state.timeline.record_access() {
+            let snapshot = self.registry.snapshot();
+            state
+                .timeline
+                .seal_epoch(&snapshot, self.cores[core_index].clock);
+            self.check_machine_invariants(&mut state.invariants);
+            state.invariants.check(&snapshot);
+        }
+        self.timeline = Some(state);
+    }
+
+    /// Structural invariants that need machine state, not just counters:
+    /// TLB residency against capacity and MaskPage bit/pid-list
+    /// consistency (in deterministic key order).
+    fn check_machine_invariants(&self, invariants: &mut InvariantSet) {
+        for (i, core) in self.cores.iter().enumerate() {
+            let resident = core.tlbs.resident_entries();
+            let capacity = core.tlbs.capacity();
+            if resident > capacity {
+                invariants.report(
+                    "tlb.resident_within_capacity",
+                    format!("core {i}: {resident} resident entries exceed capacity {capacity}"),
                 );
             }
-            self.spans.finish_access();
         }
+        for (ccid, region, maskpage) in self.kernel.maskpages() {
+            if let Err(detail) = maskpage.validate() {
+                invariants.report(
+                    "os.maskpage.bits_within_pid_list",
+                    format!("ccid {} GB-region {region}: {detail}", ccid.raw()),
+                );
+            }
+        }
+    }
 
-        self.cores[core_index].clock += cycles;
-        cycles
+    /// Seals the in-flight epoch against the current registry state and
+    /// returns the frozen timeline with any recorded invariant
+    /// violations. `None` when timelines are off; consumes the timeline,
+    /// so later accesses are no longer tracked.
+    pub fn take_timeline(&mut self) -> Option<TimelineSnapshot> {
+        let mut state = *self.timeline.take()?;
+        self.check_machine_invariants(&mut state.invariants);
+        let snapshot = self.registry.snapshot();
+        state.invariants.check(&snapshot);
+        let end_cycle = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
+        Some(
+            state
+                .timeline
+                .finish(&snapshot, end_cycle, state.invariants.take_violations()),
+        )
+    }
+
+    /// Test-only corruption hook: bumps a registry counter out from
+    /// under its owning component, so the invariant-checking path can be
+    /// exercised end to end. Not for simulation use.
+    #[doc(hidden)]
+    pub fn debug_corrupt_counter(&self, name: &str, delta: u64) {
+        self.registry.counter(name).add(delta);
     }
 
     /// The hardware page walk: PWC probes for the upper levels, cache
@@ -1362,5 +1480,119 @@ mod tests {
         let t2 = m.measure_bringup(CoreId::new(0), &c2, &profile, 2);
         assert!(t1 > 0 && t2 > 0);
         assert!(t2 < t1, "warm bring-up is faster: {t2} vs {t1}");
+    }
+
+    fn timeline_machine(every: u64, fail_fast: bool) -> Machine {
+        Machine::new(
+            SimConfig::new(2, Mode::babelfish())
+                .with_frames(1 << 20)
+                .with_timeline(every, fail_fast),
+        )
+    }
+
+    #[test]
+    fn timeline_off_means_no_snapshot() {
+        let mut m = machine(Mode::babelfish());
+        let (pid, va) = process_with_file(&mut m, 4);
+        m.execute_access(0, pid, va, AccessKind::Read);
+        assert!(m.take_timeline().is_none());
+    }
+
+    #[test]
+    fn timeline_epochs_conserve_the_measurement_window() {
+        if !bf_telemetry::enabled() {
+            return;
+        }
+        let mut m = timeline_machine(4, true);
+        let (pid, va) = process_with_file(&mut m, 16);
+        // Warm-up, then a windowed measurement like the runners do.
+        for i in 0..8u64 {
+            m.execute_access(0, pid, VirtAddr::new(va.raw() + i * 4096), AccessKind::Read);
+        }
+        m.reset_measurement();
+        for round in 0..3 {
+            for i in 0..16u64 {
+                let kind = if round == 1 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                m.execute_access(0, pid, VirtAddr::new(va.raw() + i * 4096), kind);
+            }
+        }
+        let window = m.telemetry_snapshot();
+        let timeline = m.take_timeline().expect("timeline configured");
+        assert!(timeline.violations.is_empty(), "{:?}", timeline.violations);
+        assert_eq!(timeline.total_accesses, 48);
+        assert!(timeline.epochs.len() > 1, "several epochs sealed");
+        assert_eq!(
+            timeline.total, window,
+            "timeline total is exactly the measurement window"
+        );
+        assert_eq!(
+            timeline.merged().counters,
+            window.counters,
+            "epoch deltas sum to the window"
+        );
+        // A second take yields nothing: the timeline was consumed.
+        assert!(m.take_timeline().is_none());
+    }
+
+    #[test]
+    fn corrupted_counter_is_caught_at_the_next_epoch_boundary() {
+        if !bf_telemetry::enabled() {
+            return;
+        }
+        let mut m = timeline_machine(4, false);
+        let (pid, va) = process_with_file(&mut m, 8);
+        m.execute_access(0, pid, va, AccessKind::Read);
+        // Break `shared_hits <= hits` out from under the TLB.
+        m.debug_corrupt_counter("tlb.l2.shared_hits", 1_000_000);
+        for i in 0..8u64 {
+            m.execute_access(0, pid, VirtAddr::new(va.raw() + i * 4096), AccessKind::Read);
+        }
+        let timeline = m.take_timeline().expect("timeline configured");
+        assert!(
+            timeline
+                .violations
+                .iter()
+                .any(|v| v.invariant == "tlb.l2.shared_hits_within_hits"),
+            "offending invariant named: {:?}",
+            timeline.violations
+        );
+        // Record mode keeps flagging at every boundary; the first catch
+        // happened at the first epoch boundary after the corruption.
+        assert_eq!(timeline.violations[0].epoch, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "telemetry invariant 'tlb.l2.shared_hits_within_hits'")]
+    fn fail_fast_panics_on_corruption() {
+        if !bf_telemetry::enabled() {
+            // No registry when telemetry is off; satisfy should_panic.
+            panic!("telemetry invariant 'tlb.l2.shared_hits_within_hits' (telemetry off)");
+        }
+        let mut m = timeline_machine(2, true);
+        let (pid, va) = process_with_file(&mut m, 8);
+        m.debug_corrupt_counter("tlb.l2.shared_hits", 1_000_000);
+        for i in 0..4u64 {
+            m.execute_access(0, pid, VirtAddr::new(va.raw() + i * 4096), AccessKind::Read);
+        }
+    }
+
+    #[test]
+    fn instructions_counter_matches_core_totals() {
+        if !bf_telemetry::enabled() {
+            return;
+        }
+        let mut m = timeline_machine(8, true);
+        let (pid, _va) = process_with_file(&mut m, 4);
+        m.retire(CoreId::new(0), 500);
+        let _ = pid;
+        let stats = m.stats();
+        assert_eq!(
+            m.telemetry_snapshot().counter("sim.instructions"),
+            stats.instructions
+        );
     }
 }

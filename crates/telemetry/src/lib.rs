@@ -3,8 +3,9 @@
 //! Observability subsystem for the BabelFish reproduction: hierarchical
 //! lock-free [`Counter`]s and log2-bucketed [`Histogram`]s behind a
 //! shared [`Registry`], a bounded ring-buffered event [`Tracer`], epoch
-//! [`Snapshot`]s with delta/merge semantics, and JSON/CSV exporters for
-//! `results/` artifacts.
+//! [`Snapshot`]s with delta/merge semantics, bounded merge-halving
+//! [`Timeline`]s with cross-counter [`InvariantSet`] checking, and
+//! JSON/CSV exporters for `results/` artifacts.
 //!
 //! ## Zero overhead when off
 //!
@@ -28,13 +29,16 @@
 //! are cheap `Arc` clones that record without taking any lock.
 
 mod export;
+mod invariants;
 mod metrics;
 mod registry;
 mod snapshot;
 mod span;
+mod timeline;
 mod trace;
 
 pub use export::{results_path, snapshot_to_csv, write_csv, write_json};
+pub use invariants::{InvariantMode, InvariantSet, Violation};
 pub use metrics::{enabled, Counter, Histogram};
 pub use registry::Registry;
 pub use snapshot::{HistogramSnapshot, Snapshot, BUCKETS};
@@ -42,4 +46,5 @@ pub use span::{
     validate_chrome_trace, ChromeTraceSummary, SpanEvent, SpanPhase, SpanTracer, SpanTrack,
     DEFAULT_SPAN_CAPACITY,
 };
+pub use timeline::{Epoch, PhaseSummary, Timeline, TimelineSnapshot, DEFAULT_TIMELINE_CAPACITY};
 pub use trace::{TraceEvent, TraceKind, Tracer};

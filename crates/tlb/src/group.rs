@@ -241,6 +241,24 @@ impl TlbGroup {
         .sum()
     }
 
+    /// Total entry capacity across all seven structures — the hard upper
+    /// bound on [`TlbGroup::resident_entries`], checked as a machine
+    /// invariant at timeline epoch boundaries.
+    pub fn capacity(&self) -> usize {
+        [
+            &self.l1i,
+            &self.l1d_4k,
+            &self.l1d_2m,
+            &self.l1d_1g,
+            &self.l2_4k,
+            &self.l2_2m,
+            &self.l2_1g,
+        ]
+        .iter()
+        .map(|tlb| tlb.config().entries)
+        .sum()
+    }
+
     /// Probes the L1 level (I-TLB for fetches; the three D-TLBs for
     /// data). Returns the outcome and the 1-cycle access time.
     pub fn lookup_l1(&mut self, access: &TlbAccess) -> (LookupResult, Cycles) {

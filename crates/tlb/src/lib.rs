@@ -60,5 +60,5 @@ pub mod tlb;
 
 pub use group::{TlbGroup, TlbGroupConfig, TlbGroupStats};
 pub use opc::OpcField;
-pub use telemetry::TlbTelemetry;
+pub use telemetry::{register_invariants, TlbTelemetry};
 pub use tlb::{Hit, LookupMode, LookupRequest, LookupResult, Tlb, TlbConfig, TlbFill, TlbStats};

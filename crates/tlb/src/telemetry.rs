@@ -1,6 +1,6 @@
 //! Telemetry handles for the TLB structures.
 
-use bf_telemetry::{Counter, Registry};
+use bf_telemetry::{Counter, InvariantSet, Registry};
 
 /// Shared counter handles for one TLB role (`l1i`, `l1d`, `l2`).
 ///
@@ -51,5 +51,31 @@ impl TlbTelemetry {
             fills: counter("fills"),
             evictions: counter("evictions"),
         }
+    }
+}
+
+/// Registers the TLB-layer cross-counter invariants for every role.
+/// Each law holds cumulatively from boot, by construction of the
+/// recording sites in [`crate::Tlb`]:
+///
+/// - shared hits and private-copy hits are subsets of hits;
+/// - every evicted valid entry was installed by a fill first.
+pub fn register_invariants(set: &mut InvariantSet) {
+    for role in ["l1i", "l1d", "l2"] {
+        set.counter_le(
+            format!("tlb.{role}.shared_hits_within_hits"),
+            &format!("tlb.{role}.shared_hits"),
+            &format!("tlb.{role}.hits"),
+        );
+        set.counter_le(
+            format!("tlb.{role}.private_copy_hits_within_hits"),
+            &format!("tlb.{role}.private_copy_hits"),
+            &format!("tlb.{role}.hits"),
+        );
+        set.counter_le(
+            format!("tlb.{role}.evictions_within_fills"),
+            &format!("tlb.{role}.evictions"),
+            &format!("tlb.{role}.fills"),
+        );
     }
 }

@@ -53,6 +53,14 @@ impl Value {
         }
     }
 
+    /// Mutable member lookup on objects (`None` for other variants).
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(map) => map.get_mut(key),
+            _ => None,
+        }
+    }
+
     /// The value as `u64`, if it is a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match *self {

@@ -296,12 +296,18 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a valid &str).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|e| Error(e.to_string()))?;
-                    let c = s.chars().next().expect("non-empty checked above");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Copy the maximal run up to the next quote or escape
+                    // in one slice. The delimiters are ASCII, so stopping
+                    // there always lands on a char boundary of the (valid
+                    // UTF-8) input; re-validating per character would make
+                    // parsing quadratic in the document size.
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'"') | Some(b'\\')) {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| Error(e.to_string()))?;
+                    out.push_str(run);
                 }
             }
         }
