@@ -16,6 +16,7 @@ use bf_telemetry::TimelineSnapshot;
 
 fn main() {
     let args = bf_bench::parse_args();
+    bf_bench::capture::preflight(&args);
     let cfg = args.cfg;
     let quiet = args.quiet;
     let mut timeline_cells: Vec<(String, Option<TimelineSnapshot>)> = Vec::new();
@@ -127,14 +128,7 @@ fn main() {
     drop(results);
     println!("(sparse functions are fault-dominated, so pt-only ≈ full — Table II 0.01)");
 
-    if let Some((_, latest)) = bf_bench::write_timeline_results("ablations", &cfg, &timeline_cells)
-        .expect("writing timeline JSON")
-    {
-        println!(
-            "\nwrote {} (render with bf_report timeline)",
-            latest.display()
-        );
-    }
+    bf_bench::emit_timeline_results("ablations", &cfg, &timeline_cells);
 }
 
 /// Runs the function experiment with an explicit PC-bitmask capacity,

@@ -1,0 +1,183 @@
+//! `bf_replay`: drive the simulator from a captured `.bft` trace.
+//!
+//! Rebuilds the machine from the trace header (same image, deploy,
+//! bring-up, and prefault as the capturing run), feeds the recorded
+//! access stream straight into the machine — no workload generators —
+//! and writes the standard `replay-<app>-<mode>` results document. With
+//! the defaults the replayed counters match the live run *exactly*;
+//! `--mode` replays the same stream against a different machine
+//! configuration (e.g. a baseline trace through BabelFish).
+//!
+//! ```text
+//! bf_replay ci/traces/fig10-quick.bft
+//! bf_replay ci/traces/fig10-quick.bft --mode=baseline
+//! bf_replay ci/traces/fig10-quick.bft --timeline=4096
+//! ```
+
+use babelfish::capture::TraceReader;
+use babelfish::replay::{capture_meta, meta_config, replay_file, CaptureFile, ReplayOptions};
+use babelfish::Mode;
+use bf_bench::{header, DEFAULT_TIMELINE_EPOCH, DEFAULT_TRACE_SAMPLE};
+
+const USAGE: &str = "options:
+  --mode=NAME     replay against NAME (baseline, baseline-larger-tlb, babelfish,
+                  babelfish-tlb-only, babelfish-pt-only) instead of the captured
+                  mode; counters then legitimately diverge from the live run
+  --trace[=N]     span-trace every Nth access during the replay (default N=64)
+  --timeline[=N]  seal a telemetry epoch every N accesses and write
+                  results/replay-<app>-<mode>-timeline-latest.json (default
+                  N=4096); must match the capturing run's setting for
+                  byte-identical timeline output
+  --recapture=F   tee the replayed stream back into a new trace at F; without
+                  --mode the new file is byte-identical to the input (the
+                  capture -> replay -> capture determinism check)
+  -h, --help      this message";
+
+struct ReplayArgs {
+    trace: String,
+    mode: Option<Mode>,
+    trace_sample_every: u64,
+    timeline_every: u64,
+    recapture: Option<String>,
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
+    let mut trace: Option<String> = None;
+    let mut mode = None;
+    let mut trace_sample_every = 0;
+    let mut timeline_every = 0;
+    let mut recapture = None;
+    for arg in args {
+        match arg.as_str() {
+            "--trace" => trace_sample_every = DEFAULT_TRACE_SAMPLE,
+            "--timeline" => timeline_every = DEFAULT_TIMELINE_EPOCH,
+            "-h" | "--help" => return Err(String::new()),
+            _ => {
+                if let Some(name) = arg.strip_prefix("--mode=") {
+                    mode = Some(
+                        Mode::from_name(name).ok_or_else(|| format!("unknown mode '{name}'"))?,
+                    );
+                } else if let Some(n) = arg.strip_prefix("--trace=") {
+                    trace_sample_every = n
+                        .parse()
+                        .map_err(|_| format!("invalid --trace value: {n}"))?;
+                } else if let Some(n) = arg.strip_prefix("--timeline=") {
+                    timeline_every = n
+                        .parse()
+                        .map_err(|_| format!("invalid --timeline value: {n}"))?;
+                } else if let Some(path) = arg.strip_prefix("--recapture=") {
+                    recapture = Some(path.to_owned());
+                } else if arg.starts_with('-') {
+                    return Err(format!("unknown argument: {arg}"));
+                } else if trace.is_none() {
+                    trace = Some(arg);
+                } else {
+                    return Err(format!("unexpected extra argument: {arg}"));
+                }
+            }
+        }
+    }
+    Ok(ReplayArgs {
+        trace: trace.ok_or("a trace file is required")?,
+        mode,
+        trace_sample_every,
+        timeline_every,
+        recapture,
+    })
+}
+
+fn main() {
+    let args = match parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            let program = std::env::args()
+                .next()
+                .unwrap_or_else(|| "bf_replay".into());
+            if message.is_empty() {
+                println!("usage: {program} <trace.bft> [options]\n{USAGE}");
+                std::process::exit(0);
+            }
+            eprintln!("error: {message}\nusage: {program} <trace.bft> [options]\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    // The recapture file's header is built from the input's header (and
+    // the mode actually replayed), so a default-mode round trip is
+    // byte-identical end to end.
+    let recapture_file = args.recapture.as_ref().map(|path| {
+        let header = TraceReader::open(&args.trace)
+            .and_then(|reader| meta_config(reader.meta()).map_err(std::io::Error::other))
+            .and_then(|(header_mode, app, cfg)| {
+                let mode = args.mode.unwrap_or(header_mode);
+                CaptureFile::create(path, &capture_meta(mode, app, &cfg))
+            });
+        match header {
+            Ok(file) => file,
+            Err(error) => {
+                eprintln!("error: creating {path}: {error}");
+                std::process::exit(2);
+            }
+        }
+    });
+    let options = ReplayOptions {
+        mode: args.mode,
+        trace_sample_every: args.trace_sample_every,
+        timeline_every: args.timeline_every,
+        timeline_fail_fast: false,
+        recapture: recapture_file.as_ref().map(|file| file.sink()),
+    };
+    let start = std::time::Instant::now();
+    let outcome = match replay_file(&args.trace, options) {
+        Ok(outcome) => outcome,
+        Err(error) => {
+            eprintln!("error: replaying {}: {error}", args.trace);
+            std::process::exit(2);
+        }
+    };
+    let seconds = start.elapsed().as_secs_f64();
+    if let (Some(file), Some(path)) = (recapture_file, &args.recapture) {
+        match file.finish() {
+            Ok(records) => println!("recaptured {records} records into {path}"),
+            Err(error) => {
+                eprintln!("error: finishing {path}: {error}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mode_name = outcome.mode.name();
+    let stats = &outcome.result.stats;
+
+    header(&format!("Replay: {} x {mode_name}", outcome.app));
+    println!("trace            {}", args.trace);
+    println!("records          {}", outcome.records_replayed);
+    println!("instructions     {}", stats.instructions);
+    println!("exec cycles      {}", outcome.result.exec_cycles);
+    println!(
+        "L2 TLB MPKI      D {:.3} / I {:.3}",
+        stats.l2_data_mpki(),
+        stats.l2_instr_mpki()
+    );
+    if stats.latency.count() > 0 {
+        println!(
+            "request latency  mean {:.0} / p95 {} ({} requests)",
+            stats.latency.mean(),
+            stats.latency.percentile(95.0),
+            stats.latency.count()
+        );
+    }
+    println!(
+        "throughput       {:.0} records/s ({seconds:.3}s wall)",
+        outcome.records_replayed as f64 / seconds.max(1e-9)
+    );
+
+    let stem = format!("replay-{}-{mode_name}", outcome.app);
+    let doc =
+        bf_bench::capture::window_doc(outcome.mode, outcome.app, &outcome.config, &outcome.result);
+    bf_bench::emit_results(&stem, &doc);
+    let cells = [(
+        format!("{}-{mode_name}", outcome.app),
+        outcome.result.timeline.clone(),
+    )];
+    bf_bench::emit_timeline_results(&stem, &outcome.config, &cells);
+}

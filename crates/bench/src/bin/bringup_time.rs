@@ -13,6 +13,7 @@ use bf_bench::{header, progress, reduction_pct, versus};
 
 fn main() {
     let args = bf_bench::parse_args();
+    bf_bench::capture::preflight(&args);
     let cfg = args.cfg;
     let quiet = args.quiet;
 
@@ -52,13 +53,5 @@ fn main() {
         "(the residual is docker-engine runtime, as in the paper: \"Most of the\n remaining overheads in bring-up are due to the runtime of the Docker engine\")"
     );
 
-    if let Some((_, latest)) =
-        bf_bench::write_timeline_results("bringup_time", &cfg, &timeline_cells)
-            .expect("writing timeline JSON")
-    {
-        println!(
-            "\nwrote {} (render with bf_report timeline)",
-            latest.display()
-        );
-    }
+    bf_bench::emit_timeline_results("bringup_time", &cfg, &timeline_cells);
 }

@@ -17,6 +17,7 @@ const DENSITIES: [usize; 4] = [1, 2, 4, 6];
 
 fn main() {
     let args = bf_bench::parse_args();
+    bf_bench::capture::preflight(&args);
     let quiet = args.quiet;
     header("Co-location sweep: BabelFish gain vs containers per core (MongoDB)");
     println!(
@@ -57,13 +58,5 @@ fn main() {
     println!("\n(the paper's conservative setting is 2/core; denser co-location");
     println!(" multiplies the replicated translations BabelFish removes)");
 
-    if let Some((_, latest)) =
-        bf_bench::write_timeline_results("colocation_sweep", &args.cfg, &timeline_cells)
-            .expect("writing timeline JSON")
-    {
-        println!(
-            "\nwrote {} (render with bf_report timeline)",
-            latest.display()
-        );
-    }
+    bf_bench::emit_timeline_results("colocation_sweep", &args.cfg, &timeline_cells);
 }

@@ -15,6 +15,7 @@ use bf_bench::{header, reduction_pct};
 
 fn main() {
     let args = bf_bench::parse_args();
+    bf_bench::capture::preflight(&args);
     let rows = bf_bench::sweeps::fig10_rows(&args.cfg, args.threads, args.quiet);
 
     header("Fig. 10a: L2 TLB MPKI (Baseline -> BabelFish, reduction)");
@@ -56,19 +57,8 @@ fn main() {
     println!("ok");
 
     let doc = fig10_doc(&args.cfg, &rows);
-    let (stamped, latest) =
-        bf_bench::write_results("fig10_tlb", &doc).expect("writing results JSON");
-    println!("\nwrote {} (and {})", latest.display(), stamped.display());
-
-    let cells = fig10_timeline_cells(&rows);
-    if let Some((_, latest)) = bf_bench::write_timeline_results("fig10_tlb", &args.cfg, &cells)
-        .expect("writing timeline JSON")
-    {
-        println!(
-            "wrote {} (render with bf_report timeline)",
-            latest.display()
-        );
-    }
+    bf_bench::emit_results("fig10_tlb", &doc);
+    bf_bench::emit_timeline_results("fig10_tlb", &args.cfg, &fig10_timeline_cells(&rows));
 
     if let Some(trace) = bf_bench::write_trace_artifact("fig10_tlb", &args.cfg) {
         println!("wrote {} (load at ui.perfetto.dev)", trace.display());

@@ -15,6 +15,7 @@ use bf_bench::{header, reduction_pct, versus};
 
 fn main() {
     let args = bf_bench::parse_args();
+    bf_bench::capture::preflight(&args);
     let data = fig11_data(&args.cfg, args.threads, args.quiet);
 
     header("Fig. 11: Data Serving latency reduction");
@@ -67,18 +68,6 @@ fn main() {
     }
 
     let doc = fig11_doc(&args.cfg, &data);
-    let (stamped, latest) =
-        bf_bench::write_results("fig11_performance", &doc).expect("writing results JSON");
-    println!("\nwrote {} (and {})", latest.display(), stamped.display());
-
-    let cells = fig11_timeline_cells(&data);
-    if let Some((_, latest)) =
-        bf_bench::write_timeline_results("fig11_performance", &args.cfg, &cells)
-            .expect("writing timeline JSON")
-    {
-        println!(
-            "wrote {} (render with bf_report timeline)",
-            latest.display()
-        );
-    }
+    bf_bench::emit_results("fig11_performance", &doc);
+    bf_bench::emit_timeline_results("fig11_performance", &args.cfg, &fig11_timeline_cells(&data));
 }

@@ -17,6 +17,7 @@ use serde::{Serialize, Value};
 
 fn main() {
     let args = bf_bench::parse_args();
+    bf_bench::capture::preflight(&args);
     let mut cfg = args.cfg;
     // The paper's Fig. 9 was measured natively with two containers of
     // each application (three functions): "Since this plot corresponds
@@ -135,17 +136,6 @@ fn main() {
             ]),
         ),
     ]);
-    let (stamped, latest) =
-        bf_bench::write_results("fig9_pte_sharing", &doc).expect("writing results JSON");
-    println!("\nwrote {} (and {})", latest.display(), stamped.display());
-
-    if let Some((_, latest)) =
-        bf_bench::write_timeline_results("fig9_pte_sharing", &cfg, &timeline_cells)
-            .expect("writing timeline JSON")
-    {
-        println!(
-            "wrote {} (render with bf_report timeline)",
-            latest.display()
-        );
-    }
+    bf_bench::emit_results("fig9_pte_sharing", &doc);
+    bf_bench::emit_timeline_results("fig9_pte_sharing", &cfg, &timeline_cells);
 }

@@ -23,6 +23,7 @@ const MODES: [Mode; 3] = [
 
 fn main() {
     let args = bf_bench::parse_args();
+    bf_bench::capture::preflight(&args);
     let cfg = args.cfg;
     header("Section VII-C: BabelFish vs a larger conventional L2 TLB");
     println!(
@@ -87,14 +88,7 @@ fn main() {
         timeline_cells.push((format!("{label}-babelfish"), bf_tl));
     }
 
-    if let Some((_, latest)) = bf_bench::write_timeline_results("larger_tlb", &cfg, &timeline_cells)
-        .expect("writing timeline JSON")
-    {
-        println!(
-            "\nwrote {} (render with bf_report timeline)",
-            latest.display()
-        );
-    }
+    bf_bench::emit_timeline_results("larger_tlb", &cfg, &timeline_cells);
 
     println!(
         "\npaper: larger TLB gains 0.3–2.1%; \"this larger L2 TLB is not a match for BabelFish\""

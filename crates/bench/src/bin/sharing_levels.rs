@@ -100,6 +100,7 @@ fn run(mode: Mode, huge: bool, cfg: &ExperimentConfig) -> Outcome {
 
 fn main() {
     let args = bf_bench::parse_args();
+    bf_bench::capture::preflight(&args);
     header("Sharing levels: PTE-table merging (4KB) vs PMD-table merging (2MB)");
     println!(
         "{:<22} {:>12} {:>10} {:>10} {:>14}",
@@ -154,13 +155,5 @@ fn main() {
     println!(" huge pages shrink the translation volume; BabelFish dedups what remains,");
     println!(" merging PMD tables when the mapping uses 2MB pages)");
 
-    if let Some((_, latest)) =
-        bf_bench::write_timeline_results("sharing_levels", &cfg, &timeline_cells)
-            .expect("writing timeline JSON")
-    {
-        println!(
-            "\nwrote {} (render with bf_report timeline)",
-            latest.display()
-        );
-    }
+    bf_bench::emit_timeline_results("sharing_levels", &cfg, &timeline_cells);
 }

@@ -13,6 +13,7 @@ use bf_telemetry::TimelineSnapshot;
 use serde::{Serialize, Value};
 use std::path::{Path, PathBuf};
 
+pub mod capture;
 pub mod report;
 pub mod sweeps;
 
@@ -49,6 +50,12 @@ pub struct BenchArgs {
     pub threads: usize,
     /// Suppress per-cell progress lines (`--quiet`).
     pub quiet: bool,
+    /// Record the canonical capture cell to this `.bft` trace and exit
+    /// instead of running the figure sweep (`--capture=FILE`).
+    pub capture: Option<String>,
+    /// Replay a `.bft` trace and exit instead of running the figure
+    /// sweep (`--replay=FILE`).
+    pub replay: Option<String>,
 }
 
 const USAGE: &str = "options:
@@ -63,6 +70,13 @@ const USAGE: &str = "options:
                       timeline export; implies --timeline
   --threads N         worker threads for the experiment sweep (BF_THREADS also
                       works; defaults to the host's available parallelism)
+  --capture=FILE      record the canonical capture cell (mongodb x babelfish, or
+                      BF_CAPTURE_APP/BF_CAPTURE_MODE) under this binary's
+                      configuration into FILE as a .bft trace, write the
+                      capture-<app>-<mode> results document, and exit
+  --replay=FILE       replay a .bft trace (machine rebuilt from the trace
+                      header), write the replay-<app>-<mode> results document,
+                      and exit; see also the dedicated bf_replay binary
   --quiet             suppress per-cell progress lines on stderr
   -h, --help          this message";
 
@@ -79,6 +93,8 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
     let mut timeline: Option<u64> = None;
     let mut fail_fast: Option<bool> = None;
     let mut threads: Option<usize> = None;
+    let mut capture: Option<String> = None;
+    let mut replay: Option<String> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -120,6 +136,12 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
                         n.parse()
                             .map_err(|_| format!("invalid --threads value: {n}"))?,
                     );
+                } else if let Some(path) = arg.strip_prefix("--capture=") {
+                    capture = Some(path.to_owned());
+                } else if let Some(path) = arg.strip_prefix("--replay=") {
+                    replay = Some(path.to_owned());
+                } else if arg == "--capture" || arg == "--replay" {
+                    return Err(format!("{arg} requires a file: {arg}=FILE"));
                 } else {
                     return Err(format!("unknown argument: {arg}"));
                 }
@@ -144,10 +166,15 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
         env_u64("BF_TIMELINE").unwrap_or(implied)
     });
     cfg.timeline_fail_fast = fail_fast.unwrap_or(false);
+    if capture.is_some() && replay.is_some() {
+        return Err("--capture and --replay are mutually exclusive".to_owned());
+    }
     Ok(BenchArgs {
         cfg,
         threads: babelfish::exec::thread_count(threads),
         quiet,
+        capture,
+        replay,
     })
 }
 
@@ -184,6 +211,33 @@ pub fn write_results(stem: &str, doc: &Value) -> std::io::Result<(PathBuf, PathB
     let latest = Path::new("results").join(format!("{stem}-latest.json"));
     bf_telemetry::write_json(&latest, doc)?;
     Ok((stamped, latest))
+}
+
+/// The standard results epilogue every figure binary used to hand-roll:
+/// [`write_results`] plus the `wrote <latest> (and <stamped>)` stdout
+/// line. Returns the stable `-latest.json` path.
+pub fn emit_results(stem: &str, doc: &Value) -> PathBuf {
+    let (stamped, latest) = write_results(stem, doc).expect("writing results JSON");
+    println!("\nwrote {} (and {})", latest.display(), stamped.display());
+    latest
+}
+
+/// The timeline twin of [`emit_results`]: [`write_timeline_results`]
+/// plus its stdout pointer line. Quietly does nothing when timelines
+/// were off for the run.
+pub fn emit_timeline_results(
+    stem: &str,
+    cfg: &ExperimentConfig,
+    cells: &[(String, Option<TimelineSnapshot>)],
+) {
+    if let Some((_, latest)) =
+        write_timeline_results(stem, cfg, cells).expect("writing timeline JSON")
+    {
+        println!(
+            "wrote {} (render with bf_report timeline)",
+            latest.display()
+        );
+    }
 }
 
 /// Prints a per-cell progress line to stderr unless `--quiet` was given.
@@ -365,6 +419,27 @@ mod tests {
         assert!(parse(["--timeline=abc".to_string()].into_iter()).is_err());
         assert!(parse(["--invariants=explode".to_string()].into_iter()).is_err());
         assert!(parse(["--quiet=1".to_string()].into_iter()).is_err());
+        assert!(
+            parse(["--capture".to_string()].into_iter()).is_err(),
+            "--capture needs =FILE"
+        );
+        assert!(parse(["--replay".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn capture_and_replay_flags_parse_but_exclude_each_other() {
+        let args = parse_ok(&["--quick", "--capture=t.bft"]);
+        assert_eq!(args.capture.as_deref(), Some("t.bft"));
+        assert_eq!(args.replay, None);
+
+        let args = parse_ok(&["--replay=ci/traces/fig10-quick.bft"]);
+        assert_eq!(args.replay.as_deref(), Some("ci/traces/fig10-quick.bft"));
+        assert_eq!(args.capture, None);
+
+        assert!(
+            parse(["--capture=a.bft".to_string(), "--replay=b.bft".to_string()].into_iter())
+                .is_err()
+        );
     }
 
     #[test]

@@ -201,19 +201,27 @@ pub fn diff(base: &Value, current: &Value) -> Vec<DiffRow> {
     rows
 }
 
-/// Renders the top `top` diff rows as an aligned text table.
+/// Renders the top `top` diff rows as an aligned text table. Metrics
+/// present in only one of the two documents are pulled out of the table
+/// into explicit "only in base" / "only in current" sections with
+/// exact counts, so a renamed or vanished metric can never hide inside
+/// a long list of small movers.
 pub fn render_diff(rows: &[DiffRow], top: usize) -> String {
+    let changed: Vec<&DiffRow> = rows
+        .iter()
+        .filter(|r| r.base.is_some() && r.current.is_some())
+        .collect();
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<56} {:>14} {:>14} {:>9}",
         "metric", "base", "current", "change"
     );
-    for row in rows.iter().take(top) {
+    for row in changed.iter().take(top) {
         let fmt = |v: Option<f64>| v.map_or("-".to_owned(), |n| format!("{n:.3}"));
         let change = row
             .ratio_pct()
-            .map_or("new/gone".to_owned(), |p| format!("{p:+.1}%"));
+            .map_or("off-zero".to_owned(), |p| format!("{p:+.1}%"));
         let _ = writeln!(
             out,
             "{:<56} {:>14} {:>14} {:>9}",
@@ -223,10 +231,42 @@ pub fn render_diff(rows: &[DiffRow], top: usize) -> String {
             change
         );
     }
-    if rows.len() > top {
-        let _ = writeln!(out, "... and {} more changed metrics", rows.len() - top);
+    if changed.len() > top {
+        let _ = writeln!(out, "... and {} more changed metrics", changed.len() - top);
+    }
+    for (label, side) in [
+        ("only in base", Side::Base),
+        ("only in current", Side::Current),
+    ] {
+        let one_sided: Vec<&DiffRow> = rows
+            .iter()
+            .filter(|r| match side {
+                Side::Base => r.current.is_none(),
+                Side::Current => r.base.is_none(),
+            })
+            .collect();
+        if one_sided.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "\n{} metric(s) {label}:", one_sided.len());
+        for row in one_sided.iter().take(top) {
+            let value = match side {
+                Side::Base => row.base,
+                Side::Current => row.current,
+            };
+            let _ = writeln!(out, "  {:<56} {:>14.3}", row.name, value.unwrap_or(0.0));
+        }
+        if one_sided.len() > top {
+            let _ = writeln!(out, "  ... and {} more", one_sided.len() - top);
+        }
     }
     out
+}
+
+/// Which document a one-sided [`DiffRow`] exists in.
+enum Side {
+    Base,
+    Current,
 }
 
 /// Which direction of movement a [`Gate`] treats as a regression.
@@ -494,6 +534,111 @@ fn run_time(args: &[String]) -> Result<bool, String> {
         println!("wrote {path}");
     }
     Ok(false)
+}
+
+/// `bf-report trace <file.bft>`: print the trace header and stream
+/// statistics while validating every block CRC and record count; with a
+/// second file, additionally compare the two traces record by record
+/// and report the first divergence. Returns `Ok(true)` — exit code 1 —
+/// on corruption or divergence.
+fn run_trace(args: &[String]) -> Result<bool, String> {
+    use babelfish::capture::{TraceReader, TraceStats};
+
+    let mut files = Vec::new();
+    for arg in args {
+        if arg.starts_with('-') {
+            return Err(format!("unknown trace argument '{arg}'\n{USAGE}"));
+        }
+        files.push(arg.clone());
+    }
+    let (path, other) = match files.as_slice() {
+        [path] => (path, None),
+        [path, other] => (path, Some(other)),
+        _ => {
+            return Err(format!(
+                "trace mode takes one or two .bft files, got {}\n{USAGE}",
+                files.len()
+            ))
+        }
+    };
+
+    let reader = TraceReader::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    println!("{path}:");
+    for (key, value) in reader.meta().entries() {
+        println!("  {key} = {value}");
+    }
+    // The scan decodes every record, which validates every block's CRC
+    // and declared record count along the way.
+    match TraceStats::scan(reader) {
+        Ok(stats) => {
+            println!(
+                "  {} records in {} blocks ({} payload bytes, {:.2} bytes/record)",
+                stats.records,
+                stats.blocks,
+                stats.payload_bytes,
+                stats.bytes_per_record()
+            );
+            println!(
+                "  {} accesses, {} switches, {} request ends, {} resets, {} streams",
+                stats.accesses, stats.switches, stats.request_ends, stats.resets, stats.streams
+            );
+            println!("  all block CRCs and record counts valid");
+        }
+        Err(error) => {
+            println!("FAIL  {path}: {error}");
+            return Ok(true);
+        }
+    }
+
+    let Some(other) = other else {
+        return Ok(false);
+    };
+    match compare_traces(path, other) {
+        Ok(records) => {
+            println!("\ntraces identical: {records} records");
+            Ok(false)
+        }
+        Err(divergence) => {
+            println!("\nFAIL  {divergence}");
+            Ok(true)
+        }
+    }
+}
+
+/// Compares two traces header-and-record-wise; `Err` carries the first
+/// divergence, `Ok` the total record count.
+fn compare_traces(a_path: &str, b_path: &str) -> Result<u64, String> {
+    use babelfish::capture::TraceReader;
+
+    let mut a = TraceReader::open(a_path).map_err(|e| format!("opening {a_path}: {e}"))?;
+    let mut b = TraceReader::open(b_path).map_err(|e| format!("opening {b_path}: {e}"))?;
+    if a.meta() != b.meta() {
+        return Err(format!("headers differ between {a_path} and {b_path}"));
+    }
+    let mut index = 0u64;
+    loop {
+        let left = a.next().transpose().map_err(|e| format!("{a_path}: {e}"))?;
+        let right = b.next().transpose().map_err(|e| format!("{b_path}: {e}"))?;
+        match (left, right) {
+            (None, None) => return Ok(index),
+            (Some(l), Some(r)) if l == r => index += 1,
+            (Some(l), Some(r)) => {
+                return Err(format!(
+                    "traces diverge at record {index}: {a_path} has {l:?}, {b_path} has {r:?}"
+                ))
+            }
+            (Some(l), None) => {
+                return Err(format!(
+                    "{b_path} ends at record {index}; {a_path} continues with {l:?}"
+                ))
+            }
+            (None, Some(r)) => {
+                return Err(format!(
+                    "{a_path} ends at record {index}; {b_path} continues with {r:?}"
+                ))
+            }
+        }
+    }
 }
 
 /// The metrics `bf-report timeline` sparklines by default (override
@@ -828,7 +973,7 @@ pub fn run_cli(args: &[String]) -> i32 {
     }
 }
 
-const USAGE: &str = "usage: bf-report diff <base.json> <current.json> [--top N]\n       bf-report check <baseline.json> <current.json> --gate 'name[@phase]=+P%|-P%|~P%' [--gate ...] [--top N]\n       bf-report timeline <current.json> [<baseline.json>] [--metric NAME ...] [--top N]\n       bf-report time --run 'label=command args...' [--run ...] [--out timing.json]";
+const USAGE: &str = "usage: bf-report diff <base.json> <current.json> [--top N]\n       bf-report check <baseline.json> <current.json> --gate 'name[@phase]=+P%|-P%|~P%' [--gate ...] [--top N]\n       bf-report timeline <current.json> [<baseline.json>] [--metric NAME ...] [--top N]\n       bf-report trace <trace.bft> [<other.bft>]\n       bf-report time --run 'label=command args...' [--run ...] [--out timing.json]";
 
 fn run(args: &[String]) -> Result<bool, String> {
     if args.first().map(String::as_str) == Some("time") {
@@ -836,6 +981,9 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
     if args.first().map(String::as_str) == Some("timeline") {
         return run_timeline(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return run_trace(&args[1..]);
     }
     let mut mode = None;
     let mut files = Vec::new();
@@ -958,6 +1106,81 @@ mod tests {
         assert_eq!(rows[0].name, "y");
         assert_eq!(rows[0].ratio_pct(), Some(100.0));
         assert_eq!(rows[1].name, "x");
+    }
+
+    #[test]
+    fn one_sided_metrics_get_explicit_sections() {
+        let base = json_object([
+            ("gone_metric", Value::F64(3.0)),
+            ("shared", Value::F64(1.0)),
+        ]);
+        let current = json_object([("new_metric", Value::F64(7.0)), ("shared", Value::F64(2.0))]);
+        let rows = diff(&base, &current);
+        let text = render_diff(&rows, 20);
+        assert!(text.contains("1 metric(s) only in base:"), "{text}");
+        assert!(text.contains("gone_metric"), "{text}");
+        assert!(text.contains("1 metric(s) only in current:"), "{text}");
+        assert!(text.contains("new_metric"), "{text}");
+        assert!(text.contains("shared"), "two-sided movement still tabled");
+
+        // One-sided rows must not eat the changed-metrics budget: with
+        // top=1 the single changed metric still appears.
+        let squeezed = render_diff(&rows, 1);
+        assert!(squeezed.contains("shared"), "{squeezed}");
+        assert!(squeezed.contains("gone_metric"), "{squeezed}");
+
+        // No sections when both documents cover the same metrics.
+        let clean = render_diff(&diff(&base, &base), 20);
+        assert!(!clean.contains("only in"), "{clean}");
+    }
+
+    #[test]
+    fn trace_mode_validates_and_compares() {
+        use babelfish::capture::{Record, TraceMeta, TraceWriter};
+        use babelfish::types::{AccessKind, Pid, VirtAddr};
+
+        let dir = std::env::temp_dir().join(format!("bf-report-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, records: &[Record]| {
+            let mut meta = TraceMeta::new();
+            meta.set("mode", "babelfish");
+            let path = dir.join(name);
+            let mut writer = TraceWriter::new(Vec::new(), &meta).unwrap();
+            for record in records {
+                writer.record(record).unwrap();
+            }
+            std::fs::write(&path, writer.finish().unwrap()).unwrap();
+            path.display().to_string()
+        };
+        let access = |va: u64| Record::Access {
+            core: 0,
+            pid: Pid::new(1),
+            va: VirtAddr::new(va),
+            kind: AccessKind::Read,
+            instrs_before: 2,
+        };
+        let a = write("a.bft", &[access(0x1000), Record::Reset, access(0x2000)]);
+        let twin = write("twin.bft", &[access(0x1000), Record::Reset, access(0x2000)]);
+        let b = write("b.bft", &[access(0x1000), Record::Reset, access(0x3000)]);
+
+        let args = |files: &[&str]| {
+            std::iter::once("trace".to_owned())
+                .chain(files.iter().map(|s| (*s).to_owned()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_cli(&args(&[&a])), 0, "clean trace validates");
+        assert_eq!(run_cli(&args(&[&a, &twin])), 0, "identical traces match");
+        assert_eq!(run_cli(&args(&[&a, &b])), 1, "divergent traces fail");
+
+        // Corrupt one payload byte: validation must exit 1.
+        let mut bytes = std::fs::read(&a).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let corrupt = dir.join("corrupt.bft");
+        std::fs::write(&corrupt, bytes).unwrap();
+        assert_eq!(run_cli(&args(&[&corrupt.display().to_string()])), 1);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

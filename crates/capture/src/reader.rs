@@ -1,0 +1,229 @@
+//! Streaming trace reader.
+
+use crate::block::{read_block, DecodeState, FILE_MAGIC, FORMAT_VERSION};
+use crate::{Record, TraceError, TraceMeta};
+use std::io::Read;
+
+/// Streams [`Record`]s back out of a `.bft` file, validating each
+/// block's CRC and record count as it goes. Iterate it; corruption
+/// surfaces as an `Err` item wrapping [`TraceError`].
+pub struct TraceReader<R: Read> {
+    source: R,
+    meta: TraceMeta,
+    state: DecodeState,
+    payload: Vec<u8>,
+    pos: usize,
+    declared: u32,
+    seen: u32,
+    blocks: u64,
+    payload_bytes: u64,
+    failed: bool,
+}
+
+impl TraceReader<std::io::BufReader<std::fs::File>> {
+    /// Opens a trace file for buffered reading.
+    pub fn open(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        TraceReader::new(std::io::BufReader::new(std::fs::File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Parses the file header and returns the reader.
+    pub fn new(mut source: R) -> std::io::Result<Self> {
+        let mut magic = [0u8; 4];
+        source
+            .read_exact(&mut magic)
+            .map_err(|_| TraceError::BadMagic)?;
+        if magic != FILE_MAGIC {
+            return Err(TraceError::BadMagic.into());
+        }
+        let mut version = [0u8; 2];
+        source
+            .read_exact(&mut version)
+            .map_err(|_| TraceError::BadVersion(0))?;
+        let version = u16::from_le_bytes(version);
+        if version != FORMAT_VERSION {
+            return Err(TraceError::BadVersion(version).into());
+        }
+        let mut len = [0u8; 4];
+        source
+            .read_exact(&mut len)
+            .map_err(|_| TraceError::BadHeader("truncated header length".into()))?;
+        let mut header = vec![0u8; u32::from_le_bytes(len) as usize];
+        source
+            .read_exact(&mut header)
+            .map_err(|_| TraceError::BadHeader("truncated header".into()))?;
+        let meta = TraceMeta::decode(&header)?;
+        Ok(TraceReader {
+            source,
+            meta,
+            state: DecodeState::default(),
+            payload: Vec::new(),
+            pos: 0,
+            declared: 0,
+            seen: 0,
+            blocks: 0,
+            payload_bytes: 0,
+            failed: false,
+        })
+    }
+
+    /// The trace header.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Blocks consumed so far.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Payload bytes consumed so far (excludes file/block framing).
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    /// Streams (`(core, raw pid)` pairs) defined so far.
+    pub fn streams(&self) -> &[(u32, u32)] {
+        self.state.streams()
+    }
+
+    fn next_record(&mut self) -> Result<Option<Record>, std::io::Error> {
+        loop {
+            while self.pos >= self.payload.len() {
+                if self.seen != self.declared {
+                    return Err(TraceError::CorruptBlock {
+                        index: self.blocks.saturating_sub(1) as usize,
+                        detail: format!(
+                            "declared {} records, decoded {}",
+                            self.declared, self.seen
+                        ),
+                    }
+                    .into());
+                }
+                match read_block(&mut self.source, self.blocks as usize, &mut self.payload)? {
+                    Some(count) => {
+                        self.blocks += 1;
+                        self.payload_bytes += self.payload.len() as u64;
+                        self.pos = 0;
+                        self.declared = count;
+                        self.seen = 0;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            if self.seen >= self.declared {
+                return Err(TraceError::CorruptBlock {
+                    index: self.blocks.saturating_sub(1) as usize,
+                    detail: format!("more records than the declared {}", self.declared),
+                }
+                .into());
+            }
+            let record = self.state.decode(&self.payload, &mut self.pos)?;
+            self.seen += 1;
+            if let Some(record) = record {
+                return Ok(Some(record));
+            }
+            // Stream definition: consumed, keep going.
+        }
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = std::io::Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => None,
+            Err(err) => {
+                self.failed = true;
+                Some(Err(err))
+            }
+        }
+    }
+}
+
+impl<R: Read> std::fmt::Debug for TraceReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceReader")
+            .field("meta", &self.meta)
+            .field("blocks", &self.blocks)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceWriter;
+    use bf_types::{AccessKind, Pid, VirtAddr};
+
+    fn sample_records(n: u64) -> Vec<Record> {
+        (0..n)
+            .map(|i| match i % 5 {
+                0..=2 => Record::Access {
+                    core: (i % 3) as u32,
+                    pid: Pid::new(1 + (i % 4) as u32),
+                    va: VirtAddr::new(0x1000_0000 + i * 0x320),
+                    kind: AccessKind::from_index((i % 3) as u8).unwrap(),
+                    instrs_before: (i % 23) as u32,
+                },
+                3 => Record::Switch {
+                    core: (i % 3) as u32,
+                    cost: 3000,
+                },
+                _ => Record::RequestEnd { cycles: 10_000 + i },
+            })
+            .collect()
+    }
+
+    fn encode(records: &[Record]) -> Vec<u8> {
+        let mut meta = TraceMeta::new();
+        meta.set("app", "test");
+        let mut writer = TraceWriter::new(Vec::new(), &meta).unwrap();
+        for record in records {
+            writer.record(record).unwrap();
+        }
+        writer.finish().unwrap()
+    }
+
+    #[test]
+    fn multi_block_roundtrip() {
+        // Enough records to span several blocks.
+        let records = sample_records(5000);
+        let bytes = encode(&records);
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let decoded: Vec<Record> = reader.by_ref().map(Result::unwrap).collect();
+        assert_eq!(decoded, records);
+        assert!(reader.blocks() > 1, "expected multiple blocks");
+        assert!(!reader.streams().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let bytes = encode(&sample_records(3));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(TraceReader::new(&bad[..]).is_err());
+        let mut bad = bytes.clone();
+        bad[4] = 0x7f;
+        let err = TraceReader::new(&bad[..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn flipped_byte_is_reported_with_block_index() {
+        let records = sample_records(5000);
+        let mut bytes = encode(&records);
+        // Flip a byte most of the way into the file: a late block.
+        let target = bytes.len() - bytes.len() / 8;
+        bytes[target] ^= 0x10;
+        let outcome: Result<Vec<Record>, _> = TraceReader::new(&bytes[..]).unwrap().collect();
+        let err = outcome.unwrap_err();
+        assert!(err.to_string().contains("corrupt block"), "{err}");
+    }
+}

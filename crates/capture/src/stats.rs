@@ -1,0 +1,92 @@
+//! Whole-file scan: record counts + framing stats for `bf_report trace`.
+
+use crate::{Record, TraceReader};
+use std::io::Read;
+
+/// Summary of one full validating pass over a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Framed blocks in the file.
+    pub blocks: u64,
+    /// Payload bytes (excluding file and block framing).
+    pub payload_bytes: u64,
+    /// Decoded records visible to replay (excludes stream definitions).
+    pub records: u64,
+    /// Memory-access records.
+    pub accesses: u64,
+    /// Context-switch records.
+    pub switches: u64,
+    /// Request-boundary records.
+    pub request_ends: u64,
+    /// Measurement-reset markers.
+    pub resets: u64,
+    /// Distinct `(core, pid)` streams.
+    pub streams: u64,
+}
+
+impl TraceStats {
+    /// Scans `reader` to the end, validating every block. The reader is
+    /// consumed; corruption is returned as the error.
+    pub fn scan<R: Read>(mut reader: TraceReader<R>) -> std::io::Result<TraceStats> {
+        let mut stats = TraceStats::default();
+        for record in reader.by_ref() {
+            match record? {
+                Record::Access { .. } => stats.accesses += 1,
+                Record::Switch { .. } => stats.switches += 1,
+                Record::RequestEnd { .. } => stats.request_ends += 1,
+                Record::Reset => stats.resets += 1,
+            }
+            stats.records += 1;
+        }
+        stats.blocks = reader.blocks();
+        stats.payload_bytes = reader.payload_bytes();
+        stats.streams = reader.streams().len() as u64;
+        Ok(stats)
+    }
+
+    /// Mean payload bytes per visible record (0 when empty).
+    pub fn bytes_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 / self.records as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Record, TraceMeta, TraceWriter};
+    use bf_types::{AccessKind, Pid, VirtAddr};
+
+    #[test]
+    fn scan_counts_by_type() {
+        let mut writer = TraceWriter::new(Vec::new(), &TraceMeta::new()).unwrap();
+        for i in 0..10u64 {
+            writer
+                .record(&Record::Access {
+                    core: 0,
+                    pid: Pid::new(1 + (i % 2) as u32),
+                    va: VirtAddr::new(i * 4096),
+                    kind: AccessKind::Read,
+                    instrs_before: 1,
+                })
+                .unwrap();
+        }
+        writer.record(&Record::Reset).unwrap();
+        writer.record(&Record::Switch { core: 0, cost: 5 }).unwrap();
+        writer.record(&Record::RequestEnd { cycles: 9 }).unwrap();
+        let bytes = writer.finish().unwrap();
+
+        let stats = TraceStats::scan(TraceReader::new(&bytes[..]).unwrap()).unwrap();
+        assert_eq!(stats.accesses, 10);
+        assert_eq!(stats.resets, 1);
+        assert_eq!(stats.switches, 1);
+        assert_eq!(stats.request_ends, 1);
+        assert_eq!(stats.records, 13);
+        assert_eq!(stats.streams, 2);
+        assert_eq!(stats.blocks, 1);
+        assert!(stats.bytes_per_record() > 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! LEB128 varints + zigzag signed mapping — the integer substrate of
+//! the record encoding.
+
+use crate::TraceError;
+
+/// Appends `value` as an unsigned LEB128 varint (7 bits per byte,
+/// high bit = continuation).
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `value` zigzag-mapped then LEB128-encoded (small magnitudes
+/// of either sign stay short — the VPN-delta case).
+pub fn write_i64(out: &mut Vec<u8>, value: i64) {
+    write_u64(out, zigzag(value));
+}
+
+/// Maps signed to unsigned so small |values| get small codes:
+/// 0, -1, 1, -2, … → 0, 1, 2, 3, …
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Reads one unsigned varint from `bytes` starting at `*pos`,
+/// advancing `*pos` past it.
+pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| TraceError::BadRecord("varint runs past payload end".into()))?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(TraceError::BadRecord("varint overflows u64".into()));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads one zigzagged signed varint.
+pub fn read_i64(bytes: &[u8], pos: &mut usize) -> Result<i64, TraceError> {
+    Ok(unzigzag(read_u64(bytes, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_encodings() {
+        let mut out = Vec::new();
+        write_u64(&mut out, 0);
+        write_u64(&mut out, 127);
+        write_u64(&mut out, 128);
+        write_u64(&mut out, 300);
+        assert_eq!(out, [0x00, 0x7f, 0x80, 0x01, 0xac, 0x02]);
+        let mut pos = 0;
+        for expect in [0u64, 127, 128, 300] {
+            assert_eq!(read_u64(&out, &mut pos).unwrap(), expect);
+        }
+        assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_stay_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        for v in [-3i64, -2, -1, 0, 1, 2, 3, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_and_overflowing_varints_error() {
+        let mut pos = 0;
+        assert!(read_u64(&[0x80], &mut pos).is_err(), "truncated");
+        let mut pos = 0;
+        let too_long = [0xff; 10];
+        assert!(read_u64(&too_long, &mut pos).is_err(), "overflow");
+        // u64::MAX itself decodes fine: 9 continuation bytes + 0x01.
+        let mut out = Vec::new();
+        write_u64(&mut out, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(read_u64(&out, &mut pos).unwrap(), u64::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn u64_roundtrips(values in proptest::collection::vec(0u64..u64::MAX, 1..65)) {
+            let mut out = Vec::new();
+            for &v in &values {
+                write_u64(&mut out, v);
+            }
+            let mut pos = 0;
+            for &v in &values {
+                prop_assert_eq!(read_u64(&out, &mut pos).unwrap(), v);
+            }
+            prop_assert_eq!(pos, out.len());
+        }
+
+        #[test]
+        fn i64_roundtrips(raw in proptest::collection::vec(0u64..u64::MAX, 1..65)) {
+            let values: Vec<i64> = raw.iter().map(|&v| v as i64).collect();
+            let mut out = Vec::new();
+            for &v in &values {
+                write_i64(&mut out, v);
+            }
+            let mut pos = 0;
+            for &v in &values {
+                prop_assert_eq!(read_i64(&out, &mut pos).unwrap(), v);
+            }
+            prop_assert_eq!(pos, out.len());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Streaming trace writer.
+
+use crate::block::{write_block, EncodeState, BLOCK_PAYLOAD_CAPACITY, FILE_MAGIC, FORMAT_VERSION};
+use crate::{Record, TraceMeta};
+use std::io::Write;
+
+/// Streams [`Record`]s into the `.bft` framing: header up front, then
+/// blocks flushed whenever the payload would exceed
+/// [`BLOCK_PAYLOAD_CAPACITY`]. Call [`TraceWriter::finish`] to flush
+/// the final short block — dropping the writer loses buffered records.
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    state: EncodeState,
+    payload: Vec<u8>,
+    scratch: Vec<u8>,
+    block_records: u32,
+    records: u64,
+    blocks: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the file header for `meta` and returns the writer.
+    pub fn new(mut sink: W, meta: &TraceMeta) -> std::io::Result<Self> {
+        let header = meta.encode();
+        sink.write_all(&FILE_MAGIC)?;
+        sink.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        sink.write_all(&(header.len() as u32).to_le_bytes())?;
+        sink.write_all(&header)?;
+        Ok(TraceWriter {
+            sink,
+            state: EncodeState::default(),
+            payload: Vec::with_capacity(BLOCK_PAYLOAD_CAPACITY),
+            scratch: Vec::with_capacity(64),
+            block_records: 0,
+            records: 0,
+            blocks: 0,
+        })
+    }
+
+    /// Appends one record (buffered; blocks flush automatically).
+    pub fn record(&mut self, record: &Record) -> std::io::Result<()> {
+        self.scratch.clear();
+        let emitted = self.state.encode(record, &mut self.scratch);
+        if !self.payload.is_empty()
+            && self.payload.len() + self.scratch.len() > BLOCK_PAYLOAD_CAPACITY
+        {
+            self.flush_block()?;
+        }
+        self.payload.extend_from_slice(&self.scratch);
+        self.block_records += emitted;
+        self.records += emitted as u64;
+        Ok(())
+    }
+
+    /// Records written so far (including inline stream definitions).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    fn flush_block(&mut self) -> std::io::Result<()> {
+        write_block(&mut self.sink, &self.payload, self.block_records)?;
+        self.payload.clear();
+        self.block_records = 0;
+        self.blocks += 1;
+        Ok(())
+    }
+
+    /// Flushes the final block and returns the underlying sink.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if !self.payload.is_empty() {
+            self.flush_block()?;
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+impl<W: Write> std::fmt::Debug for TraceWriter<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("records", &self.records)
+            .field("blocks", &self.blocks)
+            .field("buffered_bytes", &self.payload.len())
+            .finish()
+    }
+}

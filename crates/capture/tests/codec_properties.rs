@@ -1,0 +1,97 @@
+//! Property tests for the `.bft` codec: arbitrary access streams
+//! roundtrip exactly, re-encoding is byte-identical, and any flipped
+//! byte in the block region is caught by a CRC/framing error naming
+//! the corrupt block.
+
+use bf_capture::{Record, TraceMeta, TraceReader, TraceWriter};
+use bf_types::{AccessKind, Pid, VirtAddr};
+use proptest::prelude::*;
+
+type RawAccess = ((u32, u32, u64), (u64, u8, u32));
+
+fn stream_strategy() -> impl Strategy<Value = Vec<RawAccess>> {
+    proptest::collection::vec(
+        (
+            (0u32..8, 1u32..17, 0u64..(1 << 36)),
+            (0u64..4096, 0u8..3, 0u32..10_000),
+        ),
+        1..257,
+    )
+}
+
+fn to_records(raw: &[RawAccess]) -> Vec<Record> {
+    raw.iter()
+        .map(
+            |&((core, pid, vpn), (offset, kind, instrs_before))| Record::Access {
+                core,
+                pid: Pid::new(pid),
+                va: VirtAddr::new(vpn * 4096 + offset),
+                kind: AccessKind::from_index(kind).unwrap(),
+                instrs_before,
+            },
+        )
+        .collect()
+}
+
+fn encode(records: &[Record]) -> Vec<u8> {
+    let mut meta = TraceMeta::new();
+    meta.set("app", "proptest");
+    let mut writer = TraceWriter::new(Vec::new(), &meta).unwrap();
+    for record in records {
+        writer.record(record).unwrap();
+    }
+    writer.finish().unwrap()
+}
+
+/// Offset of the first block: magic + version + header length + header.
+fn header_end(bytes: &[u8]) -> usize {
+    let len = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
+    10 + len
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_access_streams_roundtrip(raw in stream_strategy()) {
+        let records = to_records(&raw);
+        let bytes = encode(&records);
+        let decoded: Vec<Record> = TraceReader::new(&bytes[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        prop_assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn reencoding_is_byte_identical(raw in stream_strategy()) {
+        let records = to_records(&raw);
+        let bytes = encode(&records);
+        let decoded: Vec<Record> = TraceReader::new(&bytes[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        prop_assert_eq!(encode(&decoded), bytes);
+    }
+
+    #[test]
+    fn flipped_block_byte_is_detected(raw in stream_strategy(), target in 0u64..1 << 32, bit in 0u8..8) {
+        let records = to_records(&raw);
+        let mut bytes = encode(&records);
+        let start = header_end(&bytes);
+        prop_assert!(start < bytes.len(), "stream should produce at least one block");
+        let index = start + (target as usize % (bytes.len() - start));
+        bytes[index] ^= 1 << bit;
+        let outcome: Result<Vec<Record>, _> =
+            TraceReader::new(&bytes[..]).unwrap().collect();
+        match outcome {
+            Err(err) => prop_assert!(
+                err.to_string().contains("corrupt block"),
+                "expected a corrupt-block error, got: {err}"
+            ),
+            Ok(decoded) => prop_assert!(
+                false,
+                "corrupted trace decoded silently ({} records)",
+                decoded.len()
+            ),
+        }
+    }
+}

@@ -8,7 +8,7 @@
 
 use bf_containers::{BringupProfile, ContainerRuntime, ImageSpec};
 use bf_os::pagemap::{self, CensusReport};
-use bf_sim::{Machine, MachineStats, Mode, SimConfig};
+use bf_sim::{CaptureSink, Machine, MachineStats, Mode, SimConfig};
 use bf_telemetry::{Snapshot, TimelineSnapshot};
 use bf_types::{Ccid, CoreId, Cycles, Pid};
 use bf_workloads::{
@@ -56,6 +56,47 @@ impl CensusApp {
             CensusApp::Serving(v) => v.name(),
             CensusApp::Compute(c) => c.name(),
             CensusApp::Functions => "functions",
+        }
+    }
+}
+
+/// An application whose access stream can be captured to (and replayed
+/// from) a `.bft` trace: the scheduler-driven serving and compute
+/// classes. The FaaS functions run to completion outside the scheduler
+/// loop (`drive_to_done`), so they are not capturable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaptureApp {
+    /// One of the data-serving applications.
+    Serving(ServingVariant),
+    /// One of the compute applications.
+    Compute(ComputeKind),
+}
+
+impl CaptureApp {
+    /// Display name (also the trace header's `app` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            CaptureApp::Serving(v) => v.name(),
+            CaptureApp::Compute(c) => c.name(),
+        }
+    }
+
+    /// Inverse of [`CaptureApp::name`].
+    pub fn from_name(name: &str) -> Option<CaptureApp> {
+        ServingVariant::ALL
+            .iter()
+            .map(|&v| CaptureApp::Serving(v))
+            .chain(ComputeKind::ALL.iter().map(|&c| CaptureApp::Compute(c)))
+            .find(|app| app.name() == name)
+    }
+
+    /// Whether the app runs with transparent huge pages (Section VI:
+    /// MongoDB/ArangoDB disable THP; HTTPd and the compute apps keep
+    /// it).
+    fn thp(self) -> bool {
+        match self {
+            CaptureApp::Serving(variant) => matches!(variant, ServingVariant::Httpd),
+            CaptureApp::Compute(_) => true,
         }
     }
 }
@@ -162,6 +203,23 @@ pub struct ServingResult {
 pub struct ComputeResult {
     /// Cycles to retire the measured instruction budget (average across
     /// cores) — the execution-time proxy.
+    pub exec_cycles: Cycles,
+    /// Full machine statistics of the window.
+    pub stats: MachineStats,
+    /// Registry snapshot of the measurement window.
+    pub telemetry: Snapshot,
+    /// Epoch timeline of the measurement window (None unless
+    /// [`ExperimentConfig::timeline_every`] is set).
+    pub timeline: Option<TimelineSnapshot>,
+}
+
+/// Result of one capture or replay measurement window: the
+/// mode/app-independent subset shared by live-captured and replayed
+/// runs, so the two can be compared field for field (serving latency
+/// metrics live inside `stats.latency`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct WindowResult {
+    /// Cycles the measured window took (average across cores).
     pub exec_cycles: Cycles,
     /// Full machine statistics of the window.
     pub stats: MachineStats,
@@ -281,60 +339,19 @@ fn serving_machine(
     variant: ServingVariant,
     cfg: &ExperimentConfig,
 ) -> (Machine, Cycles) {
-    // MongoDB/ArangoDB ship with THP disabled (Section VI).
-    let thp = matches!(variant, ServingVariant::Httpd);
-    let mut machine = Machine::new(sim_config(mode, cfg, thp));
-    let mut runtime = ContainerRuntime::new(machine.kernel_mut());
-    let spec = ImageSpec::data_serving(variant.name(), cfg.dataset_bytes);
-    let image = runtime.build_image(machine.kernel_mut(), &spec);
-    let group = runtime.create_group(machine.kernel_mut());
-
-    for (i, (core, container)) in deploy_containers(&mut machine, &mut runtime, &image, group, cfg)
-        .into_iter()
-        .enumerate()
-    {
-        let workload = DataServing::new(variant, container.layout().clone(), cfg.seed + i as u64);
-        machine.attach(core, container.pid(), Box::new(workload));
-    }
-
-    machine.run_instructions(cfg.warmup_instructions);
-    machine.reset_measurement();
-    let clock_start: Vec<Cycles> = (0..cfg.cores)
-        .map(|c| machine.core_clock(CoreId::new(c)))
-        .collect();
-    machine.run_instructions(cfg.measure_instructions);
-    let exec_cycles = mean_clock_delta(&machine, &clock_start);
+    let app = CaptureApp::Serving(variant);
+    let (mut machine, deployed) = capture_setup(mode, app, cfg);
+    attach_app_workloads(&mut machine, app, deployed, cfg);
+    let exec_cycles = run_measurement_window(&mut machine, cfg);
     (machine, exec_cycles)
 }
 
 /// Runs one compute experiment (Fig. 9/10/11 compute rows).
 pub fn run_compute(mode: Mode, kind: ComputeKind, cfg: &ExperimentConfig) -> ComputeResult {
-    let mut machine = Machine::new(sim_config(mode, cfg, true));
-    let mut runtime = ContainerRuntime::new(machine.kernel_mut());
-    let spec = ImageSpec::compute(kind.name(), cfg.dataset_bytes);
-    let image = runtime.build_image(machine.kernel_mut(), &spec);
-    let group = runtime.create_group(machine.kernel_mut());
-
-    for (i, (core, container)) in deploy_containers(&mut machine, &mut runtime, &image, group, cfg)
-        .into_iter()
-        .enumerate()
-    {
-        let layout = container.layout().clone();
-        let seed = cfg.seed + i as u64;
-        let workload: Box<dyn Workload> = match kind {
-            ComputeKind::GraphChi => Box::new(GraphCompute::new(layout, seed)),
-            ComputeKind::Fio => Box::new(FioCompute::new(layout, seed)),
-        };
-        machine.attach(core, container.pid(), workload);
-    }
-
-    machine.run_instructions(cfg.warmup_instructions);
-    machine.reset_measurement();
-    let clock_start: Vec<Cycles> = (0..cfg.cores)
-        .map(|c| machine.core_clock(CoreId::new(c)))
-        .collect();
-    machine.run_instructions(cfg.measure_instructions);
-    let exec_cycles = mean_clock_delta(&machine, &clock_start);
+    let app = CaptureApp::Compute(kind);
+    let (mut machine, deployed) = capture_setup(mode, app, cfg);
+    attach_app_workloads(&mut machine, app, deployed, cfg);
+    let exec_cycles = run_measurement_window(&mut machine, cfg);
 
     ComputeResult {
         exec_cycles,
@@ -342,6 +359,90 @@ pub fn run_compute(mode: Mode, kind: ComputeKind, cfg: &ExperimentConfig) -> Com
         telemetry: machine.telemetry_snapshot(),
         timeline: machine.take_timeline(),
     }
+}
+
+/// The machine-preparation half every capturable experiment shares:
+/// build the machine for `mode`/`app`, build the image, and deploy the
+/// containers (bring-up + prefault) — but attach nothing. A replay
+/// reaches the exact same architectural state by calling this with the
+/// configuration recorded in the trace header, then feeding the trace
+/// instead of live workloads.
+pub fn capture_setup(
+    mode: Mode,
+    app: CaptureApp,
+    cfg: &ExperimentConfig,
+) -> (Machine, Vec<(CoreId, bf_containers::Container)>) {
+    let mut machine = Machine::new(sim_config(mode, cfg, app.thp()));
+    let mut runtime = ContainerRuntime::new(machine.kernel_mut());
+    let spec = match app {
+        CaptureApp::Serving(variant) => ImageSpec::data_serving(variant.name(), cfg.dataset_bytes),
+        CaptureApp::Compute(kind) => ImageSpec::compute(kind.name(), cfg.dataset_bytes),
+    };
+    let image = runtime.build_image(machine.kernel_mut(), &spec);
+    let group = runtime.create_group(machine.kernel_mut());
+    let deployed = deploy_containers(&mut machine, &mut runtime, &image, group, cfg);
+    (machine, deployed)
+}
+
+/// Attaches `app`'s live workload generators to the deployed containers.
+fn attach_app_workloads(
+    machine: &mut Machine,
+    app: CaptureApp,
+    deployed: Vec<(CoreId, bf_containers::Container)>,
+    cfg: &ExperimentConfig,
+) {
+    for (i, (core, container)) in deployed.into_iter().enumerate() {
+        let layout = container.layout().clone();
+        let seed = cfg.seed + i as u64;
+        let workload: Box<dyn Workload> = match app {
+            CaptureApp::Serving(variant) => Box::new(DataServing::new(variant, layout, seed)),
+            CaptureApp::Compute(ComputeKind::GraphChi) => Box::new(GraphCompute::new(layout, seed)),
+            CaptureApp::Compute(ComputeKind::Fio) => Box::new(FioCompute::new(layout, seed)),
+        };
+        machine.attach(core, container.pid(), workload);
+    }
+}
+
+/// Warm-up, reset, measured window; returns the mean per-core clock
+/// delta over the measured window.
+fn run_measurement_window(machine: &mut Machine, cfg: &ExperimentConfig) -> Cycles {
+    machine.run_instructions(cfg.warmup_instructions);
+    machine.reset_measurement();
+    let clock_start: Vec<Cycles> = (0..cfg.cores)
+        .map(|c| machine.core_clock(CoreId::new(c)))
+        .collect();
+    machine.run_instructions(cfg.measure_instructions);
+    mean_clock_delta(machine, &clock_start)
+}
+
+/// Runs `app` live under `mode` with `sink` capturing the scheduler
+/// event stream (warm-up included, with the reset marker separating it
+/// from the measured window). Returns the window result plus the sink
+/// for flushing. Bring-up and prefault happen *before* the sink
+/// attaches — replay re-runs them deterministically via
+/// [`capture_setup`] instead of reading them from the trace.
+pub fn run_captured(
+    mode: Mode,
+    app: CaptureApp,
+    cfg: &ExperimentConfig,
+    sink: Box<dyn CaptureSink>,
+) -> (WindowResult, Box<dyn CaptureSink>) {
+    let (mut machine, deployed) = capture_setup(mode, app, cfg);
+    attach_app_workloads(&mut machine, app, deployed, cfg);
+    machine.attach_capture(sink);
+    let exec_cycles = run_measurement_window(&mut machine, cfg);
+    let sink = machine
+        .take_capture()
+        .expect("capture sink still attached after the run");
+    (
+        WindowResult {
+            exec_cycles,
+            stats: machine.stats(),
+            telemetry: machine.telemetry_snapshot(),
+            timeline: machine.take_timeline(),
+        },
+        sink,
+    )
 }
 
 /// Runs the FaaS experiment: the three functions started in sequence on
@@ -520,7 +621,7 @@ fn drive_to_done(
     machine.core_clock(core) - start
 }
 
-fn mean_clock_delta(machine: &Machine, start: &[Cycles]) -> Cycles {
+pub(crate) fn mean_clock_delta(machine: &Machine, start: &[Cycles]) -> Cycles {
     let total: Cycles = start
         .iter()
         .enumerate()

@@ -33,13 +33,17 @@
 //! * [`os`], [`containers`], [`workloads`] — the software stack;
 //! * [`sim`] — the Table I machine;
 //! * [`analytic`] — Table III / Section VII-D models;
-//! * [`exec`] — deterministic parallel execution of experiment sweeps.
+//! * [`exec`] — deterministic parallel execution of experiment sweeps;
+//! * [`capture`] + [`replay`] — compact binary trace capture of access
+//!   streams and their deterministic replay.
 
 pub mod exec;
 pub mod experiment;
+pub mod replay;
 
 pub use bf_analytic as analytic;
 pub use bf_cache as cache;
+pub use bf_capture as capture;
 pub use bf_containers as containers;
 pub use bf_mem as mem;
 pub use bf_os as os;

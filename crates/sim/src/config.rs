@@ -106,6 +106,21 @@ impl Mode {
         }
     }
 
+    /// Inverse of [`Mode::name`] for the evaluated configurations
+    /// (trace replay and CLI mode overrides). `babelfish-disabled` is
+    /// not constructible by name — it only arises from hand-built
+    /// configurations.
+    pub fn from_name(name: &str) -> Option<Mode> {
+        match name {
+            "baseline" => Some(Mode::Baseline),
+            "baseline-larger-tlb" => Some(Mode::BaselineLargerTlb),
+            "babelfish" => Some(Mode::babelfish()),
+            "babelfish-tlb-only" => Some(Mode::babelfish_tlb_only()),
+            "babelfish-pt-only" => Some(Mode::babelfish_pt_only()),
+            _ => None,
+        }
+    }
+
     /// Short name for reports.
     ///
     /// Serialization note: `Mode` serializes as an object carrying this
@@ -289,6 +304,20 @@ mod tests {
         };
         assert_eq!(mode.tlb_config(), TlbGroupConfig::babelfish_aslr_sw());
         assert!(!mode.aslr_transformation(), "ASLR-SW needs no adder");
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for mode in [
+            Mode::Baseline,
+            Mode::BaselineLargerTlb,
+            Mode::babelfish(),
+            Mode::babelfish_tlb_only(),
+            Mode::babelfish_pt_only(),
+        ] {
+            assert_eq!(Mode::from_name(mode.name()), Some(mode));
+        }
+        assert_eq!(Mode::from_name("victima"), None);
     }
 
     #[test]

@@ -34,5 +34,5 @@ pub mod machine;
 pub mod stats;
 
 pub use config::{Mode, SimConfig};
-pub use machine::Machine;
+pub use machine::{CaptureSink, Machine};
 pub use stats::{LatencyStats, MachineStats, TranslationBreakdown};

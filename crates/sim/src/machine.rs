@@ -24,6 +24,29 @@ struct CoreState {
     active: bool,
 }
 
+/// Receives the machine's replayable event stream: everything the
+/// scheduler-driven loop consumes — accesses with their leading
+/// instruction counts, context-switch charges, request latencies, and
+/// the measurement reset. A sink attached via
+/// [`Machine::attach_capture`] sees exactly the events that, fed back
+/// through [`Machine::replay_access`] and friends against an
+/// identically-prepared machine, reproduce the run bit for bit.
+///
+/// The trait lives here (not in `bf-capture`) so the simulator stays
+/// independent of the trace format; `bf-core` adapts a
+/// `bf_capture::TraceWriter` into this trait.
+pub trait CaptureSink: Send {
+    /// One memory access on `core` by `pid`, preceded by
+    /// `instrs_before` non-memory instructions.
+    fn access(&mut self, core: u32, pid: Pid, va: VirtAddr, kind: AccessKind, instrs_before: u32);
+    /// A context switch charged on `core`.
+    fn switch(&mut self, core: u32, cost: Cycles);
+    /// A request completed with the given measured latency.
+    fn request_end(&mut self, cycles: Cycles);
+    /// [`Machine::reset_measurement`] ran (warm-up → measured window).
+    fn reset(&mut self);
+}
+
 /// Everything the machine tracks per attached process. Stored in a
 /// dense slab indexed by raw pid (the kernel allocates pids
 /// sequentially from 1), so the per-access lookups in `step_core` are
@@ -103,6 +126,12 @@ pub struct Machine {
     /// Epoch timeline + invariant checking (None unless
     /// [`SimConfig::timeline_every`] is set and telemetry compiled in).
     timeline: Option<Box<TimelineState>>,
+    /// Trace-capture sink (None unless [`Machine::attach_capture`] was
+    /// called). Tees live in `step_core`/`reset_measurement`, never in
+    /// `execute_access`, so the translation hot path is untouched and
+    /// the capture-off cost is one predictable `Option` branch per
+    /// scheduler event.
+    capture: Option<Box<dyn CaptureSink>>,
     /// Registry state at the last [`Machine::reset_measurement`];
     /// [`Machine::telemetry_snapshot`] reports the delta since then.
     telemetry_baseline: Snapshot,
@@ -197,6 +226,7 @@ impl Machine {
             tracing,
             instrumented: tracing || timeline.is_some(),
             timeline,
+            capture: None,
             telemetry_baseline: registry.snapshot(),
             registry,
             config,
@@ -219,6 +249,64 @@ impl Machine {
     /// (or boot).
     pub fn telemetry_snapshot(&self) -> Snapshot {
         self.registry.snapshot().delta(&self.telemetry_baseline)
+    }
+
+    /// Attaches a capture sink. From now on every scheduler-driven
+    /// event (access, context switch, request end, measurement reset)
+    /// is teed into it — including events produced by the `replay_*`
+    /// entry points, so a replayed run can itself be re-captured.
+    pub fn attach_capture(&mut self, sink: Box<dyn CaptureSink>) {
+        self.capture = Some(sink);
+    }
+
+    /// Detaches and returns the capture sink, if any.
+    pub fn take_capture(&mut self) -> Option<Box<dyn CaptureSink>> {
+        self.capture.take()
+    }
+
+    /// Replays one captured access: replicates `step_core`'s
+    /// `Op::Access` accounting (compute cycles, instruction counters)
+    /// and runs the access through the full translation pipeline — but
+    /// takes no scheduling decision; captured [`CaptureSink::switch`]
+    /// events stand in for the scheduler.
+    pub fn replay_access(
+        &mut self,
+        core: u32,
+        pid: Pid,
+        va: VirtAddr,
+        kind: AccessKind,
+        instrs_before: u32,
+    ) {
+        if let Some(sink) = self.capture.as_mut() {
+            sink.access(core, pid, va, kind, instrs_before);
+        }
+        let core_index = core as usize;
+        let compute = instrs_before as u64 / self.config.issue_width.max(1);
+        self.cores[core_index].clock += compute;
+        self.cores[core_index].instructions += instrs_before as u64 + 1;
+        self.telem.instructions.add(instrs_before as u64 + 1);
+        self.breakdown.compute_cycles += compute;
+        self.execute_access(core_index, pid, va, kind);
+    }
+
+    /// Replays one captured context switch (clock + breakdown charge).
+    pub fn replay_switch(&mut self, core: u32, cost: Cycles) {
+        if let Some(sink) = self.capture.as_mut() {
+            sink.switch(core, cost);
+        }
+        self.cores[core as usize].clock += cost;
+        self.breakdown.switch_cycles += cost;
+    }
+
+    /// Replays one captured request completion. The latency was
+    /// measured live, so it is recorded directly instead of being
+    /// re-derived from request-start bookkeeping.
+    pub fn replay_request_end(&mut self, cycles: Cycles) {
+        if let Some(sink) = self.capture.as_mut() {
+            sink.request_end(cycles);
+        }
+        self.latency.record(cycles);
+        self.telem.request_cycles.record(cycles);
     }
 
     /// The configuration.
@@ -290,6 +378,9 @@ impl Machine {
     /// Zeroes every measurement counter (after warm-up). Architectural
     /// state — TLB/cache/PWC contents, page tables, clocks — is kept.
     pub fn reset_measurement(&mut self) {
+        if let Some(sink) = self.capture.as_mut() {
+            sink.reset();
+        }
         for core in &mut self.cores {
             core.tlbs.reset_stats();
             core.instructions = 0;
@@ -405,6 +496,9 @@ impl Machine {
             Some(pid) => pid,
             None => match self.sched.tick(core_id, 0) {
                 SchedDecision::Switch { to, cost, .. } => {
+                    if let Some(sink) = self.capture.as_mut() {
+                        sink.switch(core_index as u32, cost);
+                    }
                     self.cores[core_index].clock += cost;
                     self.breakdown.switch_cycles += cost;
                     to
@@ -436,6 +530,9 @@ impl Machine {
                 kind,
                 instrs_before,
             } => {
+                if let Some(sink) = self.capture.as_mut() {
+                    sink.access(core_index as u32, pid, va, kind, instrs_before);
+                }
                 let compute = instrs_before as u64 / self.config.issue_width.max(1);
                 self.cores[core_index].clock += compute;
                 self.cores[core_index].instructions += instrs_before as u64 + 1;
@@ -444,6 +541,9 @@ impl Machine {
                 let access_cycles = self.execute_access(core_index, pid, va, kind);
                 let decision = self.sched.tick(core_id, compute + access_cycles);
                 if let SchedDecision::Switch { cost, .. } = decision {
+                    if let Some(sink) = self.capture.as_mut() {
+                        sink.switch(core_index as u32, cost);
+                    }
                     self.cores[core_index].clock += cost;
                     self.breakdown.switch_cycles += cost;
                 }
@@ -456,6 +556,9 @@ impl Machine {
                 let start = proc.request_start.unwrap_or(clock);
                 proc.request_start = Some(clock);
                 if clock > start {
+                    if let Some(sink) = self.capture.as_mut() {
+                        sink.request_end(clock - start);
+                    }
                     self.latency.record(clock - start);
                     self.telem.request_cycles.record(clock - start);
                 }
@@ -1594,5 +1697,115 @@ mod tests {
             m.telemetry_snapshot().counter("sim.instructions"),
             stats.instructions
         );
+    }
+
+    /// One captured scheduler event, for the in-memory test sink.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Event {
+        Access(u32, Pid, VirtAddr, AccessKind, u32),
+        Switch(u32, Cycles),
+        RequestEnd(Cycles),
+        Reset,
+    }
+
+    /// Capture sink recording into a shared vector (the handle stays
+    /// with the test while the machine owns the boxed sink).
+    struct VecSink(std::sync::Arc<std::sync::Mutex<Vec<Event>>>);
+
+    impl CaptureSink for VecSink {
+        fn access(&mut self, core: u32, pid: Pid, va: VirtAddr, kind: AccessKind, instrs: u32) {
+            self.0
+                .lock()
+                .unwrap()
+                .push(Event::Access(core, pid, va, kind, instrs));
+        }
+        fn switch(&mut self, core: u32, cost: Cycles) {
+            self.0.lock().unwrap().push(Event::Switch(core, cost));
+        }
+        fn request_end(&mut self, cycles: Cycles) {
+            self.0.lock().unwrap().push(Event::RequestEnd(cycles));
+        }
+        fn reset(&mut self) {
+            self.0.lock().unwrap().push(Event::Reset);
+        }
+    }
+
+    /// Identical serving setup on a fresh machine; returns the machine
+    /// plus the two containers (deterministic across calls).
+    fn serving_pair() -> (Machine, Container, Container) {
+        let mut m = machine(Mode::babelfish());
+        let kernel = m.kernel_mut();
+        let mut runtime = ContainerRuntime::new(kernel);
+        let image = runtime.build_image(kernel, &ImageSpec::data_serving("mongodb", 2 << 20));
+        let group = runtime.create_group(kernel);
+        let c1 = runtime.create_container(kernel, &image, group).unwrap();
+        let c2 = runtime.create_container(kernel, &image, group).unwrap();
+        (m, c1, c2)
+    }
+
+    #[test]
+    fn captured_run_replays_to_identical_state() {
+        // Live run: two serving containers multiplexed on one core,
+        // capture attached from the start.
+        let (mut live, c1, c2) = serving_pair();
+        let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        live.attach_capture(Box::new(VecSink(events.clone())));
+        live.attach(
+            CoreId::new(0),
+            c1.pid(),
+            Box::new(bf_workloads::DataServing::new(
+                bf_workloads::ServingVariant::MongoDb,
+                c1.layout().clone(),
+                1,
+            )),
+        );
+        live.attach(
+            CoreId::new(0),
+            c2.pid(),
+            Box::new(bf_workloads::DataServing::new(
+                bf_workloads::ServingVariant::MongoDb,
+                c2.layout().clone(),
+                2,
+            )),
+        );
+        live.run_instructions(5_000);
+        live.reset_measurement();
+        live.run_instructions(15_000);
+        live.take_capture();
+        let captured: Vec<Event> = events.lock().unwrap().clone();
+        assert!(captured.iter().any(|e| matches!(e, Event::Reset)));
+
+        // Replay against an identically-prepared machine, re-capturing.
+        let (mut replay, _, _) = serving_pair();
+        let reevents = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        replay.attach_capture(Box::new(VecSink(reevents.clone())));
+        for event in &captured {
+            match *event {
+                Event::Access(core, pid, va, kind, instrs) => {
+                    replay.replay_access(core, pid, va, kind, instrs)
+                }
+                Event::Switch(core, cost) => replay.replay_switch(core, cost),
+                Event::RequestEnd(cycles) => replay.replay_request_end(cycles),
+                Event::Reset => replay.reset_measurement(),
+            }
+        }
+        replay.take_capture();
+
+        // Counters, clocks, and the re-captured stream all match.
+        assert_eq!(
+            format!("{:?}", live.stats()),
+            format!("{:?}", replay.stats())
+        );
+        for core in 0..live.config().cores {
+            assert_eq!(
+                live.core_clock(CoreId::new(core)),
+                replay.core_clock(CoreId::new(core)),
+                "core {core} clock"
+            );
+        }
+        assert_eq!(captured, *reevents.lock().unwrap());
+        if bf_telemetry::enabled() {
+            assert_eq!(live.telemetry_snapshot(), replay.telemetry_snapshot());
+        }
     }
 }

@@ -143,6 +143,24 @@ pub enum AccessKind {
 }
 
 impl AccessKind {
+    /// Every kind, in [`AccessKind::index`] order.
+    pub const ALL: [AccessKind; 3] = [AccessKind::Read, AccessKind::Write, AccessKind::Fetch];
+
+    /// Stable small integer for serialization (trace formats, dense
+    /// tables): Read = 0, Write = 1, Fetch = 2.
+    pub fn index(self) -> u8 {
+        match self {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+            AccessKind::Fetch => 2,
+        }
+    }
+
+    /// Inverse of [`AccessKind::index`]; `None` for out-of-range values.
+    pub fn from_index(index: u8) -> Option<AccessKind> {
+        AccessKind::ALL.get(index as usize).copied()
+    }
+
     /// `true` for [`AccessKind::Write`].
     pub fn is_write(self) -> bool {
         matches!(self, AccessKind::Write)
@@ -185,6 +203,15 @@ mod tests {
         for (i, level) in PageTableLevel::ALL.iter().enumerate() {
             assert_eq!(level.depth(), i);
         }
+    }
+
+    #[test]
+    fn access_kind_index_roundtrips() {
+        for (i, kind) in AccessKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index() as usize, i);
+            assert_eq!(AccessKind::from_index(kind.index()), Some(*kind));
+        }
+        assert_eq!(AccessKind::from_index(3), None);
     }
 
     #[test]
