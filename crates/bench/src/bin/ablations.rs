@@ -12,7 +12,7 @@ use babelfish::exec::Sweep;
 use babelfish::experiment::{run_functions, run_serving, ExperimentConfig};
 use babelfish::{AccessDensity, AslrMode, Mode, ServingVariant};
 use bf_bench::{header, progress, reduction_pct};
-use bf_telemetry::TimelineSnapshot;
+use bf_telemetry::{ProfileSnapshot, TimelineSnapshot};
 
 fn main() {
     let args = bf_bench::parse_args();
@@ -20,6 +20,7 @@ fn main() {
     let cfg = args.cfg;
     let quiet = args.quiet;
     let mut timeline_cells: Vec<(String, Option<TimelineSnapshot>)> = Vec::new();
+    let mut profile_cells: Vec<(String, Option<ProfileSnapshot>)> = Vec::new();
 
     // Ablation 1 cells: Baseline + {ASLR-HW, ASLR-SW} serving runs.
     let mut sweep = Sweep::new();
@@ -43,6 +44,7 @@ fn main() {
     }
     let mut results = sweep.run(args.threads).into_iter().map(|(label, mut r)| {
         timeline_cells.push((label.to_owned(), r.timeline.take()));
+        profile_cells.push((label.to_owned(), r.profile.take()));
         r
     });
 
@@ -88,6 +90,7 @@ fn main() {
             capacity, result.0, result.1, result.2
         );
         timeline_cells.push((format!("bitmask-cap-{capacity}"), result.3));
+        profile_cells.push((format!("bitmask-cap-{capacity}"), result.4));
     }
     println!("(smaller budgets revert regions earlier; 0 = immediate unshare, Section VII-D)");
 
@@ -112,6 +115,7 @@ fn main() {
         .zip(labels)
         .map(|(mut r, label)| {
             timeline_cells.push((label.to_owned(), r.timeline.take()));
+            profile_cells.push((label.to_owned(), r.profile.take()));
             r
         });
 
@@ -129,17 +133,24 @@ fn main() {
     println!("(sparse functions are fault-dominated, so pt-only ≈ full — Table II 0.01)");
 
     bf_bench::emit_timeline_results("ablations", &cfg, &timeline_cells);
+    bf_bench::emit_profile_results("ablations", &cfg, &profile_cells);
 }
 
 /// Runs the function experiment with an explicit PC-bitmask capacity,
 /// returning (follower mean exec, maskpage overflows, privatizations,
-/// epoch timeline).
+/// epoch timeline, miss-attribution profile).
 fn run_functions_with_capacity(
     mode: Mode,
     density: AccessDensity,
     cfg: &ExperimentConfig,
     capacity: usize,
-) -> (f64, u64, u64, Option<TimelineSnapshot>) {
+) -> (
+    f64,
+    u64,
+    u64,
+    Option<TimelineSnapshot>,
+    Option<ProfileSnapshot>,
+) {
     use babelfish::containers::{BringupProfile, ContainerRuntime, ImageSpec};
     use babelfish::types::CoreId;
     use babelfish::workloads::{FunctionKind, FunctionWorkload, Op, Workload};
@@ -147,7 +158,8 @@ fn run_functions_with_capacity(
 
     let mut sim = SimConfig::new(1, mode)
         .with_frames(cfg.frames)
-        .with_timeline(cfg.timeline_every, cfg.timeline_fail_fast);
+        .with_timeline(cfg.timeline_every, cfg.timeline_fail_fast)
+        .with_profile(cfg.profile_top_k);
     sim.kernel.pc_bitmask_capacity = capacity;
     let mut machine = Machine::new(sim);
     let mut runtime = ContainerRuntime::new(machine.kernel_mut());
@@ -195,11 +207,13 @@ fn run_functions_with_capacity(
     let followers = &execs[1..];
     let mean = followers.iter().sum::<u64>() as f64 / followers.len() as f64;
     let timeline = machine.take_timeline();
+    let profile = machine.take_profile();
     let stats = machine.kernel().stats();
     (
         mean,
         stats.maskpage_overflows,
         stats.privatizations,
         timeline,
+        profile,
     )
 }

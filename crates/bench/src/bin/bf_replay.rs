@@ -17,7 +17,7 @@
 use babelfish::capture::TraceReader;
 use babelfish::replay::{capture_meta, meta_config, replay_file, CaptureFile, ReplayOptions};
 use babelfish::Mode;
-use bf_bench::{header, DEFAULT_TIMELINE_EPOCH, DEFAULT_TRACE_SAMPLE};
+use bf_bench::{header, DEFAULT_PROFILE_K, DEFAULT_TIMELINE_EPOCH, DEFAULT_TRACE_SAMPLE};
 
 const USAGE: &str = "options:
   --mode=NAME     replay against NAME (baseline, baseline-larger-tlb, babelfish,
@@ -28,6 +28,10 @@ const USAGE: &str = "options:
                   results/replay-<app>-<mode>-timeline-latest.json (default
                   N=4096); must match the capturing run's setting for
                   byte-identical timeline output
+  --profile[=K]   miss-attribution profiling with top-K hot-region sketches
+                  (default K=64); writes
+                  results/replay-<app>-<mode>-profile-latest.json, byte-identical
+                  to the same flag on the capturing run
   --recapture=F   tee the replayed stream back into a new trace at F; without
                   --mode the new file is byte-identical to the input (the
                   capture -> replay -> capture determinism check)
@@ -38,6 +42,7 @@ struct ReplayArgs {
     mode: Option<Mode>,
     trace_sample_every: u64,
     timeline_every: u64,
+    profile_top_k: u64,
     recapture: Option<String>,
 }
 
@@ -46,11 +51,13 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
     let mut mode = None;
     let mut trace_sample_every = 0;
     let mut timeline_every = 0;
+    let mut profile_top_k = 0;
     let mut recapture = None;
     for arg in args {
         match arg.as_str() {
             "--trace" => trace_sample_every = DEFAULT_TRACE_SAMPLE,
             "--timeline" => timeline_every = DEFAULT_TIMELINE_EPOCH,
+            "--profile" => profile_top_k = DEFAULT_PROFILE_K,
             "-h" | "--help" => return Err(String::new()),
             _ => {
                 if let Some(name) = arg.strip_prefix("--mode=") {
@@ -65,6 +72,12 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
                     timeline_every = n
                         .parse()
                         .map_err(|_| format!("invalid --timeline value: {n}"))?;
+                } else if let Some(n) = arg.strip_prefix("--profile=") {
+                    profile_top_k = n
+                        .parse()
+                        .ok()
+                        .filter(|&k: &u64| k > 0)
+                        .ok_or_else(|| format!("invalid --profile value: {n}"))?;
                 } else if let Some(path) = arg.strip_prefix("--recapture=") {
                     recapture = Some(path.to_owned());
                 } else if arg.starts_with('-') {
@@ -82,6 +95,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
         mode,
         trace_sample_every,
         timeline_every,
+        profile_top_k,
         recapture,
     })
 }
@@ -125,6 +139,7 @@ fn main() {
         trace_sample_every: args.trace_sample_every,
         timeline_every: args.timeline_every,
         timeline_fail_fast: false,
+        profile_top_k: args.profile_top_k,
         recapture: recapture_file.as_ref().map(|file| file.sink()),
     };
     let start = std::time::Instant::now();
@@ -175,9 +190,9 @@ fn main() {
     let doc =
         bf_bench::capture::window_doc(outcome.mode, outcome.app, &outcome.config, &outcome.result);
     bf_bench::emit_results(&stem, &doc);
-    let cells = [(
-        format!("{}-{mode_name}", outcome.app),
-        outcome.result.timeline.clone(),
-    )];
+    let cell_name = format!("{}-{mode_name}", outcome.app);
+    let cells = [(cell_name.clone(), outcome.result.timeline.clone())];
     bf_bench::emit_timeline_results(&stem, &outcome.config, &cells);
+    let profile_cells = [(cell_name, outcome.result.profile.clone())];
+    bf_bench::emit_profile_results(&stem, &outcome.config, &profile_cells);
 }

@@ -33,6 +33,10 @@ fn main() {
         ("fn-dense-baseline".to_owned(), base.timeline.take()),
         ("fn-dense-babelfish".to_owned(), bf.timeline.take()),
     ];
+    let profile_cells = [
+        ("fn-dense-baseline".to_owned(), base.profile.take()),
+        ("fn-dense-babelfish".to_owned(), bf.profile.take()),
+    ];
 
     println!(
         "{:<12} {:>14} {:>14} {:>9}",
@@ -54,4 +58,5 @@ fn main() {
     );
 
     bf_bench::emit_timeline_results("bringup_time", &cfg, &timeline_cells);
+    bf_bench::emit_profile_results("bringup_time", &cfg, &profile_cells);
 }

@@ -41,6 +41,7 @@ fn main() {
     let mut results = sweep.run(args.threads).into_iter();
 
     let mut timeline_cells = Vec::new();
+    let mut profile_cells = Vec::new();
     for containers in DENSITIES {
         let mut base = results.next().expect("baseline cell");
         let mut bf = results.next().expect("babelfish cell");
@@ -54,9 +55,12 @@ fn main() {
         );
         timeline_cells.push((format!("colo-{containers}-baseline"), base.timeline.take()));
         timeline_cells.push((format!("colo-{containers}-babelfish"), bf.timeline.take()));
+        profile_cells.push((format!("colo-{containers}-baseline"), base.profile.take()));
+        profile_cells.push((format!("colo-{containers}-babelfish"), bf.profile.take()));
     }
     println!("\n(the paper's conservative setting is 2/core; denser co-location");
     println!(" multiplies the replicated translations BabelFish removes)");
 
     bf_bench::emit_timeline_results("colocation_sweep", &args.cfg, &timeline_cells);
+    bf_bench::emit_profile_results("colocation_sweep", &args.cfg, &profile_cells);
 }

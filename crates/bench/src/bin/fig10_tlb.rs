@@ -10,7 +10,7 @@
 //! Paper reference points: Data Serving D-MPKI −66 %, I-MPKI −96 %;
 //! GraphChi shared hits 48 % (I) / 12 % (D).
 
-use bf_bench::sweeps::{fig10_doc, fig10_timeline_cells};
+use bf_bench::sweeps::{fig10_doc, fig10_profile_cells, fig10_timeline_cells};
 use bf_bench::{header, reduction_pct};
 
 fn main() {
@@ -59,6 +59,7 @@ fn main() {
     let doc = fig10_doc(&args.cfg, &rows);
     bf_bench::emit_results("fig10_tlb", &doc);
     bf_bench::emit_timeline_results("fig10_tlb", &args.cfg, &fig10_timeline_cells(&rows));
+    bf_bench::emit_profile_results("fig10_tlb", &args.cfg, &fig10_profile_cells(&rows));
 
     if let Some(trace) = bf_bench::write_trace_artifact("fig10_tlb", &args.cfg) {
         println!("wrote {} (load at ui.perfetto.dev)", trace.display());

@@ -10,7 +10,7 @@
 //! with deterministic output; the derived reductions are also written
 //! as a timestamped JSON file under `results/`.
 
-use bf_bench::sweeps::{fig11_data, fig11_doc, fig11_timeline_cells};
+use bf_bench::sweeps::{fig11_data, fig11_doc, fig11_profile_cells, fig11_timeline_cells};
 use bf_bench::{header, reduction_pct, versus};
 
 fn main() {
@@ -70,4 +70,5 @@ fn main() {
     let doc = fig11_doc(&args.cfg, &data);
     bf_bench::emit_results("fig11_performance", &doc);
     bf_bench::emit_timeline_results("fig11_performance", &args.cfg, &fig11_timeline_cells(&data));
+    bf_bench::emit_profile_results("fig11_performance", &args.cfg, &fig11_profile_cells(&data));
 }

@@ -54,12 +54,14 @@ fn main() {
             r
         });
     }
-    let (reports, timelines): (Vec<_>, Vec<_>) = sweep.run(args.threads).into_iter().unzip();
-    let timeline_cells: Vec<_> = apps
-        .iter()
-        .zip(timelines)
-        .map(|(app, timeline)| (app.name().to_owned(), timeline))
-        .collect();
+    let mut reports = Vec::new();
+    let mut timeline_cells = Vec::new();
+    let mut profile_cells = Vec::new();
+    for (app, (report, timeline, profile)) in apps.iter().zip(sweep.run(args.threads)) {
+        reports.push(report);
+        timeline_cells.push((app.name().to_owned(), timeline));
+        profile_cells.push((app.name().to_owned(), profile));
+    }
 
     for (app, report) in apps.into_iter().zip(reports) {
         json_rows.push(json_object([
@@ -138,4 +140,5 @@ fn main() {
     ]);
     bf_bench::emit_results("fig9_pte_sharing", &doc);
     bf_bench::emit_timeline_results("fig9_pte_sharing", &cfg, &timeline_cells);
+    bf_bench::emit_profile_results("fig9_pte_sharing", &cfg, &profile_cells);
 }

@@ -43,7 +43,7 @@ fn main() {
             sweep.cell(move || {
                 let mut r = run_serving(mode, variant, &cfg);
                 progress(quiet, &format!("{}-{} done", variant.name(), mode.name()));
-                (r.mean_latency, r.timeline.take())
+                (r.mean_latency, r.timeline.take(), r.profile.take())
             });
         }
     }
@@ -53,7 +53,7 @@ fn main() {
             sweep.cell(move || {
                 let mut r = run_compute(mode, kind, &cfg);
                 progress(quiet, &format!("{}-{} done", kind.name(), mode.name()));
-                (r.exec_cycles as f64, r.timeline.take())
+                (r.exec_cycles as f64, r.timeline.take(), r.profile.take())
             });
         }
     }
@@ -66,17 +66,18 @@ fn main() {
             sweep.cell(move || {
                 let mut r = run_functions(mode, density, &cfg);
                 progress(quiet, &format!("{label}-{} done", mode.name()));
-                (r.follower_mean_exec(), r.timeline.take())
+                (r.follower_mean_exec(), r.timeline.take(), r.profile.take())
             });
         }
     }
 
     let mut results = sweep.run(args.threads).into_iter();
     let mut timeline_cells = Vec::new();
+    let mut profile_cells = Vec::new();
     for label in labels {
-        let (base, base_tl) = results.next().expect("baseline cell");
-        let (larger, larger_tl) = results.next().expect("larger-TLB cell");
-        let (bf, bf_tl) = results.next().expect("babelfish cell");
+        let (base, base_tl, base_pf) = results.next().expect("baseline cell");
+        let (larger, larger_tl, larger_pf) = results.next().expect("larger-TLB cell");
+        let (bf, bf_tl, bf_pf) = results.next().expect("babelfish cell");
         println!(
             "{:<12} {:>11.1}% {:>11.1}%",
             label,
@@ -86,9 +87,13 @@ fn main() {
         timeline_cells.push((format!("{label}-baseline"), base_tl));
         timeline_cells.push((format!("{label}-larger-tlb"), larger_tl));
         timeline_cells.push((format!("{label}-babelfish"), bf_tl));
+        profile_cells.push((format!("{label}-baseline"), base_pf));
+        profile_cells.push((format!("{label}-larger-tlb"), larger_pf));
+        profile_cells.push((format!("{label}-babelfish"), bf_pf));
     }
 
     bf_bench::emit_timeline_results("larger_tlb", &cfg, &timeline_cells);
+    bf_bench::emit_profile_results("larger_tlb", &cfg, &profile_cells);
 
     println!(
         "\npaper: larger TLB gains 0.3–2.1%; \"this larger L2 TLB is not a match for BabelFish\""

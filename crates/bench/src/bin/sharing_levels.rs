@@ -12,7 +12,7 @@ use babelfish::os::{MmapRequest, Segment};
 use babelfish::types::{AccessKind, CoreId, PageFlags, PageTableLevel, Pid, VirtAddr};
 use babelfish::{Machine, Mode, SimConfig};
 use bf_bench::{header, progress, reduction_pct};
-use bf_telemetry::TimelineSnapshot;
+use bf_telemetry::{ProfileSnapshot, TimelineSnapshot};
 
 const DATASET: u64 = 32 << 20;
 const ACCESSES: u64 = 60_000;
@@ -35,13 +35,15 @@ struct Outcome {
     l2_misses: u64,
     shared_level: Option<PageTableLevel>,
     timeline: Option<TimelineSnapshot>,
+    profile: Option<ProfileSnapshot>,
 }
 
 fn run(mode: Mode, huge: bool, cfg: &ExperimentConfig) -> Outcome {
     let mut machine = Machine::new(
         SimConfig::new(1, mode)
             .with_frames(1 << 21)
-            .with_timeline(cfg.timeline_every, cfg.timeline_fail_fast),
+            .with_timeline(cfg.timeline_every, cfg.timeline_fail_fast)
+            .with_profile(cfg.profile_top_k),
     );
     let kernel = machine.kernel_mut();
     let group = kernel.create_group();
@@ -95,6 +97,7 @@ fn run(mode: Mode, huge: bool, cfg: &ExperimentConfig) -> Outcome {
         l2_misses: stats.tlb.l2.misses(),
         shared_level,
         timeline: machine.take_timeline(),
+        profile: machine.take_profile(),
     }
 }
 
@@ -123,12 +126,15 @@ fn main() {
     let mut outcomes = sweep.run(args.threads).into_iter();
     let mut rows = Vec::new();
     let mut timeline_cells = Vec::new();
+    let mut profile_cells = Vec::new();
     for (label, huge) in [("4KB pages", false), ("2MB huge pages", true)] {
         let mut base = outcomes.next().expect("baseline cell");
         let mut bf = outcomes.next().expect("babelfish cell");
         let pages = if huge { "2mb" } else { "4kb" };
         timeline_cells.push((format!("{pages}-baseline"), base.timeline.take()));
         timeline_cells.push((format!("{pages}-babelfish"), bf.timeline.take()));
+        profile_cells.push((format!("{pages}-baseline"), base.profile.take()));
+        profile_cells.push((format!("{pages}-babelfish"), bf.profile.take()));
         for (mode, outcome) in [("baseline", &base), ("babelfish", &bf)] {
             println!(
                 "{:<22} {:>12} {:>10} {:>10} {:>14}",
@@ -156,4 +162,5 @@ fn main() {
     println!(" merging PMD tables when the mapping uses 2MB pages)");
 
     bf_bench::emit_timeline_results("sharing_levels", &cfg, &timeline_cells);
+    bf_bench::emit_profile_results("sharing_levels", &cfg, &profile_cells);
 }

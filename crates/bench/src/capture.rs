@@ -105,8 +105,11 @@ fn run_capture(path: &str, cfg: &ExperimentConfig) -> Result<(), String> {
     let stem = format!("capture-{app_name}-{mode_name}");
     let doc = window_doc(mode, app.name(), &cfg, &window);
     crate::emit_results(&stem, &doc);
-    let cells = [(format!("{app_name}-{mode_name}"), window.timeline.clone())];
+    let cell_name = format!("{app_name}-{mode_name}");
+    let cells = [(cell_name.clone(), window.timeline.clone())];
     crate::emit_timeline_results(&stem, &cfg, &cells);
+    let profile_cells = [(cell_name, window.profile.clone())];
+    crate::emit_profile_results(&stem, &cfg, &profile_cells);
     Ok(())
 }
 
@@ -118,6 +121,7 @@ fn run_replay(path: &str, cfg: &ExperimentConfig) -> Result<(), String> {
         trace_sample_every: cfg.trace_sample_every,
         timeline_every: cfg.timeline_every,
         timeline_fail_fast: cfg.timeline_fail_fast,
+        profile_top_k: cfg.profile_top_k,
         recapture: None,
     };
     let outcome =
@@ -131,11 +135,11 @@ fn run_replay(path: &str, cfg: &ExperimentConfig) -> Result<(), String> {
     let stem = format!("replay-{}-{mode_name}", outcome.app);
     let doc = window_doc(outcome.mode, outcome.app, &outcome.config, &outcome.result);
     crate::emit_results(&stem, &doc);
-    let cells = [(
-        format!("{}-{mode_name}", outcome.app),
-        outcome.result.timeline.clone(),
-    )];
+    let cell_name = format!("{}-{mode_name}", outcome.app);
+    let cells = [(cell_name.clone(), outcome.result.timeline.clone())];
     crate::emit_timeline_results(&stem, &outcome.config, &cells);
+    let profile_cells = [(cell_name, outcome.result.profile.clone())];
+    crate::emit_profile_results(&stem, &outcome.config, &profile_cells);
     Ok(())
 }
 

@@ -9,7 +9,7 @@
 
 use babelfish::experiment::{run_serving_machine, ExperimentConfig};
 use babelfish::{Mode, ServingVariant};
-use bf_telemetry::TimelineSnapshot;
+use bf_telemetry::{ProfileSnapshot, TimelineSnapshot};
 use serde::{Serialize, Value};
 use std::path::{Path, PathBuf};
 
@@ -37,6 +37,9 @@ pub const DEFAULT_TRACE_SAMPLE: u64 = 64;
 
 /// Default epoch interval (accesses) for a bare `--timeline` flag.
 pub const DEFAULT_TIMELINE_EPOCH: u64 = 4096;
+
+/// Default hot-region sketch capacity for a bare `--profile` flag.
+pub const DEFAULT_PROFILE_K: u64 = 64;
 
 /// Everything the figure binaries take from the command line, parsed
 /// once by [`parse_args`].
@@ -68,6 +71,11 @@ const USAGE: &str = "options:
                       'fail' panics on the first violation, 'record' (the
                       default when --timeline is on) stores violations in the
                       timeline export; implies --timeline
+  --profile[=K]       miss-attribution profiling with top-K hot-region sketches
+                      (hot pages, TLB set conflicts, walk paths, per-container
+                      blame) and write results/<figure>-profile-latest.json
+                      (default K=64; BF_PROFILE=K also works; render with
+                      bf_report profile)
   --threads N         worker threads for the experiment sweep (BF_THREADS also
                       works; defaults to the host's available parallelism)
   --capture=FILE      record the canonical capture cell (mongodb x babelfish, or
@@ -91,6 +99,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
     let mut quiet = false;
     let mut trace: Option<u64> = None;
     let mut timeline: Option<u64> = None;
+    let mut profile: Option<u64> = None;
     let mut fail_fast: Option<bool> = None;
     let mut threads: Option<usize> = None;
     let mut capture: Option<String> = None;
@@ -102,6 +111,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
             "--quiet" => quiet = true,
             "--trace" => trace = Some(DEFAULT_TRACE_SAMPLE),
             "--timeline" => timeline = Some(DEFAULT_TIMELINE_EPOCH),
+            "--profile" => profile = Some(DEFAULT_PROFILE_K),
             "--invariants" => fail_fast = Some(true),
             "--threads" => {
                 let value = args
@@ -125,6 +135,14 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
                         n.parse()
                             .map_err(|_| format!("invalid --timeline value: {n}"))?,
                     );
+                } else if let Some(k) = arg.strip_prefix("--profile=") {
+                    let k: u64 = k
+                        .parse()
+                        .map_err(|_| format!("invalid --profile value: {k}"))?;
+                    if k == 0 {
+                        return Err("--profile needs a positive K".to_owned());
+                    }
+                    profile = Some(k);
                 } else if let Some(mode) = arg.strip_prefix("--invariants=") {
                     fail_fast = Some(match mode {
                         "fail" => true,
@@ -166,6 +184,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
         env_u64("BF_TIMELINE").unwrap_or(implied)
     });
     cfg.timeline_fail_fast = fail_fast.unwrap_or(false);
+    cfg.profile_top_k = profile.unwrap_or_else(|| env_u64("BF_PROFILE").unwrap_or(0));
     if capture.is_some() && replay.is_some() {
         return Err("--capture and --replay are mutually exclusive".to_owned());
     }
@@ -207,17 +226,31 @@ pub fn config_from_args() -> ExperimentConfig {
 /// `(timestamped, latest)`.
 pub fn write_results(stem: &str, doc: &Value) -> std::io::Result<(PathBuf, PathBuf)> {
     let stamped = bf_telemetry::results_path("results", stem, "json");
-    bf_telemetry::write_json(&stamped, doc)?;
+    bf_telemetry::write_json(&stamped, doc).map_err(|e| named_io_error(&stamped, e))?;
     let latest = Path::new("results").join(format!("{stem}-latest.json"));
-    bf_telemetry::write_json(&latest, doc)?;
+    bf_telemetry::write_json(&latest, doc).map_err(|e| named_io_error(&latest, e))?;
     Ok((stamped, latest))
+}
+
+/// Wraps a write failure with the offending path, so the bench binaries
+/// can report `writing results/x.json: No space left on device` instead
+/// of panicking.
+fn named_io_error(path: &Path, err: std::io::Error) -> std::io::Error {
+    std::io::Error::other(format!("writing {}: {err}", path.display()))
+}
+
+/// Error epilogue for the emit helpers: report and exit 1, no panic.
+fn exit_write_error(err: std::io::Error) -> ! {
+    eprintln!("error: {err}");
+    std::process::exit(1);
 }
 
 /// The standard results epilogue every figure binary used to hand-roll:
 /// [`write_results`] plus the `wrote <latest> (and <stamped>)` stdout
-/// line. Returns the stable `-latest.json` path.
+/// line. Returns the stable `-latest.json` path. Reports write failures
+/// (naming the path) and exits 1 instead of panicking.
 pub fn emit_results(stem: &str, doc: &Value) -> PathBuf {
-    let (stamped, latest) = write_results(stem, doc).expect("writing results JSON");
+    let (stamped, latest) = write_results(stem, doc).unwrap_or_else(|e| exit_write_error(e));
     println!("\nwrote {} (and {})", latest.display(), stamped.display());
     latest
 }
@@ -231,12 +264,27 @@ pub fn emit_timeline_results(
     cells: &[(String, Option<TimelineSnapshot>)],
 ) {
     if let Some((_, latest)) =
-        write_timeline_results(stem, cfg, cells).expect("writing timeline JSON")
+        write_timeline_results(stem, cfg, cells).unwrap_or_else(|e| exit_write_error(e))
     {
         println!(
             "wrote {} (render with bf_report timeline)",
             latest.display()
         );
+    }
+}
+
+/// The profile twin of [`emit_results`]: [`write_profile_results`] plus
+/// its stdout pointer line. Quietly does nothing when profiling was off
+/// for the run.
+pub fn emit_profile_results(
+    stem: &str,
+    cfg: &ExperimentConfig,
+    cells: &[(String, Option<ProfileSnapshot>)],
+) {
+    if let Some((_, latest)) =
+        write_profile_results(stem, cfg, cells).unwrap_or_else(|e| exit_write_error(e))
+    {
+        println!("wrote {} (render with bf_report profile)", latest.display());
     }
 }
 
@@ -330,6 +378,50 @@ pub fn write_timeline_results(
     write_results(&format!("{stem}-timeline"), &doc).map(Some)
 }
 
+/// Builds the `<stem>-profile` results document: one entry per sweep
+/// cell, in submission order, each carrying the cell's
+/// [`ProfileSnapshot`] (or `null` for cells that ran without one). The
+/// snapshot serialization includes derived scalars (`miss_top_share`,
+/// `sets.skew`, `sets.top_decile_share`) that `bf_report check` gates
+/// can match by suffix.
+pub fn profile_doc(
+    stem: &str,
+    cfg: &ExperimentConfig,
+    cells: &[(String, Option<ProfileSnapshot>)],
+) -> Value {
+    let rows = cells
+        .iter()
+        .map(|(name, profile)| {
+            json_object([
+                ("name", Value::String(name.clone())),
+                ("profile", profile.to_value()),
+            ])
+        })
+        .collect();
+    json_object([
+        ("figure", Value::String(format!("{stem}-profile"))),
+        ("config", cfg.to_value()),
+        ("cells", Value::Array(rows)),
+    ])
+}
+
+/// Writes the [`profile_doc`] for one figure under `results/` — a
+/// timestamped archival copy plus the stable
+/// `<stem>-profile-latest.json` — and returns both paths. Returns
+/// `Ok(None)` when profiling was off for the run
+/// (`cfg.profile_top_k == 0`) or telemetry is compiled out.
+pub fn write_profile_results(
+    stem: &str,
+    cfg: &ExperimentConfig,
+    cells: &[(String, Option<ProfileSnapshot>)],
+) -> std::io::Result<Option<(PathBuf, PathBuf)>> {
+    if cfg.profile_top_k == 0 || !bf_telemetry::enabled() {
+        return Ok(None);
+    }
+    let doc = profile_doc(stem, cfg, cells);
+    write_results(&format!("{stem}-profile"), &doc).map(Some)
+}
+
 /// Runs one traced BabelFish data-serving window and writes its Chrome
 /// trace-event JSON to `results/trace-<name>.json` (load it at
 /// `ui.perfetto.dev` or `chrome://tracing`). Returns `None` when tracing
@@ -340,10 +432,9 @@ pub fn write_trace_artifact(name: &str, cfg: &ExperimentConfig) -> Option<PathBu
     }
     let machine = run_serving_machine(Mode::babelfish(), ServingVariant::MongoDb, cfg);
     let path = Path::new("results").join(format!("trace-{name}.json"));
-    machine
-        .spans()
-        .write_chrome_trace(&path)
-        .expect("writing trace JSON");
+    if let Err(e) = machine.spans().write_chrome_trace(&path) {
+        exit_write_error(named_io_error(&path, e));
+    }
     Some(path)
 }
 
@@ -468,6 +559,24 @@ mod tests {
 
         let args = parse_ok(&["--quick"]);
         assert_eq!(args.cfg.timeline_every, 0, "timelines default to off");
+    }
+
+    #[test]
+    fn profile_flag_parses() {
+        let args = parse_ok(&["--quick", "--profile"]);
+        assert_eq!(args.cfg.profile_top_k, DEFAULT_PROFILE_K);
+
+        let args = parse_ok(&["--profile=128", "--quick"]);
+        assert_eq!(args.cfg.profile_top_k, 128);
+
+        let args = parse_ok(&["--quick"]);
+        assert_eq!(args.cfg.profile_top_k, 0, "profiling defaults to off");
+
+        assert!(parse(["--profile=abc".to_string()].into_iter()).is_err());
+        assert!(
+            parse(["--profile=0".to_string()].into_iter()).is_err(),
+            "a zero-capacity sketch is rejected, not silently off"
+        );
     }
 
     #[test]

@@ -954,10 +954,248 @@ fn run_timeline(args: &[String]) -> Result<bool, String> {
     }
 }
 
-/// The `bf-report` command line: `diff <a> <b> [--top N]` or
-/// `check <baseline> <current> --gate SPEC...`. Returns the process
-/// exit code (0 ok, 1 regression, 2 usage/IO error).
+/// The keys every serialized [`bf_telemetry::ProfileSnapshot`] must
+/// carry; `bf-report profile` refuses documents missing any of them, so
+/// the CI schema check is just a render.
+const PROFILE_KEYS: [&str; 12] = [
+    "top_k",
+    "region_shift",
+    "total_misses",
+    "total_walks",
+    "total_walk_cycles",
+    "miss_error_bound",
+    "miss_top_share",
+    "miss_regions",
+    "walk_regions",
+    "blame",
+    "paths",
+    "sets",
+];
+
+/// Validates a `<figure>-profile` document and returns its cells as
+/// `(name, profile-or-null)` pairs. Errors name the first missing key.
+fn validate_profile_doc(doc: &Value) -> Result<Vec<(String, &Value)>, String> {
+    let figure = doc
+        .get("figure")
+        .and_then(Value::as_str)
+        .ok_or("not a profile document: no 'figure' key")?;
+    if !figure.ends_with("-profile") {
+        return Err(format!(
+            "'{figure}' is not a profile document (expected a '<figure>-profile' export)"
+        ));
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(Value::as_array)
+        .ok_or("profile document has no 'cells' array")?;
+    let mut out = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let name = cell
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("cell {i} has no 'name'"))?;
+        let profile = cell
+            .get("profile")
+            .ok_or_else(|| format!("cell '{name}' has no 'profile' key"))?;
+        if !matches!(profile, Value::Null) {
+            for key in PROFILE_KEYS {
+                if profile.get(key).is_none() {
+                    return Err(format!("cell '{name}': profile is missing '{key}'"));
+                }
+            }
+        }
+        out.push((name.to_owned(), profile));
+    }
+    Ok(out)
+}
+
+/// Renders one cell's region sketch (`miss_regions` / `walk_regions`)
+/// as a top-N table. `unit` labels the count column.
+fn render_region_table(profile: &Value, key: &str, unit: &str, top: usize) {
+    let regions = profile.get(key).and_then(Value::as_array).unwrap_or(&[]);
+    let shift = profile
+        .get("region_shift")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    if regions.is_empty() {
+        println!("  (no {key})");
+        return;
+    }
+    println!(
+        "  {:<6} {:>18} {:>14} {:>12}",
+        "ccid", "region base", unit, "err<="
+    );
+    for entry in regions.iter().take(top) {
+        let ccid = entry.get("ccid").and_then(Value::as_u64).unwrap_or(0);
+        let region = entry.get("region").and_then(Value::as_u64).unwrap_or(0);
+        let count = entry.get("count").and_then(Value::as_u64).unwrap_or(0);
+        let error = entry.get("error").and_then(Value::as_u64).unwrap_or(0);
+        println!(
+            "  {:<6} {:>#18x} {:>14} {:>12}",
+            ccid,
+            region << (shift + 12),
+            count,
+            error
+        );
+    }
+    if regions.len() > top {
+        println!("  ... {} more monitored regions", regions.len() - top);
+    }
+}
+
+/// Renders a `<figure>-profile` export: per-cell top-N hot-region
+/// tables (misses and walk cycles), the L2 TLB set-conflict summary,
+/// per-container blame, and the hottest walk paths. `--folded FILE`
+/// additionally writes every cell's walk paths as folded stacks
+/// (`cell;ccidN;pidN;pgd:...;pte:... count`) ready for
+/// `flamegraph.pl` / `inferno-flamegraph`. Errors (exit 2) when the
+/// document does not match the profile export schema.
+fn run_profile(args: &[String]) -> Result<bool, String> {
+    let mut files = Vec::new();
+    let mut top = 10usize;
+    let mut folded: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--top" => {
+                let n = iter.next().ok_or("--top needs a number")?;
+                top = n.parse().map_err(|_| format!("bad --top '{n}'"))?;
+            }
+            "--folded" => folded = Some(iter.next().ok_or("--folded needs a path")?.clone()),
+            other if !other.starts_with("--") => files.push(other.to_owned()),
+            other => return Err(format!("unknown profile argument '{other}'\n{USAGE}")),
+        }
+    }
+    let [path] = files.as_slice() else {
+        return Err(format!(
+            "profile mode takes one JSON file, got {}\n{USAGE}",
+            files.len()
+        ));
+    };
+    let doc = load(path)?;
+    let cells = validate_profile_doc(&doc)?;
+
+    let mut folded_text = String::new();
+    for (name, profile) in &cells {
+        println!("\ncell {name}");
+        println!("{}", "-".repeat(name.len() + 5));
+        if matches!(profile, Value::Null) {
+            println!("  (no profile: cell ran without --profile)");
+            continue;
+        }
+        let scalar = |key: &str| profile.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+        println!(
+            "  misses {} / walks {} / walk cycles {}  (sketch K={}, count error <= {})",
+            scalar("total_misses"),
+            scalar("total_walks"),
+            scalar("total_walk_cycles"),
+            scalar("top_k"),
+            scalar("miss_error_bound"),
+        );
+        println!(
+            "  top-K miss share: {:.1}%",
+            scalar("miss_top_share") * 100.0
+        );
+
+        println!("\n  hottest regions by TLB misses:");
+        render_region_table(profile, "miss_regions", "misses", top);
+        println!("\n  hottest regions by walk cycles:");
+        render_region_table(profile, "walk_regions", "cycles", top);
+
+        if let Some(sets) = profile
+            .get("sets")
+            .filter(|s| !matches!(s, Value::Null))
+            .and_then(Value::as_object)
+        {
+            let get = |key: &str| sets.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+            println!(
+                "\n  L2 TLB sets: {} sets, {} misses, {} evictions, skew(max/mean) {:.2}, top-decile share {:.1}%",
+                get("sets"),
+                get("total_misses"),
+                get("total_evictions"),
+                get("skew"),
+                get("top_decile_share") * 100.0
+            );
+        }
+
+        let blame = profile
+            .get("blame")
+            .and_then(Value::as_array)
+            .unwrap_or(&[]);
+        if !blame.is_empty() {
+            println!("\n  blame (per ccid/pid):");
+            println!(
+                "  {:<6} {:<8} {:>12} {:>10} {:>14}",
+                "ccid", "pid", "misses", "walks", "walk cycles"
+            );
+            for entry in blame.iter().take(top) {
+                let get = |key: &str| entry.get(key).and_then(Value::as_u64).unwrap_or(0);
+                println!(
+                    "  {:<6} {:<8} {:>12} {:>10} {:>14}",
+                    get("ccid"),
+                    get("pid"),
+                    get("misses"),
+                    get("walks"),
+                    get("walk_cycles")
+                );
+            }
+            if blame.len() > top {
+                println!("  ... {} more containers", blame.len() - top);
+            }
+        }
+
+        let paths = profile
+            .get("paths")
+            .and_then(Value::as_array)
+            .unwrap_or(&[]);
+        if !paths.is_empty() {
+            println!("\n  hottest walk paths:");
+            let mut by_count: Vec<&Value> = paths.iter().collect();
+            by_count.sort_by_key(|p| std::cmp::Reverse(p.get("count").and_then(Value::as_u64)));
+            for entry in by_count.iter().take(top) {
+                println!(
+                    "  {:>10}  ccid{} pid{}  {}",
+                    entry.get("count").and_then(Value::as_u64).unwrap_or(0),
+                    entry.get("ccid").and_then(Value::as_u64).unwrap_or(0),
+                    entry.get("pid").and_then(Value::as_u64).unwrap_or(0),
+                    entry.get("path").and_then(Value::as_str).unwrap_or("?"),
+                );
+            }
+        }
+        for entry in paths {
+            let _ = writeln!(
+                folded_text,
+                "{name};ccid{};pid{};{} {}",
+                entry.get("ccid").and_then(Value::as_u64).unwrap_or(0),
+                entry.get("pid").and_then(Value::as_u64).unwrap_or(0),
+                entry.get("path").and_then(Value::as_str).unwrap_or("?"),
+                entry.get("count").and_then(Value::as_u64).unwrap_or(0),
+            );
+        }
+    }
+
+    if let Some(folded_path) = folded {
+        std::fs::write(&folded_path, folded_text)
+            .map_err(|e| format!("writing {folded_path}: {e}"))?;
+        println!("\nwrote {folded_path} (render: flamegraph.pl {folded_path} > profile.svg)");
+    }
+    Ok(false)
+}
+
+/// The `bf-report` command line: one of the subcommands listed in the
+/// usage text. Returns the process exit code (0 ok, 1 regression,
+/// 2 usage/IO error). `--help` anywhere prints the usage to stdout and
+/// exits 0; no arguments or an unknown subcommand prints it to stderr
+/// and exits 2.
 pub fn run_cli(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return 0;
+    }
+    if args.is_empty() {
+        eprintln!("bf-report: a subcommand is required\n{USAGE}");
+        return 2;
+    }
     match run(args) {
         Ok(regressed) => {
             if regressed {
@@ -973,17 +1211,33 @@ pub fn run_cli(args: &[String]) -> i32 {
     }
 }
 
-const USAGE: &str = "usage: bf-report diff <base.json> <current.json> [--top N]\n       bf-report check <baseline.json> <current.json> --gate 'name[@phase]=+P%|-P%|~P%' [--gate ...] [--top N]\n       bf-report timeline <current.json> [<baseline.json>] [--metric NAME ...] [--top N]\n       bf-report trace <trace.bft> [<other.bft>]\n       bf-report time --run 'label=command args...' [--run ...] [--out timing.json]";
+const USAGE: &str = "usage: bf-report <subcommand> [args...]
+
+subcommands:
+  time      time --run 'label=command args...' [--run ...] [--out timing.json]
+            wall-clock several whole binaries and report speedups
+  timeline  timeline <current.json> [<baseline.json>] [--metric NAME ...] [--top N]
+            render + validate a <figure>-timeline export
+  trace     trace <trace.bft> [<other.bft>]
+            summarise (and byte-compare) captured binary traces
+  diff      diff <base.json> <current.json> [--top N]
+            flatten two results documents and show metric movement
+  check     check <baseline.json> <current.json> --gate 'name[@phase]=+P%|-P%|~P%' [--gate ...] [--top N]
+            diff, then fail (exit 1) on gated regressions
+  profile   profile <figure-profile.json> [--top N] [--folded FILE]
+            render a <figure>-profile export: hot regions, TLB set
+            conflicts, per-container blame, walk-path flamegraph stacks
+
+  -h, --help  print this message";
 
 fn run(args: &[String]) -> Result<bool, String> {
-    if args.first().map(String::as_str) == Some("time") {
-        return run_time(&args[1..]);
-    }
-    if args.first().map(String::as_str) == Some("timeline") {
-        return run_timeline(&args[1..]);
-    }
-    if args.first().map(String::as_str) == Some("trace") {
-        return run_trace(&args[1..]);
+    match args.first().map(String::as_str).unwrap_or_default() {
+        "time" => return run_time(&args[1..]),
+        "timeline" => return run_timeline(&args[1..]),
+        "trace" => return run_trace(&args[1..]),
+        "profile" => return run_profile(&args[1..]),
+        "diff" | "--diff" | "check" | "--check" => {}
+        other => return Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     }
     let mut mode = None;
     let mut files = Vec::new();
@@ -1002,7 +1256,6 @@ fn run(args: &[String]) -> Result<bool, String> {
                 let n = iter.next().ok_or("--top needs a number")?;
                 top = n.parse().map_err(|_| format!("bad --top '{n}'"))?;
             }
-            "--help" | "-h" => return Err(USAGE.to_owned()),
             other if !other.starts_with("--") => files.push(other.to_owned()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
@@ -1428,6 +1681,56 @@ mod tests {
 
         // Not a timeline document at all: a hard error, not a pass.
         assert!(validate_timeline_doc(&json_object([])).is_err());
+    }
+
+    #[test]
+    fn help_exits_zero_and_no_args_exits_two() {
+        assert_eq!(run_cli(&["--help".to_owned()]), 0);
+        assert_eq!(run_cli(&["-h".to_owned()]), 0);
+        assert_eq!(run_cli(&[]), 2);
+        assert_eq!(run_cli(&["frobnicate".to_owned()]), 2);
+        // Every subcommand is in the usage text.
+        for sub in ["time", "timeline", "trace", "diff", "check", "profile"] {
+            assert!(USAGE.contains(sub), "usage is missing '{sub}'");
+        }
+    }
+
+    #[test]
+    fn profile_doc_validation_names_missing_keys() {
+        // A real snapshot round-trips through the document builder.
+        let mut profiler = bf_telemetry::Profiler::new(4);
+        profiler.record_miss(1, 7, 0x40);
+        profiler.record_walk(1, 7, 0x40, 30, 0o1112);
+        let snapshot = profiler.snapshot(None);
+        let cfg = babelfish::experiment::ExperimentConfig::smoke_test();
+        let doc = crate::profile_doc(
+            "fig10_tlb",
+            &cfg,
+            &[
+                ("mongodb-babelfish".to_owned(), Some(snapshot)),
+                ("mongodb-baseline".to_owned(), None),
+            ],
+        );
+        let cells = validate_profile_doc(&doc).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert!(matches!(cells[1].1, Value::Null));
+
+        // Dropping a required key is reported by name.
+        let mut broken = doc.clone();
+        if let Some(Value::Array(cells)) = broken.get_mut("cells") {
+            if let Some(Value::Object(profile)) = cells[0].get_mut("profile") {
+                profile.remove("miss_regions");
+            }
+        }
+        let err = validate_profile_doc(&broken).unwrap_err();
+        assert!(err.contains("miss_regions"), "{err}");
+
+        // A non-profile document is rejected outright.
+        assert!(validate_profile_doc(&json_object([(
+            "figure",
+            Value::String("fig10_tlb-timeline".to_owned())
+        )]))
+        .is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use babelfish::experiment::{
     FunctionsResult, ServingResult,
 };
 use babelfish::{AccessDensity, MachineStats, Mode, ServingVariant};
-use bf_telemetry::{Snapshot, TimelineSnapshot};
+use bf_telemetry::{ProfileSnapshot, Snapshot, TimelineSnapshot};
 use serde::{Serialize, Value};
 
 /// One application row of Fig. 10: Baseline and BabelFish stats plus
@@ -37,10 +37,20 @@ pub struct Fig10Row {
     pub base_timeline: Option<TimelineSnapshot>,
     /// BabelFish epoch timeline (None unless timelines are on).
     pub babelfish_timeline: Option<TimelineSnapshot>,
+    /// Baseline miss-attribution profile (None unless profiling is on).
+    pub base_profile: Option<ProfileSnapshot>,
+    /// BabelFish miss-attribution profile (None unless profiling is on).
+    pub babelfish_profile: Option<ProfileSnapshot>,
 }
 
-/// What one Fig. 10 cell produces: stats, telemetry, epoch timeline.
-type Fig10Cell = (MachineStats, Snapshot, Option<TimelineSnapshot>);
+/// What one Fig. 10 cell produces: stats, telemetry, epoch timeline,
+/// miss-attribution profile.
+type Fig10Cell = (
+    MachineStats,
+    Snapshot,
+    Option<TimelineSnapshot>,
+    Option<ProfileSnapshot>,
+);
 
 /// One Fig. 10 application: its name plus a boxed runner producing the
 /// raw data for one mode.
@@ -57,7 +67,7 @@ fn fig10_apps() -> Vec<Fig10App> {
             variant.name(),
             Box::new(move |mode, cfg| {
                 let r = run_serving(mode, variant, cfg);
-                (r.stats, r.telemetry, r.timeline)
+                (r.stats, r.telemetry, r.timeline, r.profile)
             }),
         ));
     }
@@ -66,7 +76,7 @@ fn fig10_apps() -> Vec<Fig10App> {
             kind.name(),
             Box::new(move |mode, cfg| {
                 let r = run_compute(mode, kind, cfg);
-                (r.stats, r.telemetry, r.timeline)
+                (r.stats, r.telemetry, r.timeline, r.profile)
             }),
         ));
     }
@@ -78,7 +88,7 @@ fn fig10_apps() -> Vec<Fig10App> {
             name,
             Box::new(move |mode, cfg| {
                 let r = run_functions(mode, density, cfg);
-                (r.stats, r.telemetry, r.timeline)
+                (r.stats, r.telemetry, r.timeline, r.profile)
             }),
         ));
     }
@@ -111,8 +121,9 @@ pub fn fig10_rows(cfg: &ExperimentConfig, threads: usize, quiet: bool) -> Vec<Fi
     names
         .into_iter()
         .map(|name| {
-            let (base, base_telemetry, base_timeline) = results.next().expect("base cell");
-            let (babelfish, babelfish_telemetry, babelfish_timeline) =
+            let (base, base_telemetry, base_timeline, base_profile) =
+                results.next().expect("base cell");
+            let (babelfish, babelfish_telemetry, babelfish_timeline, babelfish_profile) =
                 results.next().expect("babelfish cell");
             Fig10Row {
                 name,
@@ -122,6 +133,8 @@ pub fn fig10_rows(cfg: &ExperimentConfig, threads: usize, quiet: bool) -> Vec<Fi
                 babelfish_telemetry,
                 base_timeline,
                 babelfish_timeline,
+                base_profile,
+                babelfish_profile,
             }
         })
         .collect()
@@ -137,6 +150,22 @@ pub fn fig10_timeline_cells(rows: &[Fig10Row]) -> Vec<(String, Option<TimelineSn
                 (
                     format!("{}-babelfish", row.name),
                     row.babelfish_timeline.clone(),
+                ),
+            ]
+        })
+        .collect()
+}
+
+/// The Fig. 10 rows as `(cell-name, profile)` pairs in submission
+/// order — the shape [`crate::write_profile_results`] takes.
+pub fn fig10_profile_cells(rows: &[Fig10Row]) -> Vec<(String, Option<ProfileSnapshot>)> {
+    rows.iter()
+        .flat_map(|row| {
+            [
+                (format!("{}-baseline", row.name), row.base_profile.clone()),
+                (
+                    format!("{}-babelfish", row.name),
+                    row.babelfish_profile.clone(),
                 ),
             ]
         })
@@ -304,6 +333,25 @@ pub fn fig11_timeline_cells(data: &Fig11Data) -> Vec<(String, Option<TimelineSna
     for (label, base, bf) in &data.functions {
         cells.push((format!("fn-{label}-baseline"), base.timeline.clone()));
         cells.push((format!("fn-{label}-babelfish"), bf.timeline.clone()));
+    }
+    cells
+}
+
+/// The Fig. 11 cells as `(cell-name, profile)` pairs in submission
+/// order — the shape [`crate::write_profile_results`] takes.
+pub fn fig11_profile_cells(data: &Fig11Data) -> Vec<(String, Option<ProfileSnapshot>)> {
+    let mut cells = Vec::new();
+    for (name, base, bf) in &data.serving {
+        cells.push((format!("{name}-baseline"), base.profile.clone()));
+        cells.push((format!("{name}-babelfish"), bf.profile.clone()));
+    }
+    for (name, base, bf) in &data.compute {
+        cells.push((format!("{name}-baseline"), base.profile.clone()));
+        cells.push((format!("{name}-babelfish"), bf.profile.clone()));
+    }
+    for (label, base, bf) in &data.functions {
+        cells.push((format!("fn-{label}-baseline"), base.profile.clone()));
+        cells.push((format!("fn-{label}-babelfish"), bf.profile.clone()));
     }
     cells
 }

@@ -67,6 +67,58 @@ fn live_and_replayed_results_documents_are_byte_identical() {
 }
 
 #[test]
+fn live_and_replayed_profiles_are_byte_identical() {
+    if !bf_telemetry::enabled() {
+        return;
+    }
+    let mut cfg = quick();
+    // Profiling on for both runs: the trace header carries no
+    // instrumentation knobs, so the replay layers the same --profile
+    // setting on top and must reconstruct the identical attribution.
+    cfg.profile_top_k = 32;
+    let app = CaptureApp::from_name("mongodb").unwrap();
+    let mode = Mode::babelfish();
+    let trace = temp_path("fig10-profile-e2e.bft");
+
+    let live = capture_to_file(mode, app, &cfg, &trace).expect("live capture");
+    let outcome = replay_file(
+        &trace,
+        ReplayOptions {
+            profile_top_k: cfg.profile_top_k,
+            ..Default::default()
+        },
+    )
+    .expect("replay");
+
+    let live_doc = serde_json::to_string(&bf_bench::profile_doc(
+        "capture-mongodb-babelfish",
+        &cfg,
+        &[("mongodb-babelfish".to_owned(), live.profile.clone())],
+    ))
+    .unwrap();
+    let replay_doc = serde_json::to_string(&bf_bench::profile_doc(
+        "capture-mongodb-babelfish",
+        &outcome.config,
+        &[(
+            "mongodb-babelfish".to_owned(),
+            outcome.result.profile.clone(),
+        )],
+    ))
+    .unwrap();
+    assert!(
+        live_doc == replay_doc,
+        "live and replayed profiles must be byte-identical"
+    );
+    // The equivalence must cover a real profile, not two nulls.
+    assert!(
+        live_doc.contains("\"miss_regions\":[{"),
+        "expected monitored hot regions in {live_doc}"
+    );
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
 fn recapturing_a_replay_reproduces_the_trace_byte_for_byte() {
     let cfg = quick();
     let app = CaptureApp::from_name("fio").unwrap();

@@ -9,7 +9,7 @@
 //! invariant violations.
 
 use babelfish::experiment::ExperimentConfig;
-use bf_bench::sweeps::{fig10_doc, fig10_rows, fig10_timeline_cells};
+use bf_bench::sweeps::{fig10_doc, fig10_profile_cells, fig10_rows, fig10_timeline_cells};
 
 /// A config small enough that 14 cells finish in seconds but large
 /// enough that every workload actually touches the TLB hierarchy.
@@ -79,6 +79,40 @@ fn timeline_export_is_byte_identical_across_thread_counts() {
     assert_eq!(
         doc_serial, doc_parallel,
         "timeline JSON must not depend on --threads"
+    );
+}
+
+#[test]
+fn profile_export_is_byte_identical_across_thread_counts() {
+    if !bf_telemetry::enabled() {
+        return;
+    }
+    let mut cfg = tiny_config();
+    cfg.profile_top_k = 32;
+    let serial = fig10_rows(&cfg, 1, true);
+    let parallel = fig10_rows(&cfg, 4, true);
+
+    let doc_serial = serde_json::to_string(&bf_bench::profile_doc(
+        "fig10_tlb",
+        &cfg,
+        &fig10_profile_cells(&serial),
+    ))
+    .unwrap();
+    let doc_parallel = serde_json::to_string(&bf_bench::profile_doc(
+        "fig10_tlb",
+        &cfg,
+        &fig10_profile_cells(&parallel),
+    ))
+    .unwrap();
+    assert_eq!(
+        doc_serial, doc_parallel,
+        "profile JSON must not depend on --threads"
+    );
+    // A sweep this small must still attribute real misses — an empty
+    // profile would make the byte-identity above vacuous.
+    assert!(
+        doc_serial.contains("\"miss_regions\":[{"),
+        "expected monitored hot regions in {doc_serial}"
     );
 }
 

@@ -19,6 +19,21 @@ pub enum AccessOrigin {
     PageWalker,
 }
 
+/// Which level ultimately served an access — the classification
+/// returned by [`CacheHierarchy::access_classified`] so walk-path
+/// profiling can fold each walk step into a signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// Hit in the core's L1 (core-origin accesses only).
+    L1,
+    /// Hit in the core's private L2.
+    L2,
+    /// Hit in the shared L3.
+    L3,
+    /// Fetched from DRAM.
+    Dram,
+}
+
 /// Geometry of the whole hierarchy (defaults are Table I).
 ///
 /// # Examples
@@ -252,6 +267,24 @@ impl CacheHierarchy {
         origin: AccessOrigin,
         now: Cycles,
     ) -> Cycles {
+        self.access_classified(core, addr, kind, origin, now).0
+    }
+
+    /// [`CacheHierarchy::access`], additionally reporting which level
+    /// ended up serving the line — the walk-path profiler folds this
+    /// into per-step signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access_classified(
+        &mut self,
+        core: CoreId,
+        addr: PhysAddr,
+        kind: AccessKind,
+        origin: AccessOrigin,
+        now: Cycles,
+    ) -> (Cycles, ServedBy) {
         let c = core.index();
         assert!(c < self.config.cores, "core {core} out of range");
         let line = addr.cache_line();
@@ -275,7 +308,7 @@ impl CacheHierarchy {
                 };
                 hits.incr();
                 self.spans.instant("cache.l1.hit", &[]);
-                return latency;
+                return (latency, ServedBy::L1);
             }
             let misses = if is_fetch {
                 &self.telem.l1i_misses
@@ -296,7 +329,7 @@ impl CacheHierarchy {
                 self.fill_l1(c, kind, line);
             }
             self.spans.instant("cache.l2.hit", &[]);
-            return latency;
+            return (latency, ServedBy::L2);
         }
         self.telem.l2_misses.incr();
 
@@ -312,7 +345,7 @@ impl CacheHierarchy {
                 self.fill_l1(c, kind, line);
             }
             self.spans.instant("cache.l3.hit", &[]);
-            return latency;
+            return (latency, ServedBy::L3);
         }
         self.telem.l3_misses.incr();
 
@@ -328,7 +361,7 @@ impl CacheHierarchy {
             self.fill_l1(c, kind, line);
         }
         self.spans.instant("cache.dram", &[]);
-        latency
+        (latency, ServedBy::Dram)
     }
 
     /// Invalidates a physical line everywhere (used when the kernel frees

@@ -38,6 +38,7 @@ pub mod set_assoc;
 
 pub use hierarchy::{
     register_invariants, AccessOrigin, CacheHierarchy, HierarchyConfig, HierarchyStats, LevelStats,
+    ServedBy,
 };
 pub use pwc::{PageWalkCache, PwcConfig, PwcStats};
 pub use set_assoc::{CacheConfig, CacheStats, SetAssocCache};

@@ -9,7 +9,7 @@
 use bf_containers::{BringupProfile, ContainerRuntime, ImageSpec};
 use bf_os::pagemap::{self, CensusReport};
 use bf_sim::{CaptureSink, Machine, MachineStats, Mode, SimConfig};
-use bf_telemetry::{Snapshot, TimelineSnapshot};
+use bf_telemetry::{ProfileSnapshot, Snapshot, TimelineSnapshot};
 use bf_types::{Ccid, CoreId, Cycles, Pid};
 use bf_workloads::{
     AccessDensity, DataServing, FioCompute, FunctionKind, FunctionWorkload, GraphCompute, Op,
@@ -139,6 +139,9 @@ pub struct ExperimentConfig {
     /// Panic on the first invariant violation at an epoch boundary
     /// instead of recording it into the timeline export.
     pub timeline_fail_fast: bool,
+    /// Miss-attribution profiling: top-K capacity of the hot-region
+    /// sketches (0 disables profiling).
+    pub profile_top_k: u64,
 }
 
 impl ExperimentConfig {
@@ -157,6 +160,7 @@ impl ExperimentConfig {
             trace_sample_every: 0,
             timeline_every: 0,
             timeline_fail_fast: false,
+            profile_top_k: 0,
         }
     }
 
@@ -175,6 +179,7 @@ impl ExperimentConfig {
             trace_sample_every: 0,
             timeline_every: 0,
             timeline_fail_fast: false,
+            profile_top_k: 0,
         }
     }
 }
@@ -196,6 +201,9 @@ pub struct ServingResult {
     /// Epoch timeline of the measurement window (None unless
     /// [`ExperimentConfig::timeline_every`] is set).
     pub timeline: Option<TimelineSnapshot>,
+    /// Miss-attribution profile of the measurement window (None unless
+    /// [`ExperimentConfig::profile_top_k`] is set).
+    pub profile: Option<ProfileSnapshot>,
 }
 
 /// Result of a compute run (Fig. 11 execution-time metric).
@@ -211,6 +219,9 @@ pub struct ComputeResult {
     /// Epoch timeline of the measurement window (None unless
     /// [`ExperimentConfig::timeline_every`] is set).
     pub timeline: Option<TimelineSnapshot>,
+    /// Miss-attribution profile of the measurement window (None unless
+    /// [`ExperimentConfig::profile_top_k`] is set).
+    pub profile: Option<ProfileSnapshot>,
 }
 
 /// Result of one capture or replay measurement window: the
@@ -228,6 +239,9 @@ pub struct WindowResult {
     /// Epoch timeline of the measurement window (None unless
     /// [`ExperimentConfig::timeline_every`] is set).
     pub timeline: Option<TimelineSnapshot>,
+    /// Miss-attribution profile of the measurement window (None unless
+    /// [`ExperimentConfig::profile_top_k`] is set).
+    pub profile: Option<ProfileSnapshot>,
 }
 
 /// Result of a FaaS run (Section VII-C function metrics).
@@ -246,6 +260,9 @@ pub struct FunctionsResult {
     /// Epoch timeline over the whole run (None unless
     /// [`ExperimentConfig::timeline_every`] is set).
     pub timeline: Option<TimelineSnapshot>,
+    /// Miss-attribution profile over the whole run (None unless
+    /// [`ExperimentConfig::profile_top_k`] is set).
+    pub profile: Option<ProfileSnapshot>,
 }
 
 impl FunctionsResult {
@@ -273,7 +290,8 @@ fn sim_config(mode: Mode, cfg: &ExperimentConfig, thp: bool) -> SimConfig {
     let mut sim = SimConfig::new(cfg.cores, mode)
         .with_frames(cfg.frames)
         .with_trace_sampling(cfg.trace_sample_every)
-        .with_timeline(cfg.timeline_every, cfg.timeline_fail_fast);
+        .with_timeline(cfg.timeline_every, cfg.timeline_fail_fast)
+        .with_profile(cfg.profile_top_k);
     sim.quantum_cycles = cfg.quantum_cycles;
     if !thp {
         sim = sim.without_thp();
@@ -324,6 +342,7 @@ pub fn run_serving(mode: Mode, variant: ServingVariant, cfg: &ExperimentConfig) 
         stats,
         telemetry: machine.telemetry_snapshot(),
         timeline: machine.take_timeline(),
+        profile: machine.take_profile(),
     }
 }
 
@@ -358,6 +377,7 @@ pub fn run_compute(mode: Mode, kind: ComputeKind, cfg: &ExperimentConfig) -> Com
         stats: machine.stats(),
         telemetry: machine.telemetry_snapshot(),
         timeline: machine.take_timeline(),
+        profile: machine.take_profile(),
     }
 }
 
@@ -440,6 +460,7 @@ pub fn run_captured(
             stats: machine.stats(),
             telemetry: machine.telemetry_snapshot(),
             timeline: machine.take_timeline(),
+            profile: machine.take_profile(),
         },
         sink,
     )
@@ -494,6 +515,7 @@ pub fn run_functions(
         stats: machine.stats(),
         telemetry: machine.telemetry_snapshot(),
         timeline: machine.take_timeline(),
+        profile: machine.take_profile(),
     }
 }
 
@@ -504,11 +526,17 @@ pub fn run_census(app: CensusApp, cfg: &ExperimentConfig) -> CensusReport {
 }
 
 /// Like [`run_census`], also returning the run's epoch timeline (None
-/// unless [`ExperimentConfig::timeline_every`] is set).
+/// unless [`ExperimentConfig::timeline_every`] is set) and its
+/// miss-attribution profile (None unless
+/// [`ExperimentConfig::profile_top_k`] is set).
 pub fn run_census_timed(
     app: CensusApp,
     cfg: &ExperimentConfig,
-) -> (CensusReport, Option<TimelineSnapshot>) {
+) -> (
+    CensusReport,
+    Option<TimelineSnapshot>,
+    Option<ProfileSnapshot>,
+) {
     // Fig. 9 was measured natively (no BabelFish), so run the baseline.
     match app {
         CensusApp::Serving(variant) => {
@@ -529,7 +557,7 @@ pub fn run_census_timed(
             }
             machine.run_instructions(cfg.measure_instructions);
             let report = pagemap::census(machine.kernel(), group);
-            (report, machine.take_timeline())
+            (report, machine.take_timeline(), machine.take_profile())
         }
         CensusApp::Compute(kind) => {
             let mut machine = Machine::new(sim_config(Mode::Baseline, cfg, true));
@@ -552,7 +580,7 @@ pub fn run_census_timed(
             }
             machine.run_instructions(cfg.measure_instructions);
             let report = pagemap::census(machine.kernel(), group);
-            (report, machine.take_timeline())
+            (report, machine.take_timeline(), machine.take_profile())
         }
         CensusApp::Functions => {
             // Three *live* functions (the census needs their tables).
@@ -581,7 +609,7 @@ pub fn run_census_timed(
                 drive_to_done(&mut machine, core, container.pid(), &mut workload);
             }
             let report = pagemap::census(machine.kernel(), group);
-            (report, machine.take_timeline())
+            (report, machine.take_timeline(), machine.take_profile())
         }
     }
 }

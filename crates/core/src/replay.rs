@@ -156,6 +156,7 @@ pub fn meta_config(meta: &TraceMeta) -> Result<(Mode, CaptureApp, ExperimentConf
         trace_sample_every: 0,
         timeline_every: 0,
         timeline_fail_fast: false,
+        profile_top_k: 0,
     };
     Ok((mode, app, cfg))
 }
@@ -189,6 +190,11 @@ pub struct ReplayOptions {
     pub timeline_every: u64,
     /// Panic on the first invariant violation at an epoch boundary.
     pub timeline_fail_fast: bool,
+    /// Miss-attribution profiling with this top-K sketch capacity
+    /// during replay (0 = off). Profiling a replayed trace attributes
+    /// exactly what profiling the live run would have (capture once,
+    /// profile anywhere).
+    pub profile_top_k: u64,
     /// Tee the replayed stream into this sink (capture→replay→capture).
     pub recapture: Option<Box<dyn CaptureSink>>,
 }
@@ -223,6 +229,7 @@ pub fn replay_trace<R: Read>(
     cfg.trace_sample_every = options.trace_sample_every;
     cfg.timeline_every = options.timeline_every;
     cfg.timeline_fail_fast = options.timeline_fail_fast;
+    cfg.profile_top_k = options.profile_top_k;
 
     let (mut machine, deployed) = experiment::capture_setup(mode, app, &cfg);
     drop(deployed); // replay needs no workloads attached
@@ -270,6 +277,7 @@ pub fn replay_trace<R: Read>(
             stats: machine.stats(),
             telemetry: machine.telemetry_snapshot(),
             timeline: machine.take_timeline(),
+            profile: machine.take_profile(),
         },
         records_replayed,
     })

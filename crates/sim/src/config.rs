@@ -219,6 +219,9 @@ pub struct SimConfig {
     /// Panic on the first telemetry invariant violation at an epoch
     /// boundary instead of recording it into the timeline.
     pub timeline_fail_fast: bool,
+    /// Miss-attribution profiling: the top-K capacity of the hot-region
+    /// sketches (0 disables profiling; see [`bf_telemetry::Profiler`]).
+    pub profile_top_k: u64,
 }
 
 impl SimConfig {
@@ -238,6 +241,7 @@ impl SimConfig {
             trace_sample_every: 0,
             timeline_every: 0,
             timeline_fail_fast: false,
+            profile_top_k: 0,
         }
     }
 
@@ -266,6 +270,13 @@ impl SimConfig {
     pub fn with_timeline(mut self, every: u64, fail_fast: bool) -> Self {
         self.timeline_every = every;
         self.timeline_fail_fast = fail_fast;
+        self
+    }
+
+    /// Enables miss-attribution profiling with `top_k`-entry hot-region
+    /// sketches (0 = off).
+    pub fn with_profile(mut self, top_k: u64) -> Self {
+        self.profile_top_k = top_k;
         self
     }
 }

@@ -3,13 +3,14 @@
 
 use crate::config::SimConfig;
 use crate::stats::{LatencyStats, MachineStats, TranslationBreakdown};
-use bf_cache::{AccessOrigin, CacheHierarchy, PageWalkCache};
+use bf_cache::{AccessOrigin, CacheHierarchy, PageWalkCache, ServedBy};
 use bf_containers::{BringupProfile, Container};
 use bf_os::{FaultKind, Invalidation, Kernel, SchedDecision, Scheduler};
 use bf_pgtable::WalkResult;
 use bf_telemetry::{
-    Counter, Histogram, InvariantMode, InvariantSet, Registry, Snapshot, SpanTracer, SpanTrack,
-    Timeline, TimelineSnapshot, TraceEvent, TraceKind, DEFAULT_TIMELINE_CAPACITY,
+    path_push, path_src, Counter, Histogram, InvariantMode, InvariantSet, PathSig, ProfileSnapshot,
+    Profiler, Registry, SetCounts, Snapshot, SpanTracer, SpanTrack, Timeline, TimelineSnapshot,
+    TraceEvent, TraceKind, DEFAULT_TIMELINE_CAPACITY,
 };
 use bf_tlb::group::TlbAccess;
 use bf_tlb::{LookupResult, TlbFill, TlbGroup};
@@ -22,6 +23,16 @@ struct CoreState {
     clock: Cycles,
     instructions: u64,
     active: bool,
+}
+
+/// Maps a cache-hierarchy classification to its walk-path source code.
+fn served_src(served: ServedBy) -> u32 {
+    match served {
+        // Walker requests enter at the L2; L1 cannot occur here.
+        ServedBy::L1 | ServedBy::L2 => path_src::L2,
+        ServedBy::L3 => path_src::L3,
+        ServedBy::Dram => path_src::DRAM,
+    }
 }
 
 /// Receives the machine's replayable event stream: everything the
@@ -126,6 +137,9 @@ pub struct Machine {
     /// Epoch timeline + invariant checking (None unless
     /// [`SimConfig::timeline_every`] is set and telemetry compiled in).
     timeline: Option<Box<TimelineState>>,
+    /// Miss-attribution profiler (None unless
+    /// [`SimConfig::profile_top_k`] is set and telemetry compiled in).
+    profiler: Option<Box<Profiler>>,
     /// Trace-capture sink (None unless [`Machine::attach_capture`] was
     /// called). Tees live in `step_core`/`reset_measurement`, never in
     /// `execute_access`, so the translation hot path is untouched and
@@ -165,10 +179,14 @@ impl Machine {
         if config.trace_sample_every > 0 {
             spans.set_sampling(config.trace_sample_every);
         }
+        let profiling = config.profile_top_k > 0 && bf_telemetry::enabled();
         let cores = (0..config.cores)
             .map(|_| {
                 let mut tlbs = TlbGroup::new(config.mode.tlb_config());
                 tlbs.attach_telemetry(&registry);
+                if profiling {
+                    tlbs.enable_set_profile();
+                }
                 let mut pwc = PageWalkCache::new(config.pwc);
                 pwc.attach_telemetry(&registry);
                 CoreState {
@@ -224,8 +242,9 @@ impl Machine {
             telem: SimTelemetry::attach(&registry),
             spans,
             tracing,
-            instrumented: tracing || timeline.is_some(),
+            instrumented: tracing || timeline.is_some() || profiling,
             timeline,
+            profiler: profiling.then(|| Box::new(Profiler::new(config.profile_top_k as usize))),
             capture: None,
             telemetry_baseline: registry.snapshot(),
             registry,
@@ -396,6 +415,9 @@ impl Machine {
         self.telemetry_baseline = self.registry.snapshot();
         if let Some(state) = self.timeline.as_mut() {
             state.timeline.restart(self.telemetry_baseline.clone());
+        }
+        if let Some(profiler) = self.profiler.as_deref_mut() {
+            profiler.reset();
         }
         let clocks: Vec<Cycles> = self.cores.iter().map(|c| c.clock).collect();
         for proc in self.procs.iter_mut().flatten() {
@@ -687,6 +709,9 @@ impl Machine {
 
         // --- Page walk(s) ---
         if translated.is_none() {
+            if let Some(profiler) = self.profiler.as_deref_mut() {
+                profiler.record_miss(access.ccid.raw(), pid.raw(), va.vpn(PageSize::Size4K).raw());
+            }
             let mut attempts = 0;
             loop {
                 attempts += 1;
@@ -697,7 +722,16 @@ impl Machine {
                 if tracing {
                     self.spans.begin("walk", &[("attempt", attempts)]);
                 }
-                let (walk_cycles, walk) = self.hardware_walk(core_index, pid, va);
+                let (walk_cycles, walk, path) = self.hardware_walk(core_index, pid, va);
+                if let Some(profiler) = self.profiler.as_deref_mut() {
+                    profiler.record_walk(
+                        access.ccid.raw(),
+                        pid.raw(),
+                        va.vpn(PageSize::Size4K).raw(),
+                        walk_cycles,
+                        path,
+                    );
+                }
                 cycles += walk_cycles;
                 self.breakdown.walk_cycles += walk_cycles;
                 self.walks += 1;
@@ -852,6 +886,22 @@ impl Machine {
         )
     }
 
+    /// Finishes the miss-attribution profile for this measurement
+    /// window, aggregating the per-core L2 TLB set counters into the
+    /// snapshot, and consumes the profiler. `None` when
+    /// [`SimConfig::profile_top_k`] was zero (or telemetry is compiled
+    /// out).
+    pub fn take_profile(&mut self) -> Option<ProfileSnapshot> {
+        let profiler = self.profiler.take()?;
+        let mut sets = SetCounts::default();
+        for core in &self.cores {
+            if let Some(sp) = core.tlbs.set_profile() {
+                sets.merge(sp);
+            }
+        }
+        Some(profiler.snapshot(Some(sets)))
+    }
+
     /// Test-only corruption hook: bumps a registry counter out from
     /// under its owning component, so the invariant-checking path can be
     /// exercised end to end. Not for simulation use.
@@ -864,11 +914,24 @@ impl Machine {
     /// hierarchy accesses (entering at the L2, Fig. 7) for the rest, the
     /// MaskPage fetched in parallel with the `pte_t` when the `pmd_t` has
     /// ORPC set (Appendix).
-    fn hardware_walk(&mut self, core_index: usize, pid: Pid, va: VirtAddr) -> (Cycles, WalkResult) {
+    ///
+    /// Also returns the walk's [`PathSig`] — one 3-bit frame per level
+    /// recording what served the entry (PWC / L2 / L3 / DRAM). Building
+    /// it is a shift-or per step; the profiler consumes it when enabled
+    /// and it is dead otherwise. The parallel MaskPage fetch is not part
+    /// of the signature (it overlaps the `pte_t` fetch and attributes
+    /// no serial latency of its own).
+    fn hardware_walk(
+        &mut self,
+        core_index: usize,
+        pid: Pid,
+        va: VirtAddr,
+    ) -> (Cycles, WalkResult, PathSig) {
         let core_id = CoreId::new(core_index);
         let walk = self.kernel.space(pid).walk(self.kernel.store(), va);
         let ccid = self.kernel.process(pid).ccid();
         let mut cycles: Cycles = 0;
+        let mut path: PathSig = 0;
         let steps = walk.steps().to_vec();
         let last = steps.len().saturating_sub(1);
         let tracing = self.tracing;
@@ -897,9 +960,11 @@ impl Machine {
             if upper_level {
                 let core = &mut self.cores[core_index];
                 cycles += core.pwc.config().access_cycles;
-                if !core.pwc.probe(step.level, step.entry_addr) {
+                if core.pwc.probe(step.level, step.entry_addr) {
+                    path = path_push(path, path_src::PWC);
+                } else {
                     let now = core.clock + cycles;
-                    let t = self.hierarchy.access(
+                    let (t, served) = self.hierarchy.access_classified(
                         core_id,
                         step.entry_addr,
                         AccessKind::Read,
@@ -907,18 +972,20 @@ impl Machine {
                         now,
                     );
                     cycles += t;
+                    path = path_push(path, served_src(served));
                     self.cores[core_index].pwc.fill(step.level, step.entry_addr);
                 }
             } else {
                 // Final fetch (pte_t, or the level where the walk ends).
                 let now = self.cores[core_index].clock + cycles;
-                let t_entry = self.hierarchy.access(
+                let (t_entry, served) = self.hierarchy.access_classified(
                     core_id,
                     step.entry_addr,
                     AccessKind::Read,
                     AccessOrigin::PageWalker,
                     now,
                 );
+                path = path_push(path, served_src(served));
                 // Parallel MaskPage fetch when ORPC is set on the pmd_t.
                 let orpc = walk
                     .pmd_step()
@@ -948,7 +1015,7 @@ impl Machine {
                 self.spans.end();
             }
         }
-        (cycles, walk)
+        (cycles, walk, path)
     }
 
     fn fill_from_walk(

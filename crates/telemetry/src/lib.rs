@@ -31,6 +31,7 @@
 mod export;
 mod invariants;
 mod metrics;
+mod profiler;
 mod registry;
 mod snapshot;
 mod span;
@@ -40,6 +41,10 @@ mod trace;
 pub use export::{results_path, snapshot_to_csv, write_csv, write_json};
 pub use invariants::{InvariantMode, InvariantSet, Violation};
 pub use metrics::{enabled, Counter, Histogram};
+pub use profiler::{
+    path_name, path_push, path_src, Blame, BlameEntry, PathCount, PathSig, ProfileSnapshot,
+    Profiler, RegionCount, RegionKey, SetCounts, SpaceSaving, REGION_SHIFT,
+};
 pub use registry::Registry;
 pub use snapshot::{HistogramSnapshot, Snapshot, BUCKETS};
 pub use span::{

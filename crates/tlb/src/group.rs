@@ -387,6 +387,19 @@ impl TlbGroup {
         }
     }
 
+    /// Switches on per-set conflict profiling for the L2 4 KB structure
+    /// — the only set-associative array large enough for set imbalance
+    /// to matter (the L1s are tiny and fully pressured; 2 MB/1 GB L2s
+    /// are small). Idempotent.
+    pub fn enable_set_profile(&mut self) {
+        self.l2_4k.enable_set_profile();
+    }
+
+    /// The L2 4 KB per-set conflict counters, if profiling is enabled.
+    pub fn set_profile(&self) -> Option<&bf_telemetry::SetCounts> {
+        self.l2_4k.set_profile()
+    }
+
     /// Aggregated per-role counters.
     pub fn stats(&self) -> TlbGroupStats {
         let mut l1d = self.l1d_4k.stats();

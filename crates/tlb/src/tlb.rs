@@ -330,6 +330,11 @@ pub struct Tlb {
     clock: u64,
     stats: TlbStats,
     telem: TlbTelemetry,
+    /// Per-set miss/eviction counters, allocated only when conflict
+    /// profiling was requested ([`Tlb::enable_set_profile`]); `None`
+    /// keeps the lookup hot path free of the extra branch cost in the
+    /// common case.
+    set_profile: Option<Box<bf_telemetry::SetCounts>>,
 }
 
 impl Tlb {
@@ -357,7 +362,24 @@ impl Tlb {
             clock: 0,
             stats: TlbStats::default(),
             telem: TlbTelemetry::default(),
+            set_profile: None,
         }
+    }
+
+    /// Switches on per-set conflict profiling: from now on every miss
+    /// and eviction is also attributed to its home set. Idempotent.
+    pub fn enable_set_profile(&mut self) {
+        if self.set_profile.is_none() {
+            self.set_profile = Some(Box::new(bf_telemetry::SetCounts {
+                misses: vec![0; self.sets],
+                evictions: vec![0; self.sets],
+            }));
+        }
+    }
+
+    /// The per-set conflict counters, if profiling is enabled.
+    pub fn set_profile(&self) -> Option<&bf_telemetry::SetCounts> {
+        self.set_profile.as_deref()
     }
 
     /// Home set of a VPN: mask for power-of-two set counts, `%` otherwise.
@@ -404,6 +426,10 @@ impl Tlb {
     /// entries are untouched.
     pub fn reset_stats(&mut self) {
         self.stats = TlbStats::default();
+        if let Some(sp) = self.set_profile.as_deref_mut() {
+            sp.misses.fill(0);
+            sp.evictions.fill(0);
+        }
     }
 
     /// Number of valid entries currently resident (O(1): maintained
@@ -509,6 +535,9 @@ impl Tlb {
             }
             None => {
                 self.count_miss(kind);
+                if let Some(sp) = self.set_profile.as_deref_mut() {
+                    sp.misses[base / self.ways] += 1;
+                }
                 LookupResult::Miss { bitmask_consulted }
             }
         }
@@ -520,7 +549,8 @@ impl Tlb {
     pub fn fill(&mut self, fill: TlbFill) {
         self.clock += 1;
         let clock = self.clock;
-        let range = self.set_range(self.set_index(fill.vpn));
+        let set_index = self.set_index(fill.vpn);
+        let range = self.set_range(set_index);
         let mode = self.mode;
         let set = &mut self.entries[range];
 
@@ -559,6 +589,9 @@ impl Tlb {
                 .expect("set has at least one way");
             self.stats.evictions += 1;
             self.telem.evictions.incr();
+            if let Some(sp) = self.set_profile.as_deref_mut() {
+                sp.evictions[set_index] += 1;
+            }
             i
         };
 
