@@ -102,6 +102,45 @@ fn bench_tlb_lookup(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched probe against its scalar twin on identical streams: both
+/// run the same 64 L1-resident accesses per iteration, so dividing
+/// either number by 64 gives the per-lookup cost. The batched number is
+/// the one ROADMAP item 3 gates against the ~15.6 ns/lookup criterion
+/// floor of the PR 3 arena work.
+fn bench_batch_probe(c: &mut Criterion) {
+    use babelfish::tlb::{BatchHit, TlbAccess, TlbGroup, TlbGroupConfig};
+    let mut group = c.benchmark_group("tlb_batch_probe");
+    let mut tlbs = TlbGroup::new(TlbGroupConfig::babelfish_aslr_sw());
+    let accesses: Vec<TlbAccess> = (0..64u64)
+        .map(|i| TlbAccess {
+            va: VirtAddr::new(i * 4096),
+            pcid: Pcid::new(1),
+            ccid: Ccid::new(1),
+            pid: Pid::new(1),
+            pc_bit: None,
+            kind: AccessKind::Read,
+        })
+        .collect();
+    for a in &accesses {
+        tlbs.fill_l1(
+            a.kind,
+            fill(a.va.vpn(PageSize::Size4K).raw(), 1, false, false),
+        );
+    }
+    group.bench_function("probe_batch_l1_resident_x64", |b| {
+        let mut hits: Vec<BatchHit> = Vec::with_capacity(accesses.len());
+        b.iter(|| black_box(tlbs.probe_batch(&accesses, &mut hits)))
+    });
+    group.bench_function("scalar_lookup_l1_resident_x64", |b| {
+        b.iter(|| {
+            for a in &accesses {
+                black_box(tlbs.lookup_l1(a));
+            }
+        })
+    });
+    group.finish();
+}
+
 fn bench_maskpage(c: &mut Criterion) {
     let mut group = c.benchmark_group("maskpage");
     group.bench_function("assign_and_set", |b| {
@@ -240,6 +279,7 @@ fn bench_allocators(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_tlb_lookup,
+    bench_batch_probe,
     bench_maskpage,
     bench_machine_access,
     bench_quick_cell,

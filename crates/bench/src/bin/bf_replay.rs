@@ -17,7 +17,9 @@
 use babelfish::capture::TraceReader;
 use babelfish::replay::{capture_meta, meta_config, replay_file, CaptureFile, ReplayOptions};
 use babelfish::Mode;
-use bf_bench::{header, DEFAULT_PROFILE_K, DEFAULT_TIMELINE_EPOCH, DEFAULT_TRACE_SAMPLE};
+use bf_bench::{
+    header, DEFAULT_BATCH, DEFAULT_PROFILE_K, DEFAULT_TIMELINE_EPOCH, DEFAULT_TRACE_SAMPLE,
+};
 
 const USAGE: &str = "options:
   --mode=NAME     replay against NAME (baseline, baseline-larger-tlb, babelfish,
@@ -35,6 +37,10 @@ const USAGE: &str = "options:
   --recapture=F   tee the replayed stream back into a new trace at F; without
                   --mode the new file is byte-identical to the input (the
                   capture -> replay -> capture determinism check)
+  --batch[=N]     feed runs of up to N consecutive same-process access records
+                  through the batched SoA engine (default N=64; 0 is rejected);
+                  counters, timelines, and recaptures are byte-identical to the
+                  scalar replay, only records/s changes
   -h, --help      this message";
 
 struct ReplayArgs {
@@ -44,6 +50,7 @@ struct ReplayArgs {
     timeline_every: u64,
     profile_top_k: u64,
     recapture: Option<String>,
+    batch: usize,
 }
 
 fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
@@ -53,11 +60,13 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
     let mut timeline_every = 0;
     let mut profile_top_k = 0;
     let mut recapture = None;
+    let mut batch = 0;
     for arg in args {
         match arg.as_str() {
             "--trace" => trace_sample_every = DEFAULT_TRACE_SAMPLE,
             "--timeline" => timeline_every = DEFAULT_TIMELINE_EPOCH,
             "--profile" => profile_top_k = DEFAULT_PROFILE_K,
+            "--batch" => batch = DEFAULT_BATCH,
             "-h" | "--help" => return Err(String::new()),
             _ => {
                 if let Some(name) = arg.strip_prefix("--mode=") {
@@ -80,6 +89,12 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
                         .ok_or_else(|| format!("invalid --profile value: {n}"))?;
                 } else if let Some(path) = arg.strip_prefix("--recapture=") {
                     recapture = Some(path.to_owned());
+                } else if let Some(n) = arg.strip_prefix("--batch=") {
+                    batch = n
+                        .parse()
+                        .ok()
+                        .filter(|&b: &usize| b > 0)
+                        .ok_or_else(|| format!("invalid --batch value: {n}"))?;
                 } else if arg.starts_with('-') {
                     return Err(format!("unknown argument: {arg}"));
                 } else if trace.is_none() {
@@ -97,6 +112,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
         timeline_every,
         profile_top_k,
         recapture,
+        batch,
     })
 }
 
@@ -141,6 +157,7 @@ fn main() {
         timeline_fail_fast: false,
         profile_top_k: args.profile_top_k,
         recapture: recapture_file.as_ref().map(|file| file.sink()),
+        batch: args.batch,
     };
     let start = std::time::Instant::now();
     let outcome = match replay_file(&args.trace, options) {

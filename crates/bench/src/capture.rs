@@ -123,6 +123,7 @@ fn run_replay(path: &str, cfg: &ExperimentConfig) -> Result<(), String> {
         timeline_fail_fast: cfg.timeline_fail_fast,
         profile_top_k: cfg.profile_top_k,
         recapture: None,
+        batch: cfg.batch,
     };
     let outcome =
         replay::replay_file(path, options).map_err(|e| format!("replaying {path}: {e}"))?;

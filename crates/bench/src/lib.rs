@@ -41,6 +41,9 @@ pub const DEFAULT_TIMELINE_EPOCH: u64 = 4096;
 /// Default hot-region sketch capacity for a bare `--profile` flag.
 pub const DEFAULT_PROFILE_K: u64 = 64;
 
+/// Default SoA batch size for a bare `--batch` flag.
+pub const DEFAULT_BATCH: usize = 64;
+
 /// Everything the figure binaries take from the command line, parsed
 /// once by [`parse_args`].
 #[derive(Debug, Clone)]
@@ -76,6 +79,10 @@ const USAGE: &str = "options:
                       blame) and write results/<figure>-profile-latest.json
                       (default K=64; BF_PROFILE=K also works; render with
                       bf_report profile)
+  --batch[=N]         run the measurement windows through the batched SoA
+                      access-stream engine with N-access batches (default N=64;
+                      BF_BATCH=N also works); results are byte-identical to the
+                      scalar loop, only wall-clock throughput changes
   --threads N         worker threads for the experiment sweep (BF_THREADS also
                       works; defaults to the host's available parallelism)
   --capture=FILE      record the canonical capture cell (mongodb x babelfish, or
@@ -100,6 +107,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
     let mut trace: Option<u64> = None;
     let mut timeline: Option<u64> = None;
     let mut profile: Option<u64> = None;
+    let mut batch: Option<usize> = None;
     let mut fail_fast: Option<bool> = None;
     let mut threads: Option<usize> = None;
     let mut capture: Option<String> = None;
@@ -112,6 +120,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
             "--trace" => trace = Some(DEFAULT_TRACE_SAMPLE),
             "--timeline" => timeline = Some(DEFAULT_TIMELINE_EPOCH),
             "--profile" => profile = Some(DEFAULT_PROFILE_K),
+            "--batch" => batch = Some(DEFAULT_BATCH),
             "--invariants" => fail_fast = Some(true),
             "--threads" => {
                 let value = args
@@ -143,6 +152,17 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
                         return Err("--profile needs a positive K".to_owned());
                     }
                     profile = Some(k);
+                } else if let Some(n) = arg.strip_prefix("--batch=") {
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| format!("invalid --batch value: {n}"))?;
+                    if n == 0 {
+                        return Err(
+                            "--batch needs a positive N (omit the flag for the scalar loop)"
+                                .to_owned(),
+                        );
+                    }
+                    batch = Some(n);
                 } else if let Some(mode) = arg.strip_prefix("--invariants=") {
                     fail_fast = Some(match mode {
                         "fail" => true,
@@ -185,6 +205,12 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
     });
     cfg.timeline_fail_fast = fail_fast.unwrap_or(false);
     cfg.profile_top_k = profile.unwrap_or_else(|| env_u64("BF_PROFILE").unwrap_or(0));
+    cfg.batch = batch.unwrap_or_else(|| {
+        std::env::var("BF_BATCH")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    });
     if capture.is_some() && replay.is_some() {
         return Err("--capture and --replay are mutually exclusive".to_owned());
     }
@@ -576,6 +602,24 @@ mod tests {
         assert!(
             parse(["--profile=0".to_string()].into_iter()).is_err(),
             "a zero-capacity sketch is rejected, not silently off"
+        );
+    }
+
+    #[test]
+    fn batch_flag_parses() {
+        let args = parse_ok(&["--quick", "--batch"]);
+        assert_eq!(args.cfg.batch, DEFAULT_BATCH);
+
+        let args = parse_ok(&["--batch=7", "--quick"]);
+        assert_eq!(args.cfg.batch, 7);
+
+        let args = parse_ok(&["--quick"]);
+        assert_eq!(args.cfg.batch, 0, "the scalar loop is the default");
+
+        assert!(parse(["--batch=abc".to_string()].into_iter()).is_err());
+        assert!(
+            parse(["--batch=0".to_string()].into_iter()).is_err(),
+            "a zero batch is rejected, not silently scalar"
         );
     }
 

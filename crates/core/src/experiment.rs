@@ -108,7 +108,7 @@ impl CaptureApp {
 /// footprints comfortably past the L2 TLB reach (1536 × 4 KB = 6 MB), so
 /// the pressure effects survive the scaling. `paper_scaled()` is the
 /// bench default; `smoke_test()` keeps unit tests fast.
-#[derive(Debug, Clone, Copy, serde::Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExperimentConfig {
     /// Core count.
     pub cores: usize,
@@ -142,6 +142,52 @@ pub struct ExperimentConfig {
     /// Miss-attribution profiling: top-K capacity of the hot-region
     /// sketches (0 disables profiling).
     pub profile_top_k: u64,
+    /// Batched access-stream engine: SoA batch size for the measurement
+    /// windows (0 runs the scalar one-op-at-a-time loop). Results are
+    /// byte-identical either way; only wall-clock throughput changes.
+    pub batch: usize,
+}
+
+/// Hand-written so the JSON surface stays exactly the pre-batch field
+/// set: `batch` selects an execution engine that produces byte-identical
+/// results, so it must not perturb committed baselines or
+/// config-equality checks on emitted documents.
+impl serde::Serialize for ExperimentConfig {
+    fn to_value(&self) -> serde::Value {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("cores".to_owned(), self.cores.to_value());
+        map.insert(
+            "containers_per_core".to_owned(),
+            self.containers_per_core.to_value(),
+        );
+        map.insert("dataset_bytes".to_owned(), self.dataset_bytes.to_value());
+        map.insert(
+            "function_input_bytes".to_owned(),
+            self.function_input_bytes.to_value(),
+        );
+        map.insert(
+            "warmup_instructions".to_owned(),
+            self.warmup_instructions.to_value(),
+        );
+        map.insert(
+            "measure_instructions".to_owned(),
+            self.measure_instructions.to_value(),
+        );
+        map.insert("seed".to_owned(), self.seed.to_value());
+        map.insert("frames".to_owned(), self.frames.to_value());
+        map.insert("quantum_cycles".to_owned(), self.quantum_cycles.to_value());
+        map.insert(
+            "trace_sample_every".to_owned(),
+            self.trace_sample_every.to_value(),
+        );
+        map.insert("timeline_every".to_owned(), self.timeline_every.to_value());
+        map.insert(
+            "timeline_fail_fast".to_owned(),
+            self.timeline_fail_fast.to_value(),
+        );
+        map.insert("profile_top_k".to_owned(), self.profile_top_k.to_value());
+        serde::Value::Object(map)
+    }
 }
 
 impl ExperimentConfig {
@@ -161,6 +207,7 @@ impl ExperimentConfig {
             timeline_every: 0,
             timeline_fail_fast: false,
             profile_top_k: 0,
+            batch: 0,
         }
     }
 
@@ -180,6 +227,7 @@ impl ExperimentConfig {
             timeline_every: 0,
             timeline_fail_fast: false,
             profile_top_k: 0,
+            batch: 0,
         }
     }
 }
@@ -424,15 +472,54 @@ fn attach_app_workloads(
 }
 
 /// Warm-up, reset, measured window; returns the mean per-core clock
-/// delta over the measured window.
+/// delta over the measured window. [`ExperimentConfig::batch`] selects
+/// the scalar or the batched execution engine for both windows.
 fn run_measurement_window(machine: &mut Machine, cfg: &ExperimentConfig) -> Cycles {
-    machine.run_instructions(cfg.warmup_instructions);
+    run_window(machine, cfg.warmup_instructions, cfg.batch);
     machine.reset_measurement();
     let clock_start: Vec<Cycles> = (0..cfg.cores)
         .map(|c| machine.core_clock(CoreId::new(c)))
         .collect();
-    machine.run_instructions(cfg.measure_instructions);
+    run_window(machine, cfg.measure_instructions, cfg.batch);
     mean_clock_delta(machine, &clock_start)
+}
+
+/// One instruction-budget window through the engine `batch` selects.
+fn run_window(machine: &mut Machine, budget: u64, batch: usize) {
+    if batch > 0 {
+        machine.run_instructions_batched(budget, batch);
+    } else {
+        machine.run_instructions(budget);
+    }
+}
+
+/// Runs `app` live under `mode` with no capture attached and returns
+/// the window result plus the wall-clock seconds the warm-up + measured
+/// windows took (machine setup — image build, deploy, bring-up,
+/// prefault — is excluded). This is the `bf_throughput` probe: with
+/// [`ExperimentConfig::batch`] set the windows run through the batched
+/// engine, and the returned result must be byte-identical to the
+/// scalar run's.
+pub fn run_timed_window(
+    mode: Mode,
+    app: CaptureApp,
+    cfg: &ExperimentConfig,
+) -> (WindowResult, f64) {
+    let (mut machine, deployed) = capture_setup(mode, app, cfg);
+    attach_app_workloads(&mut machine, app, deployed, cfg);
+    let start = std::time::Instant::now();
+    let exec_cycles = run_measurement_window(&mut machine, cfg);
+    let seconds = start.elapsed().as_secs_f64();
+    (
+        WindowResult {
+            exec_cycles,
+            stats: machine.stats(),
+            telemetry: machine.telemetry_snapshot(),
+            timeline: machine.take_timeline(),
+            profile: machine.take_profile(),
+        },
+        seconds,
+    )
 }
 
 /// Runs `app` live under `mode` with `sink` capturing the scheduler

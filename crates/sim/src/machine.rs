@@ -13,9 +13,11 @@ use bf_telemetry::{
     TraceEvent, TraceKind, DEFAULT_TIMELINE_CAPACITY,
 };
 use bf_tlb::group::TlbAccess;
-use bf_tlb::{LookupResult, TlbFill, TlbGroup};
-use bf_types::{AccessKind, CoreId, Cycles, PageFlags, PageSize, PageTableLevel, Pid, VirtAddr};
-use bf_workloads::{Op, Workload};
+use bf_tlb::{BatchHit, BatchStop, LookupResult, TlbFill, TlbGroup};
+use bf_types::{
+    AccessKind, Ccid, CoreId, Cycles, PageFlags, PageSize, PageTableLevel, Pcid, Pid, VirtAddr,
+};
+use bf_workloads::{AccessBatch, BatchEnd, Op, Workload};
 
 struct CoreState {
     tlbs: TlbGroup,
@@ -56,6 +58,22 @@ pub trait CaptureSink: Send {
     fn request_end(&mut self, cycles: Cycles);
     /// [`Machine::reset_measurement`] ran (warm-up → measured window).
     fn reset(&mut self);
+    /// A run of consecutive accesses on `core` by `pid`, given as
+    /// parallel columns. Equivalent to calling [`CaptureSink::access`]
+    /// once per element; sinks with per-call overhead (locks, I/O)
+    /// override this to amortize it across the run.
+    fn access_run(
+        &mut self,
+        core: u32,
+        pid: Pid,
+        vas: &[VirtAddr],
+        kinds: &[AccessKind],
+        instrs: &[u32],
+    ) {
+        for i in 0..vas.len() {
+            self.access(core, pid, vas[i], kinds[i], instrs[i]);
+        }
+    }
 }
 
 /// Everything the machine tracks per attached process. Stored in a
@@ -68,6 +86,20 @@ struct ProcState {
     /// Core clock at the start of the in-flight request, once the first
     /// request boundary has been seen.
     request_start: Option<Cycles>,
+    /// Generated-but-unexecuted ops for the batched engine. Persists
+    /// across scheduling quanta and run windows: the scalar loop pulls
+    /// one op at a time, the batched loop pre-generates a run and
+    /// consumes it under the same per-op eligibility rules.
+    pending: AccessBatch,
+}
+
+/// Reusable scratch for the batched engine: the SoA probe column and the
+/// clean-hit results live on the machine and are recycled across chunks,
+/// so the steady state allocates nothing per access.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    accesses: Vec<TlbAccess>,
+    hits: Vec<BatchHit>,
 }
 
 /// Machine-level recording handles (`sim.*` names).
@@ -149,6 +181,8 @@ pub struct Machine {
     /// Registry state at the last [`Machine::reset_measurement`];
     /// [`Machine::telemetry_snapshot`] reports the delta since then.
     telemetry_baseline: Snapshot,
+    /// Batched-engine scratch columns (see [`BatchScratch`]).
+    scratch: BatchScratch,
 }
 
 impl std::fmt::Debug for Machine {
@@ -247,6 +281,7 @@ impl Machine {
             profiler: profiling.then(|| Box::new(Profiler::new(config.profile_top_k as usize))),
             capture: None,
             telemetry_baseline: registry.snapshot(),
+            scratch: BatchScratch::default(),
             registry,
             config,
         }
@@ -360,6 +395,7 @@ impl Machine {
             workload,
             core: core.index(),
             request_start: None,
+            pending: AccessBatch::default(),
         });
         self.cores[core.index()].active = true;
     }
@@ -511,6 +547,33 @@ impl Machine {
         self.sched.load(core) > 0
     }
 
+    /// Batched twin of [`Machine::run_instructions`]: the same outer
+    /// pick-the-minimum-clock-core loop, but each step executes a
+    /// *chunk* of ops on the chosen core through the batched engine
+    /// instead of a single op. Byte-identical to the scalar loop for
+    /// every `batch_max >= 1` — see `step_core_batched` for the
+    /// equivalence argument.
+    pub fn run_instructions_batched(&mut self, budget: u64, batch_max: usize) {
+        let batch_max = batch_max.max(1);
+        loop {
+            let next = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| {
+                    c.active && c.instructions < budget && self.sched_has_work(CoreId::new(*i))
+                })
+                .min_by_key(|(_, c)| c.clock)
+                .map(|(i, _)| i);
+            match next {
+                Some(core) => {
+                    self.step_core_batched(core, budget, batch_max);
+                }
+                None => break,
+            }
+        }
+    }
+
     /// Executes one scheduling decision + one workload op on `core`.
     fn step_core(&mut self, core_index: usize) {
         let core_id = CoreId::new(core_index);
@@ -591,6 +654,282 @@ impl Machine {
         }
     }
 
+    /// Executes one scheduling decision plus a chunk of ops on `core`.
+    ///
+    /// The scalar loop re-evaluates core eligibility (`active`,
+    /// `instructions < budget`, runnable work) and re-picks the first
+    /// minimum-clock core before *every* op. A chunk stays equivalent
+    /// by (a) computing `limit` — the clock at which another core would
+    /// win that argmin, constant while this core runs since only this
+    /// core's state changes — and re-checking
+    /// `instructions < budget && clock < limit` before each op; and
+    /// (b) ending the chunk at every event that can change the
+    /// scheduling picture (context switch, process exit).
+    fn step_core_batched(&mut self, core_index: usize, budget: u64, batch_max: usize) {
+        let core_id = CoreId::new(core_index);
+        let pid = match self.sched.current(core_id) {
+            Some(pid) => pid,
+            None => match self.sched.tick(core_id, 0) {
+                SchedDecision::Switch { to, cost, .. } => {
+                    if let Some(sink) = self.capture.as_mut() {
+                        sink.switch(core_index as u32, cost);
+                    }
+                    self.cores[core_index].clock += cost;
+                    self.breakdown.switch_cycles += cost;
+                    to
+                }
+                SchedDecision::Idle => {
+                    self.cores[core_index].active = false;
+                    return;
+                }
+                SchedDecision::Continue => unreachable!("tick with no current cannot continue"),
+            },
+        };
+
+        // The clock bound at which another eligible core takes over the
+        // scalar argmin: `min_by_key` keeps the *first* minimum, so this
+        // core keeps the pick while its clock stays strictly below every
+        // earlier-indexed eligible core and at-or-below every
+        // later-indexed one.
+        let mut limit: Option<Cycles> = None;
+        for (j, c) in self.cores.iter().enumerate() {
+            if j != core_index
+                && c.active
+                && c.instructions < budget
+                && self.sched.load(CoreId::new(j)) > 0
+            {
+                let bound = if j < core_index { c.clock } else { c.clock + 1 };
+                limit = Some(limit.map_or(bound, |l| l.min(bound)));
+            }
+        }
+
+        // Phase-split execution (probe the whole run's TLB lookups ahead
+        // of the memory completions) is sound only when nothing can
+        // preempt mid-run: a lone runnable process (the quantum tick can
+        // never switch), no competing core, and no span tracing (spans
+        // need per-op begin/end interleaving).
+        let phased = limit.is_none() && self.sched.load(core_id) == 1 && !self.tracing;
+
+        let issue = self.config.issue_width.max(1);
+        let capture_on = self.capture.is_some();
+        // Deferred per-chunk telemetry: accesses since the last epoch
+        // flush and their `sim.instructions` delta. Flushed at epoch
+        // boundaries (so seals land on the exact scalar access) and at
+        // chunk end.
+        let mut count: u64 = 0;
+        let mut instr_delta: u64 = 0;
+        let mut cap = self.accesses_until_epoch();
+        // Per-chunk tagging-state cache: PCID/CCID are fixed for the
+        // process's lifetime; the MaskPage PC bit is constant per
+        // GB-region until a fault-path access lets the kernel edit
+        // MaskPages (detected via the walk counter below).
+        let (pcid, ccid) = {
+            let proc = self.kernel.process(pid);
+            (proc.pcid(), proc.ccid())
+        };
+        let mut region_cache: Option<(u64, Option<usize>)> = None;
+        // The scalar `step_core` executes its op unconditionally once it
+        // has a pid — there is no re-pick between a switch-in tick and
+        // the op it hands the CPU to. So the first op of this call runs
+        // before any eligibility re-check (the outer argmin already
+        // vouched for this core; only the switch-in cost could have
+        // moved its clock since).
+        let mut first = true;
+
+        loop {
+            // Scalar eligibility, re-checked before every op but the
+            // first.
+            if !first && self.cores[core_index].instructions >= budget {
+                break;
+            }
+            if !first && limit.is_some_and(|l| self.cores[core_index].clock >= l) {
+                break;
+            }
+
+            let Some(proc) = self
+                .procs
+                .get_mut(Self::proc_slot(pid))
+                .and_then(|p| p.as_mut())
+            else {
+                // Process without a workload (exited): drop it.
+                self.sched.remove(pid);
+                break;
+            };
+            if proc.pending.is_drained() {
+                proc.workload.next_batch(&mut proc.pending, batch_max);
+            }
+
+            if proc.pending.pos >= proc.pending.len() {
+                // Only the buffered end op is left.
+                match proc.pending.end.take() {
+                    Some(BatchEnd::RequestEnd) => {
+                        let clock = self.cores[core_index].clock;
+                        let start = proc.request_start.unwrap_or(clock);
+                        proc.request_start = Some(clock);
+                        if clock > start {
+                            if let Some(sink) = self.capture.as_mut() {
+                                sink.request_end(clock - start);
+                            }
+                            self.latency.record(clock - start);
+                            self.telem.request_cycles.record(clock - start);
+                        }
+                        first = false;
+                        continue;
+                    }
+                    Some(BatchEnd::Done) => {
+                        self.exit_process(pid);
+                        break;
+                    }
+                    // Defensive: a refill that produced nothing.
+                    None => break,
+                }
+            }
+
+            // Move the batch out of the slab so the executors below can
+            // borrow the machine mutably alongside its columns.
+            let mut pending = std::mem::take(&mut proc.pending);
+            let mut chunk_over = false;
+
+            if phased {
+                let start = pending.pos;
+                // Budget prefix: the scalar loop re-checks
+                // `instructions < budget` before each op, so the run may
+                // only hold ops that still start within budget; cap also
+                // stops the run at the next epoch boundary.
+                let mut cum = self.cores[core_index].instructions;
+                let mut len = 0usize;
+                while start + len < pending.len() && cum < budget && (len as u64) < cap {
+                    cum += pending.instrs[start + len] as u64 + 1;
+                    len += 1;
+                }
+                if len == 0 {
+                    chunk_over = true;
+                } else {
+                    first = false;
+                    let (executed, elapsed) = self.execute_run_phased(
+                        core_index,
+                        pid,
+                        pcid,
+                        ccid,
+                        &mut region_cache,
+                        &pending.vas[start..start + len],
+                        &pending.kinds[start..start + len],
+                        &pending.instrs[start..start + len],
+                    );
+                    if capture_on {
+                        if let Some(sink) = self.capture.as_mut() {
+                            sink.access_run(
+                                core_index as u32,
+                                pid,
+                                &pending.vas[start..start + executed],
+                                &pending.kinds[start..start + executed],
+                                &pending.instrs[start..start + executed],
+                            );
+                        }
+                    }
+                    pending.pos = start + executed;
+                    if self.instrumented {
+                        self.epoch_tick_bulk(core_index, executed as u64);
+                    }
+                    cap = self.accesses_until_epoch();
+                    // A lone runnable process: the quantum tick can only
+                    // Continue, so one summed tick is exact.
+                    let _ = self.sched.tick(core_id, elapsed);
+                }
+            } else {
+                // Per-access mode: exact scalar op order (the DRAM bank
+                // queues make per-access clocks unboundable up front),
+                // still amortizing generation, state resolution, and
+                // telemetry ticks across the chunk.
+                while pending.pos < pending.len() {
+                    if !first && self.cores[core_index].instructions >= budget {
+                        chunk_over = true;
+                        break;
+                    }
+                    if !first && limit.is_some_and(|l| self.cores[core_index].clock >= l) {
+                        chunk_over = true;
+                        break;
+                    }
+                    first = false;
+                    let i = pending.pos;
+                    let va = pending.vas[i];
+                    let kind = pending.kinds[i];
+                    let instrs_before = pending.instrs[i];
+                    pending.pos += 1;
+                    if capture_on {
+                        if let Some(sink) = self.capture.as_mut() {
+                            sink.access(core_index as u32, pid, va, kind, instrs_before);
+                        }
+                    }
+                    let compute = instrs_before as u64 / issue;
+                    self.cores[core_index].clock += compute;
+                    self.cores[core_index].instructions += instrs_before as u64 + 1;
+                    self.breakdown.compute_cycles += compute;
+                    let access_cycles = if self.tracing {
+                        // Spans need the full scalar path (per-access
+                        // sampling, tail close-out, epoch tick).
+                        self.telem.instructions.add(instrs_before as u64 + 1);
+                        self.execute_access(core_index, pid, va, kind)
+                    } else {
+                        instr_delta += instrs_before as u64 + 1;
+                        let region = va.raw() >> 30;
+                        let pc_bit = match region_cache {
+                            Some((r, bit)) if r == region => bit,
+                            _ => {
+                                let bit = self.kernel.pc_bit(pid, va);
+                                region_cache = Some((region, bit));
+                                bit
+                            }
+                        };
+                        let access = TlbAccess {
+                            va,
+                            pcid,
+                            ccid,
+                            pid,
+                            pc_bit,
+                            kind,
+                        };
+                        let walks_before = self.walks;
+                        let c = self.execute_access_inner(core_index, &access);
+                        if self.walks != walks_before {
+                            region_cache = None;
+                        }
+                        count += 1;
+                        if count == cap {
+                            self.flush_chunk(core_index, &mut count, &mut instr_delta);
+                            cap = self.accesses_until_epoch();
+                        }
+                        c
+                    };
+                    let decision = self.sched.tick(core_id, compute + access_cycles);
+                    if let SchedDecision::Switch { cost, .. } = decision {
+                        if let Some(sink) = self.capture.as_mut() {
+                            sink.switch(core_index as u32, cost);
+                        }
+                        self.cores[core_index].clock += cost;
+                        self.breakdown.switch_cycles += cost;
+                        chunk_over = true;
+                        break;
+                    }
+                }
+            }
+
+            if let Some(slot) = self
+                .procs
+                .get_mut(Self::proc_slot(pid))
+                .and_then(|p| p.as_mut())
+            {
+                slot.pending = pending;
+            }
+            if chunk_over {
+                break;
+            }
+        }
+        // Flush whatever the per-access path deferred (the phased path
+        // flushes per sub-run).
+        self.flush_chunk(core_index, &mut count, &mut instr_delta);
+    }
+
     /// Executes one memory access through the full translation + memory
     /// pipeline, advancing the core clock. Returns the access latency.
     ///
@@ -605,42 +944,68 @@ impl Machine {
         va: VirtAddr,
         kind: AccessKind,
     ) -> Cycles {
-        let core_id = CoreId::new(core_index);
-        let mut cycles: Cycles = 0;
-        let mut pending_invalidations: Vec<Invalidation> = Vec::new();
-        let is_write = kind.is_write();
+        let access = self.make_access(pid, va, kind);
+        let cycles = self.execute_access_inner(core_index, &access);
+        // Hoisted instrumentation gate: the fully-off hot path pays only
+        // this single end-of-access branch.
+        if self.instrumented {
+            if self.tracing {
+                self.trace_access_tail(core_index);
+            }
+            self.epoch_tick(core_index);
+        }
+        cycles
+    }
 
-        let access = TlbAccess {
+    /// Resolves the per-process translation-tagging state for one
+    /// access: PCID/CCID from a single process-table borrow, the O-PC
+    /// PrivateCopy bit from the CCID group's MaskPage.
+    fn make_access(&self, pid: Pid, va: VirtAddr, kind: AccessKind) -> TlbAccess {
+        let (pcid, ccid) = {
+            let proc = self.kernel.process(pid);
+            (proc.pcid(), proc.ccid())
+        };
+        TlbAccess {
             va,
-            pcid: self.kernel.process(pid).pcid(),
-            ccid: self.kernel.process(pid).ccid(),
+            pcid,
+            ccid,
             pid,
             pc_bit: self.kernel.pc_bit(pid, va),
             kind,
-        };
+        }
+    }
+
+    /// The translation + memory pipeline for one prepared access:
+    /// L1 TLB → L2 TLB → [`Machine::finish_access`] (faults, walks, the
+    /// data access itself). Advances the core clock and returns the
+    /// access latency. Does *not* run the end-of-access instrumentation
+    /// tail (span close-out, epoch tick) — callers own that, so the
+    /// batched engine can sink it once per chunk.
+    fn execute_access_inner(&mut self, core_index: usize, access: &TlbAccess) -> Cycles {
+        let mut cycles: Cycles = 0;
+        let is_write = access.kind.is_write();
 
         // Hoisted sampling gate: `tracing` is false unless span tracing
         // was configured, so the off path takes one predictable branch
         // per stage instead of calling into the tracer. When on,
         // `sample_access` latches whether *this* access is traced and
-        // every call below no-ops for unsampled accesses. `instrumented`
-        // additionally covers epoch timelines; the fully-off path pays
-        // only the single end-of-access branch on it.
-        let instrumented = self.instrumented;
+        // every call below no-ops for unsampled accesses.
         let tracing = self.tracing;
         let clock_base = self.cores[core_index].clock;
         if tracing {
             self.spans.sample_access(
-                SpanTrack::new(access.ccid.raw() as u32, pid.raw()),
+                SpanTrack::new(access.ccid.raw() as u32, access.pid.raw()),
                 clock_base,
             );
-            self.spans
-                .begin("access", &[("va", va.raw()), ("write", is_write as u64)]);
+            self.spans.begin(
+                "access",
+                &[("va", access.va.raw()), ("write", is_write as u64)],
+            );
             self.spans.begin("tlb.l1", &[]);
         }
 
         // --- L1 TLB ---
-        let (l1_result, l1_cycles) = self.cores[core_index].tlbs.lookup_l1(&access);
+        let (l1_result, l1_cycles) = self.cores[core_index].tlbs.lookup_l1(access);
         cycles += l1_cycles;
         self.breakdown.tlb_cycles += l1_cycles;
         if tracing {
@@ -668,7 +1033,7 @@ impl Machine {
             if tracing {
                 self.spans.begin("tlb.l2", &[]);
             }
-            let (l2_result, l2_cycles) = self.cores[core_index].tlbs.lookup_l2(&access);
+            let (l2_result, l2_cycles) = self.cores[core_index].tlbs.lookup_l2(access);
             cycles += l2_cycles;
             self.breakdown.tlb_cycles += l2_cycles;
             if tracing {
@@ -678,14 +1043,45 @@ impl Machine {
             match l2_result {
                 LookupResult::Hit(hit) => {
                     // Refill the L1 from the L2 entry.
-                    let fill = self.fill_from_parts(pid, va, hit.ppn, hit.size, hit.flags, &access);
-                    self.cores[core_index].tlbs.fill_l1(kind, fill);
+                    self.cores[core_index].tlbs.refill_l1_from_hit(access, &hit);
                     translated = Some((hit.ppn, hit.size));
                 }
                 LookupResult::CowFault(_) => faulted_cow_hit = true,
                 LookupResult::Miss { .. } => {}
             }
         }
+
+        self.finish_access(
+            core_index,
+            access,
+            cycles,
+            translated,
+            faulted_cow_hit,
+            clock_base,
+        )
+    }
+
+    /// The back half of the access pipeline, after the TLB levels have
+    /// been consulted: CoW-hit fault handling, the page-walk/fault
+    /// convergence loop, the data access through the cache hierarchy,
+    /// and the final clock advance. The batched engine re-enters here
+    /// for the access its hoisted probe stopped on, carrying the probe's
+    /// TLB outcome, so the TLBs are never consulted twice.
+    fn finish_access(
+        &mut self,
+        core_index: usize,
+        access: &TlbAccess,
+        mut cycles: Cycles,
+        mut translated: Option<(bf_types::Ppn, PageSize)>,
+        faulted_cow_hit: bool,
+        clock_base: Cycles,
+    ) -> Cycles {
+        let core_id = CoreId::new(core_index);
+        let pid = access.pid;
+        let va = access.va;
+        let kind = access.kind;
+        let is_write = kind.is_write();
+        let tracing = self.tracing;
 
         // --- CoW fault raised from a TLB hit (Fig. 8 step 6) ---
         if faulted_cow_hit {
@@ -701,10 +1097,8 @@ impl Machine {
                 self.spans.set_now(clock_base + cycles);
             }
             self.count_fault(resolution.kind);
-            self.trace_fault(core_index, cycles, &access, resolution.kind);
-            pending_invalidations.extend(resolution.invalidations.iter().copied());
-            self.apply_invalidations(&pending_invalidations);
-            pending_invalidations.clear();
+            self.trace_fault(core_index, cycles, access, resolution.kind);
+            self.apply_invalidations(&resolution.invalidations);
         }
 
         // --- Page walk(s) ---
@@ -723,6 +1117,9 @@ impl Machine {
                     self.spans.begin("walk", &[("attempt", attempts)]);
                 }
                 let (walk_cycles, walk, path) = self.hardware_walk(core_index, pid, va);
+                // Any kernel-side activity below may edit MaskPages, so
+                // the batched engine's per-run pc_bit cache must not
+                // outlive a walk (see `step_core_batched`).
                 if let Some(profiler) = self.profiler.as_deref_mut() {
                     profiler.record_walk(
                         access.ccid.raw(),
@@ -753,7 +1150,7 @@ impl Machine {
                             .pmd_step()
                             .map(|s| s.value.flags)
                             .unwrap_or(PageFlags::empty());
-                        let fill = self.fill_from_walk(pid, va, entry, size, pmd_flags, &access);
+                        let fill = self.fill_from_walk(pid, va, entry, size, pmd_flags, access);
                         self.cores[core_index].tlbs.fill(kind, fill);
                         self.kernel.mark_accessed(pid, va);
                         translated = Some((entry.ppn, size));
@@ -771,7 +1168,7 @@ impl Machine {
                     self.spans.set_now(clock_base + cycles);
                 }
                 self.count_fault(resolution.kind);
-                self.trace_fault(core_index, cycles, &access, resolution.kind);
+                self.trace_fault(core_index, cycles, access, resolution.kind);
                 self.apply_invalidations(&resolution.invalidations);
             }
         }
@@ -794,37 +1191,40 @@ impl Machine {
         cycles += mem_cycles;
         self.breakdown.memory_cycles += mem_cycles;
         self.cores[core_index].clock += cycles;
-        if instrumented {
-            if tracing {
-                self.spans.set_now(clock_base + cycles);
-                self.spans.end();
-                self.spans.end(); // closes "access"
-
-                // Counter tracks, sampled once per traced access. The guard
-                // skips the occupancy walks entirely for unsampled accesses.
-                if self.spans.is_active() {
-                    let track = SpanTrack::machine(core_index as u32);
-                    self.spans.counter(
-                        track,
-                        "tlb.occupancy",
-                        self.cores[core_index].tlbs.resident_entries() as u64,
-                    );
-                    self.spans.counter(
-                        track,
-                        "pgtable.live_tables",
-                        self.kernel.store().stats().live_tables,
-                    );
-                    self.spans.counter(
-                        track,
-                        "pgtable.shared_refs",
-                        self.kernel.store().shared_refs(),
-                    );
-                }
-                self.spans.finish_access();
-            }
-            self.epoch_tick(core_index);
-        }
         cycles
+    }
+
+    /// Closes out the span tree of a traced access ("mem", then
+    /// "access") and samples the machine-level counter tracks. Only
+    /// meaningful right after [`Machine::execute_access_inner`] on the
+    /// tracing path; the core clock already sits at the access's end
+    /// cycle.
+    fn trace_access_tail(&mut self, core_index: usize) {
+        self.spans.set_now(self.cores[core_index].clock);
+        self.spans.end();
+        self.spans.end(); // closes "access"
+
+        // Counter tracks, sampled once per traced access. The guard
+        // skips the occupancy walks entirely for unsampled accesses.
+        if self.spans.is_active() {
+            let track = SpanTrack::machine(core_index as u32);
+            self.spans.counter(
+                track,
+                "tlb.occupancy",
+                self.cores[core_index].tlbs.resident_entries() as u64,
+            );
+            self.spans.counter(
+                track,
+                "pgtable.live_tables",
+                self.kernel.store().stats().live_tables,
+            );
+            self.spans.counter(
+                track,
+                "pgtable.shared_refs",
+                self.kernel.store().shared_refs(),
+            );
+        }
+        self.spans.finish_access();
     }
 
     /// Counts one access against the timeline and, at epoch boundaries,
@@ -843,6 +1243,277 @@ impl Machine {
             state.invariants.check(&snapshot);
         }
         self.timeline = Some(state);
+    }
+
+    /// Bulk twin of [`Machine::epoch_tick`]: counts `n` accesses at
+    /// once. Callers cap their chunks at
+    /// [`Machine::accesses_until_epoch`], so the boundary — with its
+    /// registry snapshot and invariant sweep — lands on exactly the
+    /// access where the scalar path would seal, at the same core clock.
+    fn epoch_tick_bulk(&mut self, core_index: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let Some(mut state) = self.timeline.take() else {
+            return;
+        };
+        if state.timeline.record_accesses(n) {
+            let snapshot = self.registry.snapshot();
+            state
+                .timeline
+                .seal_epoch(&snapshot, self.cores[core_index].clock);
+            self.check_machine_invariants(&mut state.invariants);
+            state.invariants.check(&snapshot);
+        }
+        self.timeline = Some(state);
+    }
+
+    /// How many accesses the batched engine may execute before it must
+    /// flush for an epoch boundary (`u64::MAX` with timelines off).
+    fn accesses_until_epoch(&self) -> u64 {
+        self.timeline
+            .as_ref()
+            .map_or(u64::MAX, |s| s.timeline.until_boundary().max(1))
+    }
+
+    /// Flushes the batched engine's deferred per-chunk telemetry: the
+    /// summed `sim.instructions` delta first — so an epoch sealed by the
+    /// bulk tick snapshots it — then the access count.
+    fn flush_chunk(&mut self, core_index: usize, count: &mut u64, instr_delta: &mut u64) {
+        if *instr_delta > 0 {
+            self.telem.instructions.add(*instr_delta);
+            *instr_delta = 0;
+        }
+        if self.instrumented {
+            self.epoch_tick_bulk(core_index, *count);
+        }
+        *count = 0;
+    }
+
+    /// Executes a same-pid run of accesses with every TLB probe hoisted
+    /// ahead of the memory completions. Sound only when nothing can
+    /// interleave mid-run — replay, or a live core whose scheduler has
+    /// exactly one runnable process and no competing core. Performs the
+    /// scalar `Op::Access` front-half accounting (compute cycles,
+    /// instruction counters) for each executed access. Stops after the
+    /// first access that needs the fault/walk machinery, because its
+    /// kernel-side effects can change what later probes in the run would
+    /// observe; unexecuted accesses stay with the caller. Returns the
+    /// executed count and the run's total elapsed cycles for the
+    /// caller's scheduler accounting.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_run_phased(
+        &mut self,
+        core_index: usize,
+        pid: Pid,
+        pcid: Pcid,
+        ccid: Ccid,
+        region_cache: &mut Option<(u64, Option<usize>)>,
+        vas: &[VirtAddr],
+        kinds: &[AccessKind],
+        instrs: &[u32],
+    ) -> (usize, Cycles) {
+        debug_assert!(
+            !self.tracing,
+            "the phased path carries no span instrumentation"
+        );
+        let core_id = CoreId::new(core_index);
+        let issue = self.config.issue_width.max(1);
+        let aslr = if self.config.mode.aslr_transformation() {
+            self.config.aslr_transform_cycles
+        } else {
+            0
+        };
+
+        // Build the SoA probe column, resolving the MaskPage PC bit once
+        // per GB region (clean accesses cannot change it).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.accesses.clear();
+        for i in 0..vas.len() {
+            let va = vas[i];
+            let region = va.raw() >> 30;
+            let pc_bit = match *region_cache {
+                Some((r, bit)) if r == region => bit,
+                _ => {
+                    let bit = self.kernel.pc_bit(pid, va);
+                    *region_cache = Some((region, bit));
+                    bit
+                }
+            };
+            scratch.accesses.push(TlbAccess {
+                va,
+                pcid,
+                ccid,
+                pid,
+                pc_bit,
+                kind: kinds[i],
+            });
+        }
+
+        // Phase 1: probe both TLB levels across the run (L1 refills
+        // land inline, so later probes see the exact scalar TLB state).
+        let stop = self.cores[core_index]
+            .tlbs
+            .probe_batch(&scratch.accesses, &mut scratch.hits);
+
+        // Phase 2: complete the clean hits in order through the memory
+        // hierarchy, accumulating the per-access breakdown charges.
+        let mut clock = self.cores[core_index].clock;
+        let mut elapsed: Cycles = 0;
+        let mut instr_sum: u64 = 0;
+        let mut compute_sum: Cycles = 0;
+        let mut tlb_sum: Cycles = 0;
+        let mut mem_sum: Cycles = 0;
+        for (i, hit) in scratch.hits.iter().enumerate() {
+            let compute = instrs[i] as u64 / issue;
+            clock += compute;
+            instr_sum += instrs[i] as u64 + 1;
+            compute_sum += compute;
+            let mut cycles = hit.tlb_cycles + if hit.l2_refill { aslr } else { 0 };
+            tlb_sum += cycles;
+            let paddr = hit.ppn.base_addr().offset(vas[i].page_offset(hit.size));
+            let raw_mem =
+                self.hierarchy
+                    .access(core_id, paddr, kinds[i], AccessOrigin::Core, clock + cycles);
+            let mem_cycles = ((raw_mem as f64) * (1.0 - self.config.memory_overlap))
+                .round()
+                .max(1.0) as Cycles;
+            cycles += mem_cycles;
+            mem_sum += mem_cycles;
+            clock += cycles;
+            elapsed += compute + cycles;
+        }
+        let clean = scratch.hits.len();
+        self.cores[core_index].clock = clock;
+        self.breakdown.compute_cycles += compute_sum;
+        self.breakdown.tlb_cycles += tlb_sum;
+        self.breakdown.memory_cycles += mem_sum;
+
+        // Phase 3: the access the probe stopped on re-enters the scalar
+        // back half with its probe outcome carried over — the TLBs are
+        // not consulted again.
+        let mut executed = clean;
+        if let Some(stop) = stop {
+            let i = clean;
+            let compute = instrs[i] as u64 / issue;
+            self.cores[core_index].clock += compute;
+            instr_sum += instrs[i] as u64 + 1;
+            self.breakdown.compute_cycles += compute;
+            let clock_base = self.cores[core_index].clock;
+            let (tlb_cycles, faulted_cow_hit) = match stop {
+                BatchStop::L1 { result, cycles } => {
+                    self.breakdown.tlb_cycles += cycles;
+                    (cycles, matches!(result, LookupResult::CowFault(_)))
+                }
+                BatchStop::L2 {
+                    result,
+                    l1_cycles,
+                    l2_cycles,
+                } => {
+                    let cycles = l1_cycles + aslr + l2_cycles;
+                    self.breakdown.tlb_cycles += cycles;
+                    (cycles, matches!(result, LookupResult::CowFault(_)))
+                }
+            };
+            let access_cycles = self.finish_access(
+                core_index,
+                &scratch.accesses[i],
+                tlb_cycles,
+                None,
+                faulted_cow_hit,
+                clock_base,
+            );
+            // The fault path may have edited MaskPages.
+            *region_cache = None;
+            elapsed += compute + access_cycles;
+            executed += 1;
+        }
+        self.cores[core_index].instructions += instr_sum;
+        self.telem.instructions.add(instr_sum);
+        self.scratch = scratch;
+        (executed, elapsed)
+    }
+
+    /// Replays a run of consecutive same-`(core, pid)` captured accesses
+    /// through the batched engine: one capture tee, per-run tagging
+    /// resolution, TLB probes hoisted ahead of the memory completions
+    /// (nothing interleaves inside a replayed run — captured switches
+    /// arrive as separate records), and epoch ticks bulked per chunk.
+    /// Byte-identical to calling [`Machine::replay_access`] per record.
+    pub fn replay_access_batch(
+        &mut self,
+        core: u32,
+        pid: Pid,
+        vas: &[VirtAddr],
+        kinds: &[AccessKind],
+        instrs: &[u32],
+    ) {
+        assert!(
+            vas.len() == kinds.len() && vas.len() == instrs.len(),
+            "replay batch columns must be parallel"
+        );
+        if self.tracing {
+            // Spans need per-access begin/end interleaving.
+            for i in 0..vas.len() {
+                self.replay_access(core, pid, vas[i], kinds[i], instrs[i]);
+            }
+            return;
+        }
+        if let Some(sink) = self.capture.as_mut() {
+            sink.access_run(core, pid, vas, kinds, instrs);
+        }
+        let core_index = core as usize;
+        let (pcid, ccid) = {
+            let proc = self.kernel.process(pid);
+            (proc.pcid(), proc.ccid())
+        };
+        // Per-access amortized mode, not the phased probe: captured
+        // streams are walk-heavy enough that probing ahead stops every
+        // few accesses and the probe-column staging costs more than it
+        // saves. The run still amortizes the capture tee, the tagging
+        // resolution, the per-GB-region PC bit, and the telemetry ticks.
+        let issue = self.config.issue_width.max(1);
+        let mut region_cache: Option<(u64, Option<usize>)> = None;
+        let mut count: u64 = 0;
+        let mut instr_delta: u64 = 0;
+        let mut cap = self.accesses_until_epoch();
+        for i in 0..vas.len() {
+            let va = vas[i];
+            let compute = instrs[i] as u64 / issue;
+            self.cores[core_index].clock += compute;
+            self.cores[core_index].instructions += instrs[i] as u64 + 1;
+            self.breakdown.compute_cycles += compute;
+            instr_delta += instrs[i] as u64 + 1;
+            let region = va.raw() >> 30;
+            let pc_bit = match region_cache {
+                Some((r, bit)) if r == region => bit,
+                _ => {
+                    let bit = self.kernel.pc_bit(pid, va);
+                    region_cache = Some((region, bit));
+                    bit
+                }
+            };
+            let access = TlbAccess {
+                va,
+                pcid,
+                ccid,
+                pid,
+                pc_bit,
+                kind: kinds[i],
+            };
+            let walks_before = self.walks;
+            self.execute_access_inner(core_index, &access);
+            if self.walks != walks_before {
+                // The fault path may have edited MaskPages.
+                region_cache = None;
+            }
+            count += 1;
+            if count == cap {
+                self.flush_chunk(core_index, &mut count, &mut instr_delta);
+                cap = self.accesses_until_epoch();
+            }
+        }
+        self.flush_chunk(core_index, &mut count, &mut instr_delta);
     }
 
     /// Structural invariants that need machine state, not just counters:
@@ -1044,29 +1715,6 @@ impl Machine {
             } else {
                 0
             },
-            loader: pid,
-        }
-    }
-
-    fn fill_from_parts(
-        &self,
-        pid: Pid,
-        va: VirtAddr,
-        ppn: bf_types::Ppn,
-        size: PageSize,
-        flags: PageFlags,
-        access: &TlbAccess,
-    ) -> TlbFill {
-        TlbFill {
-            vpn: va.vpn(size),
-            ppn,
-            size,
-            flags,
-            pcid: access.pcid,
-            ccid: access.ccid,
-            owned: flags.contains(PageFlags::OWNED),
-            orpc: false,
-            pc_bitmask: 0,
             loader: pid,
         }
     }
@@ -1800,7 +2448,12 @@ mod tests {
     /// Identical serving setup on a fresh machine; returns the machine
     /// plus the two containers (deterministic across calls).
     fn serving_pair() -> (Machine, Container, Container) {
-        let mut m = machine(Mode::babelfish());
+        serving_pair_on(machine(Mode::babelfish()))
+    }
+
+    /// Builds the standard two-container MongoDB serving setup on a
+    /// caller-provided machine (deterministic across calls).
+    fn serving_pair_on(mut m: Machine) -> (Machine, Container, Container) {
         let kernel = m.kernel_mut();
         let mut runtime = ContainerRuntime::new(kernel);
         let image = runtime.build_image(kernel, &ImageSpec::data_serving("mongodb", 2 << 20));
@@ -1808,6 +2461,198 @@ mod tests {
         let c1 = runtime.create_container(kernel, &image, group).unwrap();
         let c2 = runtime.create_container(kernel, &image, group).unwrap();
         (m, c1, c2)
+    }
+
+    /// Attaches a MongoDB serving workload for `c` on `core`.
+    fn attach_serving(m: &mut Machine, core: usize, c: &Container, seed: u64) {
+        m.attach(
+            CoreId::new(core),
+            c.pid(),
+            Box::new(bf_workloads::DataServing::new(
+                bf_workloads::ServingVariant::MongoDb,
+                c.layout().clone(),
+                seed,
+            )),
+        );
+    }
+
+    /// Warm-up + measured window, scalar (`batch == 0`) or batched, with
+    /// a capture sink attached; returns the captured stream.
+    fn drive_live(m: &mut Machine, batch: usize) -> Vec<Event> {
+        let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        m.attach_capture(Box::new(VecSink(events.clone())));
+        if batch == 0 {
+            m.run_instructions(5_000);
+            m.reset_measurement();
+            m.run_instructions(15_000);
+        } else {
+            m.run_instructions_batched(5_000, batch);
+            m.reset_measurement();
+            m.run_instructions_batched(15_000, batch);
+        }
+        m.take_capture();
+        let captured = events.lock().unwrap().clone();
+        captured
+    }
+
+    /// Full-state comparison: counters, clocks, telemetry.
+    fn assert_same_state(a: &Machine, b: &Machine, what: &str) {
+        assert_eq!(
+            format!("{:?}", a.stats()),
+            format!("{:?}", b.stats()),
+            "{what}: stats"
+        );
+        for core in 0..a.config().cores {
+            assert_eq!(
+                a.core_clock(CoreId::new(core)),
+                b.core_clock(CoreId::new(core)),
+                "{what}: core {core} clock"
+            );
+        }
+        if bf_telemetry::enabled() {
+            assert_eq!(
+                a.telemetry_snapshot(),
+                b.telemetry_snapshot(),
+                "{what}: telemetry"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_multiplexed_run_matches_scalar_byte_for_byte() {
+        // Two containers on one core: load 2 keeps the engine in
+        // per-access mode, exercising switches and end-op buffering.
+        let (mut scalar, c1, c2) = serving_pair();
+        attach_serving(&mut scalar, 0, &c1, 1);
+        attach_serving(&mut scalar, 0, &c2, 2);
+        let scalar_events = drive_live(&mut scalar, 0);
+
+        for batch in [1usize, 7, 64] {
+            let (mut batched, b1, b2) = serving_pair();
+            attach_serving(&mut batched, 0, &b1, 1);
+            attach_serving(&mut batched, 0, &b2, 2);
+            let batched_events = drive_live(&mut batched, batch);
+            assert_same_state(&scalar, &batched, &format!("batch {batch}"));
+            assert_eq!(
+                scalar_events, batched_events,
+                "batch {batch}: capture stream"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_single_process_phased_run_matches_scalar() {
+        // One container, nothing else runnable anywhere: the engine
+        // takes the phase-split path (every TLB probe of a run hoisted
+        // ahead of the memory completions).
+        let (mut scalar, c1, _c2) = serving_pair();
+        attach_serving(&mut scalar, 0, &c1, 1);
+        let scalar_events = drive_live(&mut scalar, 0);
+
+        let (mut batched, b1, _b2) = serving_pair();
+        attach_serving(&mut batched, 0, &b1, 1);
+        let batched_events = drive_live(&mut batched, 64);
+        assert_same_state(&scalar, &batched, "phased batch 64");
+        assert_eq!(scalar_events, batched_events, "phased capture stream");
+    }
+
+    #[test]
+    fn batched_replay_matches_scalar_replay() {
+        // Capture a scalar run, then replay it twice — record by record
+        // and through the batched run-accumulating entry point.
+        let (mut live, c1, c2) = serving_pair();
+        attach_serving(&mut live, 0, &c1, 1);
+        attach_serving(&mut live, 0, &c2, 2);
+        let captured = drive_live(&mut live, 0);
+
+        let (mut scalar, _, _) = serving_pair();
+        for event in &captured {
+            match *event {
+                Event::Access(core, pid, va, kind, instrs) => {
+                    scalar.replay_access(core, pid, va, kind, instrs)
+                }
+                Event::Switch(core, cost) => scalar.replay_switch(core, cost),
+                Event::RequestEnd(cycles) => scalar.replay_request_end(cycles),
+                Event::Reset => scalar.reset_measurement(),
+            }
+        }
+
+        let (mut batched, _, _) = serving_pair();
+        let mut run: Option<(u32, Pid)> = None;
+        let mut vas: Vec<VirtAddr> = Vec::new();
+        let mut kinds: Vec<AccessKind> = Vec::new();
+        let mut instrs: Vec<u32> = Vec::new();
+        fn flush(
+            m: &mut Machine,
+            run: &mut Option<(u32, Pid)>,
+            vas: &mut Vec<VirtAddr>,
+            kinds: &mut Vec<AccessKind>,
+            instrs: &mut Vec<u32>,
+        ) {
+            if let Some((core, pid)) = run.take() {
+                m.replay_access_batch(core, pid, vas, kinds, instrs);
+                vas.clear();
+                kinds.clear();
+                instrs.clear();
+            }
+        }
+        for event in &captured {
+            match *event {
+                Event::Access(core, pid, va, kind, n) => {
+                    if run != Some((core, pid)) {
+                        flush(&mut batched, &mut run, &mut vas, &mut kinds, &mut instrs);
+                        run = Some((core, pid));
+                    }
+                    vas.push(va);
+                    kinds.push(kind);
+                    instrs.push(n);
+                }
+                Event::Switch(core, cost) => {
+                    flush(&mut batched, &mut run, &mut vas, &mut kinds, &mut instrs);
+                    batched.replay_switch(core, cost);
+                }
+                Event::RequestEnd(cycles) => {
+                    flush(&mut batched, &mut run, &mut vas, &mut kinds, &mut instrs);
+                    batched.replay_request_end(cycles);
+                }
+                Event::Reset => {
+                    flush(&mut batched, &mut run, &mut vas, &mut kinds, &mut instrs);
+                    batched.reset_measurement();
+                }
+            }
+        }
+        flush(&mut batched, &mut run, &mut vas, &mut kinds, &mut instrs);
+        assert_same_state(&scalar, &batched, "batched replay");
+    }
+
+    #[test]
+    fn batched_timeline_epochs_match_scalar() {
+        if !bf_telemetry::enabled() {
+            return;
+        }
+        // Epoch every 8 accesses with two multiplexed containers: the
+        // bulk ticks must seal on exactly the scalar boundaries, at the
+        // same clocks, with the same snapshots.
+        let (mut scalar, c1, c2) = serving_pair_on(timeline_machine(8, true));
+        attach_serving(&mut scalar, 0, &c1, 1);
+        attach_serving(&mut scalar, 0, &c2, 2);
+        scalar.run_instructions(5_000);
+        scalar.reset_measurement();
+        scalar.run_instructions(15_000);
+
+        let (mut batched, b1, b2) = serving_pair_on(timeline_machine(8, true));
+        attach_serving(&mut batched, 0, &b1, 1);
+        attach_serving(&mut batched, 0, &b2, 2);
+        batched.run_instructions_batched(5_000, 64);
+        batched.reset_measurement();
+        batched.run_instructions_batched(15_000, 64);
+
+        assert_same_state(&scalar, &batched, "timeline batch 64");
+        assert_eq!(
+            format!("{:?}", scalar.take_timeline()),
+            format!("{:?}", batched.take_timeline()),
+            "epoch timelines"
+        );
     }
 
     #[test]
