@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Ratchet on `.unwrap(` in the robustness-critical crates (bf-capture,
+# bf-core). The committed budget in ci/unwrap-budget.txt is the
+# current count; going above it fails CI. Going below is progress —
+# lower the budget in the same change so it cannot creep back up.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+actual=$(grep -rco '\.unwrap(' --include='*.rs' crates/capture/src crates/core/src \
+  | awk -F: '{s+=$2} END {print s}')
+budget=$(tr -d '[:space:]' < ci/unwrap-budget.txt)
+echo "unwrap() calls in bf-capture + bf-core sources: $actual (budget: $budget)"
+if [ "$actual" -gt "$budget" ]; then
+  echo "error: unwrap budget exceeded ($actual > $budget)." >&2
+  echo "Handle the error (or use expect with an invariant message)," >&2
+  echo "or raise ci/unwrap-budget.txt deliberately in this change." >&2
+  exit 1
+fi

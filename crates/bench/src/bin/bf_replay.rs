@@ -41,7 +41,16 @@ const USAGE: &str = "options:
                   through the batched SoA engine (default N=64; 0 is rejected);
                   counters, timelines, and recaptures are byte-identical to the
                   scalar replay, only records/s changes
-  -h, --help      this message";
+  --salvage       read the trace in salvage mode: skip corrupt blocks, resync
+                  at the next self-consistent block header, replay whatever
+                  decodes, and print the loss accounting (blocks skipped,
+                  records lost, whether the accounting is exact)
+  -h, --help      this message
+
+exit codes:
+  0  success
+  2  usage or I/O error
+  3  corrupt trace (strict replay hit a damaged block; retry with --salvage)";
 
 struct ReplayArgs {
     trace: String,
@@ -51,6 +60,7 @@ struct ReplayArgs {
     profile_top_k: u64,
     recapture: Option<String>,
     batch: usize,
+    salvage: bool,
 }
 
 fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
@@ -61,12 +71,14 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
     let mut profile_top_k = 0;
     let mut recapture = None;
     let mut batch = 0;
+    let mut salvage = false;
     for arg in args {
         match arg.as_str() {
             "--trace" => trace_sample_every = DEFAULT_TRACE_SAMPLE,
             "--timeline" => timeline_every = DEFAULT_TIMELINE_EPOCH,
             "--profile" => profile_top_k = DEFAULT_PROFILE_K,
             "--batch" => batch = DEFAULT_BATCH,
+            "--salvage" => salvage = true,
             "-h" | "--help" => return Err(String::new()),
             _ => {
                 if let Some(name) = arg.strip_prefix("--mode=") {
@@ -113,8 +125,12 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
         profile_top_k,
         recapture,
         batch,
+        salvage,
     })
 }
+
+/// Exit code when a strict replay fails on a damaged trace.
+const EXIT_CORRUPT_TRACE: i32 = 3;
 
 fn main() {
     let args = match parse(std::env::args().skip(1)) {
@@ -158,13 +174,19 @@ fn main() {
         profile_top_k: args.profile_top_k,
         recapture: recapture_file.as_ref().map(|file| file.sink()),
         batch: args.batch,
+        salvage: args.salvage,
     };
     let start = std::time::Instant::now();
     let outcome = match replay_file(&args.trace, options) {
         Ok(outcome) => outcome,
         Err(error) => {
             eprintln!("error: replaying {}: {error}", args.trace);
-            std::process::exit(2);
+            let code = if error.to_string().contains("corrupt block") {
+                EXIT_CORRUPT_TRACE
+            } else {
+                2
+            };
+            std::process::exit(code);
         }
     };
     let seconds = start.elapsed().as_secs_f64();
@@ -202,6 +224,15 @@ fn main() {
         "throughput       {:.0} records/s ({seconds:.3}s wall)",
         outcome.records_replayed as f64 / seconds.max(1e-9)
     );
+    if let Some(report) = &outcome.salvage {
+        println!("salvage          {report}");
+    }
+    if outcome.records_dropped > 0 {
+        println!(
+            "dropped          {} records decoded but unreplayable (addresses mangled by the damage)",
+            outcome.records_dropped
+        );
+    }
 
     let stem = format!("replay-{}-{mode_name}", outcome.app);
     let doc =

@@ -10,12 +10,47 @@
 //! Paper reference points: Data Serving D-MPKI −66 %, I-MPKI −96 %;
 //! GraphChi shared hits 48 % (I) / 12 % (D).
 
-use bf_bench::sweeps::{fig10_doc, fig10_profile_cells, fig10_timeline_cells};
+use bf_bench::sweeps::{
+    fig10_cells_keep_going, fig10_doc, fig10_keep_going_doc, fig10_profile_cells,
+    fig10_timeline_cells,
+};
 use bf_bench::{header, reduction_pct};
+
+/// The `--keep-going` sweep: every cell runs even if some panic; failed
+/// cells become `{cell, error}` slots in the results document and the
+/// process exits non-zero with a failure summary.
+fn run_keep_going(args: &bf_bench::BenchArgs) -> ! {
+    // Cell panics are caught and reported in the failure summary; the
+    // default hook's per-thread backtraces would only interleave noise.
+    std::panic::set_hook(Box::new(|_| {}));
+    let cells = fig10_cells_keep_going(&args.cfg, args.threads, args.quiet);
+    let doc = fig10_keep_going_doc(&args.cfg, &cells);
+    bf_bench::emit_results("fig10_tlb-keepgoing", &doc);
+    let failures: Vec<_> = cells
+        .iter()
+        .filter_map(|(name, outcome)| outcome.as_ref().err().map(|f| (name, f)))
+        .collect();
+    if failures.is_empty() {
+        println!("keep-going sweep: all {} cells completed", cells.len());
+        std::process::exit(0);
+    }
+    eprintln!(
+        "keep-going sweep: {} of {} cells failed",
+        failures.len(),
+        cells.len()
+    );
+    for (name, failure) in &failures {
+        eprintln!("  {name}: {failure}");
+    }
+    std::process::exit(1);
+}
 
 fn main() {
     let args = bf_bench::parse_args();
     bf_bench::capture::preflight(&args);
+    if args.keep_going {
+        run_keep_going(&args);
+    }
     let rows = bf_bench::sweeps::fig10_rows(&args.cfg, args.threads, args.quiet);
 
     header("Fig. 10a: L2 TLB MPKI (Baseline -> BabelFish, reduction)");

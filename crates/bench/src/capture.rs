@@ -124,6 +124,7 @@ fn run_replay(path: &str, cfg: &ExperimentConfig) -> Result<(), String> {
         profile_top_k: cfg.profile_top_k,
         recapture: None,
         batch: cfg.batch,
+        salvage: false,
     };
     let outcome =
         replay::replay_file(path, options).map_err(|e| format!("replaying {path}: {e}"))?;

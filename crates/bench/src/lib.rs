@@ -62,6 +62,10 @@ pub struct BenchArgs {
     /// Replay a `.bft` trace and exit instead of running the figure
     /// sweep (`--replay=FILE`).
     pub replay: Option<String>,
+    /// Graceful sweep degradation (`--keep-going`): a panicking sweep
+    /// cell becomes a structured failure slot instead of aborting the
+    /// whole run; the process still exits non-zero.
+    pub keep_going: bool,
 }
 
 const USAGE: &str = "options:
@@ -92,6 +96,16 @@ const USAGE: &str = "options:
   --replay=FILE       replay a .bft trace (machine rebuilt from the trace
                       header), write the replay-<app>-<mode> results document,
                       and exit; see also the dedicated bf_replay binary
+  --faults=SPEC       arm the deterministic fault-injection plan: ';'-separated
+                      clauses like tlb-bitflip@p=1e-5, walk-stall@p=1e-4,cycles=2000,
+                      alloc-fail@p=1e-6, trace-corrupt@block=3, cell-panic@idx=2,
+                      seed=N (BF_FAULTS=SPEC also works); injection is
+                      byte-reproducible at any --threads/--batch, and unarmed
+                      runs are byte-identical to builds without the subsystem
+  --keep-going        don't abort the sweep when a cell panics: the failed cell
+                      becomes a structured {cell, error} slot in the results
+                      document, every other cell completes normally, and the
+                      process exits non-zero with a failure summary
   --quiet             suppress per-cell progress lines on stderr
   -h, --help          this message";
 
@@ -112,11 +126,14 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
     let mut threads: Option<usize> = None;
     let mut capture: Option<String> = None;
     let mut replay: Option<String> = None;
+    let mut faults: Option<babelfish::FaultPlan> = None;
+    let mut keep_going = false;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--quiet" => quiet = true,
+            "--keep-going" => keep_going = true,
             "--trace" => trace = Some(DEFAULT_TRACE_SAMPLE),
             "--timeline" => timeline = Some(DEFAULT_TIMELINE_EPOCH),
             "--profile" => profile = Some(DEFAULT_PROFILE_K),
@@ -178,8 +195,12 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
                     capture = Some(path.to_owned());
                 } else if let Some(path) = arg.strip_prefix("--replay=") {
                     replay = Some(path.to_owned());
+                } else if let Some(spec) = arg.strip_prefix("--faults=") {
+                    faults = Some(babelfish::FaultPlan::parse(spec)?);
                 } else if arg == "--capture" || arg == "--replay" {
                     return Err(format!("{arg} requires a file: {arg}=FILE"));
+                } else if arg == "--faults" {
+                    return Err("--faults requires a spec: --faults=SPEC".to_owned());
                 } else {
                     return Err(format!("unknown argument: {arg}"));
                 }
@@ -214,12 +235,18 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
     if capture.is_some() && replay.is_some() {
         return Err("--capture and --replay are mutually exclusive".to_owned());
     }
+    cfg.faults = match faults {
+        Some(plan) => Some(plan),
+        None => babelfish::FaultPlan::from_env()?,
+    };
+    cfg.validate().map_err(|err| err.to_string())?;
     Ok(BenchArgs {
         cfg,
         threads: babelfish::exec::thread_count(threads),
         quiet,
         capture,
         replay,
+        keep_going,
     })
 }
 
@@ -621,6 +648,30 @@ mod tests {
             parse(["--batch=0".to_string()].into_iter()).is_err(),
             "a zero batch is rejected, not silently scalar"
         );
+    }
+
+    #[test]
+    fn fault_and_keep_going_flags_parse() {
+        let args = parse_ok(&["--quick"]);
+        assert!(args.cfg.faults.is_none(), "faults default to unarmed");
+        assert!(!args.keep_going);
+
+        let args = parse_ok(&["--quick", "--keep-going"]);
+        assert!(args.keep_going);
+
+        let args = parse_ok(&["--quick", "--faults=tlb-bitflip@p=1e-4;seed=7"]);
+        let plan = args.cfg.faults.expect("spec should arm a plan");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.tlb_bitflip, Some(1e-4));
+
+        let args = parse_ok(&["--quick", "--faults=cell-panic@idx=2"]);
+        assert_eq!(args.cfg.faults.unwrap().cell_panic, Some(2));
+
+        assert!(
+            parse(["--faults".to_string()].into_iter()).is_err(),
+            "--faults needs =SPEC"
+        );
+        assert!(parse(["--faults=warp-core@p=1".to_string()].into_iter()).is_err());
     }
 
     #[test]

@@ -536,20 +536,51 @@ fn run_time(args: &[String]) -> Result<bool, String> {
     Ok(false)
 }
 
+/// Exit code when a trace fails block CRC / record-count validation.
+pub const EXIT_CORRUPT_TRACE: i32 = 3;
+/// Exit code when two structurally valid traces diverge record-wise.
+pub const EXIT_TRACE_DIVERGENCE: i32 = 4;
+
 /// `bf-report trace <file.bft>`: print the trace header and stream
 /// statistics while validating every block CRC and record count; with a
 /// second file, additionally compare the two traces record by record
-/// and report the first divergence. Returns `Ok(true)` — exit code 1 —
-/// on corruption or divergence.
-fn run_trace(args: &[String]) -> Result<bool, String> {
-    use babelfish::capture::{TraceReader, TraceStats};
+/// and report the first divergence. Corruption exits
+/// [`EXIT_CORRUPT_TRACE`], a record-level divergence between two valid
+/// traces exits [`EXIT_TRACE_DIVERGENCE`]. `--salvage` reads a damaged
+/// trace in resync mode instead: corrupt blocks are skipped, decoding
+/// resumes at the next self-consistent block header, and the loss
+/// accounting is printed (exit 0 — salvage succeeding is the point).
+fn run_trace(args: &[String]) -> Result<i32, String> {
+    use babelfish::capture::{SalvageReader, TraceReader, TraceStats};
 
     let mut files = Vec::new();
+    let mut salvage = false;
     for arg in args {
-        if arg.starts_with('-') {
+        if arg == "--salvage" {
+            salvage = true;
+        } else if arg.starts_with('-') {
             return Err(format!("unknown trace argument '{arg}'\n{USAGE}"));
+        } else {
+            files.push(arg.clone());
         }
-        files.push(arg.clone());
+    }
+    if salvage {
+        let [path] = files.as_slice() else {
+            return Err(format!(
+                "trace --salvage takes exactly one .bft file, got {}\n{USAGE}",
+                files.len()
+            ));
+        };
+        let mut reader = SalvageReader::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+        println!("{path} (salvage):");
+        for (key, value) in reader.meta().entries() {
+            println!("  {key} = {value}");
+        }
+        let yielded = reader.by_ref().count();
+        let report = reader.report();
+        println!("  {yielded} records decoded");
+        println!("  {report}");
+        return Ok(0);
     }
     let (path, other) = match files.as_slice() {
         [path] => (path, None),
@@ -586,21 +617,28 @@ fn run_trace(args: &[String]) -> Result<bool, String> {
         }
         Err(error) => {
             println!("FAIL  {path}: {error}");
-            return Ok(true);
+            return Ok(EXIT_CORRUPT_TRACE);
         }
     }
 
     let Some(other) = other else {
-        return Ok(false);
+        return Ok(0);
     };
     match compare_traces(path, other) {
         Ok(records) => {
             println!("\ntraces identical: {records} records");
-            Ok(false)
+            Ok(0)
         }
         Err(divergence) => {
             println!("\nFAIL  {divergence}");
-            Ok(true)
+            // A decode error inside the comparison is corruption; a
+            // clean decode with differing records is a determinism
+            // mismatch.
+            if divergence.contains("corrupt block") {
+                Ok(EXIT_CORRUPT_TRACE)
+            } else {
+                Ok(EXIT_TRACE_DIVERGENCE)
+            }
         }
     }
 }
@@ -1184,9 +1222,10 @@ fn run_profile(args: &[String]) -> Result<bool, String> {
 
 /// The `bf-report` command line: one of the subcommands listed in the
 /// usage text. Returns the process exit code (0 ok, 1 regression,
-/// 2 usage/IO error). `--help` anywhere prints the usage to stdout and
-/// exits 0; no arguments or an unknown subcommand prints it to stderr
-/// and exits 2.
+/// 2 usage/IO error, 3 corrupt trace, 4 trace divergence — see the
+/// usage text). `--help` anywhere prints the usage to stdout and exits
+/// 0; no arguments or an unknown subcommand prints it to stderr and
+/// exits 2.
 pub fn run_cli(args: &[String]) -> i32 {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
@@ -1197,13 +1236,7 @@ pub fn run_cli(args: &[String]) -> i32 {
         return 2;
     }
     match run(args) {
-        Ok(regressed) => {
-            if regressed {
-                1
-            } else {
-                0
-            }
-        }
+        Ok(code) => code,
         Err(message) => {
             eprintln!("bf-report: {message}");
             2
@@ -1218,8 +1251,10 @@ subcommands:
             wall-clock several whole binaries and report speedups
   timeline  timeline <current.json> [<baseline.json>] [--metric NAME ...] [--top N]
             render + validate a <figure>-timeline export
-  trace     trace <trace.bft> [<other.bft>]
-            summarise (and byte-compare) captured binary traces
+  trace     trace <trace.bft> [<other.bft>] [--salvage]
+            summarise (and byte-compare) captured binary traces;
+            --salvage skips corrupt blocks, resyncs at the next valid
+            block header, and prints the exact loss accounting
   diff      diff <base.json> <current.json> [--top N]
             flatten two results documents and show metric movement
   check     check <baseline.json> <current.json> --gate 'name[@phase]=+P%|-P%|~P%' [--gate ...] [--top N]
@@ -1228,14 +1263,31 @@ subcommands:
             render a <figure>-profile export: hot regions, TLB set
             conflicts, per-container blame, walk-path flamegraph stacks
 
-  -h, --help  print this message";
+  -h, --help  print this message
 
-fn run(args: &[String]) -> Result<bool, String> {
+exit codes:
+  0  success
+  1  gated regression or timeline validation failure
+  2  usage or I/O error
+  3  corrupt trace (CRC/framing damage; try trace --salvage)
+  4  trace comparison diverged (determinism mismatch between valid traces)";
+
+/// Folds a bool-style subcommand result (`true` = failed) into the
+/// classic 0/1 exit codes.
+fn exit_flag(failed: bool) -> i32 {
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
+fn run(args: &[String]) -> Result<i32, String> {
     match args.first().map(String::as_str).unwrap_or_default() {
-        "time" => return run_time(&args[1..]),
-        "timeline" => return run_timeline(&args[1..]),
+        "time" => return run_time(&args[1..]).map(exit_flag),
+        "timeline" => return run_timeline(&args[1..]).map(exit_flag),
         "trace" => return run_trace(&args[1..]),
-        "profile" => return run_profile(&args[1..]),
+        "profile" => return run_profile(&args[1..]).map(exit_flag),
         "diff" | "--diff" | "check" | "--check" => {}
         other => return Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     }
@@ -1273,7 +1325,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let rows = diff(&base, &current);
     print!("{}", render_diff(&rows, top));
     if mode == "diff" {
-        return Ok(false);
+        return Ok(0);
     }
 
     if gates.is_empty() {
@@ -1295,7 +1347,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     } else {
         println!("\nall gates passed");
     }
-    Ok(regressed)
+    Ok(exit_flag(regressed))
 }
 
 #[cfg(test)]
@@ -1423,17 +1475,35 @@ mod tests {
         };
         assert_eq!(run_cli(&args(&[&a])), 0, "clean trace validates");
         assert_eq!(run_cli(&args(&[&a, &twin])), 0, "identical traces match");
-        assert_eq!(run_cli(&args(&[&a, &b])), 1, "divergent traces fail");
+        assert_eq!(
+            run_cli(&args(&[&a, &b])),
+            EXIT_TRACE_DIVERGENCE,
+            "divergent traces exit 4"
+        );
 
-        // Corrupt one payload byte: validation must exit 1.
+        // Corrupt one payload byte: validation must exit 3, and the
+        // salvage pass over the same bytes must still succeed (exit 0).
         let mut bytes = std::fs::read(&a).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0x40;
-        let corrupt = dir.join("corrupt.bft");
+        let corrupt = dir.join("corrupt.bft").display().to_string();
         std::fs::write(&corrupt, bytes).unwrap();
-        assert_eq!(run_cli(&args(&[&corrupt.display().to_string()])), 1);
+        assert_eq!(run_cli(&args(&[&corrupt])), EXIT_CORRUPT_TRACE);
+        assert_eq!(run_cli(&args(&[&corrupt, "--salvage"])), 0);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Pins the documented exit-code contract: the codes appear in the
+    /// usage text and keep their values — scripts and CI grep for them.
+    #[test]
+    fn exit_codes_are_pinned_and_documented() {
+        assert_eq!(EXIT_CORRUPT_TRACE, 3);
+        assert_eq!(EXIT_TRACE_DIVERGENCE, 4);
+        assert!(USAGE.contains("exit codes"), "{USAGE}");
+        assert!(USAGE.contains("3  corrupt trace"), "{USAGE}");
+        assert!(USAGE.contains("4  trace comparison diverged"), "{USAGE}");
+        assert!(USAGE.contains("--salvage"), "{USAGE}");
     }
 
     #[test]

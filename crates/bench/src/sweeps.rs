@@ -10,7 +10,7 @@
 //! thread count.
 
 use crate::{json_object, progress, reduction_pct};
-use babelfish::exec::Sweep;
+use babelfish::exec::{CellFailure, Sweep};
 use babelfish::experiment::{
     run_compute, run_functions, run_serving, ComputeKind, ComputeResult, ExperimentConfig,
     FunctionsResult, ServingResult,
@@ -45,7 +45,7 @@ pub struct Fig10Row {
 
 /// What one Fig. 10 cell produces: stats, telemetry, epoch timeline,
 /// miss-attribution profile.
-type Fig10Cell = (
+pub type Fig10Cell = (
     MachineStats,
     Snapshot,
     Option<TimelineSnapshot>,
@@ -95,28 +95,46 @@ fn fig10_apps() -> Vec<Fig10App> {
     apps
 }
 
+/// Panics when the configuration's fault plan targets this submission
+/// index with a `cell-panic@idx=N` clause — the deterministic trigger
+/// the `--keep-going` chaos tests use. No-op on clean configurations.
+fn maybe_cell_panic(cfg: &ExperimentConfig, index: usize) {
+    if cfg.faults.and_then(|plan| plan.cell_panic) == Some(index) {
+        panic!("deliberate fault: cell-panic@idx={index}");
+    }
+}
+
+/// Builds the 14-cell Fig. 10 sweep (every application under Baseline
+/// and BabelFish, in submission order) plus the matching cell names.
+fn fig10_sweep(cfg: ExperimentConfig, quiet: bool) -> (Sweep<Fig10Cell>, Vec<String>) {
+    let mut sweep = Sweep::new();
+    let mut cell_names = Vec::new();
+    for (name, runner) in fig10_apps() {
+        let runner = std::sync::Arc::new(runner);
+        for (mode, mode_name) in [
+            (Mode::Baseline, "baseline"),
+            (Mode::babelfish(), "babelfish"),
+        ] {
+            let index = cell_names.len();
+            cell_names.push(format!("{name}-{mode_name}"));
+            let runner = runner.clone();
+            sweep.cell(move || {
+                maybe_cell_panic(&cfg, index);
+                let r = runner(mode, &cfg);
+                progress(quiet, &format!("{name}-{mode_name} done"));
+                r
+            });
+        }
+    }
+    (sweep, cell_names)
+}
+
 /// Runs the Fig. 10 cells — every application under Baseline and
 /// BabelFish — on `threads` workers. `quiet` suppresses the per-cell
 /// progress lines.
 pub fn fig10_rows(cfg: &ExperimentConfig, threads: usize, quiet: bool) -> Vec<Fig10Row> {
-    let cfg = *cfg;
-    let mut sweep = Sweep::new();
-    let mut names = Vec::new();
-    for (name, runner) in fig10_apps() {
-        names.push(name);
-        let runner = std::sync::Arc::new(runner);
-        let base_runner = runner.clone();
-        sweep.cell(move || {
-            let r = base_runner(Mode::Baseline, &cfg);
-            progress(quiet, &format!("{name}-baseline done"));
-            r
-        });
-        sweep.cell(move || {
-            let r = runner(Mode::babelfish(), &cfg);
-            progress(quiet, &format!("{name}-babelfish done"));
-            r
-        });
-    }
+    let (sweep, _) = fig10_sweep(*cfg, quiet);
+    let names: Vec<&'static str> = fig10_apps().into_iter().map(|(name, _)| name).collect();
     let mut results = sweep.run(threads).into_iter();
     names
         .into_iter()
@@ -138,6 +156,52 @@ pub fn fig10_rows(cfg: &ExperimentConfig, threads: usize, quiet: bool) -> Vec<Fi
             }
         })
         .collect()
+}
+
+/// The `--keep-going` variant of [`fig10_rows`]: every cell runs to
+/// completion even when some panic (including a deliberate
+/// `cell-panic@idx=N` fault clause); each slot carries the cell's name
+/// and either its data or the panic it died with, in submission order.
+pub fn fig10_cells_keep_going(
+    cfg: &ExperimentConfig,
+    threads: usize,
+    quiet: bool,
+) -> Vec<(String, Result<Fig10Cell, CellFailure>)> {
+    let (sweep, names) = fig10_sweep(*cfg, quiet);
+    names
+        .into_iter()
+        .zip(sweep.run_keep_going(threads))
+        .collect()
+}
+
+/// The Fig. 10 `--keep-going` results document: successful cells carry
+/// their stats + telemetry exactly as [`fig10_doc`] records them;
+/// failed cells become structured `{cell, error}` slots. Submission
+/// order is preserved either way, so the document is byte-identical for
+/// every `--threads` value.
+pub fn fig10_keep_going_doc(
+    cfg: &ExperimentConfig,
+    cells: &[(String, Result<Fig10Cell, CellFailure>)],
+) -> Value {
+    let rows = cells
+        .iter()
+        .map(|(name, outcome)| match outcome {
+            Ok((stats, telemetry, _, _)) => json_object([
+                ("cell", Value::String(name.clone())),
+                ("stats", stats.to_value()),
+                ("telemetry", telemetry.to_value()),
+            ]),
+            Err(failure) => json_object([
+                ("cell", Value::String(name.clone())),
+                ("error", Value::String(failure.error.clone())),
+            ]),
+        })
+        .collect();
+    json_object([
+        ("figure", Value::String("fig10_tlb-keepgoing".to_owned())),
+        ("config", cfg.to_value()),
+        ("cells", Value::Array(rows)),
+    ])
 }
 
 /// The Fig. 10 rows as `(cell-name, timeline)` pairs in submission

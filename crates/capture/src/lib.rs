@@ -65,6 +65,7 @@
 pub mod block;
 pub mod crc;
 pub mod reader;
+pub mod salvage;
 pub mod stats;
 pub mod varint;
 pub mod writer;
@@ -73,6 +74,7 @@ use bf_types::{AccessKind, Cycles, Pid, VirtAddr};
 
 pub use block::{BLOCK_PAYLOAD_CAPACITY, FILE_MAGIC, FORMAT_VERSION};
 pub use reader::TraceReader;
+pub use salvage::{SalvageReader, SalvageReport};
 pub use stats::TraceStats;
 pub use writer::TraceWriter;
 

@@ -27,33 +27,42 @@ impl TraceReader<std::io::BufReader<std::fs::File>> {
     }
 }
 
+/// Parses the `magic | version | header_len | header` file prefix,
+/// leaving `source` positioned at the first block. Shared by the strict
+/// [`TraceReader`] and the resynchronizing salvage reader — salvage
+/// never reconstructs a damaged header; a trace whose prefix is torn is
+/// unidentifiable and rejected outright.
+pub(crate) fn read_file_header<R: Read>(source: &mut R) -> std::io::Result<TraceMeta> {
+    let mut magic = [0u8; 4];
+    source
+        .read_exact(&mut magic)
+        .map_err(|_| TraceError::BadMagic)?;
+    if magic != FILE_MAGIC {
+        return Err(TraceError::BadMagic.into());
+    }
+    let mut version = [0u8; 2];
+    source
+        .read_exact(&mut version)
+        .map_err(|_| TraceError::BadVersion(0))?;
+    let version = u16::from_le_bytes(version);
+    if version != FORMAT_VERSION {
+        return Err(TraceError::BadVersion(version).into());
+    }
+    let mut len = [0u8; 4];
+    source
+        .read_exact(&mut len)
+        .map_err(|_| TraceError::BadHeader("truncated header length".into()))?;
+    let mut header = vec![0u8; u32::from_le_bytes(len) as usize];
+    source
+        .read_exact(&mut header)
+        .map_err(|_| TraceError::BadHeader("truncated header".into()))?;
+    Ok(TraceMeta::decode(&header)?)
+}
+
 impl<R: Read> TraceReader<R> {
     /// Parses the file header and returns the reader.
     pub fn new(mut source: R) -> std::io::Result<Self> {
-        let mut magic = [0u8; 4];
-        source
-            .read_exact(&mut magic)
-            .map_err(|_| TraceError::BadMagic)?;
-        if magic != FILE_MAGIC {
-            return Err(TraceError::BadMagic.into());
-        }
-        let mut version = [0u8; 2];
-        source
-            .read_exact(&mut version)
-            .map_err(|_| TraceError::BadVersion(0))?;
-        let version = u16::from_le_bytes(version);
-        if version != FORMAT_VERSION {
-            return Err(TraceError::BadVersion(version).into());
-        }
-        let mut len = [0u8; 4];
-        source
-            .read_exact(&mut len)
-            .map_err(|_| TraceError::BadHeader("truncated header length".into()))?;
-        let mut header = vec![0u8; u32::from_le_bytes(len) as usize];
-        source
-            .read_exact(&mut header)
-            .map_err(|_| TraceError::BadHeader("truncated header".into()))?;
-        let meta = TraceMeta::decode(&header)?;
+        let meta = read_file_header(&mut source)?;
         Ok(TraceReader {
             source,
             meta,

@@ -1,0 +1,434 @@
+//! Trace salvage: resynchronizing reads of damaged `.bft` files.
+//!
+//! The strict [`TraceReader`](crate::TraceReader) stops at the first
+//! corrupt block. [`SalvageReader`] instead skips the damage and
+//! *resynchronizes*: it scans forward to the next self-consistent block
+//! frame (plausible length, payload in bounds, matching CRC-32) and
+//! keeps decoding, maintaining an exact account of the loss wherever
+//! the framing allows one.
+//!
+//! # Loss accounting
+//!
+//! [`SalvageReport`] classifies every skipped region:
+//!
+//! * **Complete frame, CRC mismatch** — the whole block is skipped and
+//!   its declared record count is charged to `records_lost`. Exact: the
+//!   count lives in the frame header, outside the CRC'd payload.
+//! * **CRC-valid block that decodes fewer records than declared due to
+//!   a decode error** — the records decoded before the error are kept;
+//!   the remainder (`declared − decoded`) is charged. Exact.
+//! * **CRC-valid block whose payload exhausts cleanly below the
+//!   declared count** — the payload is intact (the CRC says so), so the
+//!   count field itself is the damaged datum: the decoded records are
+//!   trusted and nothing is charged. Exact.
+//! * **Truncated final block with an intact frame header** — its
+//!   declared count is charged. Exact.
+//! * **Unparseable framing** (garbage length field, torn frame tail) —
+//!   bytes are skipped to the next self-consistent frame and `exact`
+//!   drops to `false`: nothing in the stream says how many records the
+//!   gap held.
+//!
+//! # Caveat: codec state across skips
+//!
+//! The record codec is stateful (stream definitions, per-stream VPN
+//! deltas carry across blocks). A skipped block may have held stream
+//! definitions — later accesses on those streams fail to decode and are
+//! charged as lost — or delta baselines, in which case later records
+//! decode but their addresses diverge from the original stream. The
+//! `exact` flag speaks only to the *count* accounting; salvaged record
+//! *contents* after a skip are best-effort by construction.
+
+use crate::block::{DecodeState, BLOCK_PAYLOAD_CAPACITY};
+use crate::crc::crc32;
+use crate::reader::read_file_header;
+use crate::{Record, TraceMeta};
+use std::io::Read;
+use std::ops::Range;
+
+/// What a salvage pass recovered and what it had to give up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct SalvageReport {
+    /// Blocks that framed and CRC-validated.
+    pub blocks_ok: u64,
+    /// Damaged regions skipped (bad-CRC blocks, truncated tails, and
+    /// unparseable gaps each count once).
+    pub blocks_skipped: u64,
+    /// Records decoded and handed to the caller (stream definitions
+    /// included, matching `TraceWriter::records`).
+    pub records_salvaged: u64,
+    /// Records charged to skipped or undecodable regions.
+    pub records_lost: u64,
+    /// Whether `records_lost` is exact. Drops to `false` only when
+    /// framing was unparseable and the gap's record count is unknowable.
+    pub exact: bool,
+}
+
+impl std::fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "salvaged {} records ({} blocks ok, {} skipped, {} records lost{})",
+            self.records_salvaged,
+            self.blocks_ok,
+            self.blocks_skipped,
+            self.records_lost,
+            if self.exact { "" } else { ", loss inexact" }
+        )
+    }
+}
+
+/// Reads every recoverable [`Record`] out of a possibly damaged `.bft`
+/// byte stream. Iteration is infallible — damage is skipped, not
+/// surfaced — and [`SalvageReader::report`] totals the loss afterwards.
+///
+/// The file prefix (magic, version, header) must be intact: a trace
+/// whose identity is unreadable cannot be salvaged meaningfully.
+///
+/// # Examples
+///
+/// ```
+/// use bf_capture::{Record, SalvageReader, TraceMeta, TraceWriter};
+/// use bf_types::{AccessKind, Pid, VirtAddr};
+///
+/// let mut writer = TraceWriter::new(Vec::new(), &TraceMeta::new()).unwrap();
+/// writer.record(&Record::Reset).unwrap();
+/// let bytes = writer.finish().unwrap();
+///
+/// let mut salvage = SalvageReader::new(&bytes[..]).unwrap();
+/// let records: Vec<Record> = salvage.by_ref().collect();
+/// assert_eq!(records, vec![Record::Reset]);
+/// let report = salvage.report();
+/// assert_eq!(report.records_lost, 0);
+/// assert!(report.exact);
+/// ```
+pub struct SalvageReader {
+    meta: TraceMeta,
+    /// Everything after the file header: the block region.
+    bytes: Vec<u8>,
+    /// Next unconsumed byte of `bytes`.
+    cursor: usize,
+    state: DecodeState,
+    /// Current CRC-valid block's payload within `bytes`.
+    payload: Range<usize>,
+    /// Decode position within the current payload.
+    pos: usize,
+    declared: u32,
+    seen: u32,
+    report: SalvageReport,
+    finished: bool,
+}
+
+impl SalvageReader {
+    /// Parses the (required-intact) file header and buffers the block
+    /// region for scanning.
+    pub fn new<R: Read>(mut source: R) -> std::io::Result<SalvageReader> {
+        let meta = read_file_header(&mut source)?;
+        let mut bytes = Vec::new();
+        source.read_to_end(&mut bytes)?;
+        Ok(SalvageReader {
+            meta,
+            bytes,
+            cursor: 0,
+            state: DecodeState::default(),
+            payload: 0..0,
+            pos: 0,
+            declared: 0,
+            seen: 0,
+            report: SalvageReport {
+                exact: true,
+                ..SalvageReport::default()
+            },
+            finished: false,
+        })
+    }
+
+    /// Opens a trace file for salvage.
+    pub fn open(path: impl AsRef<std::path::Path>) -> std::io::Result<SalvageReader> {
+        SalvageReader::new(std::io::BufReader::new(std::fs::File::open(path)?))
+    }
+
+    /// The trace header.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// The loss accounting so far (final once iteration returns `None`).
+    pub fn report(&self) -> SalvageReport {
+        self.report
+    }
+
+    /// Positions `self` on the next CRC-valid block, charging every
+    /// skipped region on the way. Returns `false` at end of stream.
+    fn advance_to_valid_block(&mut self) -> bool {
+        loop {
+            let remaining = self.bytes.len() - self.cursor;
+            if remaining == 0 {
+                return false;
+            }
+            if remaining < 12 {
+                // Torn frame tail: not even a full header survives, so
+                // the gap's record count is unknowable.
+                self.report.blocks_skipped += 1;
+                self.report.exact = false;
+                self.cursor = self.bytes.len();
+                return false;
+            }
+            let at = self.cursor;
+            let payload_len =
+                u32::from_le_bytes(self.bytes[at..at + 4].try_into().unwrap()) as usize;
+            let record_count = u32::from_le_bytes(self.bytes[at + 4..at + 8].try_into().unwrap());
+            let stored_crc = u32::from_le_bytes(self.bytes[at + 8..at + 12].try_into().unwrap());
+            if payload_len <= BLOCK_PAYLOAD_CAPACITY {
+                let end = at + 12 + payload_len;
+                if end <= self.bytes.len() {
+                    if crc32(&self.bytes[at + 12..end]) == stored_crc {
+                        self.report.blocks_ok += 1;
+                        self.payload = at + 12..end;
+                        self.pos = 0;
+                        self.declared = record_count;
+                        self.seen = 0;
+                        self.cursor = end;
+                        return true;
+                    }
+                    // Complete frame, bad CRC: skip the whole block and
+                    // charge its declared count (exact — the count sits
+                    // outside the CRC'd payload).
+                    self.report.blocks_skipped += 1;
+                    self.report.records_lost += record_count as u64;
+                    self.cursor = end;
+                    continue;
+                }
+                // Truncated final block with an intact header.
+                self.report.blocks_skipped += 1;
+                self.report.records_lost += record_count as u64;
+                self.cursor = self.bytes.len();
+                return false;
+            }
+            // Garbage framing: resynchronize on the next offset whose
+            // frame is self-consistent (CRC-valid). The gap's record
+            // count is unknowable.
+            self.report.blocks_skipped += 1;
+            self.report.exact = false;
+            match self.scan_for_frame(at + 1) {
+                Some(next) => self.cursor = next,
+                None => {
+                    self.cursor = self.bytes.len();
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// First offset at or after `from` holding a self-consistent block
+    /// frame: plausible length, payload in bounds, CRC-32 match. A
+    /// false positive needs a random 32-bit CRC collision.
+    fn scan_for_frame(&self, from: usize) -> Option<usize> {
+        let bytes = &self.bytes;
+        for at in from..bytes.len().saturating_sub(12) {
+            let payload_len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+            if payload_len > BLOCK_PAYLOAD_CAPACITY {
+                continue;
+            }
+            let end = at + 12 + payload_len;
+            if end > bytes.len() {
+                continue;
+            }
+            let stored_crc = u32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap());
+            if crc32(&bytes[at + 12..end]) == stored_crc {
+                return Some(at);
+            }
+        }
+        None
+    }
+}
+
+impl Iterator for SalvageReader {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        loop {
+            if self.finished {
+                return None;
+            }
+            if self.pos < self.payload.len() {
+                let payload = &self.bytes[self.payload.clone()];
+                match self.state.decode(payload, &mut self.pos) {
+                    Ok(record) => {
+                        self.seen += 1;
+                        self.report.records_salvaged += 1;
+                        if let Some(record) = record {
+                            return Some(record);
+                        }
+                        continue; // stream definition: consumed
+                    }
+                    Err(_) => {
+                        // The rest of this CRC-valid block is
+                        // undecodable (typically a reference to a
+                        // stream whose definition was lost upstream):
+                        // charge the undecoded remainder.
+                        self.report.records_lost += self.declared.saturating_sub(self.seen) as u64;
+                        self.pos = self.payload.len();
+                        continue;
+                    }
+                }
+            }
+            // Payload exhausted. `seen < declared` here means the
+            // payload was intact but the count field was damaged: trust
+            // the CRC-validated payload, charge nothing.
+            if !self.advance_to_valid_block() {
+                self.finished = true;
+                return None;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SalvageReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SalvageReader")
+            .field("meta", &self.meta)
+            .field("report", &self.report)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceReader, TraceWriter};
+    use bf_types::{AccessKind, Pid, VirtAddr};
+
+    fn sample_records(n: u64) -> Vec<Record> {
+        (0..n)
+            .map(|i| match i % 5 {
+                0..=2 => Record::Access {
+                    core: (i % 2) as u32,
+                    pid: Pid::new(1 + (i % 3) as u32),
+                    va: VirtAddr::new(0x2000_0000 + i * 0x418),
+                    kind: AccessKind::from_index((i % 3) as u8).unwrap(),
+                    instrs_before: (i % 17) as u32,
+                },
+                3 => Record::Switch {
+                    core: (i % 2) as u32,
+                    cost: 2500,
+                },
+                _ => Record::RequestEnd { cycles: 9_000 + i },
+            })
+            .collect()
+    }
+
+    fn encode(records: &[Record]) -> (Vec<u8>, u64) {
+        let mut meta = TraceMeta::new();
+        meta.set("app", "salvage-test");
+        let mut writer = TraceWriter::new(Vec::new(), &meta).unwrap();
+        for record in records {
+            writer.record(record).unwrap();
+        }
+        let total = writer.records();
+        (writer.finish().unwrap(), total)
+    }
+
+    /// `(frame offset, payload length, declared count)` per block.
+    fn block_offsets(bytes: &[u8]) -> Vec<(usize, usize, u32)> {
+        // magic(4) + version(2) + header_len(4) + header.
+        let header_len = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
+        let mut at = 10 + header_len;
+        let mut out = Vec::new();
+        while at + 12 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+            let count = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+            out.push((at, len, count));
+            at += 12 + len;
+        }
+        out
+    }
+
+    #[test]
+    fn clean_trace_salvages_everything_exactly() {
+        let records = sample_records(4000);
+        let (bytes, total) = encode(&records);
+        let mut salvage = SalvageReader::new(&bytes[..]).unwrap();
+        let decoded: Vec<Record> = salvage.by_ref().collect();
+        assert_eq!(decoded, records);
+        let report = salvage.report();
+        assert_eq!(report.records_salvaged, total);
+        assert_eq!(report.records_lost, 0);
+        assert_eq!(report.blocks_skipped, 0);
+        assert!(report.exact);
+        assert_eq!(salvage.meta().get("app"), Some("salvage-test"));
+    }
+
+    #[test]
+    fn crc_damage_skips_one_block_with_exact_loss() {
+        let records = sample_records(4000);
+        let (mut bytes, total) = encode(&records);
+        let blocks = block_offsets(&bytes);
+        assert!(blocks.len() > 3, "need multiple blocks");
+        // Flip a payload byte in the second block.
+        let (at, _len, count) = blocks[1];
+        bytes[at + 12 + 5] ^= 0x08;
+
+        let mut salvage = SalvageReader::new(&bytes[..]).unwrap();
+        let decoded: Vec<Record> = salvage.by_ref().collect();
+        let report = salvage.report();
+        assert_eq!(report.blocks_skipped, 1);
+        assert!(report.exact, "count field is outside the CRC");
+        assert_eq!(report.records_lost, count as u64);
+        assert_eq!(report.records_salvaged + report.records_lost, total);
+        assert!(
+            decoded.len() < records.len(),
+            "the skipped block's records are gone"
+        );
+        // The strict reader refuses the same bytes.
+        let strict: Result<Vec<Record>, _> = TraceReader::new(&bytes[..]).unwrap().collect();
+        assert!(strict.is_err());
+    }
+
+    #[test]
+    fn truncated_tail_is_charged_exactly() {
+        let records = sample_records(4000);
+        let (bytes, total) = encode(&records);
+        let blocks = block_offsets(&bytes);
+        let (last_at, _, last_count) = *blocks.last().unwrap();
+        // Keep the final block's frame header but cut its payload short.
+        let cut = &bytes[..last_at + 12 + 3];
+
+        let mut salvage = SalvageReader::new(cut).unwrap();
+        let decoded = salvage.by_ref().count() as u64;
+        let report = salvage.report();
+        assert_eq!(report.blocks_skipped, 1);
+        assert_eq!(report.records_lost, last_count as u64);
+        assert!(report.exact);
+        assert_eq!(report.records_salvaged + report.records_lost, total);
+        assert!(decoded > 0);
+    }
+
+    #[test]
+    fn garbage_length_field_resynchronizes_inexactly() {
+        let records = sample_records(4000);
+        let (mut bytes, _total) = encode(&records);
+        let blocks = block_offsets(&bytes);
+        assert!(blocks.len() > 3);
+        // Stomp the second block's length field with garbage far above
+        // the capacity: framing is unparseable from there.
+        let (at, _, _) = blocks[1];
+        bytes[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+
+        let mut salvage = SalvageReader::new(&bytes[..]).unwrap();
+        let decoded: Vec<Record> = salvage.by_ref().collect();
+        let report = salvage.report();
+        assert!(report.blocks_skipped >= 1);
+        assert!(!report.exact, "gap size is unknowable");
+        assert!(!decoded.is_empty(), "later blocks were resynchronized");
+        assert!(report.blocks_ok >= blocks.len() as u64 - 2);
+    }
+
+    #[test]
+    fn headerless_bytes_are_rejected_not_salvaged() {
+        assert!(SalvageReader::new(&b"not a trace"[..]).is_err());
+        let (bytes, _) = encode(&sample_records(10));
+        let mut bad = bytes.clone();
+        bad[0] = b'Z';
+        assert!(SalvageReader::new(&bad[..]).is_err());
+    }
+}

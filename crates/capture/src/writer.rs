@@ -1,6 +1,7 @@
 //! Streaming trace writer.
 
 use crate::block::{write_block, EncodeState, BLOCK_PAYLOAD_CAPACITY, FILE_MAGIC, FORMAT_VERSION};
+use crate::crc::crc32;
 use crate::{Record, TraceMeta};
 use std::io::Write;
 
@@ -16,6 +17,7 @@ pub struct TraceWriter<W: Write> {
     block_records: u32,
     records: u64,
     blocks: u64,
+    corrupt_block: Option<u64>,
 }
 
 impl<W: Write> TraceWriter<W> {
@@ -34,7 +36,17 @@ impl<W: Write> TraceWriter<W> {
             block_records: 0,
             records: 0,
             blocks: 0,
+            corrupt_block: None,
         })
+    }
+
+    /// Chaos knob: deliberately damage the block with this zero-based
+    /// index as it is flushed — the frame carries the true CRC of the
+    /// pre-damage payload, then one payload byte is flipped, so a
+    /// strict reader fails exactly there and a salvage pass can account
+    /// the loss exactly. Drives the `trace-corrupt@block=N` fault spec.
+    pub fn corrupt_block(&mut self, index: u64) {
+        self.corrupt_block = Some(index);
     }
 
     /// Appends one record (buffered; blocks flush automatically).
@@ -58,7 +70,18 @@ impl<W: Write> TraceWriter<W> {
     }
 
     fn flush_block(&mut self) -> std::io::Result<()> {
-        write_block(&mut self.sink, &self.payload, self.block_records)?;
+        if self.corrupt_block == Some(self.blocks) {
+            // Frame fields (length, count, CRC) describe the intact
+            // payload; the payload itself goes out with one bit flipped.
+            self.sink
+                .write_all(&(self.payload.len() as u32).to_le_bytes())?;
+            self.sink.write_all(&self.block_records.to_le_bytes())?;
+            self.sink.write_all(&crc32(&self.payload).to_le_bytes())?;
+            self.payload[0] ^= 0x20;
+            self.sink.write_all(&self.payload)?;
+        } else {
+            write_block(&mut self.sink, &self.payload, self.block_records)?;
+        }
         self.payload.clear();
         self.block_records = 0;
         self.blocks += 1;

@@ -23,10 +23,43 @@
 //! assert_eq!(sweep.run(4), vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 type Job<T> = Box<dyn FnOnce() -> T + Send>;
+
+/// A cell that panicked under [`Sweep::run_keep_going`]: its
+/// submission-order id plus the panic payload rendered to text. The
+/// failing cell's slot carries this instead of a result, so a sweep
+/// degrades gracefully — every other cell still lands in its own slot
+/// in submission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Submission-order cell id (the value [`Sweep::cell`] returned).
+    pub cell: usize,
+    /// The panic payload: `String` / `&str` payloads pass through
+    /// verbatim, anything else becomes a placeholder.
+    pub error: String,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} panicked: {}", self.cell, self.error)
+    }
+}
+
+/// Renders a panic payload to text (the two shapes `panic!` produces,
+/// with a placeholder for exotic `panic_any` payloads).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(message) => *message,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(message) => (*message).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
 
 /// An ordered list of independent experiment cells, executed by
 /// [`Sweep::run`] on a bounded worker pool with slot-ordered result
@@ -102,6 +135,68 @@ impl<T: Send> Sweep<T> {
                         .take()
                         .expect("each cell is claimed exactly once");
                     let result = job();
+                    *slots[cell].lock().expect("slot mutex poisoned") = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot mutex poisoned")
+                    .expect("every cell ran to completion")
+            })
+            .collect()
+    }
+
+    /// [`Sweep::run`] with graceful degradation: each cell runs under
+    /// `catch_unwind`, so one panicking cell cannot sink the sweep. The
+    /// returned vector still has one slot per cell in submission order;
+    /// a failed cell's slot carries its [`CellFailure`] instead of a
+    /// result. Determinism is unchanged — surviving cells produce
+    /// byte-identical results whether or not another cell panicked, at
+    /// any thread count.
+    pub fn run_keep_going(self, threads: usize) -> Vec<Result<T, CellFailure>> {
+        let guard = |cell: usize, job: Job<T>| {
+            catch_unwind(AssertUnwindSafe(job)).map_err(|payload| CellFailure {
+                cell,
+                error: panic_message(payload),
+            })
+        };
+
+        let workers = threads.max(1).min(self.cells.len());
+        if workers <= 1 {
+            return self
+                .cells
+                .into_iter()
+                .enumerate()
+                .map(|(cell, job)| guard(cell, job))
+                .collect();
+        }
+
+        let jobs: Vec<Mutex<Option<Job<T>>>> = self
+            .cells
+            .into_iter()
+            .map(|job| Mutex::new(Some(job)))
+            .collect();
+        let slots: Vec<Mutex<Option<Result<T, CellFailure>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let cell = next.fetch_add(1, Ordering::Relaxed);
+                    if cell >= jobs.len() {
+                        break;
+                    }
+                    let job = jobs[cell]
+                        .lock()
+                        .expect("job mutex poisoned")
+                        .take()
+                        .expect("each cell is claimed exactly once");
+                    let result = guard(cell, job);
                     *slots[cell].lock().expect("slot mutex poisoned") = Some(result);
                 });
             }
@@ -221,5 +316,68 @@ mod tests {
             });
         }
         sweep.run(2);
+    }
+
+    fn exploding_sweep(n: u64, bad: u64) -> Sweep<u64> {
+        let mut sweep = Sweep::new();
+        for i in 0..n {
+            sweep.cell(move || {
+                if i == bad {
+                    panic!("cell {i} exploded");
+                }
+                i * i
+            });
+        }
+        sweep
+    }
+
+    #[test]
+    fn keep_going_records_failure_and_completes_rest() {
+        for threads in [1, 2, 8] {
+            let results = exploding_sweep(8, 3).run_keep_going(threads);
+            assert_eq!(results.len(), 8, "{threads} threads");
+            for (i, slot) in results.iter().enumerate() {
+                if i == 3 {
+                    let failure = slot.as_ref().unwrap_err();
+                    assert_eq!(failure.cell, 3);
+                    assert_eq!(failure.error, "cell 3 exploded");
+                    assert_eq!(failure.to_string(), "cell 3 panicked: cell 3 exploded");
+                } else {
+                    assert_eq!(*slot.as_ref().unwrap(), (i * i) as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keep_going_survivors_match_a_fault_free_run() {
+        let clean: Vec<u64> = squares_sweep(16).run(4);
+        let degraded = exploding_sweep(16, 5).run_keep_going(4);
+        for (i, slot) in degraded.iter().enumerate() {
+            if let Ok(value) = slot {
+                assert_eq!(*value, clean[i], "surviving cell {i} must be identical");
+            }
+        }
+        assert_eq!(
+            degraded.iter().filter(|slot| slot.is_err()).count(),
+            1,
+            "exactly one failed slot"
+        );
+    }
+
+    #[test]
+    fn keep_going_without_failures_matches_run() {
+        let expected: Vec<u64> = (0..12).map(|i| i * i).collect();
+        let results = squares_sweep(12).run_keep_going(3);
+        let unwrapped: Vec<u64> = results.into_iter().map(|slot| slot.unwrap()).collect();
+        assert_eq!(unwrapped, expected);
+    }
+
+    #[test]
+    fn keep_going_handles_static_str_payloads() {
+        let mut sweep: Sweep<()> = Sweep::new();
+        sweep.cell(|| std::panic::panic_any("bare str"));
+        let results = sweep.run_keep_going(1);
+        assert_eq!(results[0].as_ref().unwrap_err().error, "bare str");
     }
 }

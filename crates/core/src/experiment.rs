@@ -8,7 +8,7 @@
 
 use bf_containers::{BringupProfile, ContainerRuntime, ImageSpec};
 use bf_os::pagemap::{self, CensusReport};
-use bf_sim::{CaptureSink, Machine, MachineStats, Mode, SimConfig};
+use bf_sim::{CaptureSink, FaultPlan, Machine, MachineStats, Mode, SimConfig};
 use bf_telemetry::{ProfileSnapshot, Snapshot, TimelineSnapshot};
 use bf_types::{Ccid, CoreId, Cycles, Pid};
 use bf_workloads::{
@@ -146,11 +146,16 @@ pub struct ExperimentConfig {
     /// windows (0 runs the scalar one-op-at-a-time loop). Results are
     /// byte-identical either way; only wall-clock throughput changes.
     pub batch: usize,
+    /// Deterministic fault-injection plan (None runs clean). Armed plans
+    /// perturb only the miss/walk/fault paths; unarmed runs are
+    /// byte-identical to builds without the fault subsystem.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Hand-written so the JSON surface stays exactly the pre-batch field
 /// set: `batch` selects an execution engine that produces byte-identical
-/// results, so it must not perturb committed baselines or
+/// results, and `faults` is a chaos-testing knob that is None in every
+/// committed document, so neither must perturb committed baselines or
 /// config-equality checks on emitted documents.
 impl serde::Serialize for ExperimentConfig {
     fn to_value(&self) -> serde::Value {
@@ -208,6 +213,7 @@ impl ExperimentConfig {
             timeline_fail_fast: false,
             profile_top_k: 0,
             batch: 0,
+            faults: None,
         }
     }
 
@@ -228,9 +234,82 @@ impl ExperimentConfig {
             timeline_fail_fast: false,
             profile_top_k: 0,
             batch: 0,
+            faults: None,
         }
     }
+
+    /// Validates the configuration up front, so a bad sweep fails with a
+    /// named error before any machine is built instead of panicking
+    /// mid-run (e.g. on a division by a zero core count).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        if self.containers_per_core == 0 {
+            return Err(ConfigError::ZeroContainersPerCore);
+        }
+        if self.dataset_bytes == 0 {
+            return Err(ConfigError::ZeroDatasetBytes);
+        }
+        if self.function_input_bytes == 0 {
+            return Err(ConfigError::ZeroFunctionInputBytes);
+        }
+        if self.measure_instructions == 0 {
+            return Err(ConfigError::ZeroMeasureInstructions);
+        }
+        if self.quantum_cycles == 0 {
+            return Err(ConfigError::ZeroQuantumCycles);
+        }
+        if self.frames == 0 {
+            return Err(ConfigError::ZeroFrames);
+        }
+        Ok(())
+    }
 }
+
+/// A rejected [`ExperimentConfig`] field, named so callers can print an
+/// actionable message (and tests can assert the exact rejection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `cores == 0`: no machine to build.
+    ZeroCores,
+    /// `containers_per_core == 0`: nothing to deploy.
+    ZeroContainersPerCore,
+    /// `dataset_bytes == 0`: serving/compute images need a dataset.
+    ZeroDatasetBytes,
+    /// `function_input_bytes == 0`: the FaaS trio mounts a shared input.
+    ZeroFunctionInputBytes,
+    /// `measure_instructions == 0`: an empty measurement window.
+    ZeroMeasureInstructions,
+    /// `quantum_cycles == 0`: the scheduler would never advance.
+    ZeroQuantumCycles,
+    /// `frames == 0`: the kernel has no physical memory.
+    ZeroFrames,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (field, why) = match self {
+            ConfigError::ZeroCores => ("cores", "no machine to build"),
+            ConfigError::ZeroContainersPerCore => ("containers_per_core", "nothing to deploy"),
+            ConfigError::ZeroDatasetBytes => ("dataset_bytes", "images need a dataset"),
+            ConfigError::ZeroFunctionInputBytes => {
+                ("function_input_bytes", "functions mount a shared input")
+            }
+            ConfigError::ZeroMeasureInstructions => {
+                ("measure_instructions", "empty measurement window")
+            }
+            ConfigError::ZeroQuantumCycles => ("quantum_cycles", "scheduler would never advance"),
+            ConfigError::ZeroFrames => ("frames", "kernel has no physical memory"),
+        };
+        write!(
+            f,
+            "invalid experiment config: {field} must be non-zero ({why})"
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Result of a data-serving run (Fig. 11 latency metrics).
 #[derive(Debug, Clone, serde::Serialize)]
@@ -441,6 +520,9 @@ pub fn capture_setup(
     cfg: &ExperimentConfig,
 ) -> (Machine, Vec<(CoreId, bf_containers::Container)>) {
     let mut machine = Machine::new(sim_config(mode, cfg, app.thp()));
+    if let Some(plan) = cfg.faults {
+        machine.arm_faults(plan);
+    }
     let mut runtime = ContainerRuntime::new(machine.kernel_mut());
     let spec = match app {
         CaptureApp::Serving(variant) => ImageSpec::data_serving(variant.name(), cfg.dataset_bytes),
@@ -481,6 +563,10 @@ fn run_measurement_window(machine: &mut Machine, cfg: &ExperimentConfig) -> Cycl
         .map(|c| machine.core_clock(CoreId::new(c)))
         .collect();
     run_window(machine, cfg.measure_instructions, cfg.batch);
+    // Drain any still-latent injected corruptions so the final stats /
+    // telemetry snapshots see `fault.detected == fault.injected` (no-op
+    // when faults are unarmed).
+    machine.quiesce_faults();
     mean_clock_delta(machine, &clock_start)
 }
 
@@ -563,6 +649,9 @@ pub fn run_functions(
     cfg: &ExperimentConfig,
 ) -> FunctionsResult {
     let mut machine = Machine::new(sim_config(mode, cfg, true));
+    if let Some(plan) = cfg.faults {
+        machine.arm_faults(plan);
+    }
     let mut runtime = ContainerRuntime::new(machine.kernel_mut());
     let group = runtime.create_group(machine.kernel_mut());
     let core = CoreId::new(0);
@@ -596,6 +685,7 @@ pub fn run_functions(
         // per core), so its TLB/page-cache state can serve the next one.
     }
 
+    machine.quiesce_faults();
     FunctionsResult {
         bringup_cycles: bringups,
         exec_cycles: execs,
@@ -756,6 +846,85 @@ mod tests {
         cfg.dataset_bytes = 4 << 20;
         cfg.function_input_bytes = 2 << 20;
         cfg
+    }
+
+    #[test]
+    fn valid_configs_pass_validation() {
+        assert_eq!(ExperimentConfig::paper_scaled().validate(), Ok(()));
+        assert_eq!(ExperimentConfig::smoke_test().validate(), Ok(()));
+        // Zero warm-up is fine: the measured window just starts cold.
+        let mut cfg = ExperimentConfig::smoke_test();
+        cfg.warmup_instructions = 0;
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_cores_is_rejected() {
+        let mut cfg = ExperimentConfig::smoke_test();
+        cfg.cores = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroCores));
+    }
+
+    #[test]
+    fn zero_containers_per_core_is_rejected() {
+        let mut cfg = ExperimentConfig::smoke_test();
+        cfg.containers_per_core = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroContainersPerCore));
+    }
+
+    #[test]
+    fn zero_dataset_bytes_is_rejected() {
+        let mut cfg = ExperimentConfig::smoke_test();
+        cfg.dataset_bytes = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroDatasetBytes));
+    }
+
+    #[test]
+    fn zero_function_input_bytes_is_rejected() {
+        let mut cfg = ExperimentConfig::smoke_test();
+        cfg.function_input_bytes = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroFunctionInputBytes));
+    }
+
+    #[test]
+    fn zero_measure_instructions_is_rejected() {
+        let mut cfg = ExperimentConfig::smoke_test();
+        cfg.measure_instructions = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroMeasureInstructions));
+    }
+
+    #[test]
+    fn zero_quantum_cycles_is_rejected() {
+        let mut cfg = ExperimentConfig::smoke_test();
+        cfg.quantum_cycles = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroQuantumCycles));
+    }
+
+    #[test]
+    fn zero_frames_is_rejected() {
+        let mut cfg = ExperimentConfig::smoke_test();
+        cfg.frames = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroFrames));
+    }
+
+    #[test]
+    fn config_errors_name_the_field() {
+        assert!(ConfigError::ZeroCores.to_string().contains("cores"));
+        assert!(ConfigError::ZeroFrames.to_string().contains("frames"));
+    }
+
+    #[test]
+    fn config_serialization_excludes_chaos_knobs() {
+        let mut cfg = ExperimentConfig::smoke_test();
+        cfg.faults = FaultPlan::parse("tlb-bitflip@p=0.5").ok();
+        cfg.batch = 64;
+        let clean = ExperimentConfig::smoke_test();
+        use serde::Serialize as _;
+        assert_eq!(
+            cfg.to_value(),
+            clean.to_value(),
+            "faults/batch must not leak into emitted documents"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! replay yields a byte-identical trace.
 
 use crate::experiment::{self, CaptureApp, ExperimentConfig, WindowResult};
-use bf_capture::{Record, TraceMeta, TraceReader, TraceWriter};
+use bf_capture::{Record, SalvageReader, SalvageReport, TraceMeta, TraceReader, TraceWriter};
 use bf_sim::{CaptureSink, Machine, Mode};
 use bf_types::{AccessKind, CoreId, Cycles, Pid, VirtAddr};
 use std::io::{BufWriter, Read, Write};
@@ -64,6 +64,14 @@ impl CaptureFile {
         let records = writer.records();
         writer.finish()?;
         Ok(records)
+    }
+
+    /// Chaos knob: deliberately damage the block with this zero-based
+    /// index as it is flushed (the `trace-corrupt@block=N` fault spec).
+    pub fn corrupt_block(&self, index: u64) {
+        if let Some(writer) = self.inner.lock().unwrap().writer.as_mut() {
+            writer.corrupt_block(index);
+        }
     }
 
     fn push(&mut self, record: Record) {
@@ -190,6 +198,7 @@ pub fn meta_config(meta: &TraceMeta) -> Result<(Mode, CaptureApp, ExperimentConf
         timeline_fail_fast: false,
         profile_top_k: 0,
         batch: 0,
+        faults: None,
     };
     Ok((mode, app, cfg))
 }
@@ -203,6 +212,9 @@ pub fn capture_to_file(
     path: impl AsRef<Path>,
 ) -> std::io::Result<WindowResult> {
     let capture = CaptureFile::create(&path, &capture_meta(mode, app, cfg))?;
+    if let Some(block) = cfg.faults.and_then(|plan| plan.trace_corrupt) {
+        capture.corrupt_block(block);
+    }
     let (result, sink) = experiment::run_captured(mode, app, cfg, capture.sink());
     drop(sink); // the clone handle below owns the writer
     capture.finish()?;
@@ -235,6 +247,12 @@ pub struct ReplayOptions {
     /// engine (0 = scalar record-at-a-time replay). Output is
     /// byte-identical either way; only wall-clock throughput changes.
     pub batch: usize,
+    /// Salvage mode ([`replay_file`] only): read the trace through the
+    /// resynchronizing [`SalvageReader`] instead of the strict reader,
+    /// so a damaged file replays its recoverable records and the
+    /// outcome carries the loss accounting instead of failing on the
+    /// first corrupt block.
+    pub salvage: bool,
 }
 
 /// Outcome of [`replay_trace`].
@@ -254,6 +272,13 @@ pub struct ReplayOutcome {
     /// Wall-clock seconds of the record-feed loop alone (machine setup
     /// excluded) — what `bf_throughput` reports as replay throughput.
     pub replay_seconds: f64,
+    /// Access records a salvage replay dropped because they no longer
+    /// resolved against the machine (addresses mangled by the trace
+    /// damage the salvage pass skipped over). Always 0 on strict reads.
+    pub records_dropped: u64,
+    /// Loss accounting when the trace was read in salvage mode (None
+    /// for strict reads).
+    pub salvage: Option<SalvageReport>,
 }
 
 /// Replays a trace: rebuilds the machine from the header (same deploy,
@@ -265,7 +290,19 @@ pub fn replay_trace<R: Read>(
     mut reader: TraceReader<R>,
     options: ReplayOptions,
 ) -> std::io::Result<ReplayOutcome> {
-    let (header_mode, app, mut cfg) = meta_config(reader.meta()).map_err(std::io::Error::other)?;
+    let meta = reader.meta().clone();
+    replay_records(&meta, &mut reader, options)
+}
+
+/// The mode/reader-independent replay loop: rebuilds the machine from
+/// `meta` and feeds `records` through it. Both the strict and the
+/// salvage read paths funnel here.
+fn replay_records(
+    meta: &TraceMeta,
+    records: &mut dyn Iterator<Item = std::io::Result<Record>>,
+    options: ReplayOptions,
+) -> std::io::Result<ReplayOutcome> {
+    let (header_mode, app, mut cfg) = meta_config(meta).map_err(std::io::Error::other)?;
     let mode = options.mode.unwrap_or(header_mode);
     cfg.trace_sample_every = options.trace_sample_every;
     cfg.timeline_every = options.timeline_every;
@@ -305,8 +342,9 @@ pub fn replay_trace<R: Read>(
 
     let mut clock_start: Option<Vec<Cycles>> = None;
     let mut records_replayed = 0u64;
+    let mut records_dropped = 0u64;
     let feed_start = std::time::Instant::now();
-    for record in reader.by_ref() {
+    for record in records {
         match record? {
             Record::Access {
                 core,
@@ -315,6 +353,14 @@ pub fn replay_trace<R: Read>(
                 kind,
                 instrs_before,
             } => {
+                // A salvage read can decode accesses whose addresses
+                // were mangled by the skipped damage (the codec's delta
+                // baselines were lost with the block). Dropping them is
+                // graceful; feeding them to the machine is a panic.
+                if options.salvage && !machine.replayable(core, pid, va) {
+                    records_dropped += 1;
+                    continue;
+                }
                 if batch == 0 {
                     machine.replay_access(core, pid, va, kind, instrs_before);
                 } else {
@@ -369,14 +415,26 @@ pub fn replay_trace<R: Read>(
         },
         records_replayed,
         replay_seconds,
+        records_dropped,
+        salvage: None,
     })
 }
 
-/// Convenience: [`replay_trace`] over a file path.
+/// Convenience: [`replay_trace`] over a file path. With
+/// [`ReplayOptions::salvage`] set, the trace is read through the
+/// resynchronizing salvage reader and the outcome carries its
+/// [`SalvageReport`].
 pub fn replay_file(
     path: impl AsRef<Path>,
     options: ReplayOptions,
 ) -> std::io::Result<ReplayOutcome> {
+    if options.salvage {
+        let mut reader = SalvageReader::open(path)?;
+        let meta = reader.meta().clone();
+        let mut outcome = replay_records(&meta, &mut reader.by_ref().map(Ok), options)?;
+        outcome.salvage = Some(reader.report());
+        return Ok(outcome);
+    }
     replay_trace(TraceReader::open(path)?, options)
 }
 
@@ -440,6 +498,66 @@ mod tests {
             format!("{:?}", replayed.result.stats)
         );
         assert_eq!(live.telemetry, replayed.result.telemetry);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_capture_fails_strict_and_salvages_with_exact_loss() {
+        let mut cfg = tiny();
+        cfg.faults = Some(bf_sim::FaultPlan::parse("trace-corrupt@block=1").unwrap());
+        let app = CaptureApp::Serving(bf_workloads::ServingVariant::MongoDb);
+        let dir = std::env::temp_dir().join("bf-capture-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("salvage-{}.bft", std::process::id()));
+
+        capture_to_file(Mode::babelfish(), app, &cfg, &path).unwrap();
+
+        // Strict replay refuses the damaged file, naming the block.
+        let err = replay_file(&path, ReplayOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("corrupt block 1"), "{err}");
+
+        // Salvage replay completes and accounts the loss exactly.
+        let outcome = replay_file(
+            &path,
+            ReplayOptions {
+                salvage: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let report = outcome.salvage.expect("salvage report present");
+        assert_eq!(report.blocks_skipped, 1);
+        assert!(report.exact, "a bad-CRC block has an exact loss count");
+        assert!(report.records_lost > 0);
+        assert!(outcome.records_replayed > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clean_salvage_replay_matches_strict_replay_exactly() {
+        let cfg = tiny();
+        let app = CaptureApp::Compute(crate::experiment::ComputeKind::Fio);
+        let dir = std::env::temp_dir().join("bf-capture-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("salvage-clean-{}.bft", std::process::id()));
+
+        capture_to_file(Mode::babelfish(), app, &cfg, &path).unwrap();
+        let strict = replay_file(&path, ReplayOptions::default()).unwrap();
+        let salvaged = replay_file(
+            &path,
+            ReplayOptions {
+                salvage: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(strict.result.exec_cycles, salvaged.result.exec_cycles);
+        assert_eq!(strict.result.telemetry, salvaged.result.telemetry);
+        assert_eq!(strict.records_replayed, salvaged.records_replayed);
+        let report = salvaged.salvage.unwrap();
+        assert_eq!(report.records_lost, 0);
+        assert_eq!(report.blocks_skipped, 0);
+        assert!(report.exact);
         std::fs::remove_file(&path).ok();
     }
 

@@ -399,6 +399,32 @@ pub struct Kernel {
     telem: KernelTelemetry,
 }
 
+/// Looks up a process the kernel has already validated as live. When
+/// that invariant is broken the panic names the pid *and the kernel
+/// call site* (`#[track_caller]`), so a `--keep-going` sweep slot or a
+/// CI log pinpoints the buggy path instead of an anonymous
+/// `Option::unwrap` inside this helper.
+///
+/// A free function over the `processes` field (not a `&self` method) so
+/// callers can keep disjoint borrows of `self.store` et al. alive
+/// across the lookup.
+#[track_caller]
+fn live_process(processes: &HashMap<Pid, Process>, pid: Pid) -> &Process {
+    let caller = std::panic::Location::caller();
+    processes
+        .get(&pid)
+        .unwrap_or_else(|| panic!("no such process {pid} (kernel lookup at {caller})"))
+}
+
+/// Mutable twin of [`live_process`]; same panic contract.
+#[track_caller]
+fn live_process_mut(processes: &mut HashMap<Pid, Process>, pid: Pid) -> &mut Process {
+    let caller = std::panic::Location::caller();
+    processes
+        .get_mut(&pid)
+        .unwrap_or_else(|| panic!("no such process {pid} (kernel lookup at {caller})"))
+}
+
 impl Kernel {
     /// Boots a kernel with the given policy.
     pub fn new(config: KernelConfig) -> Self {
@@ -506,6 +532,16 @@ impl Kernel {
         self.processes.contains_key(&pid)
     }
 
+    /// Whether an access at `va` by `pid` can resolve: the process is
+    /// live and some VMA covers the address. Salvage replay uses this
+    /// to drop accesses whose addresses were mangled by trace damage
+    /// instead of panicking inside the fault handler.
+    pub fn resolvable(&self, pid: Pid, va: VirtAddr) -> bool {
+        self.processes
+            .get(&pid)
+            .is_some_and(|proc| proc.vma_for(va).is_some())
+    }
+
     /// The live members of a CCID group.
     pub fn group_members(&self, group: Ccid) -> Vec<Pid> {
         let mut members: Vec<Pid> = self
@@ -522,11 +558,11 @@ impl Kernel {
     ///
     /// # Panics
     ///
-    /// Panics if the process does not exist.
+    /// Panics — naming the pid and the call site — if the process does
+    /// not exist.
+    #[track_caller]
     pub fn process(&self, pid: Pid) -> &Process {
-        self.processes
-            .get(&pid)
-            .unwrap_or_else(|| panic!("no such process {pid}"))
+        live_process(&self.processes, pid)
     }
 
     /// The process's address space.
@@ -534,6 +570,7 @@ impl Kernel {
     /// # Panics
     ///
     /// Panics if the process does not exist.
+    #[track_caller]
     pub fn space(&self, pid: Pid) -> &AddressSpace {
         &self.process(pid).space
     }
@@ -666,7 +703,7 @@ impl Kernel {
                 })
                 .unwrap_or(false);
             let shared_table = self.shared_regions.get(&key).map(|r| r.pte_table);
-            let proc = self.processes.get_mut(&pid).unwrap();
+            let proc = live_process_mut(&mut self.processes, pid);
             let own = proc.space.table_at(&self.store, probe, PageTableLevel::Pte);
             match own {
                 Some(table) if is_member && Some(table) == shared_table => {
@@ -698,7 +735,7 @@ impl Kernel {
         }
 
         // Remove the VMA itself.
-        let proc = self.processes.get_mut(&pid).unwrap();
+        let proc = live_process_mut(&mut self.processes, pid);
         let (vmas, cursors) = proc.clone_mappings();
         let filtered: Vec<Vma> = vmas.into_iter().filter(|v| v.start() != start).collect();
         proc.set_mappings(filtered, cursors);
@@ -827,7 +864,7 @@ impl Kernel {
                 let table = region.pte_table;
                 let is_member = region.members.contains(&pid);
                 let own_table = {
-                    let proc = self.processes.get(&pid).unwrap();
+                    let proc = live_process(&self.processes, pid);
                     proc.space.table_at(&self.store, va, PageTableLevel::Pte)
                 };
                 if !is_member && own_table.is_some() && own_table != Some(table) {
@@ -837,7 +874,7 @@ impl Kernel {
                 }
                 if !is_member {
                     // Attach the shared table (Fig. 6).
-                    let proc = self.processes.get_mut(&pid).unwrap();
+                    let proc = live_process_mut(&mut self.processes, pid);
                     proc.space
                         .map_shared_table(&mut self.store, va, PageTableLevel::Pte, table)
                         .map_err(|_| FaultError::OutOfMemory)?;
@@ -845,13 +882,13 @@ impl Kernel {
                     // If earlier sharers already privatised pages here,
                     // the joiner's pmd_t needs the ORPC bit (Fig. 5a).
                     if self.pc_bitmask(ccid, va) != 0 {
-                        let proc = self.processes.get_mut(&pid).unwrap();
+                        let proc = live_process_mut(&mut self.processes, pid);
                         proc.space
                             .set_pmd_opc(&mut self.store, va, None, Some(true));
                     }
                     cost += self.config.attach_table_cycles;
                     // The entry may already be there: fault avoided.
-                    let proc = self.processes.get(&pid).unwrap();
+                    let proc = live_process(&self.processes, pid);
                     if proc.space.walk(&self.store, va).leaf().is_some() {
                         self.stats.shared_resolved += 1;
                         return Ok(self.finish(FaultKind::SharedResolved, cost, invalidations));
@@ -963,7 +1000,7 @@ impl Kernel {
         if is_write && flags.contains(PageFlags::COW) {
             let copy = self.store.frames.alloc().ok_or(FaultError::OutOfMemory)?;
             flags = flags.without(PageFlags::COW) | PageFlags::WRITE;
-            let proc = self.processes.get_mut(&pid).unwrap();
+            let proc = live_process_mut(&mut self.processes, pid);
             proc.space
                 .map(&mut self.store, va, copy, PageSize::Size4K, flags)
                 .map_err(|_| FaultError::OutOfMemory)?;
@@ -973,7 +1010,7 @@ impl Kernel {
             return Ok((kind, cost));
         }
 
-        let proc = self.processes.get_mut(&pid).unwrap();
+        let proc = live_process_mut(&mut self.processes, pid);
         proc.space
             .map(&mut self.store, va, frame, PageSize::Size4K, flags)
             .map_err(|_| FaultError::OutOfMemory)?;
@@ -1002,7 +1039,7 @@ impl Kernel {
             flags |= PageFlags::WRITE;
         }
         let base = va.align_down(PageSize::Size2M);
-        let proc = self.processes.get_mut(&pid).unwrap();
+        let proc = live_process_mut(&mut self.processes, pid);
         proc.space
             .map(&mut self.store, base, run, PageSize::Size2M, flags)
             .map_err(|_| FaultError::OutOfMemory)?;
@@ -1036,7 +1073,7 @@ impl Kernel {
                 if region.backing == my_backing {
                     let table = region.pte_table; // here: a PMD table
                     if !region.members.contains(&pid) {
-                        let proc = self.processes.get_mut(&pid).unwrap();
+                        let proc = live_process_mut(&mut self.processes, pid);
                         proc.space
                             .map_shared_table(&mut self.store, va, PageTableLevel::Pmd, table)
                             .map_err(|_| FaultError::OutOfMemory)?;
@@ -1046,7 +1083,7 @@ impl Kernel {
                             .members
                             .push(pid);
                         cost += self.config.attach_table_cycles;
-                        let proc = self.processes.get(&pid).unwrap();
+                        let proc = live_process(&self.processes, pid);
                         if proc.space.walk(&self.store, va).leaf().is_some() {
                             self.stats.shared_resolved += 1;
                             return Ok(FaultResolution {
@@ -1120,7 +1157,7 @@ impl Kernel {
         if vma.perms().contains(PageFlags::WRITE) {
             flags |= PageFlags::WRITE; // MAP_SHARED: writes hit the shared chunk
         }
-        let proc = self.processes.get_mut(&pid).unwrap();
+        let proc = live_process_mut(&mut self.processes, pid);
         proc.space
             .map(&mut self.store, base, run, PageSize::Size2M, flags)
             .map_err(|_| FaultError::OutOfMemory)?;
@@ -1173,7 +1210,7 @@ impl Kernel {
                 .alloc_contiguous(512, 512)
                 .ok_or(FaultError::OutOfMemory)?;
             let flags = leaf.flags.without(PageFlags::COW) | PageFlags::WRITE;
-            let proc = self.processes.get_mut(&pid).unwrap();
+            let proc = live_process_mut(&mut self.processes, pid);
             let pcid = proc.pcid();
             let base = va.align_down(PageSize::Size2M);
             proc.space
@@ -1229,7 +1266,7 @@ impl Kernel {
         if owned {
             flags |= PageFlags::OWNED;
         }
-        let proc = self.processes.get_mut(&pid).unwrap();
+        let proc = live_process_mut(&mut self.processes, pid);
         proc.space.write_leaf(
             &mut self.store,
             va,
@@ -1327,7 +1364,7 @@ impl Kernel {
                 self.store.write(private, i, entry);
             }
         }
-        let proc = self.processes.get_mut(&pid).unwrap();
+        let proc = live_process_mut(&mut self.processes, pid);
         proc.space
             .replace_table(&mut self.store, va, PageTableLevel::Pte, private);
         proc.space
@@ -1442,7 +1479,7 @@ impl Kernel {
             return Err(KernelError::NoSuchProcess);
         }
         let (mut vmas, cursors, ccid, parent_pcid) = {
-            let parent = self.processes.get(&parent_pid).unwrap();
+            let parent = live_process(&self.processes, parent_pid);
             let (vmas, cursors) = parent.clone_mappings();
             (vmas, cursors, parent.ccid(), parent.pcid())
         };
@@ -1455,12 +1492,12 @@ impl Kernel {
 
         let child_pid = self.spawn(ccid)?;
         {
-            let child = self.processes.get_mut(&child_pid).unwrap();
+            let child = live_process_mut(&mut self.processes, child_pid);
             child.set_mappings(vmas.clone(), cursors);
         }
         // Propagate shareability back into the parent's VMAs.
         {
-            let parent = self.processes.get_mut(&parent_pid).unwrap();
+            let parent = live_process_mut(&mut self.processes, parent_pid);
             let (mut parent_vmas, parent_cursors) = parent.clone_mappings();
             for vma in &mut parent_vmas {
                 if matches!(vma.backing(), Backing::Anon { thp: false, .. }) {
@@ -1589,7 +1626,7 @@ impl Kernel {
             }
         }
 
-        let child = self.processes.get_mut(&child_pid).unwrap();
+        let child = live_process_mut(&mut self.processes, child_pid);
         child
             .space
             .map_shared_table(&mut self.store, probe, PageTableLevel::Pte, parent_table)
@@ -1647,7 +1684,7 @@ impl Kernel {
                 *any_cow_transform = true;
             }
             let entry = self.store.read(parent_table, i);
-            let child = self.processes.get_mut(&child_pid).unwrap();
+            let child = live_process_mut(&mut self.processes, child_pid);
             child
                 .space
                 .map(
@@ -1683,11 +1720,11 @@ impl Kernel {
         }
         if leaf.flags.contains(PageFlags::WRITE) {
             leaf.flags = leaf.flags.without(PageFlags::WRITE) | PageFlags::COW;
-            let parent = self.processes.get_mut(&parent_pid).unwrap();
+            let parent = live_process_mut(&mut self.processes, parent_pid);
             parent.space.write_leaf(&mut self.store, base, size, leaf);
             *any_cow_transform = true;
         }
-        let child = self.processes.get_mut(&child_pid).unwrap();
+        let child = live_process_mut(&mut self.processes, child_pid);
         child
             .space
             .map(
@@ -1781,6 +1818,22 @@ mod tests {
         let va_b = kernel.mmap(b, req).unwrap();
         assert_eq!(va_a, va_b, "canonical layout is identical within the group");
         (a, b, va_a)
+    }
+
+    /// The process-lookup panic must name the pid and the *kernel call
+    /// site* — that string is all a `--keep-going` failure slot carries.
+    #[test]
+    fn missing_process_panic_names_pid_and_call_site() {
+        let k = kernel(true);
+        let message = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            k.process(Pid::new(999));
+        }))
+        .expect_err("looking up a dead pid must panic");
+        let message = message
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted string");
+        assert!(message.contains("999"), "{message}");
+        assert!(message.contains("kernel.rs"), "{message}");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod config;
 pub mod machine;
 pub mod stats;
 
+pub use bf_fault::FaultPlan;
 pub use config::{Mode, SimConfig};
-pub use machine::{CaptureSink, Machine};
+pub use machine::{CaptureSink, FaultStats, Machine, ALLOC_RETRY_BACKOFF};
 pub use stats::{LatencyStats, MachineStats, TranslationBreakdown};

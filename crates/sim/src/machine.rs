@@ -5,6 +5,7 @@ use crate::config::SimConfig;
 use crate::stats::{LatencyStats, MachineStats, TranslationBreakdown};
 use bf_cache::{AccessOrigin, CacheHierarchy, PageWalkCache, ServedBy};
 use bf_containers::{BringupProfile, Container};
+use bf_fault::{FaultPlan, SiteSampler, SITE_ALLOC_FAIL, SITE_TLB_BITFLIP, SITE_WALK_STALL};
 use bf_os::{FaultKind, Invalidation, Kernel, SchedDecision, Scheduler};
 use bf_pgtable::WalkResult;
 use bf_telemetry::{
@@ -13,7 +14,7 @@ use bf_telemetry::{
     TraceEvent, TraceKind, DEFAULT_TIMELINE_CAPACITY,
 };
 use bf_tlb::group::TlbAccess;
-use bf_tlb::{BatchHit, BatchStop, LookupResult, TlbFill, TlbGroup};
+use bf_tlb::{BatchHit, BatchStop, InjectedFlip, LookupResult, TlbFill, TlbGroup};
 use bf_types::{
     AccessKind, Ccid, CoreId, Cycles, PageFlags, PageSize, PageTableLevel, Pcid, Pid, VirtAddr,
 };
@@ -128,6 +129,50 @@ struct TimelineState {
     invariants: InvariantSet,
 }
 
+/// Backoff charged when an injected transient allocation failure forces
+/// the fault handler to retry (the retry itself always succeeds, so the
+/// only architectural effect is the added latency).
+pub const ALLOC_RETRY_BACKOFF: Cycles = 1200;
+
+/// Ground-truth fault-injection accounting, independent of the
+/// telemetry feature (the `fault.*` registry counters mirror these when
+/// telemetry is compiled in).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faults injected (bit-flips that landed on a resident entry, walk
+    /// stalls, allocation failures).
+    pub injected: u64,
+    /// Faults detected (consistency re-walks, walker timeouts, failed
+    /// allocations observed by the retry path).
+    pub detected: u64,
+    /// Faults recovered (invalidate+refill, bounded-backoff retry).
+    pub recovered: u64,
+}
+
+/// Deterministic fault-injection state, boxed off the hot path exactly
+/// like [`TimelineState`]: one pointer-sized `Option` in [`Machine`],
+/// touched only behind the hoisted `fault_armed` gate on the miss/walk/
+/// fault paths — never on the hit path.
+struct FaultEngine {
+    /// L2-miss-path bit-flip sampler (disarmed when the plan has none).
+    bitflip: SiteSampler,
+    /// Page-walk stall sampler.
+    walk_stall: SiteSampler,
+    /// Stall cycles charged per fired walk stall.
+    stall_cycles: Cycles,
+    /// Transient allocation-failure sampler.
+    alloc_fail: SiteSampler,
+    /// Oracle records of injected-but-not-yet-scrubbed bit-flips, per
+    /// core. The on-miss-path consistency re-walk and the epoch-boundary
+    /// sweep both drain these, so `detected == injected` holds at every
+    /// invariant check and no corrupt translation survives a boundary.
+    pending: Vec<Vec<InjectedFlip>>,
+    counts: FaultStats,
+    injected: Counter,
+    detected: Counter,
+    recovered: Counter,
+}
+
 /// The simulated server (see the [crate docs](crate) for the modelled
 /// pipeline).
 ///
@@ -178,6 +223,12 @@ pub struct Machine {
     /// the capture-off cost is one predictable `Option` branch per
     /// scheduler event.
     capture: Option<Box<dyn CaptureSink>>,
+    /// Fault-injection engine (None until [`Machine::arm_faults`]).
+    faults: Option<Box<FaultEngine>>,
+    /// Hoisted fault gate, mirroring `tracing`/`instrumented`: the
+    /// unarmed miss path pays one predictable branch and the hit path
+    /// pays nothing.
+    fault_armed: bool,
     /// Registry state at the last [`Machine::reset_measurement`];
     /// [`Machine::telemetry_snapshot`] reports the delta since then.
     telemetry_baseline: Snapshot,
@@ -280,6 +331,8 @@ impl Machine {
             timeline,
             profiler: profiling.then(|| Box::new(Profiler::new(config.profile_top_k as usize))),
             capture: None,
+            faults: None,
+            fault_armed: false,
             telemetry_baseline: registry.snapshot(),
             scratch: BatchScratch::default(),
             registry,
@@ -318,6 +371,163 @@ impl Machine {
         self.capture.take()
     }
 
+    /// Arms deterministic fault injection per `plan`. No-op when the
+    /// plan carries no machine-level faults (trace/cell clauses are
+    /// handled upstream). Call before driving the machine; the samplers
+    /// are keyed on (plan seed, site, per-site sequence number), so two
+    /// machines armed with the same plan inject identically regardless
+    /// of host threads or batching.
+    ///
+    /// When an epoch timeline is active, also registers the fault
+    /// accounting invariants: `fault.detected == fault.injected` and
+    /// `fault.recovered <= fault.detected` at every epoch boundary.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        if !plan.arms_machine() {
+            return;
+        }
+        let engine = FaultEngine {
+            bitflip: plan
+                .tlb_bitflip
+                .map(|p| plan.sampler(SITE_TLB_BITFLIP, p))
+                .unwrap_or_else(SiteSampler::disarmed),
+            walk_stall: plan
+                .walk_stall
+                .map(|s| plan.sampler(SITE_WALK_STALL, s.probability))
+                .unwrap_or_else(SiteSampler::disarmed),
+            stall_cycles: plan.walk_stall.map(|s| s.cycles).unwrap_or(0),
+            alloc_fail: plan
+                .alloc_fail
+                .map(|p| plan.sampler(SITE_ALLOC_FAIL, p))
+                .unwrap_or_else(SiteSampler::disarmed),
+            pending: self.cores.iter().map(|_| Vec::new()).collect(),
+            counts: FaultStats::default(),
+            injected: self.registry.counter("fault.injected"),
+            detected: self.registry.counter("fault.detected"),
+            recovered: self.registry.counter("fault.recovered"),
+        };
+        if let Some(state) = self.timeline.as_deref_mut() {
+            state.invariants.sum_eq(
+                "fault.detected_eq_injected",
+                &["fault.detected"],
+                &["fault.injected"],
+            );
+            state.invariants.counter_le(
+                "fault.recovered_le_detected",
+                "fault.recovered",
+                "fault.detected",
+            );
+        }
+        self.faults = Some(Box::new(engine));
+        self.fault_armed = true;
+    }
+
+    /// Drains every pending injected corruption through the consistency
+    /// re-walk (detect + invalidate), so `detected == injected` and no
+    /// corrupt translation is resident. Runs automatically at epoch
+    /// boundaries, measurement resets, and timeline finish; harnesses
+    /// call it once more before taking their final snapshots.
+    pub fn quiesce_faults(&mut self) {
+        if self.fault_armed {
+            self.scrub_all_faults();
+        }
+    }
+
+    /// Ground-truth fault accounting since arming (`None` when no
+    /// machine-level plan is armed).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_deref().map(|engine| engine.counts)
+    }
+
+    /// Scrubs one core's pending bit-flips: the consistency re-walk
+    /// detects each injected corruption and recovers by invalidating the
+    /// entry (the normal refill path restores a clean translation).
+    /// Corruptions that already left the TLB via eviction or a
+    /// same-identity refill count as detected+recovered too — the
+    /// re-walk verified the structure holds no corrupt translation.
+    fn scrub_core_faults(engine: &mut FaultEngine, core_index: usize, core: &mut CoreState) {
+        for flip in engine.pending[core_index].drain(..) {
+            core.tlbs.scrub_l2_flip(&flip);
+            engine.counts.detected += 1;
+            engine.counts.recovered += 1;
+            engine.detected.incr();
+            engine.recovered.incr();
+        }
+    }
+
+    /// Scrubs every core's pending bit-flips (epoch boundaries and
+    /// end-of-window quiesce).
+    fn scrub_all_faults(&mut self) {
+        let Some(mut engine) = self.faults.take() else {
+            return;
+        };
+        for (core_index, core) in self.cores.iter_mut().enumerate() {
+            Self::scrub_core_faults(&mut engine, core_index, core);
+        }
+        self.faults = Some(engine);
+    }
+
+    /// The armed miss-path hook: runs the consistency re-walk for this
+    /// core, then samples the bit-flip site and, when it fires, corrupts
+    /// one resident L2 entry (recording the oracle for later scrubs).
+    /// Injection happens only on the miss path — the order of miss
+    /// events is part of the determinism contract, the hit path is not
+    /// instrumented.
+    fn fault_miss_path(&mut self, core_index: usize) {
+        let Some(mut engine) = self.faults.take() else {
+            return;
+        };
+        Self::scrub_core_faults(&mut engine, core_index, &mut self.cores[core_index]);
+        if let Some(selector) = engine.bitflip.fire() {
+            if let Some(flip) = self.cores[core_index].tlbs.inject_l2_ppn_flip(selector) {
+                engine.pending[core_index].push(flip);
+                engine.counts.injected += 1;
+                engine.injected.incr();
+            }
+        }
+        self.faults = Some(engine);
+    }
+
+    /// Samples the walk-stall site: a fired stall models a transient
+    /// walker hiccup, detected by its timeout and retried after the
+    /// plan's backoff. Returns the cycles to charge (0 when not fired).
+    fn fault_walk_stall(&mut self) -> Cycles {
+        let Some(engine) = self.faults.as_deref_mut() else {
+            return 0;
+        };
+        if engine.walk_stall.fire().is_some() {
+            engine.counts.injected += 1;
+            engine.counts.detected += 1;
+            engine.counts.recovered += 1;
+            engine.injected.incr();
+            engine.detected.incr();
+            engine.recovered.incr();
+            engine.stall_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Samples the alloc-fail site: a fired failure models the frame
+    /// allocator transiently refusing, detected by the fault handler and
+    /// retried after [`ALLOC_RETRY_BACKOFF`] cycles (the retry always
+    /// succeeds). Returns the cycles to charge (0 when not fired).
+    fn fault_alloc_retry(&mut self) -> Cycles {
+        let Some(engine) = self.faults.as_deref_mut() else {
+            return 0;
+        };
+        if engine.alloc_fail.fire().is_some() {
+            engine.counts.injected += 1;
+            engine.counts.detected += 1;
+            engine.counts.recovered += 1;
+            engine.injected.incr();
+            engine.detected.incr();
+            engine.recovered.incr();
+            ALLOC_RETRY_BACKOFF
+        } else {
+            0
+        }
+    }
+
     /// Replays one captured access: replicates `step_core`'s
     /// `Op::Access` accounting (compute cycles, instruction counters)
     /// and runs the access through the full translation pipeline — but
@@ -341,6 +551,14 @@ impl Machine {
         self.telem.instructions.add(instrs_before as u64 + 1);
         self.breakdown.compute_cycles += compute;
         self.execute_access(core_index, pid, va, kind);
+    }
+
+    /// Whether a replayed access would resolve: the core exists, the
+    /// process is live, and some VMA covers `va`. Salvage replay drops
+    /// records that fail this check — a damaged trace can decode to
+    /// mangled addresses — instead of panicking in the fault handler.
+    pub fn replayable(&self, core: u32, pid: Pid, va: VirtAddr) -> bool {
+        (core as usize) < self.cores.len() && self.kernel.resolvable(pid, va)
     }
 
     /// Replays one captured context switch (clock + breakdown charge).
@@ -433,6 +651,9 @@ impl Machine {
     /// Zeroes every measurement counter (after warm-up). Architectural
     /// state — TLB/cache/PWC contents, page tables, clocks — is kept.
     pub fn reset_measurement(&mut self) {
+        // Quiesce injected faults first so the telemetry baseline (and
+        // every later delta) sees `fault.detected == fault.injected`.
+        self.quiesce_faults();
         if let Some(sink) = self.capture.as_mut() {
             sink.reset();
         }
@@ -1085,6 +1306,11 @@ impl Machine {
 
         // --- CoW fault raised from a TLB hit (Fig. 8 step 6) ---
         if faulted_cow_hit {
+            if self.fault_armed {
+                let backoff = self.fault_alloc_retry();
+                cycles += backoff;
+                self.breakdown.fault_cycles += backoff;
+            }
             // The kernel emits its own retrospective fault span starting
             // at the current trace cursor.
             let resolution = self
@@ -1103,6 +1329,9 @@ impl Machine {
 
         // --- Page walk(s) ---
         if translated.is_none() {
+            if self.fault_armed {
+                self.fault_miss_path(core_index);
+            }
             if let Some(profiler) = self.profiler.as_deref_mut() {
                 profiler.record_miss(access.ccid.raw(), pid.raw(), va.vpn(PageSize::Size4K).raw());
             }
@@ -1116,7 +1345,14 @@ impl Machine {
                 if tracing {
                     self.spans.begin("walk", &[("attempt", attempts)]);
                 }
-                let (walk_cycles, walk, path) = self.hardware_walk(core_index, pid, va);
+                let (mut walk_cycles, walk, path) = self.hardware_walk(core_index, pid, va);
+                if self.fault_armed {
+                    // Transient walk stall: detected by the walker's
+                    // timeout, retried after the plan's backoff; the
+                    // retry always succeeds, so the only architectural
+                    // effect is the added walk latency.
+                    walk_cycles += self.fault_walk_stall();
+                }
                 // Any kernel-side activity below may edit MaskPages, so
                 // the batched engine's per-run pc_bit cache must not
                 // outlive a walk (see `step_core_batched`).
@@ -1158,6 +1394,11 @@ impl Machine {
                     }
                 }
                 // Fault: missing translation or CoW write.
+                if self.fault_armed {
+                    let backoff = self.fault_alloc_retry();
+                    cycles += backoff;
+                    self.breakdown.fault_cycles += backoff;
+                }
                 let resolution = self
                     .kernel
                     .handle_fault(pid, va, is_write)
@@ -1235,6 +1476,12 @@ impl Machine {
             return; // span tracing on, timeline off
         };
         if state.timeline.record_access() {
+            if self.fault_armed {
+                // Epoch-boundary consistency sweep: every injected
+                // corruption is detected and repaired before the
+                // snapshot, so the fault invariants hold exactly.
+                self.scrub_all_faults();
+            }
             let snapshot = self.registry.snapshot();
             state
                 .timeline
@@ -1258,6 +1505,9 @@ impl Machine {
             return;
         };
         if state.timeline.record_accesses(n) {
+            if self.fault_armed {
+                self.scrub_all_faults();
+            }
             let snapshot = self.registry.snapshot();
             state
                 .timeline
@@ -1545,6 +1795,7 @@ impl Machine {
     /// violations. `None` when timelines are off; consumes the timeline,
     /// so later accesses are no longer tracked.
     pub fn take_timeline(&mut self) -> Option<TimelineSnapshot> {
+        self.quiesce_faults();
         let mut state = *self.timeline.take()?;
         self.check_machine_invariants(&mut state.invariants);
         let snapshot = self.registry.snapshot();
@@ -2719,5 +2970,97 @@ mod tests {
         if bf_telemetry::enabled() {
             assert_eq!(live.telemetry_snapshot(), replay.telemetry_snapshot());
         }
+    }
+
+    /// Strides a cold file mapping so every access takes the miss path.
+    fn stride_cold_pages(m: &mut Machine, pid: Pid, va: VirtAddr, pages: u64) {
+        for i in 0..pages {
+            m.execute_access(0, pid, va.offset(i * 4096), AccessKind::Read);
+        }
+    }
+
+    #[test]
+    fn armed_bitflips_are_injected_detected_and_recovered() {
+        let mut m = machine(Mode::babelfish());
+        m.arm_faults(FaultPlan::parse("tlb-bitflip@p=1").unwrap());
+        let (pid, va) = process_with_file(&mut m, 64);
+        stride_cold_pages(&mut m, pid, va, 64);
+        m.quiesce_faults();
+        let stats = m.fault_stats().expect("plan armed");
+        assert!(stats.injected > 0, "p=1 on 64 cold misses must inject");
+        assert_eq!(stats.detected, stats.injected);
+        assert_eq!(stats.recovered, stats.detected);
+        // Zero residual corruption: every page still translates to the
+        // frame the page table holds (a corrupt survivor would hit with
+        // a wrong PPN and perturb nothing visible — so re-walk oracle:
+        // scrubbed entries refill cleanly and hit thereafter).
+        for i in 0..64 {
+            m.execute_access(0, pid, va.offset(i * 4096), AccessKind::Read);
+        }
+        m.quiesce_faults();
+        let after = m.fault_stats().unwrap();
+        assert_eq!(after.detected, after.injected);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_across_machines() {
+        let run = || {
+            let mut m = machine(Mode::babelfish());
+            m.arm_faults(
+                FaultPlan::parse("tlb-bitflip@p=0.5;walk-stall@p=0.5,cycles=700;alloc-fail@p=0.5")
+                    .unwrap(),
+            );
+            let (pid, va) = process_with_file(&mut m, 48);
+            stride_cold_pages(&mut m, pid, va, 48);
+            m.quiesce_faults();
+            (
+                m.fault_stats().unwrap(),
+                format!("{:?}", m.stats()),
+                m.core_clock(CoreId::new(0)),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0, "fault accounting replays identically");
+        assert_eq!(a.1, b.1, "machine statistics replay identically");
+        assert_eq!(a.2, b.2, "clocks replay identically");
+    }
+
+    #[test]
+    fn walk_stall_and_alloc_fail_add_bounded_latency_without_panicking() {
+        let run = |spec: Option<&str>| {
+            let mut m = machine(Mode::Baseline);
+            if let Some(spec) = spec {
+                m.arm_faults(FaultPlan::parse(spec).unwrap());
+            }
+            let (pid, va) = process_with_file(&mut m, 8);
+            stride_cold_pages(&mut m, pid, va, 8);
+            (m.core_clock(CoreId::new(0)), m.stats().walks)
+        };
+        let (clean_clock, clean_walks) = run(None);
+        let (stalled_clock, stalled_walks) = run(Some("walk-stall@p=1,cycles=500;alloc-fail@p=1"));
+        assert_eq!(clean_walks, stalled_walks, "retries never add walks");
+        assert!(
+            stalled_clock > clean_clock,
+            "stalls and retry backoffs must cost cycles ({stalled_clock} vs {clean_clock})"
+        );
+    }
+
+    #[test]
+    fn plan_without_machine_faults_stays_unarmed() {
+        let mut m = machine(Mode::Baseline);
+        m.arm_faults(FaultPlan::parse("trace-corrupt@block=0;cell-panic@idx=1").unwrap());
+        assert!(m.fault_stats().is_none());
+        let (pid, va) = process_with_file(&mut m, 4);
+        stride_cold_pages(&mut m, pid, va, 4);
+
+        let mut clean = machine(Mode::Baseline);
+        let (pid2, va2) = process_with_file(&mut clean, 4);
+        stride_cold_pages(&mut clean, pid2, va2, 4);
+        assert_eq!(
+            format!("{:?}", m.stats()),
+            format!("{:?}", clean.stats()),
+            "an unarmed plan must not perturb the run"
+        );
     }
 }

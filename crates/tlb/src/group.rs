@@ -2,7 +2,9 @@
 //! unified L2 TLBs for the three page sizes.
 
 use crate::telemetry::TlbTelemetry;
-use crate::tlb::{Hit, LookupMode, LookupRequest, LookupResult, Tlb, TlbConfig, TlbFill, TlbStats};
+use crate::tlb::{
+    Hit, InjectedFlip, LookupMode, LookupRequest, LookupResult, Tlb, TlbConfig, TlbFill, TlbStats,
+};
 use bf_types::{AccessKind, Ccid, Cycles, PageFlags, PageSize, Pcid, Pid, Ppn, VirtAddr};
 
 /// Modes for the two TLB levels of one core.
@@ -559,6 +561,21 @@ impl TlbGroup {
     /// The L2 4 KB per-set conflict counters, if profiling is enabled.
     pub fn set_profile(&self) -> Option<&bf_telemetry::SetCounts> {
         self.l2_4k.set_profile()
+    }
+
+    /// Fault injection: flips one low PPN bit of a resident entry in the
+    /// L2 4 KB structure — the largest array of the complement, where a
+    /// soft error is overwhelmingly likely to land. `None` when nothing
+    /// is resident there. See [`Tlb::inject_ppn_flip`].
+    pub fn inject_l2_ppn_flip(&mut self, selector: u64) -> Option<InjectedFlip> {
+        self.l2_4k.inject_ppn_flip(selector)
+    }
+
+    /// Fault recovery: the consistency re-walk for one injected flip;
+    /// `true` when the corruption was still resident and got
+    /// invalidated. See [`Tlb::scrub_flip`].
+    pub fn scrub_l2_flip(&mut self, flip: &InjectedFlip) -> bool {
+        self.l2_4k.scrub_flip(flip)
     }
 
     /// Aggregated per-role counters.

@@ -61,4 +61,6 @@ pub mod tlb;
 pub use group::{BatchHit, BatchStop, TlbAccess, TlbGroup, TlbGroupConfig, TlbGroupStats};
 pub use opc::OpcField;
 pub use telemetry::{register_invariants, TlbTelemetry};
-pub use tlb::{Hit, LookupMode, LookupRequest, LookupResult, Tlb, TlbConfig, TlbFill, TlbStats};
+pub use tlb::{
+    Hit, InjectedFlip, LookupMode, LookupRequest, LookupResult, Tlb, TlbConfig, TlbFill, TlbStats,
+};

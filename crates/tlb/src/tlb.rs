@@ -216,6 +216,21 @@ impl LookupResult {
     }
 }
 
+/// Oracle record of one injected PPN bit-flip: enough to locate the
+/// corrupted slot later and to verify/repair exactly that corruption.
+/// Produced by [`Tlb::inject_ppn_flip`], consumed by [`Tlb::scrub_flip`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFlip {
+    /// Arena slot of the corrupted entry.
+    pub slot: usize,
+    /// VPN tag the entry carried when corrupted.
+    pub vpn: Vpn,
+    /// Translation before the flip.
+    pub ppn_original: Ppn,
+    /// Translation after the flip.
+    pub ppn_corrupt: Ppn,
+}
+
 /// Hit/miss counters, split by data/instruction stream for Fig. 10.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct TlbStats {
@@ -683,6 +698,58 @@ impl Tlb {
         self.resident = 0;
     }
 
+    /// Fault injection: flips one low PPN bit of a resident entry chosen
+    /// deterministically from `selector` (bits 0..32 pick the victim
+    /// among resident entries, bits 32.. pick which of the 8 low PPN
+    /// bits flips). Returns the oracle record, or `None` when nothing is
+    /// resident.
+    ///
+    /// The PPN plays no part in set indexing, tag matching, or the
+    /// resident count, so the flip perturbs only the *translation* — the
+    /// soft-error model whose detection the consistency re-walk
+    /// ([`Tlb::scrub_flip`]) must prove. LRU state and statistics are
+    /// untouched.
+    pub fn inject_ppn_flip(&mut self, selector: u64) -> Option<InjectedFlip> {
+        if self.resident == 0 {
+            return None;
+        }
+        let nth = ((selector & 0xffff_ffff) % self.resident as u64) as usize;
+        let bit = (selector >> 32) % 8;
+        let (slot, entry) = self
+            .entries
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, e)| e.valid)
+            .nth(nth)?;
+        let original = entry.ppn;
+        let corrupt = Ppn::new(original.raw() ^ (1 << bit));
+        entry.ppn = corrupt;
+        Some(InjectedFlip {
+            slot,
+            vpn: entry.vpn,
+            ppn_original: original,
+            ppn_corrupt: corrupt,
+        })
+    }
+
+    /// Fault recovery: the consistency re-walk for one oracle record.
+    /// When the corrupted entry is still resident, it is invalidated —
+    /// the normal refill path restores a clean translation on the next
+    /// miss — and `true` is returned. `false` means the corruption
+    /// already left the structure (evicted, or overwritten by a
+    /// same-identity refill); either way no corrupt translation for this
+    /// record remains afterwards.
+    pub fn scrub_flip(&mut self, flip: &InjectedFlip) -> bool {
+        let entry = &mut self.entries[flip.slot];
+        if entry.valid && entry.vpn == flip.vpn && entry.ppn == flip.ppn_corrupt {
+            entry.valid = false;
+            self.resident -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
     fn count_hit(&mut self, kind: AccessKind, shared: bool) {
         self.telem.hits.incr();
         if shared {
@@ -1070,6 +1137,75 @@ mod tests {
             tlb.flush();
             proptest::prop_assert_eq!(tlb.resident_entries(), 0);
             proptest::prop_assert_eq!(tlb.resident_scan(), 0);
+        }
+    }
+
+    #[test]
+    fn inject_and_scrub_round_trip() {
+        let mut tlb = bf_tlb();
+        tlb.fill(fill(10, 1, 5, 100));
+        tlb.fill(fill(11, 1, 5, 100));
+        let resident = tlb.resident_entries();
+
+        let flip = tlb.inject_ppn_flip(0).expect("entries are resident");
+        assert_ne!(flip.ppn_original, flip.ppn_corrupt);
+        assert_eq!(
+            (flip.ppn_original.raw() ^ flip.ppn_corrupt.raw()).count_ones(),
+            1,
+            "exactly one bit flips"
+        );
+        assert_eq!(
+            tlb.resident_entries(),
+            resident,
+            "injection must not disturb residency"
+        );
+        // The corrupted entry now translates to the wrong frame.
+        let hit = *tlb
+            .lookup(&req(flip.vpn.raw(), 1, 5, 100))
+            .hit()
+            .expect("corrupted entry still hits");
+        assert_eq!(hit.ppn, flip.ppn_corrupt);
+
+        assert!(tlb.scrub_flip(&flip), "corruption is still resident");
+        assert_eq!(tlb.resident_entries(), resident - 1);
+        assert!(
+            !tlb.lookup(&req(flip.vpn.raw(), 1, 5, 100)).entry_present(),
+            "scrub invalidates so the refill path restores a clean entry"
+        );
+        assert!(!tlb.scrub_flip(&flip), "second scrub finds nothing");
+    }
+
+    #[test]
+    fn scrub_ignores_refilled_slot() {
+        let mut tlb = bf_tlb();
+        tlb.fill(fill(10, 1, 5, 100));
+        let flip = tlb.inject_ppn_flip(0).unwrap();
+        // A same-identity refill overwrites the corruption.
+        tlb.fill(fill(10, 1, 5, 100));
+        assert!(!tlb.scrub_flip(&flip), "refill already repaired the slot");
+        let hit = *tlb.lookup(&req(10, 1, 5, 100)).hit().unwrap();
+        assert_eq!(hit.ppn, flip.ppn_original);
+    }
+
+    #[test]
+    fn inject_on_empty_tlb_is_none() {
+        let mut tlb = bf_tlb();
+        assert!(tlb.inject_ppn_flip(7).is_none());
+    }
+
+    #[test]
+    fn injection_selector_is_deterministic() {
+        let build = || {
+            let mut tlb = bf_tlb();
+            for vpn in 0..32 {
+                tlb.fill(fill(vpn, 1, 5, 100));
+            }
+            tlb
+        };
+        let mut a = build();
+        let mut b = build();
+        for selector in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(a.inject_ppn_flip(selector), b.inject_ppn_flip(selector));
         }
     }
 
