@@ -18,7 +18,8 @@ use babelfish::capture::TraceReader;
 use babelfish::replay::{capture_meta, meta_config, replay_file, CaptureFile, ReplayOptions};
 use babelfish::Mode;
 use bf_bench::{
-    header, DEFAULT_BATCH, DEFAULT_PROFILE_K, DEFAULT_TIMELINE_EPOCH, DEFAULT_TRACE_SAMPLE,
+    header, DEFAULT_BATCH, DEFAULT_HEARTBEAT_EVERY, DEFAULT_HEARTBEAT_FILE, DEFAULT_PROFILE_K,
+    DEFAULT_TIMELINE_EPOCH, DEFAULT_TRACE_SAMPLE,
 };
 
 const USAGE: &str = "options:
@@ -45,6 +46,12 @@ const USAGE: &str = "options:
                   at the next self-consistent block header, replay whatever
                   decodes, and print the loss accounting (blocks skipped,
                   records lost, whether the accounting is exact)
+  --heartbeat[=FILE]
+                  append live NDJSON heartbeat events (run manifest, progress
+                  snapshots with ETA, counter report, results pointers) to FILE
+                  during the replay (default FILE=results/heartbeat.ndjson;
+                  BF_HEARTBEAT=FILE and BF_HEARTBEAT_EVERY=N also work; watch
+                  live with bf_top)
   -h, --help      this message
 
 exit codes:
@@ -61,6 +68,8 @@ struct ReplayArgs {
     recapture: Option<String>,
     batch: usize,
     salvage: bool,
+    heartbeat: Option<String>,
+    heartbeat_every: u64,
 }
 
 fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
@@ -72,6 +81,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
     let mut recapture = None;
     let mut batch = 0;
     let mut salvage = false;
+    let mut heartbeat: Option<String> = None;
     for arg in args {
         match arg.as_str() {
             "--trace" => trace_sample_every = DEFAULT_TRACE_SAMPLE,
@@ -79,6 +89,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
             "--profile" => profile_top_k = DEFAULT_PROFILE_K,
             "--batch" => batch = DEFAULT_BATCH,
             "--salvage" => salvage = true,
+            "--heartbeat" => heartbeat = Some(DEFAULT_HEARTBEAT_FILE.to_owned()),
             "-h" | "--help" => return Err(String::new()),
             _ => {
                 if let Some(name) = arg.strip_prefix("--mode=") {
@@ -101,6 +112,11 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
                         .ok_or_else(|| format!("invalid --profile value: {n}"))?;
                 } else if let Some(path) = arg.strip_prefix("--recapture=") {
                     recapture = Some(path.to_owned());
+                } else if let Some(path) = arg.strip_prefix("--heartbeat=") {
+                    if path.is_empty() {
+                        return Err("--heartbeat= needs a file after '='".to_owned());
+                    }
+                    heartbeat = Some(path.to_owned());
                 } else if let Some(n) = arg.strip_prefix("--batch=") {
                     batch = n
                         .parse()
@@ -117,6 +133,16 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
             }
         }
     }
+    let heartbeat =
+        heartbeat.or_else(|| std::env::var("BF_HEARTBEAT").ok().filter(|p| !p.is_empty()));
+    let heartbeat_every = if heartbeat.is_some() {
+        std::env::var("BF_HEARTBEAT_EVERY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_HEARTBEAT_EVERY)
+    } else {
+        0
+    };
     Ok(ReplayArgs {
         trace: trace.ok_or("a trace file is required")?,
         mode,
@@ -126,6 +152,8 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ReplayArgs, String> {
         recapture,
         batch,
         salvage,
+        heartbeat,
+        heartbeat_every,
     })
 }
 
@@ -147,6 +175,20 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // Arm the heartbeat (and record the manifest context) before the
+    // replay starts. The replay's config comes from the trace header,
+    // so the run-start manifest carries no config hash here — the
+    // results documents still stamp the full identity from their own
+    // embedded config, identical to the capturing run's.
+    bf_bench::set_run_context(bf_bench::RunContext {
+        faults_spec: None,
+        threads: 1,
+        batch: args.batch,
+        heartbeat: args.heartbeat.clone().map(std::path::PathBuf::from),
+        heartbeat_every: args.heartbeat_every,
+        config: None,
+    });
 
     // The recapture file's header is built from the input's header (and
     // the mode actually replayed), so a default-mode round trip is
@@ -175,6 +217,7 @@ fn main() {
         recapture: recapture_file.as_ref().map(|file| file.sink()),
         batch: args.batch,
         salvage: args.salvage,
+        heartbeat_every: args.heartbeat_every,
     };
     let start = std::time::Instant::now();
     let outcome = match replay_file(&args.trace, options) {
@@ -243,4 +286,5 @@ fn main() {
     bf_bench::emit_timeline_results(&stem, &outcome.config, &cells);
     let profile_cells = [(cell_name, outcome.result.profile.clone())];
     bf_bench::emit_profile_results(&stem, &outcome.config, &profile_cells);
+    bf_telemetry::heartbeat::finish();
 }

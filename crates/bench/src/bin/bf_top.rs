@@ -1,0 +1,548 @@
+//! `bf_top`: live terminal dashboard over a heartbeat NDJSON stream.
+//!
+//! Point it at the file a figure binary is appending with
+//! `--heartbeat[=FILE]` and it tails the stream, rendering an in-place
+//! view of the run: one progress bar per sweep cell with the live
+//! `l2_mpki`, per-cell ETA, fault and invariant-violation counters, and
+//! the results documents as they land. The dashboard redraws in place
+//! (ANSI cursor movement) and exits when the stream's `run_end` event
+//! arrives.
+//!
+//! ```text
+//! fig10_tlb --heartbeat &
+//! bf_top
+//! ```
+//!
+//! `--once` is the machine-readable mode for CI: read the whole file,
+//! validate every event against the heartbeat schema, print a flat
+//! `key=value` summary, and exit — 0 when the stream is well-formed,
+//! 1 when it is empty or malformed.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, Write};
+
+const USAGE: &str = "options:
+  FILE            heartbeat NDJSON file to watch (default
+                  results/heartbeat.ndjson, or BF_HEARTBEAT)
+  --once          read the file once, validate every event against the
+                  heartbeat schema, print a machine-readable key=value summary,
+                  and exit (no ANSI, no polling) — the CI mode
+  --interval=MS   poll interval in milliseconds while following (default 250)
+  -h, --help      this message
+
+exit codes:
+  0  stream well-formed (and, without --once, run_end observed)
+  1  empty stream, unreadable file, or schema violation
+  2  usage error";
+
+/// Event kinds the dashboard understands — one per emitter in
+/// `bf_telemetry::heartbeat`. Anything else is a schema violation.
+const KNOWN_EVENTS: &[&str] = &[
+    "run_start",
+    "sweep_start",
+    "cell_start",
+    "progress",
+    "faults",
+    "violation",
+    "cell_finish",
+    "results",
+    "run_end",
+];
+
+struct TopArgs {
+    file: String,
+    once: bool,
+    interval_ms: u64,
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<TopArgs, String> {
+    let mut file: Option<String> = None;
+    let mut once = false;
+    let mut interval_ms = 250;
+    for arg in args {
+        match arg.as_str() {
+            "--once" => once = true,
+            "-h" | "--help" => return Err(String::new()),
+            _ => {
+                if let Some(ms) = arg.strip_prefix("--interval=") {
+                    interval_ms = ms
+                        .parse()
+                        .ok()
+                        .filter(|&ms: &u64| ms > 0)
+                        .ok_or_else(|| format!("invalid --interval value: {ms}"))?;
+                } else if arg.starts_with('-') {
+                    return Err(format!("unknown argument: {arg}"));
+                } else if file.is_none() {
+                    file = Some(arg);
+                } else {
+                    return Err(format!("unexpected extra argument: {arg}"));
+                }
+            }
+        }
+    }
+    let file = file
+        .or_else(|| std::env::var("BF_HEARTBEAT").ok().filter(|p| !p.is_empty()))
+        .unwrap_or_else(|| "results/heartbeat.ndjson".to_owned());
+    Ok(TopArgs {
+        file,
+        once,
+        interval_ms,
+    })
+}
+
+#[derive(Default, Clone)]
+struct CellView {
+    name: String,
+    started: bool,
+    done: bool,
+    error: Option<String>,
+    frac: Option<f64>,
+    eta_s: Option<f64>,
+    wall_s: Option<f64>,
+    l2_mpki: Option<f64>,
+    violations: u64,
+    faults: u64,
+}
+
+/// Everything the dashboard knows about the run so far, folded from the
+/// event stream in order.
+#[derive(Default)]
+struct RunView {
+    manifest: Option<Value>,
+    every: u64,
+    cells: Vec<CellView>,
+    fault_counters: BTreeMap<String, u64>,
+    violations: u64,
+    results: Vec<String>,
+    events: u64,
+    ended: bool,
+    end_wall_s: Option<f64>,
+}
+
+impl RunView {
+    fn cell_mut(&mut self, event: &Value) -> Option<&mut CellView> {
+        let name = event.get("cell").and_then(Value::as_str)?;
+        self.cells.iter_mut().find(|c| c.name == name)
+    }
+
+    /// Folds one parsed event into the view. Returns a schema complaint
+    /// when the event is malformed.
+    fn apply(&mut self, event: &Value) -> Result<(), String> {
+        let Some(kind) = event.get("event").and_then(Value::as_str) else {
+            return Err("missing 'event' field".to_owned());
+        };
+        if !KNOWN_EVENTS.contains(&kind) {
+            return Err(format!("unknown event kind '{kind}'"));
+        }
+        if event.get("ts").and_then(Value::as_u64).is_none() {
+            return Err(format!("'{kind}' event missing 'ts'"));
+        }
+        self.events += 1;
+        match kind {
+            "run_start" => {
+                let schema = event.get("schema").and_then(Value::as_u64);
+                if schema != Some(bf_telemetry::heartbeat::SCHEMA_VERSION) {
+                    return Err(format!(
+                        "unsupported heartbeat schema {schema:?} (expected {})",
+                        bf_telemetry::heartbeat::SCHEMA_VERSION
+                    ));
+                }
+                if event.get("manifest").is_none() {
+                    return Err("run_start missing 'manifest'".to_owned());
+                }
+                self.manifest = event.get("manifest").cloned();
+                self.every = event.get("every").and_then(Value::as_u64).unwrap_or(0);
+            }
+            "sweep_start" => {
+                let names = event
+                    .get("cells")
+                    .and_then(Value::as_array)
+                    .ok_or("sweep_start missing 'cells' list")?;
+                self.cells = names
+                    .iter()
+                    .map(|n| CellView {
+                        name: n.as_str().unwrap_or("?").to_owned(),
+                        ..CellView::default()
+                    })
+                    .collect();
+            }
+            "cell_start" => {
+                if let Some(cell) = self.cell_mut(event) {
+                    cell.started = true;
+                }
+            }
+            "progress" => {
+                if event.get("accesses").and_then(Value::as_u64).is_none() {
+                    return Err("progress missing 'accesses'".to_owned());
+                }
+                let frac = event.get("frac").and_then(Value::as_f64);
+                let eta = event.get("eta_s").and_then(Value::as_f64);
+                let mpki = event.get("l2_mpki").and_then(Value::as_f64);
+                if let Some(cell) = self.cell_mut(event) {
+                    cell.started = true;
+                    cell.frac = frac.or(cell.frac);
+                    cell.eta_s = eta.or(cell.eta_s);
+                    cell.l2_mpki = mpki.or(cell.l2_mpki);
+                }
+            }
+            "faults" => {
+                let counters = event
+                    .get("counters")
+                    .and_then(Value::as_object)
+                    .ok_or("faults missing 'counters'")?;
+                let mut total = 0;
+                for (name, value) in counters {
+                    let value = value.as_u64().unwrap_or(0);
+                    *self.fault_counters.entry(name.clone()).or_insert(0) += value;
+                    total += value;
+                }
+                if let Some(cell) = self.cell_mut(event) {
+                    cell.faults += total;
+                }
+            }
+            "violation" => {
+                self.violations += 1;
+                if let Some(cell) = self.cell_mut(event) {
+                    cell.violations += 1;
+                }
+            }
+            "cell_finish" => {
+                let mpki = event.get("l2_mpki").and_then(Value::as_f64);
+                let wall = event.get("wall_s").and_then(Value::as_f64);
+                let error = event
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned);
+                if let Some(cell) = self.cell_mut(event) {
+                    cell.done = true;
+                    cell.frac = Some(1.0);
+                    cell.eta_s = None;
+                    cell.l2_mpki = mpki.or(cell.l2_mpki);
+                    cell.wall_s = wall;
+                    cell.error = error;
+                }
+            }
+            "results" => {
+                if let Some(path) = event.get("path").and_then(Value::as_str) {
+                    self.results.push(path.to_owned());
+                } else {
+                    return Err("results missing 'path'".to_owned());
+                }
+            }
+            "run_end" => {
+                self.ended = true;
+                self.end_wall_s = event.get("wall_s").and_then(Value::as_f64);
+            }
+            _ => unreachable!("filtered above"),
+        }
+        Ok(())
+    }
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), "-".repeat(width - filled))
+}
+
+/// One dashboard frame as plain lines (ANSI-free; the follow loop adds
+/// the cursor movement).
+fn render(view: &RunView) -> Vec<String> {
+    let mut lines = Vec::new();
+    let manifest = view.manifest.as_ref();
+    let field = |key: &str| -> String {
+        manifest
+            .and_then(|m| m.get(key))
+            .map(|v| match v {
+                Value::String(s) => s.clone(),
+                Value::Null => "-".to_owned(),
+                other => serde_json::to_string(other).unwrap_or_default(),
+            })
+            .unwrap_or_else(|| "-".to_owned())
+    };
+    lines.push(format!(
+        "run  config={} seed={} faults={} v{}",
+        field("config_hash"),
+        field("seed"),
+        field("faults"),
+        field("crate_version"),
+    ));
+    let done = view.cells.iter().filter(|c| c.done).count();
+    lines.push(format!(
+        "cells {done}/{} done   faults {}   violations {}",
+        view.cells.len(),
+        view.fault_counters.values().sum::<u64>(),
+        view.violations,
+    ));
+    let width = view.cells.iter().map(|c| c.name.len()).max().unwrap_or(4);
+    for cell in &view.cells {
+        let frac = cell.frac.unwrap_or(if cell.done { 1.0 } else { 0.0 });
+        let status = match (&cell.error, cell.done, cell.started) {
+            (Some(_), _, _) => "FAIL".to_owned(),
+            (None, true, _) => cell
+                .wall_s
+                .map(|w| format!("{w:.3}s"))
+                .unwrap_or_else(|| "done".to_owned()),
+            (None, false, true) => cell
+                .eta_s
+                .map(|eta| format!("eta {eta:.1}s"))
+                .unwrap_or_else(|| "run".to_owned()),
+            (None, false, false) => "wait".to_owned(),
+        };
+        let mpki = cell
+            .l2_mpki
+            .map(|m| format!("{m:8.3}"))
+            .unwrap_or_else(|| "       -".to_owned());
+        let mut extra = String::new();
+        if cell.faults > 0 {
+            extra.push_str(&format!("  faults {}", cell.faults));
+        }
+        if cell.violations > 0 {
+            extra.push_str(&format!("  violations {}", cell.violations));
+        }
+        lines.push(format!(
+            "  {:<width$} [{}] {:>5.1}%  mpki {}  {}{}",
+            cell.name,
+            bar(frac, 24),
+            frac * 100.0,
+            mpki,
+            status,
+            extra,
+        ));
+    }
+    for path in &view.results {
+        lines.push(format!("wrote {path}"));
+    }
+    if view.ended {
+        let wall = view
+            .end_wall_s
+            .map(|w| format!(" in {w:.3}s"))
+            .unwrap_or_default();
+        lines.push(format!("run complete{wall}"));
+    }
+    lines
+}
+
+/// The `--once` summary: flat `key=value` lines, one per fact, stable
+/// order — grep-friendly for CI assertions.
+fn render_once(view: &RunView) -> Vec<String> {
+    let mut lines = vec![
+        format!("events={}", view.events),
+        format!("cells={}", view.cells.len()),
+        format!(
+            "cells_done={}",
+            view.cells.iter().filter(|c| c.done).count()
+        ),
+        format!(
+            "cells_failed={}",
+            view.cells.iter().filter(|c| c.error.is_some()).count()
+        ),
+        format!("faults={}", view.fault_counters.values().sum::<u64>()),
+        format!("violations={}", view.violations),
+        format!("run_end={}", view.ended),
+    ];
+    for (name, value) in &view.fault_counters {
+        lines.push(format!("fault[{name}]={value}"));
+    }
+    for cell in &view.cells {
+        if let Some(mpki) = cell.l2_mpki {
+            lines.push(format!("l2_mpki[{}]={mpki}", cell.name));
+        }
+    }
+    for path in &view.results {
+        lines.push(format!("results={path}"));
+    }
+    lines
+}
+
+/// Feeds every complete line from `chunk` (plus any carried-over
+/// partial line) into the view; returns the trailing partial line to
+/// carry into the next poll.
+fn apply_chunk(view: &mut RunView, carry: String, chunk: &str) -> Result<String, String> {
+    let mut buffer = carry;
+    buffer.push_str(chunk);
+    let mut rest = buffer.as_str();
+    while let Some(pos) = rest.find('\n') {
+        let line = &rest[..pos];
+        rest = &rest[pos + 1..];
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: Value = serde_json::from_str(line.trim())
+            .map_err(|e| format!("unparseable heartbeat line: {e}: {line}"))?;
+        view.apply(&event)?;
+    }
+    Ok(rest.to_owned())
+}
+
+fn main() {
+    let args = match parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            let program = std::env::args().next().unwrap_or_else(|| "bf_top".into());
+            if message.is_empty() {
+                println!("usage: {program} [FILE] [options]\n{USAGE}");
+                std::process::exit(0);
+            }
+            eprintln!("error: {message}\nusage: {program} [FILE] [options]\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.once {
+        let content = match std::fs::read_to_string(&args.file) {
+            Ok(content) => content,
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", args.file);
+                std::process::exit(1);
+            }
+        };
+        let mut view = RunView::default();
+        let carry = match apply_chunk(&mut view, String::new(), &content) {
+            Ok(carry) => carry,
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(1);
+            }
+        };
+        if !carry.trim().is_empty() {
+            eprintln!("error: trailing partial line: {carry}");
+            std::process::exit(1);
+        }
+        if view.events == 0 {
+            eprintln!("error: {} holds no heartbeat events", args.file);
+            std::process::exit(1);
+        }
+        // Tolerate a consumer that stops reading (`bf_top --once | head`):
+        // a closed pipe is not an error worth a panic.
+        let mut stdout = std::io::stdout();
+        for line in render_once(&view) {
+            if writeln!(stdout, "{line}").is_err() {
+                break;
+            }
+        }
+        return;
+    }
+
+    // Follow mode: poll the file for appended bytes, redraw in place,
+    // stop at run_end. A not-yet-created file is waited on, so
+    // `bf_top` can be started before the run.
+    let mut view = RunView::default();
+    let mut carry = String::new();
+    let mut offset: u64 = 0;
+    let mut drawn_lines = 0usize;
+    let mut stdout = std::io::stdout();
+    loop {
+        let chunk = match std::fs::File::open(&args.file) {
+            Ok(mut file) => {
+                let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+                if len < offset {
+                    // Truncated (re-armed run): start over.
+                    view = RunView::default();
+                    carry.clear();
+                    offset = 0;
+                }
+                let mut chunk = String::new();
+                if file.seek(std::io::SeekFrom::Start(offset)).is_ok() {
+                    let mut bytes = Vec::new();
+                    if file.read_to_end(&mut bytes).is_ok() {
+                        offset += bytes.len() as u64;
+                        chunk = String::from_utf8_lossy(&bytes).into_owned();
+                    }
+                }
+                chunk
+            }
+            Err(_) => String::new(),
+        };
+        if !chunk.is_empty() {
+            carry = match apply_chunk(&mut view, std::mem::take(&mut carry), &chunk) {
+                Ok(carry) => carry,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    std::process::exit(1);
+                }
+            };
+            // Redraw: move the cursor back over the previous frame and
+            // overwrite, clearing each line first.
+            let frame = render(&view);
+            if drawn_lines > 0 {
+                let _ = write!(stdout, "\x1b[{drawn_lines}A");
+            }
+            for line in &frame {
+                let _ = writeln!(stdout, "\x1b[2K{line}");
+            }
+            drawn_lines = frame.len();
+            let _ = stdout.flush();
+        }
+        if view.ended {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(lines: &[&str]) -> RunView {
+        let mut view = RunView::default();
+        let carry = apply_chunk(&mut view, String::new(), &(lines.join("\n") + "\n"))
+            .expect("events apply");
+        assert!(carry.is_empty());
+        view
+    }
+
+    #[test]
+    fn folds_a_minimal_run() {
+        let view = feed(&[
+            r#"{"event":"run_start","schema":1,"every":64,"manifest":{"config_hash":"abc","seed":1},"ts":1}"#,
+            r#"{"event":"sweep_start","sweep":1,"cells":["a","b"],"ts":2}"#,
+            r#"{"event":"cell_start","sweep":1,"cell":"a","index":0,"ts":3}"#,
+            r#"{"event":"progress","sweep":1,"cell":"a","accesses":64,"instructions":100,"l2_misses":5,"l2_mpki":50.0,"frac":0.5,"ts":4}"#,
+            r#"{"event":"cell_finish","sweep":1,"cell":"a","index":0,"instructions":200,"l2_misses":9,"l2_mpki":45.0,"violations":0,"wall_s":0.1,"ts":5}"#,
+            r#"{"event":"run_end","cells":1,"wall_s":0.2,"ts":6}"#,
+        ]);
+        assert!(view.ended);
+        assert_eq!(view.cells.len(), 2);
+        assert!(view.cells[0].done);
+        assert_eq!(view.cells[0].l2_mpki, Some(45.0));
+        assert!(!view.cells[1].started);
+        let once = render_once(&view);
+        assert!(once.contains(&"cells_done=1".to_owned()));
+        assert!(once.contains(&"run_end=true".to_owned()));
+        let frame = render(&view);
+        assert!(frame.iter().any(|l| l.contains("config=abc")));
+        assert!(frame.iter().any(|l| l.contains("run complete")));
+    }
+
+    #[test]
+    fn partial_trailing_lines_carry_over() {
+        let mut view = RunView::default();
+        let carry = apply_chunk(
+            &mut view,
+            String::new(),
+            "{\"event\":\"run_start\",\"schema\":1,\"manifest\":{},\"ts\":1}\n{\"event\":\"run_e",
+        )
+        .expect("first chunk applies");
+        assert_eq!(carry, "{\"event\":\"run_e");
+        let carry = apply_chunk(&mut view, carry, "nd\",\"cells\":0,\"ts\":2}\n").expect("second");
+        assert!(carry.is_empty());
+        assert!(view.ended);
+        assert_eq!(view.events, 2);
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        let mut view = RunView::default();
+        assert!(apply_chunk(&mut view, String::new(), "not json\n").is_err());
+        let unknown = r#"{"event":"warp","ts":1}"#;
+        assert!(view.apply(&serde_json::from_str(unknown).unwrap()).is_err());
+        let bad_schema = r#"{"event":"run_start","schema":99,"manifest":{},"ts":1}"#;
+        assert!(view
+            .apply(&serde_json::from_str(bad_schema).unwrap())
+            .is_err());
+        let no_ts = r#"{"event":"run_end"}"#;
+        assert!(view.apply(&serde_json::from_str(no_ts).unwrap()).is_err());
+    }
+}

@@ -7,7 +7,11 @@
 use babelfish::sim::{Mode, SimConfig};
 use babelfish::tlb::TlbConfig;
 
+const USAGE: &str = "prints the modelled architectural parameters (paper Table I);
+takes no options besides -h/--help";
+
 fn main() {
+    bf_bench::reject_args("table1_config", USAGE);
     let config = SimConfig::new(8, Mode::babelfish());
     bf_bench::header("Table I: Architectural parameters (AT = access time)");
 

@@ -7,7 +7,11 @@
 use babelfish::{SramModel, TlbEntryLayout};
 use bf_bench::header;
 
+const USAGE: &str = "prints the CACTI-style L2 TLB estimates (paper Table III) and the
+PC-bitmask width ablation; takes no options besides -h/--help";
+
 fn main() {
+    bf_bench::reject_args("table3_cacti", USAGE);
     let model = SramModel::cacti_22nm();
 
     header("Table III: L2 TLB at 22nm");

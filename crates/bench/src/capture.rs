@@ -125,6 +125,7 @@ fn run_replay(path: &str, cfg: &ExperimentConfig) -> Result<(), String> {
         recapture: None,
         batch: cfg.batch,
         salvage: false,
+        heartbeat_every: cfg.heartbeat_every,
     };
     let outcome =
         replay::replay_file(path, options).map_err(|e| format!("replaying {path}: {e}"))?;

@@ -12,6 +12,7 @@ use babelfish::{Mode, ServingVariant};
 use bf_telemetry::{ProfileSnapshot, TimelineSnapshot};
 use serde::{Serialize, Value};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 
 pub mod capture;
 pub mod report;
@@ -44,6 +45,13 @@ pub const DEFAULT_PROFILE_K: u64 = 64;
 /// Default SoA batch size for a bare `--batch` flag.
 pub const DEFAULT_BATCH: usize = 64;
 
+/// Default heartbeat file for a bare `--heartbeat` flag.
+pub const DEFAULT_HEARTBEAT_FILE: &str = "results/heartbeat.ndjson";
+
+/// Default in-cell progress interval (accesses) between heartbeat
+/// `progress` events (`BF_HEARTBEAT_EVERY` overrides).
+pub const DEFAULT_HEARTBEAT_EVERY: u64 = 32768;
+
 /// Everything the figure binaries take from the command line, parsed
 /// once by [`parse_args`].
 #[derive(Debug, Clone)]
@@ -66,6 +74,34 @@ pub struct BenchArgs {
     /// cell becomes a structured failure slot instead of aborting the
     /// whole run; the process still exits non-zero.
     pub keep_going: bool,
+    /// Heartbeat NDJSON sink resolved from `--heartbeat[=FILE]` or
+    /// `BF_HEARTBEAT` (`None` = live observability off).
+    pub heartbeat: Option<String>,
+    /// Raw `--faults`/`BF_FAULTS` spec string as the user wrote it
+    /// (the parsed plan lives in `cfg.faults`); stamped into run
+    /// manifests so cross-run history can join on it.
+    pub faults_spec: Option<String>,
+    /// Emits the heartbeat `run_end` event when the last clone drops
+    /// (end of `main`) — no per-binary epilogue needed.
+    pub heartbeat_guard: HeartbeatGuard,
+}
+
+/// Drop guard carried by [`BenchArgs`]: fires the heartbeat `run_end`
+/// event when the last clone goes out of scope. `finish` is idempotent
+/// and a no-op while the heartbeat is unarmed, so the guard is safe to
+/// create (and drop) in tests and help paths.
+#[derive(Debug, Clone, Default)]
+pub struct HeartbeatGuard {
+    _finish: Arc<FinishOnDrop>,
+}
+
+#[derive(Debug, Default)]
+struct FinishOnDrop;
+
+impl Drop for FinishOnDrop {
+    fn drop(&mut self) {
+        bf_telemetry::heartbeat::finish();
+    }
 }
 
 const USAGE: &str = "options:
@@ -106,6 +142,15 @@ const USAGE: &str = "options:
                       becomes a structured {cell, error} slot in the results
                       document, every other cell completes normally, and the
                       process exits non-zero with a failure summary
+  --heartbeat[=FILE]  append a live NDJSON heartbeat event stream to FILE while
+                      the run executes: run_start with the full run manifest,
+                      per-cell start/finish with counter deltas and l2_mpki,
+                      periodic in-cell progress snapshots with ETA, fault and
+                      invariant-violation events, and run_end (default
+                      FILE=results/heartbeat.ndjson; BF_HEARTBEAT=FILE also
+                      works; progress interval via BF_HEARTBEAT_EVERY, default
+                      32768 accesses; watch live with bf_top, or validate in CI
+                      with bf_top --once)
   --quiet             suppress per-cell progress lines on stderr
   -h, --help          this message";
 
@@ -127,6 +172,8 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
     let mut capture: Option<String> = None;
     let mut replay: Option<String> = None;
     let mut faults: Option<babelfish::FaultPlan> = None;
+    let mut faults_spec: Option<String> = None;
+    let mut heartbeat: Option<String> = None;
     let mut keep_going = false;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -134,6 +181,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
             "--quick" => quick = true,
             "--quiet" => quiet = true,
             "--keep-going" => keep_going = true,
+            "--heartbeat" => heartbeat = Some(DEFAULT_HEARTBEAT_FILE.to_owned()),
             "--trace" => trace = Some(DEFAULT_TRACE_SAMPLE),
             "--timeline" => timeline = Some(DEFAULT_TIMELINE_EPOCH),
             "--profile" => profile = Some(DEFAULT_PROFILE_K),
@@ -197,6 +245,12 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
                     replay = Some(path.to_owned());
                 } else if let Some(spec) = arg.strip_prefix("--faults=") {
                     faults = Some(babelfish::FaultPlan::parse(spec)?);
+                    faults_spec = Some(spec.to_owned());
+                } else if let Some(path) = arg.strip_prefix("--heartbeat=") {
+                    if path.is_empty() {
+                        return Err("--heartbeat= needs a file after '='".to_owned());
+                    }
+                    heartbeat = Some(path.to_owned());
                 } else if arg == "--capture" || arg == "--replay" {
                     return Err(format!("{arg} requires a file: {arg}=FILE"));
                 } else if arg == "--faults" {
@@ -237,7 +291,20 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
     }
     cfg.faults = match faults {
         Some(plan) => Some(plan),
-        None => babelfish::FaultPlan::from_env()?,
+        None => {
+            let plan = babelfish::FaultPlan::from_env()?;
+            if plan.is_some() {
+                faults_spec = std::env::var("BF_FAULTS").ok();
+            }
+            plan
+        }
+    };
+    let heartbeat =
+        heartbeat.or_else(|| std::env::var("BF_HEARTBEAT").ok().filter(|p| !p.is_empty()));
+    cfg.heartbeat_every = if heartbeat.is_some() {
+        env_u64("BF_HEARTBEAT_EVERY").unwrap_or(DEFAULT_HEARTBEAT_EVERY)
+    } else {
+        0
     };
     cfg.validate().map_err(|err| err.to_string())?;
     Ok(BenchArgs {
@@ -247,6 +314,9 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
         capture,
         replay,
         keep_going,
+        heartbeat,
+        faults_spec,
+        heartbeat_guard: HeartbeatGuard::default(),
     })
 }
 
@@ -254,7 +324,17 @@ fn parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
 /// usage message and exiting non-zero on anything unrecognised.
 pub fn parse_args() -> BenchArgs {
     match parse(std::env::args().skip(1)) {
-        Ok(args) => args,
+        Ok(args) => {
+            set_run_context(RunContext {
+                faults_spec: args.faults_spec.clone(),
+                threads: args.threads,
+                batch: args.cfg.batch,
+                heartbeat: args.heartbeat.clone().map(PathBuf::from),
+                heartbeat_every: args.cfg.heartbeat_every,
+                config: Some(args.cfg.to_value()),
+            });
+            args
+        }
         Err(message) => {
             let program = std::env::args().next().unwrap_or_else(|| "bench".into());
             if message.is_empty() {
@@ -273,15 +353,177 @@ pub fn config_from_args() -> ExperimentConfig {
     parse_args().cfg
 }
 
+/// Process-wide run identity recorded once at argument-parse time and
+/// consumed by [`write_results`] when it stamps the run manifest.
+/// Binaries with their own parsers (`bf_replay`) call
+/// [`set_run_context`] themselves; a process that never sets one (unit
+/// tests, library use) stamps the defaults: no faults, zero
+/// threads/batch, heartbeat off.
+#[derive(Debug, Default)]
+pub struct RunContext {
+    /// Raw fault spec string (`--faults`/`BF_FAULTS`) or `None`.
+    pub faults_spec: Option<String>,
+    /// Resolved sweep worker count (volatile — affects only wall clock).
+    pub threads: usize,
+    /// SoA batch size (volatile — results are byte-identical across it).
+    pub batch: usize,
+    /// Heartbeat NDJSON sink, when live observability is on.
+    pub heartbeat: Option<PathBuf>,
+    /// In-cell progress interval in accesses (0 = no progress events).
+    pub heartbeat_every: u64,
+    /// The run's serialized [`ExperimentConfig`], for the run-start
+    /// manifest (docs hash their own embedded `config` instead).
+    pub config: Option<Value>,
+}
+
+static RUN_CONTEXT: OnceLock<RunContext> = OnceLock::new();
+
+fn run_context() -> &'static RunContext {
+    RUN_CONTEXT.get_or_init(RunContext::default)
+}
+
+/// Records the process-wide [`RunContext`] (first call wins) and, when
+/// it names a heartbeat sink, arms the [`bf_telemetry::heartbeat`]
+/// stream with a `run_start` manifest. [`parse_args`] calls this for
+/// every figure binary; `bf_replay` calls it from its own parser.
+pub fn set_run_context(ctx: RunContext) {
+    if let Some(path) = &ctx.heartbeat {
+        let mut manifest = stable_manifest(ctx.config.as_ref(), ctx.faults_spec.as_deref());
+        if let Value::Object(map) = &mut manifest {
+            map.insert(
+                "volatile".to_owned(),
+                volatile_manifest(ctx.threads, ctx.batch),
+            );
+        }
+        if let Err(e) = bf_telemetry::heartbeat::arm(path, manifest, ctx.heartbeat_every) {
+            eprintln!("error: opening heartbeat file {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    let _ = RUN_CONTEXT.set(ctx);
+}
+
+/// The stable half of a run manifest — every field is a pure function
+/// of the run's configuration and the build, so committed baseline
+/// documents stay byte-identical run to run:
+/// `config_hash` (FNV-1a over the compact serialized config), `seed`,
+/// `faults` (raw spec string or null), and `crate_version`.
+fn stable_manifest(config: Option<&Value>, faults_spec: Option<&str>) -> Value {
+    let config_hash = match config.map(serde_json::to_string) {
+        Some(Ok(json)) => Value::String(format!("{:016x}", fnv1a(json.as_bytes()))),
+        _ => Value::Null,
+    };
+    let seed = config
+        .and_then(|c| c.get("seed"))
+        .cloned()
+        .unwrap_or(Value::Null);
+    json_object([
+        ("config_hash", config_hash),
+        ("seed", seed),
+        (
+            "faults",
+            faults_spec
+                .map(|s| Value::String(s.to_owned()))
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "crate_version",
+            Value::String(env!("CARGO_PKG_VERSION").to_owned()),
+        ),
+    ])
+}
+
+/// The wall-clock half of a run manifest. Only attached while the
+/// heartbeat is armed, and always under the single `volatile` key that
+/// `bf_report` diff/check/gates skip wholesale — so unarmed runs (and
+/// therefore the committed baselines) never contain host-dependent
+/// bytes.
+fn volatile_manifest(threads: usize, batch: usize) -> Value {
+    let started_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| Value::U64(d.as_secs()))
+        .unwrap_or(Value::Null);
+    json_object([
+        ("hostname", hostname()),
+        ("git_rev", git_rev()),
+        ("started_unix", started_unix),
+        ("threads", Value::U64(threads as u64)),
+        ("batch", Value::U64(batch as u64)),
+    ])
+}
+
+/// 64-bit FNV-1a — tiny, dependency-free, and stable across platforms,
+/// which is all the manifest's config fingerprint needs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn hostname() -> Value {
+    std::env::var("HOSTNAME")
+        .ok()
+        .or_else(|| {
+            std::fs::read_to_string("/proc/sys/kernel/hostname")
+                .ok()
+                .map(|s| s.trim().to_owned())
+        })
+        .filter(|s| !s.is_empty())
+        .map(Value::String)
+        .unwrap_or(Value::Null)
+}
+
+fn git_rev() -> Value {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| Value::String(s.trim().to_owned()))
+        .filter(|s| !matches!(s, Value::String(s) if s.is_empty()))
+        .unwrap_or(Value::Null)
+}
+
+/// Returns `doc` with the run manifest stamped under its `manifest`
+/// key: the stable identity always, plus the `volatile` wall-clock
+/// fields only while the heartbeat is armed (keeping unarmed output
+/// byte-stable). The stable fields derive from the document's own
+/// embedded `config`, so a replayed trace stamps the same identity as
+/// the capture run regardless of which binary wrote it.
+pub fn stamp_manifest(doc: &Value) -> Value {
+    let ctx = run_context();
+    let mut manifest = stable_manifest(doc.get("config"), ctx.faults_spec.as_deref());
+    if bf_telemetry::heartbeat::armed() {
+        if let Value::Object(map) = &mut manifest {
+            map.insert(
+                "volatile".to_owned(),
+                volatile_manifest(ctx.threads, ctx.batch),
+            );
+        }
+    }
+    let mut doc = doc.clone();
+    if let Value::Object(map) = &mut doc {
+        map.insert("manifest".to_owned(), manifest);
+    }
+    doc
+}
+
 /// Writes `doc` under `results/` twice: a timestamped archival copy and
 /// a stable `<stem>-latest.json` overwritten on every run, which tooling
-/// (and the CI regression gate) can point at. Returns
-/// `(timestamped, latest)`.
+/// (and the CI regression gate) can point at. Stamps the run manifest
+/// (see [`stamp_manifest`]) into both copies and reports the write on
+/// the heartbeat stream. Returns `(timestamped, latest)`.
 pub fn write_results(stem: &str, doc: &Value) -> std::io::Result<(PathBuf, PathBuf)> {
+    let doc = stamp_manifest(doc);
     let stamped = bf_telemetry::results_path("results", stem, "json");
-    bf_telemetry::write_json(&stamped, doc).map_err(|e| named_io_error(&stamped, e))?;
+    bf_telemetry::write_json(&stamped, &doc).map_err(|e| named_io_error(&stamped, e))?;
     let latest = Path::new("results").join(format!("{stem}-latest.json"));
-    bf_telemetry::write_json(&latest, doc).map_err(|e| named_io_error(&latest, e))?;
+    bf_telemetry::write_json(&latest, &doc).map_err(|e| named_io_error(&latest, e))?;
+    bf_telemetry::heartbeat::results_written(&latest, doc.get("figure").and_then(Value::as_str));
     Ok((stamped, latest))
 }
 
@@ -489,6 +731,26 @@ pub fn write_trace_artifact(name: &str, cfg: &ExperimentConfig) -> Option<PathBu
         exit_write_error(named_io_error(&path, e));
     }
     Some(path)
+}
+
+/// Shared argument contract for binaries that take no options: `-h` /
+/// `--help` prints `usage` and exits 0; anything else is rejected with
+/// exit 2. Keeps the zero-option bins on the same help/unknown-flag
+/// contract the `parse_args` bins follow.
+pub fn reject_args(program: &str, usage: &str) {
+    let Some(arg) = std::env::args().nth(1) else {
+        return;
+    };
+    match arg.as_str() {
+        "-h" | "--help" => {
+            println!("usage: {program}\n{usage}");
+            std::process::exit(0);
+        }
+        other => {
+            eprintln!("error: unknown argument: {other}\nusage: {program}\n{usage}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Prints a rule-of-dashes header.

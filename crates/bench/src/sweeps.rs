@@ -126,6 +126,7 @@ fn fig10_sweep(cfg: ExperimentConfig, quiet: bool) -> (Sweep<Fig10Cell>, Vec<Str
             });
         }
     }
+    bf_telemetry::heartbeat::name_cells(&cell_names);
     (sweep, cell_names)
 }
 
@@ -363,6 +364,18 @@ pub fn fig11_data(cfg: &ExperimentConfig, threads: usize, quiet: bool) -> Fig11D
             });
         }
     }
+    let cell_names: Vec<String> = ServingVariant::ALL
+        .iter()
+        .map(|v| v.name())
+        .chain(ComputeKind::ALL.iter().map(|k| k.name()))
+        .flat_map(|name| [format!("{name}-baseline"), format!("{name}-babelfish")])
+        .chain(
+            ["fn-dense", "fn-sparse"]
+                .iter()
+                .flat_map(|label| [format!("{label}-baseline"), format!("{label}-babelfish")]),
+        )
+        .collect();
+    bf_telemetry::heartbeat::name_cells(&cell_names);
 
     let mut cells = sweep.run(threads).into_iter();
     let mut next = || cells.next().expect("cell count fixed at submission");

@@ -1,0 +1,63 @@
+//! Golden test for `bf_report history`: a committed fixture directory
+//! of three timestamped runs of one experiment identity (third run
+//! carries an injected regression), plus one run of a second identity,
+//! a `-latest.json` mirror, and a non-timestamped scratch file. The
+//! rendered trend tables are pinned byte for byte in `golden.txt`.
+
+use bf_bench::report::{collect_history, render_history};
+
+const FIXTURES: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/history");
+
+#[test]
+fn history_over_the_fixture_directory_matches_the_committed_golden() {
+    let groups = collect_history(FIXTURES).expect("fixture directory scans");
+
+    // Grouping joined on manifest identity: the two figures are
+    // separate groups, the mirror and scratch files were skipped, and
+    // the three fig10 runs landed in one group sorted by timestamp.
+    assert_eq!(groups.len(), 2, "{groups:#?}");
+    let fig10 = &groups[0];
+    assert_eq!(fig10.figure, "fig10_tlb");
+    assert_eq!(fig10.config_hash, "00000000deadbeef");
+    assert_eq!(fig10.seed, "24301");
+    assert_eq!(fig10.faults, "-");
+    let timestamps: Vec<u64> = fig10.runs.iter().map(|r| r.timestamp).collect();
+    assert_eq!(timestamps, [1000, 2000, 3000]);
+    assert_eq!(groups[1].figure, "fig9_pte_sharing");
+    assert_eq!(groups[1].faults, "tlb-bitflip@p=1e-3;seed=7");
+
+    // The volatile manifest half never leaks into the trended metrics.
+    for group in &groups {
+        for run in &group.runs {
+            assert!(
+                !run.metrics.keys().any(|k| k.starts_with("manifest")),
+                "manifest fields leaked into metrics: {:?}",
+                run.metrics.keys().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    let (text, regressed) = render_history(&groups, &[], 10, 5.0);
+    assert!(regressed, "the injected regression must be flagged");
+    let golden = std::fs::read_to_string(format!("{FIXTURES}/golden.txt")).expect("golden file");
+    assert!(
+        text == golden,
+        "rendered history diverged from the committed golden:\n\
+         --- rendered ---\n{text}\n--- golden ---\n{golden}"
+    );
+}
+
+#[test]
+fn metric_selection_and_threshold_narrow_the_flags() {
+    let groups = collect_history(FIXTURES).expect("fixture directory scans");
+
+    // Selecting a stable metric by leaf suffix: present, but no flag.
+    let (text, regressed) = render_history(&groups, &["baseline.l2_mpki".to_owned()], 10, 5.0);
+    assert!(!regressed, "stable metric must not flag:\n{text}");
+    assert!(text.contains("rows.mongodb.baseline.l2_mpki"));
+    assert!(text.contains("rows.httpd.baseline.l2_mpki"));
+
+    // A threshold above the injected movement silences every flag.
+    let (_, regressed) = render_history(&groups, &[], 10, 75.0);
+    assert!(!regressed, "75% threshold must swallow the injected moves");
+}

@@ -23,6 +23,7 @@
 //! assert_eq!(sweep.run(4), vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
+use bf_telemetry::heartbeat;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -106,9 +107,20 @@ impl<T: Send> Sweep<T> {
     /// calling thread (no pool, no locks). A panicking cell propagates
     /// the panic to the caller after the scope joins.
     pub fn run(self, threads: usize) -> Vec<T> {
+        heartbeat::sweep_started(self.cells.len());
         let workers = threads.max(1).min(self.cells.len());
         if workers <= 1 {
-            return self.cells.into_iter().map(|job| job()).collect();
+            return self
+                .cells
+                .into_iter()
+                .enumerate()
+                .map(|(cell, job)| {
+                    heartbeat::cell_started(cell);
+                    let result = job();
+                    heartbeat::cell_finished(cell);
+                    result
+                })
+                .collect();
         }
 
         // Jobs and result slots, one mutex per cell: workers only ever
@@ -134,7 +146,9 @@ impl<T: Send> Sweep<T> {
                         .expect("job mutex poisoned")
                         .take()
                         .expect("each cell is claimed exactly once");
+                    heartbeat::cell_started(cell);
                     let result = job();
+                    heartbeat::cell_finished(cell);
                     *slots[cell].lock().expect("slot mutex poisoned") = Some(result);
                 });
             }
@@ -158,11 +172,18 @@ impl<T: Send> Sweep<T> {
     /// byte-identical results whether or not another cell panicked, at
     /// any thread count.
     pub fn run_keep_going(self, threads: usize) -> Vec<Result<T, CellFailure>> {
+        heartbeat::sweep_started(self.cells.len());
         let guard = |cell: usize, job: Job<T>| {
-            catch_unwind(AssertUnwindSafe(job)).map_err(|payload| CellFailure {
+            heartbeat::cell_started(cell);
+            let result = catch_unwind(AssertUnwindSafe(job)).map_err(|payload| CellFailure {
                 cell,
                 error: panic_message(payload),
-            })
+            });
+            match &result {
+                Ok(_) => heartbeat::cell_finished(cell),
+                Err(failure) => heartbeat::cell_failed(cell, &failure.error),
+            }
+            result
         };
 
         let workers = threads.max(1).min(self.cells.len());

@@ -150,12 +150,17 @@ pub struct ExperimentConfig {
     /// perturb only the miss/walk/fault paths; unarmed runs are
     /// byte-identical to builds without the fault subsystem.
     pub faults: Option<FaultPlan>,
+    /// Heartbeat progress-event interval in accesses (0 disables
+    /// progress events; only effective while the process-wide
+    /// [`bf_telemetry::heartbeat`] stream is armed).
+    pub heartbeat_every: u64,
 }
 
 /// Hand-written so the JSON surface stays exactly the pre-batch field
 /// set: `batch` selects an execution engine that produces byte-identical
-/// results, and `faults` is a chaos-testing knob that is None in every
-/// committed document, so neither must perturb committed baselines or
+/// results, `faults` is a chaos-testing knob that is None in every
+/// committed document, and `heartbeat_every` only adds observer-side
+/// events, so none of them may perturb committed baselines or
 /// config-equality checks on emitted documents.
 impl serde::Serialize for ExperimentConfig {
     fn to_value(&self) -> serde::Value {
@@ -214,6 +219,7 @@ impl ExperimentConfig {
             profile_top_k: 0,
             batch: 0,
             faults: None,
+            heartbeat_every: 0,
         }
     }
 
@@ -235,6 +241,7 @@ impl ExperimentConfig {
             profile_top_k: 0,
             batch: 0,
             faults: None,
+            heartbeat_every: 0,
         }
     }
 
@@ -418,12 +425,29 @@ fn sim_config(mode: Mode, cfg: &ExperimentConfig, thp: bool) -> SimConfig {
         .with_frames(cfg.frames)
         .with_trace_sampling(cfg.trace_sample_every)
         .with_timeline(cfg.timeline_every, cfg.timeline_fail_fast)
-        .with_profile(cfg.profile_top_k);
+        .with_profile(cfg.profile_top_k)
+        .with_heartbeat(cfg.heartbeat_every);
     sim.quantum_cycles = cfg.quantum_cycles;
     if !thp {
         sim = sim.without_thp();
     }
     sim
+}
+
+/// Takes the end-of-run observability artifacts off a finished machine
+/// — the measured-window telemetry delta, the epoch timeline, and the
+/// miss-attribution profile — and reports them to the heartbeat stream
+/// (fault counters, invariant violations, and the counters `cell_finish`
+/// summarises). One implementation for every runner, so the heartbeat
+/// sees every cell the same way.
+fn window_observability(
+    machine: &mut Machine,
+) -> (Snapshot, Option<TimelineSnapshot>, Option<ProfileSnapshot>) {
+    let telemetry = machine.telemetry_snapshot();
+    let timeline = machine.take_timeline();
+    let profile = machine.take_profile();
+    bf_telemetry::heartbeat::cell_report(&telemetry, timeline.as_ref());
+    (telemetry, timeline, profile)
 }
 
 /// Brings up `containers_per_core` containers of `image` per core in one
@@ -462,14 +486,15 @@ fn deploy_containers(
 pub fn run_serving(mode: Mode, variant: ServingVariant, cfg: &ExperimentConfig) -> ServingResult {
     let (mut machine, exec_cycles) = serving_machine(mode, variant, cfg);
     let stats = machine.stats();
+    let (telemetry, timeline, profile) = window_observability(&mut machine);
     ServingResult {
         mean_latency: stats.latency.mean(),
         p95_latency: stats.latency.percentile(95.0),
         exec_cycles,
         stats,
-        telemetry: machine.telemetry_snapshot(),
-        timeline: machine.take_timeline(),
-        profile: machine.take_profile(),
+        telemetry,
+        timeline,
+        profile,
     }
 }
 
@@ -499,12 +524,13 @@ pub fn run_compute(mode: Mode, kind: ComputeKind, cfg: &ExperimentConfig) -> Com
     attach_app_workloads(&mut machine, app, deployed, cfg);
     let exec_cycles = run_measurement_window(&mut machine, cfg);
 
+    let (telemetry, timeline, profile) = window_observability(&mut machine);
     ComputeResult {
         exec_cycles,
         stats: machine.stats(),
-        telemetry: machine.telemetry_snapshot(),
-        timeline: machine.take_timeline(),
-        profile: machine.take_profile(),
+        telemetry,
+        timeline,
+        profile,
     }
 }
 
@@ -557,6 +583,12 @@ fn attach_app_workloads(
 /// delta over the measured window. [`ExperimentConfig::batch`] selects
 /// the scalar or the batched execution engine for both windows.
 fn run_measurement_window(machine: &mut Machine, cfg: &ExperimentConfig) -> Cycles {
+    // Progress-target hint for the heartbeat: the windows retire
+    // warmup + measure instructions on every core. Deterministic (pure
+    // config), so the derived `frac` on progress events is too.
+    bf_telemetry::heartbeat::cell_target(
+        (cfg.warmup_instructions + cfg.measure_instructions) * cfg.cores as u64,
+    );
     run_window(machine, cfg.warmup_instructions, cfg.batch);
     machine.reset_measurement();
     let clock_start: Vec<Cycles> = (0..cfg.cores)
@@ -596,13 +628,14 @@ pub fn run_timed_window(
     let start = std::time::Instant::now();
     let exec_cycles = run_measurement_window(&mut machine, cfg);
     let seconds = start.elapsed().as_secs_f64();
+    let (telemetry, timeline, profile) = window_observability(&mut machine);
     (
         WindowResult {
             exec_cycles,
             stats: machine.stats(),
-            telemetry: machine.telemetry_snapshot(),
-            timeline: machine.take_timeline(),
-            profile: machine.take_profile(),
+            telemetry,
+            timeline,
+            profile,
         },
         seconds,
     )
@@ -627,13 +660,14 @@ pub fn run_captured(
     let sink = machine
         .take_capture()
         .expect("capture sink still attached after the run");
+    let (telemetry, timeline, profile) = window_observability(&mut machine);
     (
         WindowResult {
             exec_cycles,
             stats: machine.stats(),
-            telemetry: machine.telemetry_snapshot(),
-            timeline: machine.take_timeline(),
-            profile: machine.take_profile(),
+            telemetry,
+            timeline,
+            profile,
         },
         sink,
     )
@@ -686,13 +720,14 @@ pub fn run_functions(
     }
 
     machine.quiesce_faults();
+    let (telemetry, timeline, profile) = window_observability(&mut machine);
     FunctionsResult {
         bringup_cycles: bringups,
         exec_cycles: execs,
         stats: machine.stats(),
-        telemetry: machine.telemetry_snapshot(),
-        timeline: machine.take_timeline(),
-        profile: machine.take_profile(),
+        telemetry,
+        timeline,
+        profile,
     }
 }
 
@@ -734,7 +769,8 @@ pub fn run_census_timed(
             }
             machine.run_instructions(cfg.measure_instructions);
             let report = pagemap::census(machine.kernel(), group);
-            (report, machine.take_timeline(), machine.take_profile())
+            let (_telemetry, timeline, profile) = window_observability(&mut machine);
+            (report, timeline, profile)
         }
         CensusApp::Compute(kind) => {
             let mut machine = Machine::new(sim_config(Mode::Baseline, cfg, true));
@@ -757,7 +793,8 @@ pub fn run_census_timed(
             }
             machine.run_instructions(cfg.measure_instructions);
             let report = pagemap::census(machine.kernel(), group);
-            (report, machine.take_timeline(), machine.take_profile())
+            let (_telemetry, timeline, profile) = window_observability(&mut machine);
+            (report, timeline, profile)
         }
         CensusApp::Functions => {
             // Three *live* functions (the census needs their tables).
@@ -786,7 +823,8 @@ pub fn run_census_timed(
                 drive_to_done(&mut machine, core, container.pid(), &mut workload);
             }
             let report = pagemap::census(machine.kernel(), group);
-            (report, machine.take_timeline(), machine.take_profile())
+            let (_telemetry, timeline, profile) = window_observability(&mut machine);
+            (report, timeline, profile)
         }
     }
 }

@@ -199,6 +199,7 @@ pub fn meta_config(meta: &TraceMeta) -> Result<(Mode, CaptureApp, ExperimentConf
         profile_top_k: 0,
         batch: 0,
         faults: None,
+        heartbeat_every: 0,
     };
     Ok((mode, app, cfg))
 }
@@ -253,6 +254,9 @@ pub struct ReplayOptions {
     /// outcome carries the loss accounting instead of failing on the
     /// first corrupt block.
     pub salvage: bool,
+    /// Heartbeat progress-event interval in accesses during replay
+    /// (0 = off; only effective while the process heartbeat is armed).
+    pub heartbeat_every: u64,
 }
 
 /// Outcome of [`replay_trace`].
@@ -309,6 +313,7 @@ fn replay_records(
     cfg.timeline_fail_fast = options.timeline_fail_fast;
     cfg.profile_top_k = options.profile_top_k;
     cfg.batch = options.batch;
+    cfg.heartbeat_every = options.heartbeat_every;
 
     let (mut machine, deployed) = experiment::capture_setup(mode, app, &cfg);
     drop(deployed); // replay needs no workloads attached
@@ -402,6 +407,10 @@ fn replay_records(
         Some(start) => experiment::mean_clock_delta(&machine, &start),
         None => 0,
     };
+    let telemetry = machine.telemetry_snapshot();
+    let timeline = machine.take_timeline();
+    let profile = machine.take_profile();
+    bf_telemetry::heartbeat::cell_report(&telemetry, timeline.as_ref());
     Ok(ReplayOutcome {
         mode,
         app: app.name(),
@@ -409,9 +418,9 @@ fn replay_records(
         result: WindowResult {
             exec_cycles,
             stats: machine.stats(),
-            telemetry: machine.telemetry_snapshot(),
-            timeline: machine.take_timeline(),
-            profile: machine.take_profile(),
+            telemetry,
+            timeline,
+            profile,
         },
         records_replayed,
         replay_seconds,

@@ -222,6 +222,10 @@ pub struct SimConfig {
     /// Miss-attribution profiling: the top-K capacity of the hot-region
     /// sketches (0 disables profiling; see [`bf_telemetry::Profiler`]).
     pub profile_top_k: u64,
+    /// Emit a heartbeat progress event every N memory accesses (0
+    /// disables progress events; effective only while the process-wide
+    /// [`bf_telemetry::heartbeat`] stream is armed).
+    pub heartbeat_every: u64,
 }
 
 impl SimConfig {
@@ -242,6 +246,7 @@ impl SimConfig {
             timeline_every: 0,
             timeline_fail_fast: false,
             profile_top_k: 0,
+            heartbeat_every: 0,
         }
     }
 
@@ -277,6 +282,13 @@ impl SimConfig {
     /// sketches (0 = off).
     pub fn with_profile(mut self, top_k: u64) -> Self {
         self.profile_top_k = top_k;
+        self
+    }
+
+    /// Emits a heartbeat progress event every `every` accesses (0 =
+    /// off); a no-op unless the process heartbeat stream is armed.
+    pub fn with_heartbeat(mut self, every: u64) -> Self {
+        self.heartbeat_every = every;
         self
     }
 }

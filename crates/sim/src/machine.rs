@@ -234,6 +234,20 @@ pub struct Machine {
     telemetry_baseline: Snapshot,
     /// Batched-engine scratch columns (see [`BatchScratch`]).
     scratch: BatchScratch,
+    /// Heartbeat progress emitter (None unless
+    /// [`SimConfig::heartbeat_every`] is set *and* the process-wide
+    /// heartbeat stream is armed). Shares the access-counting cap with
+    /// epoch timelines, so progress boundaries land on the exact same
+    /// access in the scalar, batched, and replay engines.
+    progress: Option<Box<ProgressState>>,
+}
+
+/// Heartbeat progress bookkeeping: cumulative accesses and the next
+/// boundary (always the next multiple of `every`).
+struct ProgressState {
+    every: u64,
+    accesses: u64,
+    next: u64,
 }
 
 impl std::fmt::Debug for Machine {
@@ -265,6 +279,7 @@ impl Machine {
             spans.set_sampling(config.trace_sample_every);
         }
         let profiling = config.profile_top_k > 0 && bf_telemetry::enabled();
+        let progress_on = config.heartbeat_every > 0 && bf_telemetry::heartbeat::armed();
         let cores = (0..config.cores)
             .map(|_| {
                 let mut tlbs = TlbGroup::new(config.mode.tlb_config());
@@ -327,7 +342,7 @@ impl Machine {
             telem: SimTelemetry::attach(&registry),
             spans,
             tracing,
-            instrumented: tracing || timeline.is_some() || profiling,
+            instrumented: tracing || timeline.is_some() || profiling || progress_on,
             timeline,
             profiler: profiling.then(|| Box::new(Profiler::new(config.profile_top_k as usize))),
             capture: None,
@@ -335,6 +350,13 @@ impl Machine {
             fault_armed: false,
             telemetry_baseline: registry.snapshot(),
             scratch: BatchScratch::default(),
+            progress: progress_on.then(|| {
+                Box::new(ProgressState {
+                    every: config.heartbeat_every,
+                    accesses: 0,
+                    next: config.heartbeat_every,
+                })
+            }),
             registry,
             config,
         }
@@ -1051,6 +1073,7 @@ impl Machine {
                     pending.pos = start + executed;
                     if self.instrumented {
                         self.epoch_tick_bulk(core_index, executed as u64);
+                        self.progress_tick(executed as u64);
                     }
                     cap = self.accesses_until_epoch();
                     // A lone runnable process: the quantum tick can only
@@ -1174,6 +1197,7 @@ impl Machine {
                 self.trace_access_tail(core_index);
             }
             self.epoch_tick(core_index);
+            self.progress_tick(1);
         }
         cycles
     }
@@ -1519,11 +1543,45 @@ impl Machine {
     }
 
     /// How many accesses the batched engine may execute before it must
-    /// flush for an epoch boundary (`u64::MAX` with timelines off).
+    /// flush for an epoch or heartbeat-progress boundary (`u64::MAX`
+    /// with both off). Capping chunks here is what makes the bulk ticks
+    /// land on exactly the access where the scalar path would fire.
     fn accesses_until_epoch(&self) -> u64 {
-        self.timeline
+        let epoch = self
+            .timeline
             .as_ref()
-            .map_or(u64::MAX, |s| s.timeline.until_boundary().max(1))
+            .map_or(u64::MAX, |s| s.timeline.until_boundary().max(1));
+        let progress = self
+            .progress
+            .as_ref()
+            .map_or(u64::MAX, |p| p.next.saturating_sub(p.accesses).max(1));
+        epoch.min(progress)
+    }
+
+    /// Counts `n` accesses toward the heartbeat progress boundary and,
+    /// on crossing it, emits a `progress` event with the cumulative
+    /// access/instruction/L2-miss counters. Off the hot path: reached
+    /// only behind the `instrumented` gate, and a no-op unless the
+    /// heartbeat is armed for this machine.
+    fn progress_tick(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let Some(progress) = self.progress.as_mut() else {
+            return;
+        };
+        progress.accesses += n;
+        if progress.accesses < progress.next {
+            return;
+        }
+        progress.next = (progress.accesses / progress.every + 1) * progress.every;
+        let accesses = progress.accesses;
+        let snapshot = self.registry.snapshot();
+        bf_telemetry::heartbeat::progress(
+            accesses,
+            snapshot.counter("sim.instructions"),
+            snapshot.counter("tlb.l2.misses"),
+        );
     }
 
     /// Flushes the batched engine's deferred per-chunk telemetry: the
@@ -1536,6 +1594,7 @@ impl Machine {
         }
         if self.instrumented {
             self.epoch_tick_bulk(core_index, *count);
+            self.progress_tick(*count);
         }
         *count = 0;
     }

@@ -4,8 +4,9 @@
 //! lock-free [`Counter`]s and log2-bucketed [`Histogram`]s behind a
 //! shared [`Registry`], a bounded ring-buffered event [`Tracer`], epoch
 //! [`Snapshot`]s with delta/merge semantics, bounded merge-halving
-//! [`Timeline`]s with cross-counter [`InvariantSet`] checking, and
-//! JSON/CSV exporters for `results/` artifacts.
+//! [`Timeline`]s with cross-counter [`InvariantSet`] checking, JSON/CSV
+//! exporters for `results/` artifacts, and a live-run [`heartbeat`]
+//! NDJSON event stream for `bf_top` and CI.
 //!
 //! ## Zero overhead when off
 //!
@@ -29,6 +30,7 @@
 //! are cheap `Arc` clones that record without taking any lock.
 
 mod export;
+pub mod heartbeat;
 mod invariants;
 mod metrics;
 mod profiler;
